@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for the frame and radiotap codecs — the
+//! per-packet hot path of any real injector/sniffer built on this stack.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use polite_wifi_frame::{builder, fcs, Frame, MacAddr};
+use polite_wifi_radiotap::{ChannelInfo, Radiotap};
+
+fn victim() -> MacAddr {
+    "f2:6e:0b:11:22:33".parse().unwrap()
+}
+
+fn bench_frame_codec(c: &mut Criterion) {
+    let fake = builder::fake_null_frame(victim(), MacAddr::FAKE);
+    let fake_bytes = fake.encode(true);
+    let beacon = builder::beacon(victim(), "PrivateNet", 6, 7, 123_456, true);
+    let beacon_bytes = beacon.encode(true);
+
+    let mut g = c.benchmark_group("frame_codec");
+    g.throughput(Throughput::Bytes(fake_bytes.len() as u64));
+    g.bench_function("encode_fake_null", |b| {
+        b.iter(|| black_box(&fake).encode(true))
+    });
+    g.bench_function("parse_fake_null", |b| {
+        b.iter(|| Frame::parse(black_box(&fake_bytes), true).unwrap())
+    });
+    g.throughput(Throughput::Bytes(beacon_bytes.len() as u64));
+    g.bench_function("encode_beacon", |b| b.iter(|| black_box(&beacon).encode(true)));
+    g.bench_function("parse_beacon", |b| {
+        b.iter(|| Frame::parse(black_box(&beacon_bytes), true).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_fcs(c: &mut Criterion) {
+    let payload_1500 = vec![0xa5u8; 1500];
+    let payload_28 = vec![0xa5u8; 28];
+    let mut g = c.benchmark_group("fcs_crc32");
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("crc32_1500B", |b| b.iter(|| fcs::crc32(black_box(&payload_1500))));
+    g.throughput(Throughput::Bytes(28));
+    g.bench_function("crc32_28B", |b| b.iter(|| fcs::crc32(black_box(&payload_28))));
+    g.finish();
+}
+
+fn bench_radiotap(c: &mut Criterion) {
+    let rt = Radiotap::capture(1_000_000, 2, ChannelInfo::ghz2(6), -48, -91);
+    let bytes = rt.encode();
+    let mut g = c.benchmark_group("radiotap");
+    g.bench_function("encode_capture_header", |b| b.iter(|| black_box(&rt).encode()));
+    g.bench_function("parse_capture_header", |b| {
+        b.iter(|| Radiotap::parse(black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_frame_codec, bench_fcs, bench_radiotap);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E8 — §4.2's battery-life projections: the Logitech Circle 2 and
+//! Amazon Blink XT2 under a 900 pps attack.
+
+use polite_wifi_bench::{compare, header, write_json};
+use polite_wifi_core::BatteryDrainAttack;
+
+fn main() {
+    header(
+        "E8: battery-life projections under the 900 pps attack",
+        "§4.2 of the paper (Circle 2 → ~6.7 h, Blink XT2 → ~16.7 h)",
+    );
+
+    let m = BatteryDrainAttack {
+        rate_pps: 900,
+        ..BatteryDrainAttack::default()
+    }
+    .run();
+    println!(
+        "\nmeasured victim power at 900 pps: {:.1} mW (paper: ~360 mW)\n",
+        m.average_power_mw
+    );
+
+    let projections = BatteryDrainAttack::project_batteries(&m);
+    println!(
+        "{:<20} {:>9} {:>14} {:>13} {:>9}",
+        "device", "mWh", "advertised", "under attack", "speedup"
+    );
+    for p in &projections {
+        println!(
+            "{:<20} {:>9.0} {:>12.0} h {:>11.1} h {:>8.0}x",
+            p.battery.name,
+            p.battery.capacity_mwh,
+            p.battery.advertised_life_hours,
+            p.attacked_life_hours,
+            p.speedup
+        );
+    }
+
+    println!();
+    compare("Logitech Circle 2 drains in", "~6.7 h", &format!("{:.1} h", projections[0].attacked_life_hours));
+    compare("Amazon Blink XT2 drains in", "~16.7 h", &format!("{:.1} h", projections[1].attacked_life_hours));
+
+    assert!((5.5..8.0).contains(&projections[0].attacked_life_hours));
+    assert!((14.0..19.5).contains(&projections[1].attacked_life_hours));
+    write_json("battery_life", &projections);
+}

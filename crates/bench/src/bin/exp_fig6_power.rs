@@ -1,0 +1,65 @@
+//! E7 — Figure 6: power consumption vs fake-frame rate.
+//!
+//! Sweeps injection rates against an ESP8266 in power-save mode and
+//! checks the paper's three anchors: ~10 mW idle, ~230 mW past the
+//! 10 pps knee, ~360 mW at 900 pps (a 35× increase).
+
+use polite_wifi_bench::{bar, compare, header, write_json};
+use polite_wifi_core::BatteryDrainAttack;
+
+fn main() {
+    header(
+        "E7: battery-drain attack — power vs fake-frame rate",
+        "Figure 6 + §4.2 of the paper",
+    );
+
+    let rates = [0u32, 1, 2, 5, 8, 10, 15, 20, 50, 100, 200, 300, 500, 700, 900];
+    println!("\n{:>8} {:>10} {:>8}  power", "pps", "mW", "sleep%");
+    let measurements = BatteryDrainAttack::sweep(&rates, 2020);
+    for m in &measurements {
+        println!(
+            "{:>8} {:>10.1} {:>8.1}  {}",
+            m.rate_pps,
+            m.average_power_mw,
+            m.sleep_fraction * 100.0,
+            bar(m.average_power_mw, 400.0, 36)
+        );
+    }
+
+    let at = |pps: u32| {
+        measurements
+            .iter()
+            .find(|m| m.rate_pps == pps)
+            .expect("rate measured")
+    };
+    let baseline = at(0).average_power_mw;
+    let knee = at(20).average_power_mw;
+    let top = at(900).average_power_mw;
+
+    println!();
+    compare("no attack (power save works)", "~10 mW", &format!("{baseline:.1} mW"));
+    compare(">10 pps keeps the radio on", "~230 mW", &format!("{knee:.1} mW @ 20 pps"));
+    compare("900 pps", "~360 mW", &format!("{top:.1} mW"));
+    compare("increase factor", "35x", &format!("{:.0}x", top / baseline));
+
+    // Linearity above the knee, as the paper notes.
+    let p100 = at(100).average_power_mw;
+    let p500 = at(500).average_power_mw;
+    let p900 = at(900).average_power_mw;
+    let slope1 = (p500 - p100) / 400.0;
+    let slope2 = (p900 - p500) / 400.0;
+    compare(
+        "power grows linearly with rate",
+        "yes",
+        &format!("slopes {:.3} / {:.3} mW per pps", slope1, slope2),
+    );
+
+    assert!((5.0..20.0).contains(&baseline), "baseline {baseline}");
+    assert!((200.0..260.0).contains(&knee), "knee {knee}");
+    assert!((320.0..400.0).contains(&top), "top {top}");
+    let factor = top / baseline;
+    assert!((20.0..50.0).contains(&factor), "factor {factor}");
+    assert!((slope1 - slope2).abs() < 0.08, "not linear: {slope1} vs {slope2}");
+
+    write_json("fig6_power", &measurements);
+}

@@ -1,0 +1,61 @@
+//! Shared plumbing for the experiment regenerators.
+//!
+//! Each paper table/figure has a binary under `src/bin/` (see DESIGN.md
+//! §4 for the index). Binaries print the human-readable rows the paper
+//! reports *and* drop a machine-readable JSON next to them under
+//! `results/`, which EXPERIMENTS.md references.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Directory experiment JSON results are written to (workspace-relative).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("POLITE_WIFI_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Serialises an experiment result to `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialise result");
+    std::fs::write(&path, json).expect("write result json");
+    println!("\n[result JSON written to {}]", path.display());
+}
+
+/// Prints a section header in a consistent style.
+pub fn header(experiment: &str, paper_ref: &str) {
+    println!("{}", "=".repeat(72));
+    println!("{experiment}");
+    println!("reproduces: {paper_ref}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Prints a paper-vs-measured comparison row.
+pub fn compare(metric: &str, paper: &str, measured: &str) {
+    println!("  {metric:<44} paper: {paper:<12} measured: {measured}");
+}
+
+/// An ASCII bar for quick figure-shaped output.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let filled = ((value / max).clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = "█".repeat(filled);
+    s.push_str(&"·".repeat(width - filled));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(0.0, 10.0, 10), "··········");
+        assert_eq!(bar(10.0, 10.0, 10), "██████████");
+        assert_eq!(bar(5.0, 10.0, 10).chars().filter(|&c| c == '█').count(), 5);
+        // Overflow clamps.
+        assert_eq!(bar(20.0, 10.0, 4), "████");
+    }
+}

@@ -1,0 +1,44 @@
+//! The Polite WiFi toolkit — the paper's contribution as a library.
+//!
+//! Everything an experimenter needs to reproduce the paper sits behind
+//! this crate:
+//!
+//! * [`injector`] — the fake-frame injector (the $12 RTL8812AU dongle's
+//!   role): unicast null frames or RTS at a configurable rate,
+//! * [`verifier`] — pairs injected fakes with the ACKs they elicit
+//!   (ACKs carry no transmitter address, so pairing is temporal, exactly
+//!   as the paper's third Scapy thread did),
+//! * [`scanner`] — the three-stage wardriving pipeline of Section 3
+//!   (discover / inject / verify, staged over crossbeam channels like the
+//!   paper's three threads),
+//! * [`drain`] — the battery-drain attack of Section 4.2,
+//! * [`keystroke`] — the CSI keystroke/activity sniffer of Section 4.1,
+//! * [`sensing_hub`] — the single-device sensing opportunity of
+//!   Section 4.3, and
+//! * [`analysis`] — the SIFS-vs-decryption feasibility argument of
+//!   Section 2.2 in executable form,
+//!
+//! and two extensions following the paper's future-work pointers:
+//!
+//! * [`vitals`] — breathing-rate recovery from elicited ACK CSI, and
+//! * [`ranging`] — RSSI-based distance estimation to an unassociated
+//!   victim (the Wi-Peep direction).
+
+pub mod analysis;
+pub mod drain;
+pub mod injector;
+pub mod keystroke;
+pub mod ranging;
+pub mod scanner;
+pub mod sensing_hub;
+pub mod verifier;
+pub mod vitals;
+
+pub use drain::{BatteryDrainAttack, DrainMeasurement};
+pub use injector::{FakeFrameInjector, InjectionKind, InjectionPlan};
+pub use keystroke::{KeystrokeAttack, KeystrokeAttackResult};
+pub use ranging::{estimate_range, RangeEstimate};
+pub use scanner::{ScanReport, WardriveScanner};
+pub use sensing_hub::{SensingHub, SensingReport};
+pub use verifier::{AckVerifier, VerifiedExchange};
+pub use vitals::{VitalSignsAttack, VitalSignsResult};

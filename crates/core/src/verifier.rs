@@ -1,0 +1,169 @@
+//! ACK verification: did the victim answer?
+//!
+//! 802.11 ACKs carry no transmitter address, so a sniffer cannot read off
+//! *who* acknowledged. The paper's third thread verified targets
+//! temporally: an ACK addressed to the attacker that lands within the
+//! response window of an injected fake is attributed to that fake's
+//! destination. This module implements that pairing over a capture.
+
+use polite_wifi_frame::{ControlFrame, Frame, MacAddr};
+use polite_wifi_pcap::capture::Capture;
+use serde::{Deserialize, Serialize};
+
+/// One verified fake→ACK exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerifiedExchange {
+    /// The victim that answered.
+    pub victim: MacAddr,
+    /// When the fake frame completed, µs.
+    pub fake_ts_us: u64,
+    /// When the ACK completed, µs.
+    pub ack_ts_us: u64,
+}
+
+/// Pairs injected fakes with elicited ACKs in a capture.
+#[derive(Debug, Clone)]
+pub struct AckVerifier {
+    /// The attacker's (forged) address that ACKs come back to.
+    pub attacker: MacAddr,
+    /// Maximum µs between a fake frame's end and its ACK's end for the
+    /// two to be considered one exchange. SIFS + the longest legacy ACK
+    /// (304 µs at 1 Mb/s) plus slack.
+    pub window_us: u64,
+}
+
+impl AckVerifier {
+    /// A verifier with the default 1 ms pairing window.
+    pub fn new(attacker: MacAddr) -> AckVerifier {
+        AckVerifier {
+            attacker,
+            window_us: 1_000,
+        }
+    }
+
+    /// Walks the capture and returns every verified exchange: a frame
+    /// transmitted *by* the attacker followed within the window by an
+    /// ACK (or CTS) addressed *to* the attacker.
+    pub fn verify(&self, capture: &Capture) -> Vec<VerifiedExchange> {
+        let mut exchanges = Vec::new();
+        let mut pending: Option<(MacAddr, u64)> = None;
+        for cf in capture.frames() {
+            match &cf.frame {
+                Frame::Ctrl(ControlFrame::Ack { ra }) | Frame::Ctrl(ControlFrame::Cts { ra, .. })
+                    if *ra == self.attacker =>
+                {
+                    if let Some((victim, fake_ts)) = pending.take() {
+                        if cf.ts_us.saturating_sub(fake_ts) <= self.window_us {
+                            exchanges.push(VerifiedExchange {
+                                victim,
+                                fake_ts_us: fake_ts,
+                                ack_ts_us: cf.ts_us,
+                            });
+                        }
+                    }
+                }
+                other => {
+                    if other.transmitter() == Some(self.attacker) {
+                        if let Some(victim) = other.receiver() {
+                            pending = Some((victim, cf.ts_us));
+                        }
+                    }
+                }
+            }
+        }
+        exchanges
+    }
+
+    /// Distinct victims that verifiably answered at least once.
+    pub fn responding_victims(&self, capture: &Capture) -> Vec<MacAddr> {
+        let mut victims: Vec<MacAddr> = self
+            .verify(capture)
+            .iter()
+            .map(|e| e.victim)
+            .collect();
+        victims.sort();
+        victims.dedup();
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polite_wifi_frame::builder;
+
+    fn victim_mac() -> MacAddr {
+        "f2:6e:0b:11:22:33".parse().unwrap()
+    }
+
+    #[test]
+    fn pairs_fake_with_following_ack() {
+        let mut cap = Capture::new();
+        cap.record_frame(1_000, &builder::fake_null_frame(victim_mac(), MacAddr::FAKE));
+        cap.record_frame(1_314, &builder::ack(MacAddr::FAKE));
+        let v = AckVerifier::new(MacAddr::FAKE);
+        let ex = v.verify(&cap);
+        assert_eq!(ex.len(), 1);
+        assert_eq!(ex[0].victim, victim_mac());
+        assert_eq!(ex[0].ack_ts_us - ex[0].fake_ts_us, 314);
+    }
+
+    #[test]
+    fn late_ack_not_paired() {
+        let mut cap = Capture::new();
+        cap.record_frame(1_000, &builder::fake_null_frame(victim_mac(), MacAddr::FAKE));
+        cap.record_frame(5_000, &builder::ack(MacAddr::FAKE));
+        assert!(AckVerifier::new(MacAddr::FAKE).verify(&cap).is_empty());
+    }
+
+    #[test]
+    fn ack_to_someone_else_ignored() {
+        let other: MacAddr = "02:00:00:00:00:09".parse().unwrap();
+        let mut cap = Capture::new();
+        cap.record_frame(1_000, &builder::fake_null_frame(victim_mac(), MacAddr::FAKE));
+        cap.record_frame(1_314, &builder::ack(other));
+        assert!(AckVerifier::new(MacAddr::FAKE).verify(&cap).is_empty());
+    }
+
+    #[test]
+    fn cts_counts_as_verification() {
+        let mut cap = Capture::new();
+        cap.record_frame(1_000, &builder::fake_rts(victim_mac(), MacAddr::FAKE, 300));
+        cap.record_frame(1_200, &builder::cts(MacAddr::FAKE, 100));
+        let ex = AckVerifier::new(MacAddr::FAKE).verify(&cap);
+        assert_eq!(ex.len(), 1);
+    }
+
+    #[test]
+    fn multiple_victims_deduplicated() {
+        let v2: MacAddr = "f2:6e:0b:44:55:66".parse().unwrap();
+        let mut cap = Capture::new();
+        for (i, victim) in [victim_mac(), v2, victim_mac()].iter().enumerate() {
+            let t = 10_000 * (i as u64 + 1);
+            cap.record_frame(t, &builder::fake_null_frame(*victim, MacAddr::FAKE));
+            cap.record_frame(t + 314, &builder::ack(MacAddr::FAKE));
+        }
+        let verifier = AckVerifier::new(MacAddr::FAKE);
+        assert_eq!(verifier.verify(&cap).len(), 3);
+        let victims = verifier.responding_victims(&cap);
+        assert_eq!(victims.len(), 2);
+        assert!(victims.contains(&victim_mac()) && victims.contains(&v2));
+    }
+
+    #[test]
+    fn interleaved_foreign_traffic_does_not_confuse() {
+        let other: MacAddr = "02:00:00:00:00:09".parse().unwrap();
+        let mut cap = Capture::new();
+        cap.record_frame(1_000, &builder::fake_null_frame(victim_mac(), MacAddr::FAKE));
+        // A foreign beacon lands between the fake and the ACK.
+        cap.record_frame(1_100, &builder::beacon(other, "X", 6, 0, 0, false));
+        cap.record_frame(1_314, &builder::ack(MacAddr::FAKE));
+        // The beacon (transmitted by `other`, received broadcast) replaces
+        // the pending pair only if it was *sent by the attacker*; it was
+        // not, so the exchange still verifies... but note the beacon's
+        // receiver is broadcast so pending would be clobbered only for
+        // attacker-sent frames.
+        let ex = AckVerifier::new(MacAddr::FAKE).verify(&cap);
+        assert_eq!(ex.len(), 1);
+    }
+}

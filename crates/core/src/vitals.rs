@@ -1,0 +1,141 @@
+//! Vital-sign (breathing) sensing through ACK CSI — §4.1's open
+//! question, run end-to-end: fake frames elicit ACKs from the victim's
+//! unmodified WiFi device while a person breathes nearby; the attacker
+//! recovers the breathing rate from subcarrier amplitude.
+
+use crate::injector::{FakeFrameInjector, InjectionKind, InjectionPlan};
+use polite_wifi_frame::{ControlFrame, Frame, MacAddr};
+use polite_wifi_mac::StationConfig;
+use polite_wifi_phy::csi::CsiChannel;
+use polite_wifi_phy::rate::BitRate;
+use polite_wifi_sensing::breathing::{estimate_breathing_rate, BreathingEstimate};
+use polite_wifi_sensing::{CsiSeries, MotionScript};
+use polite_wifi_sim::{SimConfig, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the breathing-sensing attack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VitalSignsAttack {
+    /// Fake-frame rate (sensing needs 100–1000 pps per the paper).
+    pub rate_pps: u32,
+    /// Observation time, µs.
+    pub duration_us: u64,
+    /// Ground-truth breathing rate of the subject near the device.
+    pub true_bpm: f64,
+    /// Subcarrier to sense on.
+    pub subcarrier: usize,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for VitalSignsAttack {
+    fn default() -> Self {
+        VitalSignsAttack {
+            rate_pps: 150,
+            duration_us: 60_000_000,
+            true_bpm: 15.0,
+            subcarrier: 17,
+            seed: 31,
+        }
+    }
+}
+
+/// What the attack recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VitalSignsResult {
+    /// Ground truth.
+    pub true_bpm: f64,
+    /// CSI samples collected.
+    pub samples: usize,
+    /// Effective CSI sample rate.
+    pub sample_rate_hz: f64,
+    /// The spectral estimate, if the series was long enough.
+    pub estimate: Option<BreathingEstimate>,
+}
+
+impl VitalSignsAttack {
+    /// Runs the attack: inject → collect ACK CSI → spectral estimate.
+    pub fn run(&self) -> VitalSignsResult {
+        let victim_mac: MacAddr = "f2:6e:0b:77:88:99".parse().unwrap();
+        let mut sim = Simulator::new(SimConfig::default(), self.seed);
+        let _victim = sim.add_node(StationConfig::client(victim_mac), (0.0, 0.0));
+        let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (7.0, 0.0));
+        sim.set_monitor(attacker, true);
+
+        let plan = InjectionPlan {
+            victim: victim_mac,
+            forged_ta: MacAddr::FAKE,
+            kind: InjectionKind::NullData,
+            rate_pps: self.rate_pps,
+            start_us: 0,
+            duration_us: self.duration_us,
+            bitrate: BitRate::Mbps1,
+        };
+        FakeFrameInjector::new(attacker).execute(&mut sim, &plan);
+        sim.run_until(self.duration_us + 100_000);
+
+        let script = MotionScript::breathing(self.duration_us, self.true_bpm);
+        let mut channel = CsiChannel::new(self.seed);
+        let mut series = CsiSeries::new();
+        for cf in sim.node(attacker).capture.frames() {
+            if matches!(&cf.frame, Frame::Ctrl(ControlFrame::Ack { ra }) if *ra == MacAddr::FAKE) {
+                let snap = channel.sample(script.intensity_at(cf.ts_us));
+                series.push(cf.ts_us, snap);
+            }
+        }
+
+        let amplitudes = series.subcarrier_amplitudes(self.subcarrier);
+        let sample_rate_hz = series.sample_rate_hz();
+        VitalSignsResult {
+            true_bpm: self.true_bpm,
+            samples: series.len(),
+            sample_rate_hz,
+            estimate: estimate_breathing_rate(&amplitudes, sample_rate_hz),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breathing_rate_recovered_end_to_end() {
+        let result = VitalSignsAttack {
+            true_bpm: 15.0,
+            duration_us: 45_000_000,
+            ..VitalSignsAttack::default()
+        }
+        .run();
+        assert!(result.samples > 6_000, "samples {}", result.samples);
+        let est = result.estimate.expect("series long enough");
+        assert!(
+            (est.bpm - 15.0).abs() <= 1.0,
+            "true 15 bpm, estimated {} (confidence {})",
+            est.bpm,
+            est.confidence
+        );
+        assert!(est.is_confident());
+    }
+
+    #[test]
+    fn different_rates_distinguishable() {
+        let slow = VitalSignsAttack {
+            true_bpm: 10.0,
+            duration_us: 45_000_000,
+            seed: 5,
+            ..VitalSignsAttack::default()
+        }
+        .run();
+        let fast = VitalSignsAttack {
+            true_bpm: 24.0,
+            duration_us: 45_000_000,
+            seed: 5,
+            ..VitalSignsAttack::default()
+        }
+        .run();
+        let s = slow.estimate.unwrap().bpm;
+        let f = fast.estimate.unwrap().bpm;
+        assert!(f > s + 8.0, "slow {s}, fast {f}");
+    }
+}

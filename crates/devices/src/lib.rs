@@ -1,0 +1,18 @@
+//! Device knowledge for the large-scale survey (paper §3, Table 2).
+//!
+//! * [`oui`] — an OUI→vendor registry covering every vendor Table 2
+//!   names, so survey results can be attributed the same way the paper's
+//!   wardriving rig attributed them,
+//! * [`profile`] — per-device profiles (chipset, standard, band,
+//!   behaviour), including the exact Table 1 device matrix, and
+//! * [`population`] — a synthetic city population whose vendor×count
+//!   marginals match Table 2 *exactly*: 1,523 clients from 147 vendors,
+//!   3,805 APs from 94 vendors, 186 distinct vendors overall.
+
+pub mod oui;
+pub mod population;
+pub mod profile;
+
+pub use oui::OuiRegistry;
+pub use population::{CityPopulation, DeviceSpec};
+pub use profile::{DeviceProfile, Table1Device};

@@ -1,0 +1,165 @@
+//! The OUI → vendor registry.
+//!
+//! MAC-address prefixes (Organizationally Unique Identifiers) are how the
+//! paper's survey attributed 5,328 responding devices to 186 vendors. The
+//! registry ships with one representative, well-known OUI per Table 2
+//! vendor and accepts additional registrations (the synthetic population
+//! registers generated OUIs for its long-tail vendors).
+
+use polite_wifi_frame::MacAddr;
+use std::collections::HashMap;
+
+/// Well-known representative OUIs for the vendors Table 2 names. One OUI
+/// per vendor suffices for attribution in the simulation (real vendors own
+/// many; the survey logic only needs the prefix→name mapping to be
+/// consistent).
+pub const KNOWN_OUIS: &[([u8; 3], &str)] = &[
+    ([0xf0, 0x18, 0x98], "Apple"),
+    ([0xf4, 0xf5, 0xd8], "Google"),
+    ([0x00, 0x1b, 0x77], "Intel"),
+    ([0x68, 0x02, 0xb8], "Hitron"),
+    ([0x00, 0x1e, 0x0b], "HP"),
+    ([0x8c, 0x77, 0x12], "Samsung"),
+    ([0x24, 0x0a, 0xc4], "Espressif"),
+    ([0x00, 0x1c, 0x26], "Hon Hai"),
+    ([0x74, 0xc2, 0x46], "Amazon"),
+    ([0x18, 0x62, 0x2c], "Sagemcom"),
+    ([0x20, 0x68, 0x9d], "Liteon"),
+    ([0x00, 0x25, 0xd3], "AzureWave"),
+    ([0x00, 0x0e, 0x58], "Sonos"),
+    ([0x18, 0xb4, 0x30], "Nest Labs"),
+    ([0x00, 0x0e, 0x6d], "Murata"),
+    ([0x94, 0x10, 0x3e], "Belkin"),
+    ([0x50, 0xc7, 0xbf], "TP-LINK"),
+    ([0x00, 0x40, 0x96], "Cisco"),
+    ([0x44, 0x61, 0x32], "ecobee"),
+    ([0x28, 0x18, 0x78], "Microsoft"),
+    ([0xfc, 0x94, 0xe3], "Technicolor"),
+    ([0xf8, 0xbb, 0xbf], "eero"),
+    ([0x00, 0x04, 0x96], "Extreme N."),
+    ([0x00, 0x1f, 0x33], "NETGEAR"),
+    ([0x00, 0x05, 0x5d], "D-Link"),
+    ([0x04, 0xd9, 0xf5], "ASUSTek"),
+    ([0x00, 0x0b, 0x86], "Aruba"),
+    ([0xac, 0x20, 0x2e], "SmartRG"),
+    ([0x24, 0xa4, 0x3c], "Ubiquiti N."),
+    ([0x00, 0x15, 0x70], "Zebra"),
+    ([0x38, 0xc0, 0x86], "Pegatron"),
+    ([0x00, 0x0c, 0xe7], "Mitsumi"),
+    // Table 1 chipset vendors not in the Table 2 top-20.
+    ([0x00, 0x03, 0x7f], "Atheros"),
+    ([0x00, 0x50, 0x43], "Marvell"),
+    ([0x00, 0x03, 0x7a], "Qualcomm"),
+    ([0x00, 0xe0, 0x4c], "Realtek"),
+];
+
+/// An OUI→vendor lookup table.
+#[derive(Debug, Clone, Default)]
+pub struct OuiRegistry {
+    map: HashMap<[u8; 3], String>,
+}
+
+impl OuiRegistry {
+    /// A registry pre-seeded with the Table 1/Table 2 vendors.
+    pub fn with_known_vendors() -> OuiRegistry {
+        let mut r = OuiRegistry::default();
+        for (oui, name) in KNOWN_OUIS {
+            r.register(*oui, name);
+        }
+        r
+    }
+
+    /// Registers (or overwrites) an OUI.
+    pub fn register(&mut self, oui: [u8; 3], vendor: &str) {
+        self.map.insert(oui, vendor.to_string());
+    }
+
+    /// Looks up the vendor for an address.
+    pub fn vendor_of(&self, addr: MacAddr) -> Option<&str> {
+        self.map.get(&addr.oui()).map(|s| s.as_str())
+    }
+
+    /// Looks up a vendor's representative OUI (first match).
+    pub fn oui_of(&self, vendor: &str) -> Option<[u8; 3]> {
+        self.map
+            .iter()
+            .filter(|(_, v)| v.as_str() == vendor)
+            .map(|(k, _)| *k)
+            .min() // deterministic choice
+    }
+
+    /// Number of registered OUIs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of distinct vendor names.
+    pub fn vendor_count(&self) -> usize {
+        let set: std::collections::HashSet<&str> = self.map.values().map(|s| s.as_str()).collect();
+        set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vendors_resolve() {
+        let r = OuiRegistry::with_known_vendors();
+        let apple = MacAddr::from_oui([0xf0, 0x18, 0x98], 0x123456);
+        assert_eq!(r.vendor_of(apple), Some("Apple"));
+        let esp = MacAddr::from_oui([0x24, 0x0a, 0xc4], 1);
+        assert_eq!(r.vendor_of(esp), Some("Espressif"));
+    }
+
+    #[test]
+    fn unknown_oui_is_none() {
+        let r = OuiRegistry::with_known_vendors();
+        assert_eq!(r.vendor_of(MacAddr::FAKE), None);
+    }
+
+    #[test]
+    fn all_table2_top20_vendors_present() {
+        let r = OuiRegistry::with_known_vendors();
+        for v in [
+            "Apple", "Google", "Intel", "Hitron", "HP", "Samsung", "Espressif", "Hon Hai",
+            "Amazon", "Sagemcom", "Liteon", "AzureWave", "Sonos", "Nest Labs", "Murata", "Belkin",
+            "TP-LINK", "Cisco", "ecobee", "Microsoft", "Technicolor", "eero", "Extreme N.",
+            "NETGEAR", "D-Link", "ASUSTek", "Aruba", "SmartRG", "Ubiquiti N.", "Zebra",
+            "Pegatron", "Mitsumi",
+        ] {
+            assert!(r.oui_of(v).is_some(), "missing {v}");
+        }
+    }
+
+    #[test]
+    fn register_and_count() {
+        let mut r = OuiRegistry::default();
+        assert!(r.is_empty());
+        r.register([1, 2, 3], "X");
+        r.register([1, 2, 4], "X");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.vendor_count(), 1);
+    }
+
+    #[test]
+    fn oui_round_trip() {
+        let r = OuiRegistry::with_known_vendors();
+        let oui = r.oui_of("Cisco").unwrap();
+        assert_eq!(r.vendor_of(MacAddr::from_oui(oui, 42)), Some("Cisco"));
+    }
+
+    #[test]
+    fn no_duplicate_ouis_in_seed_table() {
+        let mut seen = std::collections::HashSet::new();
+        for (oui, _) in KNOWN_OUIS {
+            assert!(seen.insert(*oui), "duplicate OUI {oui:?}");
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The 16-bit Frame Control field.
+
+use crate::error::FrameError;
+use serde::{Deserialize, Serialize};
+
+/// The 2-bit frame type from the Frame Control field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameType {
+    /// Management frames (beacons, deauthentication, probes, ...). These can
+    /// be protected by 802.11w.
+    Management,
+    /// Control frames (RTS/CTS/ACK/...). These *cannot* be encrypted — every
+    /// nearby device must be able to decode them, which is why the paper
+    /// argues Polite WiFi is fundamentally unpreventable.
+    Control,
+    /// Data frames, including the null-function frames the paper injects.
+    Data,
+    /// 802.11ad/ah extension frames (modelled but not elaborated).
+    Extension,
+}
+
+impl FrameType {
+    /// Decodes the raw 2-bit type field.
+    pub fn from_bits(bits: u8) -> FrameType {
+        match bits & 0b11 {
+            0 => FrameType::Management,
+            1 => FrameType::Control,
+            2 => FrameType::Data,
+            _ => FrameType::Extension,
+        }
+    }
+
+    /// Encodes to the raw 2-bit type field.
+    pub fn bits(self) -> u8 {
+        match self {
+            FrameType::Management => 0,
+            FrameType::Control => 1,
+            FrameType::Data => 2,
+            FrameType::Extension => 3,
+        }
+    }
+}
+
+/// Management frame subtypes (type = 0).
+pub mod mgmt_subtype {
+    pub const ASSOC_REQ: u8 = 0;
+    pub const ASSOC_RESP: u8 = 1;
+    pub const REASSOC_REQ: u8 = 2;
+    pub const REASSOC_RESP: u8 = 3;
+    pub const PROBE_REQ: u8 = 4;
+    pub const PROBE_RESP: u8 = 5;
+    pub const BEACON: u8 = 8;
+    pub const ATIM: u8 = 9;
+    pub const DISASSOC: u8 = 10;
+    pub const AUTH: u8 = 11;
+    pub const DEAUTH: u8 = 12;
+    pub const ACTION: u8 = 13;
+}
+
+/// Control frame subtypes (type = 1).
+pub mod ctrl_subtype {
+    pub const BLOCK_ACK_REQ: u8 = 8;
+    pub const BLOCK_ACK: u8 = 9;
+    pub const PS_POLL: u8 = 10;
+    pub const RTS: u8 = 11;
+    pub const CTS: u8 = 12;
+    pub const ACK: u8 = 13;
+    pub const CF_END: u8 = 14;
+}
+
+/// Data frame subtypes (type = 2).
+pub mod data_subtype {
+    pub const DATA: u8 = 0;
+    /// "Null function (No data)" — the fake frame used throughout the paper.
+    pub const NULL: u8 = 4;
+    pub const QOS_DATA: u8 = 8;
+    pub const QOS_NULL: u8 = 12;
+}
+
+/// The decoded Frame Control field: protocol version, type/subtype and the
+/// eight flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FrameControl {
+    /// 2-bit protocol version; always 0 on the air today.
+    pub version: u8,
+    /// Frame type.
+    pub ftype: FrameType,
+    /// 4-bit subtype (see the `*_subtype` modules).
+    pub subtype: u8,
+    /// Frame is headed to the distribution system (to an AP).
+    pub to_ds: bool,
+    /// Frame exits the distribution system (from an AP).
+    pub from_ds: bool,
+    /// More fragments follow.
+    pub more_frag: bool,
+    /// This is a retransmission.
+    pub retry: bool,
+    /// Sender will enter power-save after this exchange; flipped by
+    /// battery-powered victims and observed by the drain attack.
+    pub power_mgmt: bool,
+    /// AP buffers more frames for a dozing station.
+    pub more_data: bool,
+    /// Frame body is encrypted. The paper's fake frames leave this clear —
+    /// and the victim ACKs anyway.
+    pub protected: bool,
+    /// Order/+HTC bit.
+    pub order: bool,
+}
+
+impl FrameControl {
+    /// A Frame Control with all flags clear.
+    pub fn new(ftype: FrameType, subtype: u8) -> FrameControl {
+        FrameControl {
+            version: 0,
+            ftype,
+            subtype: subtype & 0x0f,
+            to_ds: false,
+            from_ds: false,
+            more_frag: false,
+            retry: false,
+            power_mgmt: false,
+            more_data: false,
+            protected: false,
+            order: false,
+        }
+    }
+
+    /// Decodes from the two on-air bytes (transmitted least significant
+    /// byte first).
+    pub fn parse(buf: &[u8]) -> Result<FrameControl, FrameError> {
+        if buf.len() < 2 {
+            return Err(FrameError::Truncated {
+                context: "frame control",
+                needed: 2,
+                available: buf.len(),
+            });
+        }
+        let b0 = buf[0];
+        let b1 = buf[1];
+        let version = b0 & 0b11;
+        if version != 0 {
+            return Err(FrameError::BadProtocolVersion(version));
+        }
+        Ok(FrameControl {
+            version,
+            ftype: FrameType::from_bits((b0 >> 2) & 0b11),
+            subtype: (b0 >> 4) & 0x0f,
+            to_ds: b1 & 0x01 != 0,
+            from_ds: b1 & 0x02 != 0,
+            more_frag: b1 & 0x04 != 0,
+            retry: b1 & 0x08 != 0,
+            power_mgmt: b1 & 0x10 != 0,
+            more_data: b1 & 0x20 != 0,
+            protected: b1 & 0x40 != 0,
+            order: b1 & 0x80 != 0,
+        })
+    }
+
+    /// Encodes to the two on-air bytes.
+    pub fn encode(&self) -> [u8; 2] {
+        let b0 = (self.version & 0b11) | (self.ftype.bits() << 2) | (self.subtype << 4);
+        let mut b1 = 0u8;
+        if self.to_ds {
+            b1 |= 0x01;
+        }
+        if self.from_ds {
+            b1 |= 0x02;
+        }
+        if self.more_frag {
+            b1 |= 0x04;
+        }
+        if self.retry {
+            b1 |= 0x08;
+        }
+        if self.power_mgmt {
+            b1 |= 0x10;
+        }
+        if self.more_data {
+            b1 |= 0x20;
+        }
+        if self.protected {
+            b1 |= 0x40;
+        }
+        if self.order {
+            b1 |= 0x80;
+        }
+        [b0, b1]
+    }
+
+    /// True for null-function and QoS-null data frames — the payload-free
+    /// "fake frames" the paper's attacker injects.
+    pub fn is_null_data(&self) -> bool {
+        self.ftype == FrameType::Data
+            && (self.subtype == data_subtype::NULL || self.subtype == data_subtype::QOS_NULL)
+    }
+
+    /// Builder-style setter for the retry flag.
+    pub fn with_retry(mut self, retry: bool) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder-style setter for the power-management flag.
+    pub fn with_power_mgmt(mut self, pm: bool) -> Self {
+        self.power_mgmt = pm;
+        self
+    }
+
+    /// Builder-style setter for the protected flag.
+    pub fn with_protected(mut self, protected: bool) -> Self {
+        self.protected = protected;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ack_frame_control_encodes_to_d4() {
+        // An ACK is type=control(01), subtype=1101, no flags:
+        // b0 = 00 | 01<<2 | 1101<<4 = 0xd4. The classic Wireshark byte.
+        let fc = FrameControl::new(FrameType::Control, ctrl_subtype::ACK);
+        assert_eq!(fc.encode(), [0xd4, 0x00]);
+    }
+
+    #[test]
+    fn null_data_frame_control_encodes_to_48() {
+        let fc = FrameControl::new(FrameType::Data, data_subtype::NULL);
+        assert_eq!(fc.encode(), [0x48, 0x00]);
+        assert!(fc.is_null_data());
+    }
+
+    #[test]
+    fn beacon_frame_control_encodes_to_80() {
+        let fc = FrameControl::new(FrameType::Management, mgmt_subtype::BEACON);
+        assert_eq!(fc.encode(), [0x80, 0x00]);
+    }
+
+    #[test]
+    fn rts_frame_control_encodes_to_b4() {
+        let fc = FrameControl::new(FrameType::Control, ctrl_subtype::RTS);
+        assert_eq!(fc.encode(), [0xb4, 0x00]);
+    }
+
+    #[test]
+    fn all_flags_round_trip() {
+        for bits in 0u16..256 {
+            let raw = [0x48u8, bits as u8];
+            let fc = FrameControl::parse(&raw).unwrap();
+            assert_eq!(fc.encode(), raw);
+        }
+    }
+
+    #[test]
+    fn every_type_subtype_round_trips() {
+        for b0 in (0u8..=255).step_by(4) {
+            // version bits fixed at 0 by stepping in 4s
+            let fc = FrameControl::parse(&[b0, 0]).unwrap();
+            assert_eq!(fc.encode()[0], b0);
+        }
+    }
+
+    #[test]
+    fn nonzero_version_rejected() {
+        assert!(matches!(
+            FrameControl::parse(&[0x01, 0x00]),
+            Err(FrameError::BadProtocolVersion(1))
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(FrameControl::parse(&[0x48]).is_err());
+    }
+
+    #[test]
+    fn qos_null_is_null_data() {
+        let fc = FrameControl::new(FrameType::Data, data_subtype::QOS_NULL);
+        assert!(fc.is_null_data());
+        let fc = FrameControl::new(FrameType::Data, data_subtype::QOS_DATA);
+        assert!(!fc.is_null_data());
+    }
+}

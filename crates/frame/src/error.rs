@@ -1,0 +1,123 @@
+//! Error type for frame parsing and encoding.
+
+use core::fmt;
+
+/// Errors produced while parsing or validating 802.11 frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ended before the fixed header or a mandatory field.
+    Truncated {
+        /// What was being parsed when the buffer ran out.
+        context: &'static str,
+        /// Bytes required to continue.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The frame check sequence did not match the frame contents.
+    BadFcs {
+        /// FCS carried by the frame.
+        expected: u32,
+        /// FCS computed over the frame body.
+        computed: u32,
+    },
+    /// A type/subtype combination this codec does not model.
+    UnsupportedSubtype {
+        /// Raw 2-bit type field.
+        ftype: u8,
+        /// Raw 4-bit subtype field.
+        subtype: u8,
+    },
+    /// The 802.11 protocol-version bits were not zero.
+    BadProtocolVersion(u8),
+    /// An information element declared a length that overruns the buffer.
+    BadElementLength {
+        /// Element id.
+        id: u8,
+        /// Declared length.
+        declared: usize,
+        /// Bytes remaining in the body.
+        available: usize,
+    },
+    /// A field held a value outside its legal range.
+    InvalidField {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable explanation.
+        reason: &'static str,
+    },
+    /// A textual MAC address failed to parse.
+    BadMacAddress,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated {
+                context,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated frame while parsing {context}: need {needed} bytes, have {available}"
+            ),
+            FrameError::BadFcs { expected, computed } => write!(
+                f,
+                "FCS mismatch: frame carries {expected:#010x}, computed {computed:#010x}"
+            ),
+            FrameError::UnsupportedSubtype { ftype, subtype } => {
+                write!(f, "unsupported frame type {ftype}/subtype {subtype}")
+            }
+            FrameError::BadProtocolVersion(v) => {
+                write!(f, "unsupported 802.11 protocol version {v}")
+            }
+            FrameError::BadElementLength {
+                id,
+                declared,
+                available,
+            } => write!(
+                f,
+                "information element {id} declares {declared} bytes but only {available} remain"
+            ),
+            FrameError::InvalidField { field, reason } => {
+                write!(f, "invalid {field}: {reason}")
+            }
+            FrameError::BadMacAddress => write!(f, "malformed MAC address string"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = FrameError::Truncated {
+            context: "ACK",
+            needed: 10,
+            available: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("ACK"));
+        assert!(s.contains("10"));
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn fcs_error_formats_hex() {
+        let e = FrameError::BadFcs {
+            expected: 0xdeadbeef,
+            computed: 0x01020304,
+        };
+        assert!(e.to_string().contains("0xdeadbeef"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&FrameError::BadMacAddress);
+    }
+}

@@ -1,0 +1,183 @@
+//! Property tests: every frame this codec can build must round-trip
+//! losslessly through its on-air byte representation, and the FCS must
+//! reject corruption.
+
+use polite_wifi_frame::control::FrameControl;
+use polite_wifi_frame::ctrl::ControlFrame;
+use polite_wifi_frame::data::DataFrame;
+use polite_wifi_frame::ie::InformationElement;
+use polite_wifi_frame::mgmt::{ManagementBody, ManagementFrame};
+use polite_wifi_frame::reason::ReasonCode;
+use polite_wifi_frame::{fcs, Frame, MacAddr};
+use proptest::prelude::*;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr::new)
+}
+
+fn arb_ie() -> impl Strategy<Value = InformationElement> {
+    (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64))
+        .prop_map(|(id, data)| InformationElement::new(id, data))
+}
+
+fn arb_mgmt_body() -> impl Strategy<Value = ManagementBody> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            any::<u16>(),
+            any::<u16>(),
+            proptest::collection::vec(arb_ie(), 0..4)
+        )
+            .prop_map(|(timestamp, interval_tu, capabilities, elements)| {
+                ManagementBody::Beacon {
+                    timestamp,
+                    interval_tu,
+                    capabilities,
+                    elements,
+                }
+            }),
+        proptest::collection::vec(arb_ie(), 0..4)
+            .prop_map(|elements| ManagementBody::ProbeRequest { elements }),
+        any::<u16>().prop_map(|r| ManagementBody::Deauthentication {
+            reason: ReasonCode::from_u16(r),
+        }),
+        any::<u16>().prop_map(|r| ManagementBody::Disassociation {
+            reason: ReasonCode::from_u16(r),
+        }),
+        (any::<u16>(), any::<u16>(), any::<u16>()).prop_map(|(algorithm, transaction, status)| {
+            ManagementBody::Authentication {
+                algorithm,
+                transaction,
+                status,
+            }
+        }),
+        proptest::collection::vec(any::<u8>(), 0..32)
+            .prop_map(|payload| ManagementBody::Action { payload }),
+    ]
+}
+
+fn arb_ctrl() -> impl Strategy<Value = ControlFrame> {
+    prop_oneof![
+        (any::<u16>(), arb_mac(), arb_mac()).prop_map(|(duration_us, ra, ta)| {
+            ControlFrame::Rts {
+                duration_us,
+                ra,
+                ta,
+            }
+        }),
+        (any::<u16>(), arb_mac())
+            .prop_map(|(duration_us, ra)| ControlFrame::Cts { duration_us, ra }),
+        arb_mac().prop_map(|ra| ControlFrame::Ack { ra }),
+        (0u16..0x4000, arb_mac(), arb_mac())
+            .prop_map(|(aid, bssid, ta)| ControlFrame::PsPoll { aid, bssid, ta }),
+        (any::<u16>(), arb_mac(), arb_mac(), any::<u16>(), any::<u16>(), any::<u64>()).prop_map(
+            |(duration_us, ra, ta, control, start_seq, bitmap)| ControlFrame::BlockAck {
+                duration_us,
+                ra,
+                ta,
+                control,
+                start_seq,
+                bitmap,
+            }
+        ),
+    ]
+}
+
+fn arb_data() -> impl Strategy<Value = DataFrame> {
+    (
+        arb_mac(),
+        arb_mac(),
+        arb_mac(),
+        0u16..4096,
+        prop_oneof![
+            Just(None),
+            proptest::collection::vec(any::<u8>(), 0..256).prop_map(Some)
+        ],
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(a1, a2, a3, seq, payload, retry, protected)| {
+            let mut f = match payload {
+                None => DataFrame::null(a1, a2, seq),
+                Some(p) => DataFrame::new(a1, a2, a3, seq, p),
+            };
+            f.fc.retry = retry;
+            // Only payload frames may be protected in our model.
+            if !f.is_null() {
+                f.fc.protected = protected;
+            }
+            f
+        })
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (arb_mac(), arb_mac(), arb_mac(), 0u16..4096, arb_mgmt_body()).prop_map(
+            |(ra, ta, bssid, seq, body)| Frame::Mgmt(ManagementFrame::new(ra, ta, bssid, seq, body))
+        ),
+        arb_ctrl().prop_map(Frame::Ctrl),
+        arb_data().prop_map(Frame::Data),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn frame_round_trips_with_fcs(frame in arb_frame()) {
+        let bytes = frame.encode(true);
+        let parsed = Frame::parse(&bytes, true).unwrap();
+        prop_assert_eq!(parsed, frame);
+    }
+
+    #[test]
+    fn frame_round_trips_without_fcs(frame in arb_frame()) {
+        let bytes = frame.encode(false);
+        let parsed = Frame::parse(&bytes, false).unwrap();
+        prop_assert_eq!(parsed, frame);
+    }
+
+    #[test]
+    fn air_len_is_encoded_len_plus_fcs(frame in arb_frame()) {
+        prop_assert_eq!(frame.air_len(), frame.encode(true).len());
+    }
+
+    #[test]
+    fn single_byte_corruption_never_parses_as_valid(
+        frame in arb_frame(),
+        at in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = frame.encode(true);
+        let idx = at.index(bytes.len());
+        bytes[idx] ^= xor;
+        // Either the FCS rejects it, or (for corruption that still parses)
+        // the result must differ from the original; it must never silently
+        // equal the original frame.
+        match Frame::parse(&bytes, true) {
+            Err(_) => {}
+            Ok(parsed) => prop_assert_ne!(parsed, frame),
+        }
+    }
+
+    #[test]
+    fn fcs_detects_any_single_bit_flip(data in proptest::collection::vec(any::<u8>(), 1..128),
+                                       byte in any::<prop::sample::Index>(),
+                                       bit in 0u8..8) {
+        let mut buf = data.clone();
+        fcs::append_fcs(&mut buf);
+        let idx = byte.index(data.len());
+        buf[idx] ^= 1 << bit;
+        prop_assert!(!fcs::check_fcs(&buf).unwrap().is_valid());
+    }
+
+    #[test]
+    fn frame_control_round_trips(b0 in (0u8..64).prop_map(|v| v << 2), b1 in any::<u8>()) {
+        let fc = FrameControl::parse(&[b0, b1]).unwrap();
+        prop_assert_eq!(fc.encode(), [b0, b1]);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Frame::parse(&bytes, true);
+        let _ = Frame::parse(&bytes, false);
+    }
+}

@@ -1,0 +1,113 @@
+//! Receiver duplicate detection.
+//!
+//! 802.11 receivers cache the last `(transmitter, sequence, fragment)` seen
+//! and drop retransmissions whose retry bit is set — *after* acknowledging
+//! them. Duplicates of fake frames are therefore still ACKed, which is why
+//! an injector can blast the same frame without rotating sequence numbers.
+
+use polite_wifi_frame::{MacAddr, SequenceControl};
+use std::collections::HashMap;
+
+/// A bounded duplicate-detection cache.
+#[derive(Debug, Clone)]
+pub struct DedupCache {
+    last_seen: HashMap<MacAddr, SequenceControl>,
+    capacity: usize,
+}
+
+impl DedupCache {
+    /// A cache remembering up to `capacity` transmitters (typical hardware
+    /// keeps a handful; we default generously).
+    pub fn new(capacity: usize) -> DedupCache {
+        DedupCache {
+            last_seen: HashMap::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records a reception and reports whether it is a duplicate: same
+    /// transmitter, same sequence control, and the retry bit set.
+    pub fn check_and_update(&mut self, ta: MacAddr, seq: SequenceControl, retry: bool) -> bool {
+        let dup = retry && self.last_seen.get(&ta) == Some(&seq);
+        if !dup {
+            if self.last_seen.len() >= self.capacity && !self.last_seen.contains_key(&ta) {
+                // Evict an arbitrary entry; hardware caches are similarly
+                // unfair under address churn.
+                if let Some(&k) = self.last_seen.keys().next() {
+                    self.last_seen.remove(&k);
+                }
+            }
+            self.last_seen.insert(ta, seq);
+        }
+        dup
+    }
+
+    /// Number of transmitters currently tracked.
+    pub fn len(&self) -> usize {
+        self.last_seen.len()
+    }
+
+    /// True when no transmitter has been seen.
+    pub fn is_empty(&self) -> bool {
+        self.last_seen.is_empty()
+    }
+}
+
+impl Default for DedupCache {
+    fn default() -> Self {
+        DedupCache::new(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(last: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, last])
+    }
+
+    #[test]
+    fn retry_of_same_seq_is_duplicate() {
+        let mut c = DedupCache::default();
+        let s = SequenceControl::new(100, 0);
+        assert!(!c.check_and_update(mac(1), s, false));
+        assert!(c.check_and_update(mac(1), s, true));
+    }
+
+    #[test]
+    fn same_seq_without_retry_bit_is_not_duplicate() {
+        // An injector reusing SN=0 with retry clear is accepted every time
+        // — the paper's attacker relies on this.
+        let mut c = DedupCache::default();
+        let s = SequenceControl::new(0, 0);
+        for _ in 0..10 {
+            assert!(!c.check_and_update(mac(1), s, false));
+        }
+    }
+
+    #[test]
+    fn new_sequence_resets() {
+        let mut c = DedupCache::default();
+        assert!(!c.check_and_update(mac(1), SequenceControl::new(5, 0), false));
+        assert!(!c.check_and_update(mac(1), SequenceControl::new(6, 0), true));
+        assert!(c.check_and_update(mac(1), SequenceControl::new(6, 0), true));
+    }
+
+    #[test]
+    fn per_transmitter_tracking() {
+        let mut c = DedupCache::default();
+        let s = SequenceControl::new(9, 0);
+        assert!(!c.check_and_update(mac(1), s, false));
+        assert!(!c.check_and_update(mac(2), s, true)); // different TA
+    }
+
+    #[test]
+    fn capacity_bounded() {
+        let mut c = DedupCache::new(4);
+        for i in 0..20 {
+            c.check_and_update(mac(i), SequenceControl::new(i as u16, 0), false);
+        }
+        assert!(c.len() <= 4);
+    }
+}

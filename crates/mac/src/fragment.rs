@@ -1,0 +1,245 @@
+//! MAC-level fragmentation and reassembly.
+//!
+//! 802.11 transmitters may split an MSDU into fragments (same sequence
+//! number, increasing fragment numbers, `more_frag` set on all but the
+//! last); receivers acknowledge **each fragment individually** — which
+//! means a fragmented exchange hands an attacker *more* ACKs per MSDU,
+//! not fewer — and reassemble before delivery.
+
+use polite_wifi_frame::data::{DataBody, DataFrame};
+use polite_wifi_frame::MacAddr;
+use std::collections::HashMap;
+
+/// Splits a payload-carrying data frame into fragments of at most
+/// `threshold` payload bytes. Frames at or under the threshold (and null
+/// frames) come back unchanged.
+///
+/// The Sequence Control fragment number is 4 bits wide, so 802.11 caps an
+/// MSDU at 16 fragments; a threshold too small for the payload is raised
+/// to the smallest value that fits.
+pub fn fragment(frame: &DataFrame, threshold: usize) -> Vec<DataFrame> {
+    let payload = match &frame.body {
+        DataBody::Payload(p) if p.len() > threshold && threshold > 0 => p.clone(),
+        _ => return vec![frame.clone()],
+    };
+    let threshold = threshold.max(payload.len().div_ceil(16));
+    let mut fragments = Vec::new();
+    let chunks: Vec<&[u8]> = payload.chunks(threshold).collect();
+    let n = chunks.len();
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        let mut f = frame.clone();
+        f.body = DataBody::Payload(chunk.to_vec());
+        f.seq = polite_wifi_frame::SequenceControl::new(frame.seq.sequence, i as u8);
+        f.fc.more_frag = i + 1 < n;
+        fragments.push(f);
+    }
+    fragments
+}
+
+/// Reassembly state for one MSDU.
+#[derive(Debug, Clone, Default)]
+struct PartialMsdu {
+    fragments: Vec<Option<Vec<u8>>>,
+    last_seen: bool,
+    started_us: u64,
+}
+
+/// A receiver-side reassembler, keyed by `(transmitter, sequence)`.
+/// Incomplete MSDUs are evicted after a timeout, as hardware does.
+#[derive(Debug, Clone)]
+pub struct Reassembler {
+    partial: HashMap<(MacAddr, u16), PartialMsdu>,
+    /// Eviction timeout for incomplete MSDUs, µs.
+    pub timeout_us: u64,
+}
+
+impl Default for Reassembler {
+    fn default() -> Self {
+        Reassembler {
+            partial: HashMap::new(),
+            timeout_us: 100_000,
+        }
+    }
+}
+
+impl Reassembler {
+    /// A reassembler with the default 100 ms eviction timeout.
+    pub fn new() -> Reassembler {
+        Reassembler::default()
+    }
+
+    /// Feeds one received fragment. Returns the complete reassembled
+    /// payload when this fragment finishes its MSDU.
+    pub fn push(&mut self, now_us: u64, frame: &DataFrame) -> Option<Vec<u8>> {
+        let payload = match &frame.body {
+            DataBody::Payload(p) => p.clone(),
+            DataBody::Null => return None,
+        };
+        let key = (frame.addr2, frame.seq.sequence);
+        let frag = frame.seq.fragment as usize;
+        let entry = self.partial.entry(key).or_insert_with(|| PartialMsdu {
+            fragments: Vec::new(),
+            last_seen: false,
+            started_us: now_us,
+        });
+        if entry.fragments.len() <= frag {
+            entry.fragments.resize(frag + 1, None);
+        }
+        entry.fragments[frag] = Some(payload);
+        if !frame.fc.more_frag {
+            entry.last_seen = true;
+            // Later fragments than the final one are bogus; drop them.
+            entry.fragments.truncate(frag + 1);
+        }
+        if entry.last_seen && entry.fragments.iter().all(Option::is_some) {
+            let entry = self.partial.remove(&key).expect("present");
+            let mut out = Vec::new();
+            for piece in entry.fragments {
+                out.extend_from_slice(&piece.expect("checked"));
+            }
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Evicts incomplete MSDUs older than the timeout.
+    pub fn evict_stale(&mut self, now_us: u64) {
+        let timeout = self.timeout_us;
+        self.partial
+            .retain(|_, p| now_us.saturating_sub(p.started_us) < timeout);
+    }
+
+    /// Number of MSDUs currently mid-reassembly.
+    pub fn pending(&self) -> usize {
+        self.partial.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(last: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, last])
+    }
+
+    fn big_frame(len: usize, seq: u16) -> DataFrame {
+        DataFrame::new(addr(1), addr(2), addr(3), seq, (0..len).map(|i| i as u8).collect())
+    }
+
+    #[test]
+    fn fragmentation_layout() {
+        let f = big_frame(1000, 42);
+        let frags = fragment(&f, 300);
+        assert_eq!(frags.len(), 4); // 300+300+300+100
+        for (i, frag) in frags.iter().enumerate() {
+            assert_eq!(frag.seq.sequence, 42);
+            assert_eq!(frag.seq.fragment, i as u8);
+            assert_eq!(frag.fc.more_frag, i < 3);
+        }
+        if let DataBody::Payload(p) = &frags[3].body {
+            assert_eq!(p.len(), 100);
+        } else {
+            panic!("payload expected");
+        }
+    }
+
+    #[test]
+    fn small_frames_untouched() {
+        let f = big_frame(100, 1);
+        assert_eq!(fragment(&f, 300), vec![f.clone()]);
+        let null = DataFrame::null(addr(1), addr(2), 2);
+        assert_eq!(fragment(&null, 16), vec![null.clone()]);
+        // Zero threshold disables fragmentation rather than looping.
+        assert_eq!(fragment(&f, 0).len(), 1);
+    }
+
+    #[test]
+    fn fragment_count_capped_at_16() {
+        // The 4-bit fragment number caps an MSDU at 16 fragments; a tiny
+        // threshold is raised instead of wrapping the counter.
+        let f = big_frame(2000, 1);
+        let frags = fragment(&f, 1);
+        assert_eq!(frags.len(), 16);
+        let total: usize = frags
+            .iter()
+            .map(|fr| match &fr.body {
+                DataBody::Payload(p) => p.len(),
+                DataBody::Null => 0,
+            })
+            .sum();
+        assert_eq!(total, 2000);
+        assert!(frags.iter().enumerate().all(|(i, fr)| fr.seq.fragment == i as u8));
+    }
+
+    #[test]
+    fn reassembly_round_trip_in_order() {
+        let f = big_frame(1000, 7);
+        let frags = fragment(&f, 256);
+        let mut r = Reassembler::new();
+        let mut out = None;
+        for (i, frag) in frags.iter().enumerate() {
+            let res = r.push(i as u64 * 100, frag);
+            if i + 1 < frags.len() {
+                assert!(res.is_none());
+            } else {
+                out = res;
+            }
+        }
+        let expected: Vec<u8> = (0..1000).map(|i| i as u8).collect();
+        assert_eq!(out.unwrap(), expected);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn reassembly_tolerates_reordering() {
+        let f = big_frame(600, 9);
+        let frags = fragment(&f, 200);
+        let mut r = Reassembler::new();
+        assert!(r.push(0, &frags[2]).is_none());
+        assert!(r.push(1, &frags[0]).is_none());
+        let out = r.push(2, &frags[1]).unwrap();
+        assert_eq!(out, (0..600).map(|i| i as u8).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn interleaved_transmitters_kept_separate() {
+        let fa = big_frame(400, 5);
+        let mut fb = big_frame(400, 5);
+        fb.addr2 = addr(9); // same seq, different TA
+        let fa_frags = fragment(&fa, 200);
+        let fb_frags = fragment(&fb, 200);
+        let mut r = Reassembler::new();
+        assert!(r.push(0, &fa_frags[0]).is_none());
+        assert!(r.push(1, &fb_frags[0]).is_none());
+        assert_eq!(r.pending(), 2);
+        assert!(r.push(2, &fa_frags[1]).is_some());
+        assert!(r.push(3, &fb_frags[1]).is_some());
+    }
+
+    #[test]
+    fn stale_partials_evicted() {
+        let f = big_frame(600, 3);
+        let frags = fragment(&f, 200);
+        let mut r = Reassembler::new();
+        r.push(0, &frags[0]);
+        assert_eq!(r.pending(), 1);
+        r.evict_stale(200_000);
+        assert_eq!(r.pending(), 0);
+        // The late fragments no longer complete anything.
+        assert!(r.push(200_001, &frags[1]).is_none());
+        assert!(r.push(200_002, &frags[2]).is_none());
+    }
+
+    #[test]
+    fn duplicate_fragment_is_idempotent() {
+        let f = big_frame(400, 11);
+        let frags = fragment(&f, 200);
+        let mut r = Reassembler::new();
+        r.push(0, &frags[0]);
+        r.push(1, &frags[0]); // duplicate
+        let out = r.push(2, &frags[1]).unwrap();
+        assert_eq!(out.len(), 400);
+    }
+}

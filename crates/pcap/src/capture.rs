@@ -1,0 +1,231 @@
+//! In-memory captures: what a monitor-mode sniffer accumulates.
+
+use crate::format::{LinkType, PcapWriter};
+use polite_wifi_frame::Frame;
+use polite_wifi_radiotap::Radiotap;
+
+/// One captured frame with its metadata.
+#[derive(Debug, Clone)]
+pub struct CapturedFrame {
+    /// Capture timestamp in microseconds of simulation time.
+    pub ts_us: u64,
+    /// Radiotap metadata attached by the capturing radio, if any.
+    pub radiotap: Option<Radiotap>,
+    /// The decoded frame.
+    pub frame: Frame,
+}
+
+/// An in-memory capture, in arrival order. This is what the simulator's
+/// monitor taps fill and what the figure regenerators print.
+#[derive(Debug, Clone, Default)]
+pub struct Capture {
+    frames: Vec<CapturedFrame>,
+}
+
+impl Capture {
+    /// An empty capture.
+    pub fn new() -> Capture {
+        Capture::default()
+    }
+
+    /// Records a frame without radio metadata.
+    pub fn record_frame(&mut self, ts_us: u64, frame: &Frame) {
+        self.frames.push(CapturedFrame {
+            ts_us,
+            radiotap: None,
+            frame: frame.clone(),
+        });
+    }
+
+    /// Records a frame with its radiotap metadata.
+    pub fn record_with_radiotap(&mut self, ts_us: u64, radiotap: Radiotap, frame: &Frame) {
+        self.frames.push(CapturedFrame {
+            ts_us,
+            radiotap: Some(radiotap),
+            frame: frame.clone(),
+        });
+    }
+
+    /// The captured frames in arrival order.
+    pub fn frames(&self) -> &[CapturedFrame] {
+        &self.frames
+    }
+
+    /// Number of captured frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Serialises the capture to pcap file bytes.
+    ///
+    /// With [`LinkType::Ieee80211Radiotap`], frames that carry radiotap
+    /// metadata are prefixed with their encoded header; frames without get
+    /// a minimal empty radiotap header so the file stays well-formed.
+    pub fn to_pcap_bytes(&self, link_type: LinkType) -> Vec<u8> {
+        let mut w = PcapWriter::new(link_type);
+        for cf in &self.frames {
+            let frame_bytes = cf.frame.encode(true);
+            match link_type {
+                LinkType::Ieee80211Radiotap => {
+                    let rt_bytes = cf
+                        .radiotap
+                        .clone()
+                        .unwrap_or_default()
+                        .encode();
+                    let mut packet = rt_bytes;
+                    packet.extend_from_slice(&frame_bytes);
+                    w.write_record(cf.ts_us, &packet);
+                }
+                _ => w.write_record(cf.ts_us, &frame_bytes),
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Writes the capture to a `.pcap` file on disk.
+    pub fn write_pcap_file(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        link_type: LinkType,
+    ) -> std::io::Result<()> {
+        std::fs::write(path, self.to_pcap_bytes(link_type))
+    }
+
+    /// Serialises the capture to pcapng file bytes (same payload layout
+    /// per packet as [`Capture::to_pcap_bytes`]).
+    pub fn to_pcapng_bytes(&self, link_type: LinkType) -> Vec<u8> {
+        let mut w = crate::pcapng::PcapNgWriter::new(
+            link_type,
+            &crate::pcapng::PcapNgWriterInfo::default(),
+        );
+        for cf in &self.frames {
+            let frame_bytes = cf.frame.encode(true);
+            match link_type {
+                LinkType::Ieee80211Radiotap => {
+                    let mut packet = cf.radiotap.clone().unwrap_or_default().encode();
+                    packet.extend_from_slice(&frame_bytes);
+                    w.write_record(cf.ts_us, &packet);
+                }
+                _ => w.write_record(cf.ts_us, &frame_bytes),
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Writes the capture to a `.pcapng` file on disk.
+    pub fn write_pcapng_file(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        link_type: LinkType,
+    ) -> std::io::Result<()> {
+        std::fs::write(path, self.to_pcapng_bytes(link_type))
+    }
+}
+
+/// Re-decodes a pcap produced by [`Capture::to_pcap_bytes`] back into
+/// frames (dropping radiotap metadata), for loop-back tests.
+pub fn decode_capture(bytes: &[u8]) -> Result<Vec<(u64, Frame)>, Box<dyn std::error::Error>> {
+    let file = crate::format::read_pcap(bytes)?;
+    let mut out = Vec::with_capacity(file.records.len());
+    for rec in &file.records {
+        let frame_bytes: &[u8] = match file.link_type {
+            LinkType::Ieee80211Radiotap => {
+                let (_, consumed) = Radiotap::parse(&rec.data)?;
+                &rec.data[consumed..]
+            }
+            _ => &rec.data,
+        };
+        out.push((rec.ts_us, Frame::parse(frame_bytes, true)?));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polite_wifi_frame::{builder, MacAddr};
+    use polite_wifi_radiotap::ChannelInfo;
+
+    fn victim() -> MacAddr {
+        "f2:6e:0b:11:22:33".parse().unwrap()
+    }
+
+    #[test]
+    fn bare_80211_pcap_round_trips() {
+        let mut cap = Capture::new();
+        let fake = builder::fake_null_frame(victim(), MacAddr::FAKE);
+        let ack = builder::ack(MacAddr::FAKE);
+        cap.record_frame(100, &fake);
+        cap.record_frame(144, &ack);
+
+        let decoded = decode_capture(&cap.to_pcap_bytes(LinkType::Ieee80211)).unwrap();
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0].0, 100);
+        assert_eq!(decoded[0].1, fake);
+        assert_eq!(decoded[1].1, ack);
+    }
+
+    #[test]
+    fn radiotap_pcap_round_trips() {
+        let mut cap = Capture::new();
+        let ack = builder::ack(MacAddr::FAKE);
+        cap.record_with_radiotap(
+            44,
+            Radiotap::capture(44, 2, ChannelInfo::ghz2(6), -48, -91),
+            &ack,
+        );
+        let bytes = cap.to_pcap_bytes(LinkType::Ieee80211Radiotap);
+        let decoded = decode_capture(&bytes).unwrap();
+        assert_eq!(decoded[0].1, ack);
+    }
+
+    #[test]
+    fn frames_without_radiotap_get_empty_header_in_radiotap_files() {
+        let mut cap = Capture::new();
+        cap.record_frame(0, &builder::ack(MacAddr::FAKE));
+        let decoded = decode_capture(&cap.to_pcap_bytes(LinkType::Ieee80211Radiotap)).unwrap();
+        assert_eq!(decoded.len(), 1);
+    }
+
+    #[test]
+    fn pcapng_capture_round_trips() {
+        let mut cap = Capture::new();
+        let fake = builder::fake_null_frame(victim(), MacAddr::FAKE);
+        cap.record_frame(42, &fake);
+        cap.record_with_radiotap(
+            100,
+            Radiotap::capture(100, 2, ChannelInfo::ghz2(6), -50, -92),
+            &builder::ack(MacAddr::FAKE),
+        );
+        for link in [LinkType::Ieee80211, LinkType::Ieee80211Radiotap] {
+            let bytes = cap.to_pcapng_bytes(link);
+            let file = crate::pcapng::read_pcapng(&bytes).unwrap();
+            assert_eq!(file.link_type, link);
+            assert_eq!(file.records.len(), 2);
+            assert_eq!(file.records[0].ts_us, 42);
+            // Frames decode back out of the records.
+            let frame_bytes: &[u8] = match link {
+                LinkType::Ieee80211Radiotap => {
+                    let (_, consumed) = Radiotap::parse(&file.records[0].data).unwrap();
+                    &file.records[0].data[consumed..]
+                }
+                _ => &file.records[0].data,
+            };
+            assert_eq!(Frame::parse(frame_bytes, true).unwrap(), fake);
+        }
+    }
+
+    #[test]
+    fn capture_accessors() {
+        let mut cap = Capture::new();
+        assert!(cap.is_empty());
+        cap.record_frame(5, &builder::ack(victim()));
+        assert_eq!(cap.len(), 1);
+        assert_eq!(cap.frames()[0].ts_us, 5);
+    }
+}

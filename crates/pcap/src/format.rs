@@ -1,0 +1,303 @@
+//! The classic pcap container format (the `.pcap` files Wireshark opens).
+
+use core::fmt;
+
+/// Magic number for microsecond-resolution pcap, native byte order.
+const MAGIC_USEC: u32 = 0xa1b2_c3d4;
+/// Magic number for nanosecond-resolution pcap.
+const MAGIC_NSEC: u32 = 0xa1b2_3c4d;
+
+/// Data link types relevant to 802.11 capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkType {
+    /// LINKTYPE_IEEE802_11 (105): bare 802.11 frames.
+    Ieee80211,
+    /// LINKTYPE_IEEE802_11_RADIOTAP (127): radiotap header + frame.
+    Ieee80211Radiotap,
+    /// Anything else, carried verbatim.
+    Other(u32),
+}
+
+impl LinkType {
+    /// The numeric link type.
+    pub fn to_u32(self) -> u32 {
+        match self {
+            LinkType::Ieee80211 => 105,
+            LinkType::Ieee80211Radiotap => 127,
+            LinkType::Other(v) => v,
+        }
+    }
+
+    /// Decodes the numeric link type.
+    pub fn from_u32(v: u32) -> LinkType {
+        match v {
+            105 => LinkType::Ieee80211,
+            127 => LinkType::Ieee80211Radiotap,
+            other => LinkType::Other(other),
+        }
+    }
+}
+
+/// Errors produced while reading pcap bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PcapError {
+    /// The global header is shorter than 24 bytes.
+    TruncatedHeader,
+    /// The magic number is not a known pcap magic.
+    BadMagic(u32),
+    /// A record header or body was cut short.
+    TruncatedRecord {
+        /// Index of the record that failed.
+        index: usize,
+    },
+}
+
+impl fmt::Display for PcapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcapError::TruncatedHeader => write!(f, "pcap global header truncated"),
+            PcapError::BadMagic(m) => write!(f, "unknown pcap magic {m:#010x}"),
+            PcapError::TruncatedRecord { index } => {
+                write!(f, "pcap record {index} truncated")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+/// One captured packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapRecord {
+    /// Capture timestamp in microseconds since the epoch (simulation time
+    /// zero for our captures).
+    pub ts_us: u64,
+    /// Packet bytes (possibly snap-truncated).
+    pub data: Vec<u8>,
+    /// Original on-air length.
+    pub orig_len: u32,
+}
+
+/// A parsed pcap file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapFile {
+    /// Link type of every record.
+    pub link_type: LinkType,
+    /// Snap length declared in the global header.
+    pub snaplen: u32,
+    /// The captured packets, in file order.
+    pub records: Vec<PcapRecord>,
+}
+
+/// An incremental pcap writer that appends records to an in-memory buffer.
+/// Flush to disk with [`PcapWriter::into_bytes`] + `std::fs::write`.
+#[derive(Debug, Clone)]
+pub struct PcapWriter {
+    buf: Vec<u8>,
+    records: usize,
+}
+
+impl PcapWriter {
+    /// Default snap length (full frames).
+    pub const SNAPLEN: u32 = 65535;
+
+    /// Starts a new capture file with the given link type.
+    pub fn new(link_type: LinkType) -> PcapWriter {
+        let mut buf = Vec::with_capacity(1024);
+        buf.extend_from_slice(&MAGIC_USEC.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes()); // version major
+        buf.extend_from_slice(&4u16.to_le_bytes()); // version minor
+        buf.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+        buf.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+        buf.extend_from_slice(&Self::SNAPLEN.to_le_bytes());
+        buf.extend_from_slice(&link_type.to_u32().to_le_bytes());
+        PcapWriter { buf, records: 0 }
+    }
+
+    /// Appends one packet with a microsecond timestamp.
+    pub fn write_record(&mut self, ts_us: u64, data: &[u8]) {
+        let sec = (ts_us / 1_000_000) as u32;
+        let usec = (ts_us % 1_000_000) as u32;
+        let cap_len = data.len().min(Self::SNAPLEN as usize);
+        self.buf.extend_from_slice(&sec.to_le_bytes());
+        self.buf.extend_from_slice(&usec.to_le_bytes());
+        self.buf.extend_from_slice(&(cap_len as u32).to_le_bytes());
+        self.buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&data[..cap_len]);
+        self.records += 1;
+    }
+
+    /// Number of records written so far.
+    pub fn record_count(&self) -> usize {
+        self.records
+    }
+
+    /// Finishes the capture and returns the file bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads a pcap file from memory. Handles both byte orders and both
+/// timestamp resolutions.
+pub fn read_pcap(bytes: &[u8]) -> Result<PcapFile, PcapError> {
+    if bytes.len() < 24 {
+        return Err(PcapError::TruncatedHeader);
+    }
+    let magic_le = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    let magic_be = u32::from_be_bytes(bytes[0..4].try_into().unwrap());
+    let (big_endian, nanos) = match (magic_le, magic_be) {
+        (MAGIC_USEC, _) => (false, false),
+        (MAGIC_NSEC, _) => (false, true),
+        (_, MAGIC_USEC) => (true, false),
+        (_, MAGIC_NSEC) => (true, true),
+        _ => return Err(PcapError::BadMagic(magic_le)),
+    };
+    let read_u32 = |b: &[u8]| -> u32 {
+        let arr: [u8; 4] = b[..4].try_into().unwrap();
+        if big_endian {
+            u32::from_be_bytes(arr)
+        } else {
+            u32::from_le_bytes(arr)
+        }
+    };
+
+    let snaplen = read_u32(&bytes[16..20]);
+    let link_type = LinkType::from_u32(read_u32(&bytes[20..24]));
+
+    let mut records = Vec::new();
+    let mut pos = 24;
+    let mut index = 0;
+    while pos < bytes.len() {
+        if pos + 16 > bytes.len() {
+            return Err(PcapError::TruncatedRecord { index });
+        }
+        let sec = read_u32(&bytes[pos..]) as u64;
+        let frac = read_u32(&bytes[pos + 4..]) as u64;
+        let incl = read_u32(&bytes[pos + 8..]) as usize;
+        let orig_len = read_u32(&bytes[pos + 12..]);
+        pos += 16;
+        if pos + incl > bytes.len() {
+            return Err(PcapError::TruncatedRecord { index });
+        }
+        let ts_us = if nanos {
+            sec * 1_000_000 + frac / 1000
+        } else {
+            sec * 1_000_000 + frac
+        };
+        records.push(PcapRecord {
+            ts_us,
+            data: bytes[pos..pos + incl].to_vec(),
+            orig_len,
+        });
+        pos += incl;
+        index += 1;
+    }
+
+    Ok(PcapFile {
+        link_type,
+        snaplen,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_file_round_trips() {
+        let w = PcapWriter::new(LinkType::Ieee80211);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 24);
+        let f = read_pcap(&bytes).unwrap();
+        assert_eq!(f.link_type, LinkType::Ieee80211);
+        assert!(f.records.is_empty());
+    }
+
+    #[test]
+    fn records_round_trip_with_timestamps() {
+        let mut w = PcapWriter::new(LinkType::Ieee80211Radiotap);
+        w.write_record(1_500_000, &[1, 2, 3]);
+        w.write_record(1_500_044, &[4, 5]);
+        assert_eq!(w.record_count(), 2);
+        let f = read_pcap(&w.into_bytes()).unwrap();
+        assert_eq!(f.link_type, LinkType::Ieee80211Radiotap);
+        assert_eq!(f.records.len(), 2);
+        assert_eq!(f.records[0].ts_us, 1_500_000);
+        assert_eq!(f.records[0].data, vec![1, 2, 3]);
+        assert_eq!(f.records[1].ts_us, 1_500_044);
+        assert_eq!(f.records[1].orig_len, 2);
+    }
+
+    #[test]
+    fn big_endian_files_read() {
+        // Hand-build a big-endian header + one record.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_USEC.to_be_bytes());
+        bytes.extend_from_slice(&2u16.to_be_bytes());
+        bytes.extend_from_slice(&4u16.to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        bytes.extend_from_slice(&65535u32.to_be_bytes());
+        bytes.extend_from_slice(&105u32.to_be_bytes());
+        bytes.extend_from_slice(&1u32.to_be_bytes()); // sec
+        bytes.extend_from_slice(&7u32.to_be_bytes()); // usec
+        bytes.extend_from_slice(&2u32.to_be_bytes()); // incl
+        bytes.extend_from_slice(&2u32.to_be_bytes()); // orig
+        bytes.extend_from_slice(&[0xd4, 0x00]);
+        let f = read_pcap(&bytes).unwrap();
+        assert_eq!(f.records[0].ts_us, 1_000_007);
+        assert_eq!(f.link_type, LinkType::Ieee80211);
+    }
+
+    #[test]
+    fn nanosecond_magic_scales_to_us() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_NSEC.to_le_bytes());
+        bytes.extend_from_slice(&[2, 0, 4, 0]);
+        bytes.extend_from_slice(&[0; 8]);
+        bytes.extend_from_slice(&65535u32.to_le_bytes());
+        bytes.extend_from_slice(&127u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&44_000u32.to_le_bytes()); // 44000 ns
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let f = read_pcap(&bytes).unwrap();
+        assert_eq!(f.records[0].ts_us, 44);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let bytes = vec![0u8; 24];
+        assert!(matches!(read_pcap(&bytes), Err(PcapError::BadMagic(_))));
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let mut w = PcapWriter::new(LinkType::Ieee80211);
+        w.write_record(0, &[1, 2, 3, 4]);
+        let mut bytes = w.into_bytes();
+        bytes.truncate(bytes.len() - 2);
+        assert!(matches!(
+            read_pcap(&bytes),
+            Err(PcapError::TruncatedRecord { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert!(matches!(
+            read_pcap(&[0u8; 10]),
+            Err(PcapError::TruncatedHeader)
+        ));
+    }
+
+    #[test]
+    fn link_type_codes() {
+        assert_eq!(LinkType::Ieee80211.to_u32(), 105);
+        assert_eq!(LinkType::Ieee80211Radiotap.to_u32(), 127);
+        assert_eq!(LinkType::from_u32(1), LinkType::Other(1));
+        assert_eq!(LinkType::from_u32(127), LinkType::Ieee80211Radiotap);
+    }
+}

@@ -1,0 +1,35 @@
+//! Classic pcap file support for 802.11 captures.
+//!
+//! The paper's evidence is Wireshark screenshots (Figures 2 and 3). To make
+//! our reproduction inspectable with the same tooling, this crate writes
+//! and reads the classic pcap container with the two relevant link types:
+//!
+//! * [`LinkType::Ieee80211`] (105) — bare 802.11 frames, and
+//! * [`LinkType::Ieee80211Radiotap`] (127) — frames prefixed with a
+//!   radiotap metadata header.
+//!
+//! [`trace`] renders captures as the Source/Destination/Info rows the
+//! paper's figures show; [`capture::Capture`] is the in-memory recording
+//! the simulator's monitor taps fill.
+//!
+//! ```
+//! use polite_wifi_pcap::{capture::Capture, LinkType};
+//! use polite_wifi_frame::{builder, MacAddr};
+//!
+//! let victim: MacAddr = "f2:6e:0b:11:22:33".parse().unwrap();
+//! let mut cap = Capture::new();
+//! cap.record_frame(1_000_000, &builder::fake_null_frame(victim, MacAddr::FAKE));
+//! cap.record_frame(1_000_044, &builder::ack(MacAddr::FAKE));
+//!
+//! let bytes = cap.to_pcap_bytes(LinkType::Ieee80211);
+//! let packets = polite_wifi_pcap::read_pcap(&bytes).unwrap();
+//! assert_eq!(packets.records.len(), 2);
+//! ```
+
+pub mod capture;
+pub mod format;
+pub mod pcapng;
+pub mod trace;
+
+pub use format::{read_pcap, LinkType, PcapError, PcapFile, PcapRecord, PcapWriter};
+pub use pcapng::{read_pcapng, PcapNgWriter, PcapNgWriterInfo};

@@ -1,0 +1,133 @@
+//! Wireshark-style trace rendering.
+//!
+//! Figures 2 and 3 of the paper are packet-list screenshots with
+//! Source / Destination / Info columns. This module renders our captures
+//! in the same shape so the regenerated experiments can be compared
+//! against the paper by eye.
+
+use crate::capture::Capture;
+use polite_wifi_frame::Frame;
+
+/// One rendered packet-list row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRow {
+    /// Time column in seconds, to microsecond precision.
+    pub time: String,
+    /// Source column (empty for frames without a transmitter, like ACKs —
+    /// Wireshark leaves it blank too).
+    pub source: String,
+    /// Destination column.
+    pub destination: String,
+    /// Info column.
+    pub info: String,
+}
+
+/// Renders a single frame to a row.
+pub fn row_for(ts_us: u64, frame: &Frame) -> TraceRow {
+    TraceRow {
+        time: format!("{}.{:06}", ts_us / 1_000_000, ts_us % 1_000_000),
+        source: frame
+            .transmitter()
+            .map(|a| a.to_string())
+            .unwrap_or_default(),
+        destination: frame
+            .receiver()
+            .map(|a| a.to_string())
+            .unwrap_or_default(),
+        info: frame.info_column(),
+    }
+}
+
+/// Renders a capture to rows.
+pub fn rows(capture: &Capture) -> Vec<TraceRow> {
+    capture
+        .frames()
+        .iter()
+        .map(|cf| row_for(cf.ts_us, &cf.frame))
+        .collect()
+}
+
+/// Formats rows as an aligned text table with a header, like the figures.
+pub fn format_table(rows: &[TraceRow]) -> String {
+    let headers = ["Time", "Source", "Destination", "Info"];
+    let mut widths = headers.map(str::len);
+    for r in rows {
+        widths[0] = widths[0].max(r.time.len());
+        widths[1] = widths[1].max(r.source.len());
+        widths[2] = widths[2].max(r.destination.len());
+        widths[3] = widths[3].max(r.info.len());
+    }
+    let mut out = String::new();
+    let fmt_row = |cols: [&str; 4], widths: &[usize; 4]| -> String {
+        format!(
+            "{:<w0$}  {:<w1$}  {:<w2$}  {:<w3$}\n",
+            cols[0],
+            cols[1],
+            cols[2],
+            cols[3],
+            w0 = widths[0],
+            w1 = widths[1],
+            w2 = widths[2],
+            w3 = widths[3]
+        )
+    };
+    out.push_str(&fmt_row(headers, &widths));
+    for r in rows {
+        out.push_str(&fmt_row(
+            [&r.time, &r.source, &r.destination, &r.info],
+            &widths,
+        ));
+    }
+    out
+}
+
+/// Convenience: renders a whole capture to the aligned table.
+pub fn format_capture(capture: &Capture) -> String {
+    format_table(&rows(capture))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polite_wifi_frame::{builder, MacAddr};
+
+    fn victim() -> MacAddr {
+        "f2:6e:0b:11:22:33".parse().unwrap()
+    }
+
+    #[test]
+    fn figure2_shape() {
+        // Figure 2: a null frame from aa:bb:... to the victim, then an
+        // ACK whose destination is aa:bb:... and whose source is blank.
+        let mut cap = Capture::new();
+        cap.record_frame(0, &builder::fake_null_frame(victim(), MacAddr::FAKE));
+        cap.record_frame(44, &builder::ack(MacAddr::FAKE));
+        let rows = rows(&cap);
+        assert_eq!(rows[0].source, "aa:bb:bb:bb:bb:bb");
+        assert_eq!(rows[0].destination, victim().to_string());
+        assert!(rows[0].info.starts_with("Null function (No data)"));
+        assert_eq!(rows[1].source, "");
+        assert_eq!(rows[1].destination, "aa:bb:bb:bb:bb:bb");
+        assert!(rows[1].info.starts_with("Acknowledgement"));
+    }
+
+    #[test]
+    fn table_is_aligned_and_complete() {
+        let mut cap = Capture::new();
+        cap.record_frame(1_000_000, &builder::ack(victim()));
+        let table = format_capture(&cap);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("Source"));
+        assert!(lines[1].contains("1.000000"));
+        assert!(lines[1].contains("Acknowledgement"));
+    }
+
+    #[test]
+    fn time_formatting_microseconds() {
+        let r = row_for(1_234_567, &builder::ack(victim()));
+        assert_eq!(r.time, "1.234567");
+        let r = row_for(44, &builder::ack(victim()));
+        assert_eq!(r.time, "0.000044");
+    }
+}

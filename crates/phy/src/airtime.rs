@@ -1,0 +1,169 @@
+//! On-air frame durations and response timeouts.
+
+use crate::band::Band;
+use crate::rate::BitRate;
+
+/// Long DSSS PLCP preamble + header (1 Mb/s): 144 + 48 µs.
+pub const DSSS_LONG_PREAMBLE_US: u32 = 192;
+/// Short DSSS PLCP preamble + header: 72 + 24 µs.
+pub const DSSS_SHORT_PREAMBLE_US: u32 = 96;
+/// OFDM preamble (16 µs) + SIGNAL symbol (4 µs).
+pub const OFDM_PREAMBLE_US: u32 = 20;
+/// OFDM symbol duration.
+pub const OFDM_SYMBOL_US: u32 = 4;
+/// OFDM PPDU service bits prepended to the PSDU.
+pub const OFDM_SERVICE_BITS: u32 = 16;
+/// OFDM tail bits appended to the PSDU.
+pub const OFDM_TAIL_BITS: u32 = 6;
+
+/// Microseconds needed to transmit `psdu_len` bytes (MPDU incl. FCS) at
+/// `rate`, including the PLCP preamble/header.
+pub fn frame_duration_us(psdu_len: usize, rate: BitRate, short_preamble: bool) -> u32 {
+    let bits = psdu_len as u64 * 8;
+    if rate.is_dsss() {
+        let preamble = if short_preamble && rate != BitRate::Mbps1 {
+            DSSS_SHORT_PREAMBLE_US
+        } else {
+            DSSS_LONG_PREAMBLE_US
+        };
+        // Payload time, rounded up to a whole microsecond.
+        let payload_us = ((bits * 1_000_000).div_ceil(rate.bps())) as u32;
+        preamble + payload_us
+    } else {
+        let n_dbps = rate
+            .ofdm_bits_per_symbol()
+            .expect("non-DSSS rates are OFDM") as u64;
+        let total_bits = OFDM_SERVICE_BITS as u64 + bits + OFDM_TAIL_BITS as u64;
+        let symbols = total_bits.div_ceil(n_dbps) as u32;
+        OFDM_PREAMBLE_US + symbols * OFDM_SYMBOL_US
+    }
+}
+
+/// Duration of an ACK (14-byte PSDU) at the response rate for `rate`.
+pub fn ack_duration_us(eliciting_rate: BitRate, short_preamble: bool) -> u32 {
+    frame_duration_us(14, eliciting_rate.response_rate(), short_preamble)
+}
+
+/// Duration of a CTS (14-byte PSDU) at the response rate for `rate`.
+pub fn cts_duration_us(eliciting_rate: BitRate, short_preamble: bool) -> u32 {
+    // CTS and ACK have identical length; the same arithmetic applies.
+    ack_duration_us(eliciting_rate, short_preamble)
+}
+
+/// The ACK timeout: how long a transmitter waits before declaring the
+/// frame lost and retransmitting. The standard's timeout ends when the
+/// ACK's *preamble* should have been detected (SIFS + slot + RX-start
+/// delay); our event-driven radio delivers frames at their end, so the
+/// timeout here covers the complete ACK reception instead — behaviourally
+/// identical for retry decisions.
+pub fn ack_timeout_us(band: Band, eliciting_rate: BitRate) -> u32 {
+    band.sifs_us() + band.slot_us() + ack_duration_us(eliciting_rate, false)
+}
+
+/// The Duration/ID (NAV) value a data frame should carry: time to the end
+/// of the expected ACK (SIFS + ACK duration).
+pub fn nav_for_data_us(band: Band, rate: BitRate, short_preamble: bool) -> u16 {
+    let v = band.sifs_us() + ack_duration_us(rate, short_preamble);
+    v.min(32767) as u16
+}
+
+/// The NAV an RTS should carry: CTS + data + ACK + 3 × SIFS. We expose it
+/// for fake-RTS crafting; the attacker typically *minimises* it instead to
+/// avoid stalling the channel it is measuring on.
+pub fn nav_for_rts_us(
+    band: Band,
+    data_psdu_len: usize,
+    rate: BitRate,
+    short_preamble: bool,
+) -> u16 {
+    let v = 3 * band.sifs_us()
+        + cts_duration_us(rate, short_preamble)
+        + frame_duration_us(data_psdu_len, rate, short_preamble)
+        + ack_duration_us(rate, short_preamble);
+    v.min(32767) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_frame_at_1mbps() {
+        // 28-byte PSDU at 1 Mb/s: 192 µs preamble + 224 µs payload.
+        assert_eq!(frame_duration_us(28, BitRate::Mbps1, false), 416);
+    }
+
+    #[test]
+    fn ack_at_1mbps() {
+        // 14 bytes at 1 Mb/s: 192 + 112 = 304 µs.
+        assert_eq!(frame_duration_us(14, BitRate::Mbps1, false), 304);
+    }
+
+    #[test]
+    fn short_preamble_only_above_1mbps() {
+        assert_eq!(frame_duration_us(14, BitRate::Mbps1, true), 304);
+        assert_eq!(frame_duration_us(14, BitRate::Mbps2, true), 96 + 56);
+    }
+
+    #[test]
+    fn ofdm_null_frame_at_6mbps() {
+        // 28 bytes: service 16 + 224 + tail 6 = 246 bits; 246/24 = 10.25
+        // → 11 symbols; 20 + 44 = 64 µs.
+        assert_eq!(frame_duration_us(28, BitRate::Mbps6, false), 64);
+    }
+
+    #[test]
+    fn ofdm_ack_at_24mbps() {
+        // 14 bytes: 16 + 112 + 6 = 134 bits; ceil(134/96) = 2 symbols;
+        // 20 + 8 = 28 µs.
+        assert_eq!(frame_duration_us(14, BitRate::Mbps24, false), 28);
+    }
+
+    #[test]
+    fn ack_duration_uses_response_rate() {
+        // Data at 54 → ACK at 24 Mb/s → 28 µs.
+        assert_eq!(ack_duration_us(BitRate::Mbps54, false), 28);
+        // Data at 11 Mb/s → ACK at 2 Mb/s: 192 + 56 = 248 µs.
+        assert_eq!(ack_duration_us(BitRate::Mbps11, false), 248);
+    }
+
+    #[test]
+    fn cck_rounding_is_ceiling() {
+        // 14 bytes at 5.5 Mb/s = 112/5.5 = 20.36 → 21 µs payload.
+        assert_eq!(frame_duration_us(14, BitRate::Mbps5_5, false), 192 + 21);
+    }
+
+    #[test]
+    fn ack_timeout_exceeds_sifs() {
+        for band in [Band::Ghz2, Band::Ghz5] {
+            for rate in BitRate::ALL {
+                assert!(ack_timeout_us(band, rate) > band.sifs_us());
+            }
+        }
+    }
+
+    #[test]
+    fn nav_covers_sifs_plus_ack() {
+        let nav = nav_for_data_us(Band::Ghz2, BitRate::Mbps1, false);
+        assert_eq!(nav as u32, 10 + 304);
+    }
+
+    #[test]
+    fn rts_nav_larger_than_data_nav() {
+        let rts = nav_for_rts_us(Band::Ghz2, 1500, BitRate::Mbps54, false);
+        let data = nav_for_data_us(Band::Ghz2, BitRate::Mbps54, false);
+        assert!(rts > data);
+    }
+
+    #[test]
+    fn duration_monotone_in_length() {
+        for rate in BitRate::ALL {
+            let mut last = 0;
+            for len in [0usize, 14, 28, 100, 1500] {
+                let d = frame_duration_us(len, rate, false);
+                assert!(d >= last);
+                last = d;
+            }
+        }
+    }
+}

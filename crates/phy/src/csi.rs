@@ -1,0 +1,310 @@
+//! Channel State Information (CSI) with motion-driven dynamics.
+//!
+//! This is the synthetic stand-in for the ESP32 CSI measurements of
+//! Section 4.1 / Figure 5. The channel is a tapped-delay-line multipath
+//! model; the frequency response across OFDM subcarriers is
+//!
+//! ```text
+//! H[k] = Σᵢ (aᵢ + sᵢ(t)) · e^(−j2π·fₖ·τᵢ)
+//! ```
+//!
+//! where `aᵢ` are static tap gains (the room) and `sᵢ(t)` are scattered
+//! components driven by human motion: an AR(1) process whose innovation is
+//! scaled by the instantaneous *motion intensity* in `[0, 1]`. With
+//! intensity 0 the response is rock-stable (plus measurement noise), which
+//! is exactly the paper's "tablet on the ground" segment; picking the
+//! device up (intensity ≈ 1) produces large swings; typing produces
+//! mid-scale fluctuations.
+
+use crate::complex::Complex;
+use crate::fading::cn;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Number of usable subcarriers reported for a legacy 20 MHz channel
+/// (as the ESP32 does: 52 data + 4 pilots).
+pub const DEFAULT_SUBCARRIERS: usize = 56;
+
+/// The amplitude/phase of every subcarrier at one instant — one row of
+/// Figure 5 per subcarrier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsiSnapshot {
+    /// Per-subcarrier amplitude (linear).
+    pub amplitudes: Vec<f64>,
+    /// Per-subcarrier phase in radians.
+    pub phases: Vec<f64>,
+}
+
+impl CsiSnapshot {
+    /// Number of subcarriers.
+    pub fn num_subcarriers(&self) -> usize {
+        self.amplitudes.len()
+    }
+
+    /// Amplitude of one subcarrier (the paper plots subcarrier 17).
+    pub fn amplitude(&self, subcarrier: usize) -> f64 {
+        self.amplitudes[subcarrier]
+    }
+}
+
+/// Configuration of the synthetic CSI channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CsiConfig {
+    /// Number of OFDM subcarriers to report.
+    pub subcarriers: usize,
+    /// Number of multipath taps.
+    pub taps: usize,
+    /// AR(1) memory of the scattered components, calibrated for ~150 Hz
+    /// sampling (the paper's fake-frame rate).
+    pub rho: f64,
+    /// Scale of motion-driven scattering relative to the static taps.
+    pub scatter_scale: f64,
+    /// Std of additive measurement noise on each subcarrier amplitude.
+    pub noise_std: f64,
+}
+
+impl Default for CsiConfig {
+    fn default() -> Self {
+        CsiConfig {
+            subcarriers: DEFAULT_SUBCARRIERS,
+            taps: 8,
+            rho: 0.9,
+            scatter_scale: 0.5,
+            noise_std: 0.01,
+        }
+    }
+}
+
+/// A stateful CSI channel between one attacker and one victim.
+///
+/// Call [`CsiChannel::sample`] once per received ACK, passing the motion
+/// intensity at that instant; the returned snapshot is what the attacker's
+/// radio would report.
+#[derive(Debug, Clone)]
+pub struct CsiChannel {
+    config: CsiConfig,
+    rng: ChaCha8Rng,
+    /// Static tap gains — the room's geometry.
+    static_taps: Vec<Complex>,
+    /// Motion-driven scattered components, AR(1)-evolved.
+    scatter: Vec<Complex>,
+    /// Tap delays in units of the sample period (fractional allowed).
+    delays: Vec<f64>,
+}
+
+impl CsiChannel {
+    /// Builds a channel with the default configuration.
+    pub fn new(seed: u64) -> CsiChannel {
+        CsiChannel::with_config(seed, CsiConfig::default())
+    }
+
+    /// Builds a channel with an explicit configuration.
+    pub fn with_config(seed: u64, config: CsiConfig) -> CsiChannel {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut static_taps = Vec::with_capacity(config.taps);
+        let mut delays = Vec::with_capacity(config.taps);
+        for i in 0..config.taps {
+            // Exponentially decaying power-delay profile.
+            let power = (-(i as f64) / 3.0).exp();
+            static_taps.push(cn(&mut rng, (power / 2.0).sqrt()));
+            delays.push(i as f64 + 0.3 * (i as f64).sin());
+        }
+        // Normalise so the mean per-subcarrier power is about 1.
+        let total: f64 = static_taps.iter().map(|t| t.norm_sq()).sum();
+        let scale = (1.0 / total.max(1e-9)).sqrt();
+        for t in &mut static_taps {
+            *t = t.scale(scale);
+        }
+        let scatter = vec![Complex::ZERO; config.taps];
+        CsiChannel {
+            config,
+            rng,
+            static_taps,
+            scatter,
+            delays,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CsiConfig {
+        &self.config
+    }
+
+    /// Advances the channel by one sample interval under `motion_intensity`
+    /// in `[0, 1]` and returns the CSI the receiver would measure.
+    pub fn sample(&mut self, motion_intensity: f64) -> CsiSnapshot {
+        let m = motion_intensity.clamp(0.0, 1.0);
+        let cfg = self.config;
+        // Evolve the scattered components: decay toward zero, excited by
+        // motion-scaled innovations.
+        let innovation_sigma = cfg.scatter_scale * (1.0 - cfg.rho * cfg.rho).sqrt();
+        for (i, s) in self.scatter.iter_mut().enumerate() {
+            let tap_weight = self.static_taps[i].abs().max(0.05);
+            let drive = cn(&mut self.rng, innovation_sigma * tap_weight * m);
+            *s = s.scale(cfg.rho) + drive;
+        }
+
+        let n = cfg.subcarriers;
+        let mut amplitudes = Vec::with_capacity(n);
+        let mut phases = Vec::with_capacity(n);
+        for k in 0..n {
+            // Normalised subcarrier frequency in [-0.5, 0.5).
+            let fk = (k as f64 - n as f64 / 2.0) / n as f64;
+            let mut h = Complex::ZERO;
+            for i in 0..cfg.taps {
+                let gain = self.static_taps[i] + self.scatter[i];
+                let rot =
+                    Complex::from_polar(1.0, -2.0 * std::f64::consts::PI * fk * self.delays[i]);
+                h += gain * rot;
+            }
+            let noise = cn(&mut self.rng, cfg.noise_std);
+            let observed = h + noise;
+            amplitudes.push(observed.abs());
+            phases.push(observed.arg());
+        }
+        CsiSnapshot { amplitudes, phases }
+    }
+
+    /// Convenience: samples `n` snapshots at a constant motion intensity
+    /// and returns one subcarrier's amplitude series.
+    pub fn amplitude_series(
+        &mut self,
+        n: usize,
+        motion_intensity: f64,
+        subcarrier: usize,
+    ) -> Vec<f64> {
+        (0..n)
+            .map(|_| self.sample(motion_intensity).amplitude(subcarrier))
+            .collect()
+    }
+}
+
+/// Sample standard deviation, shared by tests and the sensing crate's
+/// calibration checks.
+pub fn std_dev(series: &[f64]) -> f64 {
+    if series.len() < 2 {
+        return 0.0;
+    }
+    let mean = series.iter().sum::<f64>() / series.len() as f64;
+    let var = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+        / (series.len() - 1) as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_has_configured_subcarriers() {
+        let mut ch = CsiChannel::new(1);
+        let s = ch.sample(0.0);
+        assert_eq!(s.num_subcarriers(), DEFAULT_SUBCARRIERS);
+        assert_eq!(s.amplitudes.len(), s.phases.len());
+    }
+
+    #[test]
+    fn idle_channel_is_stable() {
+        let mut ch = CsiChannel::new(2);
+        let series = ch.amplitude_series(300, 0.0, 17);
+        let sd = std_dev(&series);
+        assert!(sd < 0.05, "idle std {sd}");
+    }
+
+    #[test]
+    fn motion_causes_large_fluctuations() {
+        let mut ch = CsiChannel::new(3);
+        // Settle, then compare idle vs full motion.
+        let idle = std_dev(&ch.amplitude_series(300, 0.0, 17));
+        let moving = std_dev(&ch.amplitude_series(300, 1.0, 17));
+        assert!(
+            moving > 5.0 * idle,
+            "moving {moving} should dwarf idle {idle}"
+        );
+    }
+
+    #[test]
+    fn fluctuation_scales_with_intensity() {
+        // The property Figure 5 depends on: pickup > typing > hold > idle.
+        let mut ch = CsiChannel::new(4);
+        let idle = std_dev(&ch.amplitude_series(400, 0.0, 17));
+        let hold = std_dev(&ch.amplitude_series(400, 0.1, 17));
+        let typing = std_dev(&ch.amplitude_series(400, 0.45, 17));
+        let pickup = std_dev(&ch.amplitude_series(400, 1.0, 17));
+        assert!(idle < hold, "idle {idle} < hold {hold}");
+        assert!(hold < typing, "hold {hold} < typing {typing}");
+        assert!(typing < pickup, "typing {typing} < pickup {pickup}");
+    }
+
+    #[test]
+    fn channel_settles_after_motion_stops() {
+        let mut ch = CsiChannel::new(5);
+        let _ = ch.amplitude_series(200, 1.0, 17);
+        // Let the AR(1) memory decay, then re-measure stability.
+        let _ = ch.amplitude_series(200, 0.0, 17);
+        let settled = std_dev(&ch.amplitude_series(300, 0.0, 17));
+        assert!(settled < 0.05, "settled std {settled}");
+    }
+
+    #[test]
+    fn most_subcarriers_see_the_motion() {
+        // Paper: "Most other subcarriers had similar patterns."
+        let mut ch = CsiChannel::new(6);
+        let mut idle_sd = vec![Vec::new(); DEFAULT_SUBCARRIERS];
+        for _ in 0..200 {
+            let s = ch.sample(0.0);
+            for (k, v) in s.amplitudes.iter().enumerate() {
+                idle_sd[k].push(*v);
+            }
+        }
+        let mut moving_sd = vec![Vec::new(); DEFAULT_SUBCARRIERS];
+        for _ in 0..200 {
+            let s = ch.sample(1.0);
+            for (k, v) in s.amplitudes.iter().enumerate() {
+                moving_sd[k].push(*v);
+            }
+        }
+        let mut responsive = 0;
+        for k in 0..DEFAULT_SUBCARRIERS {
+            if std_dev(&moving_sd[k]) > 3.0 * std_dev(&idle_sd[k]).max(1e-6) {
+                responsive += 1;
+            }
+        }
+        assert!(
+            responsive as f64 > 0.8 * DEFAULT_SUBCARRIERS as f64,
+            "only {responsive} subcarriers responsive"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_series() {
+        let mut a = CsiChannel::new(9);
+        let mut b = CsiChannel::new(9);
+        assert_eq!(a.amplitude_series(50, 0.7, 3), b.amplitude_series(50, 0.7, 3));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = CsiChannel::new(1);
+        let mut b = CsiChannel::new(2);
+        assert_ne!(a.amplitude_series(10, 0.5, 3), b.amplitude_series(10, 0.5, 3));
+    }
+
+    #[test]
+    fn intensity_clamped() {
+        let mut ch = CsiChannel::new(10);
+        // Out-of-range intensities must not blow up the channel.
+        let s = ch.sample(42.0);
+        assert!(s.amplitudes.iter().all(|a| a.is_finite()));
+        let s = ch.sample(-3.0);
+        assert!(s.amplitudes.iter().all(|a| a.is_finite()));
+    }
+
+    #[test]
+    fn std_dev_edge_cases() {
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert!((std_dev(&[1.0, 3.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Small-scale fading: Rayleigh and Rician channel gains.
+
+use crate::complex::Complex;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Draws a standard normal via Box–Muller (keeps us off `rand_distr`).
+pub fn randn(rng: &mut ChaCha8Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// A circularly-symmetric complex Gaussian with per-component std `sigma`.
+pub fn cn(rng: &mut ChaCha8Rng, sigma: f64) -> Complex {
+    Complex::new(randn(rng) * sigma, randn(rng) * sigma)
+}
+
+/// Small-scale fading statistics for a link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Fading {
+    /// No fading: the gain is always 1.
+    None,
+    /// Rayleigh: no line-of-sight; gain is CN(0, 1).
+    Rayleigh,
+    /// Rician with factor `k` (linear): a LOS component plus scatter.
+    /// `k → ∞` approaches no fading; `k = 0` is Rayleigh.
+    Rician {
+        /// Ratio of LOS power to scattered power (linear, not dB).
+        k: f64,
+    },
+}
+
+impl Fading {
+    /// Draws one unit-mean-power channel gain.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> Complex {
+        match *self {
+            Fading::None => Complex::ONE,
+            Fading::Rayleigh => cn(rng, (0.5f64).sqrt()),
+            Fading::Rician { k } => {
+                let los = Complex::from_polar((k / (k + 1.0)).sqrt(), 0.0);
+                let scatter = cn(rng, (0.5 / (k + 1.0)).sqrt());
+                los + scatter
+            }
+        }
+    }
+
+    /// Applies one fading draw to a mean received power in dBm.
+    pub fn faded_power_dbm(&self, mean_dbm: f64, rng: &mut ChaCha8Rng) -> f64 {
+        let g = self.sample(rng).norm_sq().max(1e-12);
+        mean_dbm + 10.0 * g.log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn randn_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| randn(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn rayleigh_unit_mean_power() {
+        let mut r = rng();
+        let n = 50_000;
+        let p: f64 = (0..n)
+            .map(|_| Fading::Rayleigh.sample(&mut r).norm_sq())
+            .sum::<f64>()
+            / n as f64;
+        assert!((p - 1.0).abs() < 0.05, "mean power {p}");
+    }
+
+    #[test]
+    fn rician_unit_mean_power_and_low_variance_at_high_k() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| Fading::Rician { k: 10.0 }.sample(&mut r).norm_sq())
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        // Rayleigh power variance is 1; K=10 Rician should be far tighter.
+        assert!(var < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn none_is_deterministic_unity() {
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(Fading::None.sample(&mut r), Complex::ONE);
+        }
+        assert_eq!(Fading::None.faded_power_dbm(-50.0, &mut r), -50.0);
+    }
+
+    #[test]
+    fn seeded_rng_reproducible() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                Fading::Rayleigh.sample(&mut a),
+                Fading::Rayleigh.sample(&mut b)
+            );
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! 802.11 PHY substrate.
+//!
+//! Everything below the MAC that the Polite-WiFi experiments depend on:
+//!
+//! * [`band`] — 2.4/5 GHz band parameters, most importantly the **SIFS**
+//!   (10 µs / 16 µs): the deadline that makes ACK-before-validation the
+//!   only implementable design (paper Section 2.2),
+//! * [`rate`] — DSSS and legacy OFDM bit-rate tables (ACKs ride these
+//!   legacy rates),
+//! * [`airtime`] — on-air frame durations, ACK/CTS timeouts, NAV values,
+//! * [`timing`] — the SIFS-vs-WPA2-decryption feasibility arithmetic,
+//! * [`pathloss`] — free-space and log-distance propagation,
+//! * [`fading`] — Rayleigh/Rician small-scale fading,
+//! * [`link`] — SNR → BER → frame-error-rate for each modulation,
+//! * [`csi`] — per-subcarrier channel state information with
+//!   motion-driven dynamics (the signal behind Figures 5 and the sensing
+//!   opportunity of Section 4.3), and
+//! * [`complex`] — the small complex-number type the above share.
+//!
+//! ```
+//! use polite_wifi_phy::band::Band;
+//! use polite_wifi_phy::timing::{WPA2_DECODE_MIN_US, WPA2_DECODE_MAX_US};
+//!
+//! // The paper's core timing argument, as code:
+//! assert!(WPA2_DECODE_MIN_US > 10 * Band::Ghz2.sifs_us() as u64);
+//! assert!(WPA2_DECODE_MAX_US / Band::Ghz2.sifs_us() as u64 >= 70);
+//! ```
+
+pub mod airtime;
+pub mod band;
+pub mod complex;
+pub mod csi;
+pub mod fading;
+pub mod link;
+pub mod pathloss;
+pub mod rate;
+pub mod timing;
+
+pub use band::Band;
+pub use complex::Complex;
+pub use csi::{CsiChannel, CsiSnapshot};
+pub use rate::BitRate;

@@ -1,0 +1,132 @@
+//! The SNR → BER → frame-error-rate link model.
+//!
+//! Used by the simulator's medium to decide whether a receiver's FCS check
+//! passes. Polite WiFi acknowledges *exactly* the frames that pass this
+//! check, so the FER model is what makes the survey's "ACK verified"
+//! statistics realistic rather than tautological.
+
+use crate::rate::{BitRate, Modulation};
+
+/// Complementary error function, Abramowitz & Stegun 7.1.26 applied to
+/// `erfc(x) = 1 - erf(x)`; max absolute error ≈ 1.5e-7 — ample for FER.
+pub fn erfc(x: f64) -> f64 {
+    let sign_negative = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf = 1.0 - poly * (-x * x).exp();
+    if sign_negative {
+        1.0 + erf
+    } else {
+        1.0 - erf
+    }
+}
+
+/// Q-function: tail probability of the standard normal.
+pub fn q(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Bit error rate for a modulation at a given SNR (dB).
+///
+/// Standard AWGN textbook formulas. For CCK we borrow the DQPSK curve with
+/// a small coding gain, a common simulation shortcut.
+pub fn ber(modulation: Modulation, snr_db: f64) -> f64 {
+    let snr = 10f64.powf(snr_db / 10.0);
+    let b = match modulation {
+        Modulation::Dbpsk => 0.5 * (-snr).exp(),
+        Modulation::Dqpsk => q((2.0 * snr).sqrt()) * 1.2,
+        Modulation::Cck => q((2.0 * snr / 1.5).sqrt()),
+        Modulation::BpskOfdm => q((2.0 * snr).sqrt()),
+        Modulation::QpskOfdm => q(snr.sqrt()),
+        Modulation::Qam16 => 0.75 * q((snr / 5.0).sqrt()),
+        Modulation::Qam64 => (7.0 / 12.0) * q((snr / 21.0).sqrt()),
+    };
+    b.clamp(0.0, 0.5)
+}
+
+/// Frame error rate for `psdu_len` bytes at `rate` and `snr_db`, assuming
+/// independent bit errors: `FER = 1 - (1 - BER)^bits`.
+pub fn fer(psdu_len: usize, rate: BitRate, snr_db: f64) -> f64 {
+    let b = ber(rate.modulation(), snr_db);
+    let bits = (psdu_len * 8) as f64;
+    1.0 - (1.0 - b).powf(bits)
+}
+
+/// Whether the preamble can even be detected (carrier sense threshold).
+pub fn detectable(snr_db: f64) -> bool {
+    snr_db >= -1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_reference_points() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!(erfc(4.0) < 2e-8);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn q_function_half_at_zero() {
+        assert!((q(0.0) - 0.5).abs() < 1e-9);
+        assert!((q(1.6449) - 0.05).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ber_decreases_with_snr() {
+        for m in [
+            Modulation::Dbpsk,
+            Modulation::Dqpsk,
+            Modulation::Cck,
+            Modulation::BpskOfdm,
+            Modulation::QpskOfdm,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
+            let mut last = 0.6;
+            for snr in [0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0] {
+                let b = ber(m, snr);
+                assert!(b <= last + 1e-12, "{m:?} at {snr} dB: {b} > {last}");
+                last = b;
+            }
+        }
+    }
+
+    #[test]
+    fn higher_order_modulation_needs_more_snr() {
+        // At 12 dB, 64-QAM is much worse than BPSK.
+        assert!(ber(Modulation::Qam64, 12.0) > 100.0 * ber(Modulation::BpskOfdm, 12.0));
+    }
+
+    #[test]
+    fn fer_limits() {
+        // Excellent SNR → FER ~ 0; terrible SNR → FER ~ 1.
+        assert!(fer(28, BitRate::Mbps1, 30.0) < 1e-9);
+        assert!(fer(1500, BitRate::Mbps54, 5.0) > 0.999);
+    }
+
+    #[test]
+    fn longer_frames_fail_more() {
+        let short = fer(14, BitRate::Mbps6, 8.0);
+        let long = fer(1500, BitRate::Mbps6, 8.0);
+        assert!(long > short);
+    }
+
+    #[test]
+    fn ack_at_good_snr_virtually_never_lost() {
+        // An ACK at 1 Mb/s with 25 dB SNR.
+        assert!(fer(14, BitRate::Mbps1, 25.0) < 1e-12);
+    }
+
+    #[test]
+    fn detectability_threshold() {
+        assert!(detectable(0.0));
+        assert!(!detectable(-5.0));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests on the PHY substrate's invariants.
+
+use polite_wifi_phy::airtime;
+use polite_wifi_phy::band::Band;
+use polite_wifi_phy::csi::{CsiChannel, CsiConfig};
+use polite_wifi_phy::link;
+use polite_wifi_phy::pathloss::PathLoss;
+use polite_wifi_phy::rate::BitRate;
+use proptest::prelude::*;
+
+fn arb_rate() -> impl Strategy<Value = BitRate> {
+    prop::sample::select(BitRate::ALL.to_vec())
+}
+
+fn arb_band() -> impl Strategy<Value = Band> {
+    prop_oneof![Just(Band::Ghz2), Just(Band::Ghz5)]
+}
+
+proptest! {
+    #[test]
+    fn airtime_monotone_in_length(rate in arb_rate(), len in 0usize..3000, extra in 1usize..500) {
+        let a = airtime::frame_duration_us(len, rate, false);
+        let b = airtime::frame_duration_us(len + extra, rate, false);
+        prop_assert!(b >= a);
+    }
+
+    #[test]
+    fn faster_rate_never_slower_within_family(len in 1usize..3000) {
+        // Within DSSS and within OFDM, higher bit rates give shorter or
+        // equal airtime for the same PSDU.
+        let dsss = [BitRate::Mbps1, BitRate::Mbps2, BitRate::Mbps5_5, BitRate::Mbps11];
+        let ofdm = [
+            BitRate::Mbps6, BitRate::Mbps9, BitRate::Mbps12, BitRate::Mbps18,
+            BitRate::Mbps24, BitRate::Mbps36, BitRate::Mbps48, BitRate::Mbps54,
+        ];
+        for family in [&dsss[..], &ofdm[..]] {
+            for pair in family.windows(2) {
+                let slow = airtime::frame_duration_us(len, pair[0], false);
+                let fast = airtime::frame_duration_us(len, pair[1], false);
+                prop_assert!(fast <= slow, "{:?} vs {:?} at {}", pair[0], pair[1], len);
+            }
+        }
+    }
+
+    #[test]
+    fn response_rate_is_idempotent_and_not_faster(rate in arb_rate()) {
+        let resp = rate.response_rate();
+        prop_assert!(resp.bps() <= rate.bps().max(resp.bps()));
+        // A response to a response uses the same rate (fixed point).
+        prop_assert_eq!(resp.response_rate(), resp);
+        // Family is preserved.
+        prop_assert_eq!(resp.is_dsss(), rate.is_dsss());
+    }
+
+    #[test]
+    fn ack_timeout_always_covers_sifs_plus_ack(band in arb_band(), rate in arb_rate()) {
+        let timeout = airtime::ack_timeout_us(band, rate);
+        let min = band.sifs_us() + airtime::ack_duration_us(rate, false);
+        prop_assert!(timeout >= min);
+    }
+
+    #[test]
+    fn fer_is_probability_and_monotone_in_snr(rate in arb_rate(),
+                                              len in 1usize..2000,
+                                              snr in -10.0f64..40.0) {
+        let f = link::fer(len, rate, snr);
+        prop_assert!((0.0..=1.0).contains(&f));
+        let better = link::fer(len, rate, snr + 5.0);
+        prop_assert!(better <= f + 1e-12);
+    }
+
+    #[test]
+    fn fer_monotone_in_length(rate in arb_rate(), snr in 0.0f64..30.0,
+                              len in 1usize..1000, extra in 1usize..500) {
+        prop_assert!(link::fer(len + extra, rate, snr) >= link::fer(len, rate, snr) - 1e-12);
+    }
+
+    #[test]
+    fn path_loss_monotone_in_distance(d in 0.5f64..500.0, extra in 0.1f64..500.0) {
+        for model in [PathLoss::free_space_2ghz4(), PathLoss::indoor_2ghz4()] {
+            prop_assert!(model.loss_db(d + extra) >= model.loss_db(d));
+            prop_assert!(model.loss_db(d).is_finite());
+        }
+    }
+
+    #[test]
+    fn csi_amplitudes_finite_and_positive(seed in any::<u64>(),
+                                          intensities in proptest::collection::vec(0.0f64..1.0, 1..50)) {
+        let mut ch = CsiChannel::new(seed);
+        for m in intensities {
+            let snap = ch.sample(m);
+            prop_assert!(snap.amplitudes.iter().all(|a| a.is_finite() && *a >= 0.0));
+            prop_assert!(snap.phases.iter().all(|p| p.is_finite()));
+        }
+    }
+
+    #[test]
+    fn csi_channel_never_diverges_under_sustained_motion(seed in any::<u64>()) {
+        // The AR(1) scatter must stay bounded even after long bursts.
+        let mut ch = CsiChannel::with_config(seed, CsiConfig::default());
+        let mut max_amp: f64 = 0.0;
+        for _ in 0..500 {
+            let s = ch.sample(1.0);
+            max_amp = max_amp.max(s.amplitudes.iter().cloned().fold(0.0, f64::max));
+        }
+        prop_assert!(max_amp < 100.0, "amplitude diverged to {max_amp}");
+    }
+
+    #[test]
+    fn erfc_bounds(x in -6.0f64..6.0) {
+        let v = link::erfc(x);
+        prop_assert!((0.0..=2.0).contains(&v));
+        // Symmetry: erfc(-x) = 2 - erfc(x).
+        prop_assert!((link::erfc(-x) - (2.0 - v)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,17 @@
+//! Energy modelling for the battery-drain attack (paper §4.2, Figure 6).
+//!
+//! The pipeline: the simulator's per-node radio ledger reports how long
+//! the victim spent in each state (sleep / idle / RX / TX); a
+//! [`PowerProfile`] converts that into milliwatts; a [`Battery`] converts
+//! sustained milliwatts into hours of life.
+//!
+//! The ESP8266 profile is calibrated so that the *simulated* Figure 6
+//! reproduces the paper's three anchor points: ~10 mW with no attack,
+//! ~230 mW once >10 packets/s keep the radio awake, and ~360 mW at
+//! 900 packets/s (35× the baseline).
+
+pub mod battery;
+pub mod profile;
+
+pub use battery::{Battery, DrainProjection};
+pub use profile::{PowerProfile, StateDurations};

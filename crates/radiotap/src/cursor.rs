@@ -1,0 +1,204 @@
+//! Aligned little-endian readers and writers.
+//!
+//! Radiotap fields are aligned to their natural size *relative to the start
+//! of the radiotap header* — the detail most ad-hoc parsers get wrong.
+
+use crate::header::RadiotapError;
+
+/// A reading cursor that tracks its offset from the header start so it can
+/// insert alignment skips.
+pub struct ReadCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ReadCursor<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        ReadCursor { buf, pos: 0 }
+    }
+
+    /// Current offset from the header start.
+    #[cfg(test)]
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Skips forward so the next read is `align`-aligned.
+    pub fn align(&mut self, align: usize) -> Result<(), RadiotapError> {
+        let rem = self.pos % align;
+        if rem != 0 {
+            self.skip(align - rem)?;
+        }
+        Ok(())
+    }
+
+    /// Skips `n` bytes.
+    pub fn skip(&mut self, n: usize) -> Result<(), RadiotapError> {
+        if self.pos + n > self.buf.len() {
+            return Err(RadiotapError::Truncated {
+                at: self.pos,
+                needed: n,
+            });
+        }
+        self.pos += n;
+        Ok(())
+    }
+
+    /// Jumps to an absolute offset (used to honour the declared header
+    /// length even when we did not parse every field).
+    #[cfg(test)]
+    pub fn seek(&mut self, pos: usize) -> Result<(), RadiotapError> {
+        if pos > self.buf.len() {
+            return Err(RadiotapError::Truncated {
+                at: self.pos,
+                needed: pos - self.pos,
+            });
+        }
+        self.pos = pos;
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RadiotapError> {
+        if self.pos + n > self.buf.len() {
+            return Err(RadiotapError::Truncated {
+                at: self.pos,
+                needed: n,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn read_u8(&mut self) -> Result<u8, RadiotapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn read_i8(&mut self) -> Result<i8, RadiotapError> {
+        Ok(self.take(1)?[0] as i8)
+    }
+
+    pub fn read_u16(&mut self) -> Result<u16, RadiotapError> {
+        self.align(2)?;
+        let s = self.take(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    pub fn read_u32(&mut self) -> Result<u32, RadiotapError> {
+        self.align(4)?;
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    pub fn read_u64(&mut self) -> Result<u64, RadiotapError> {
+        self.align(8)?;
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes(s.try_into().unwrap()))
+    }
+}
+
+/// A writing cursor that inserts zero padding to keep fields naturally
+/// aligned relative to the header start.
+#[derive(Default)]
+pub struct WriteCursor {
+    buf: Vec<u8>,
+}
+
+impl WriteCursor {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn align(&mut self, align: usize) {
+        while self.buf.len() % align != 0 {
+            self.buf.push(0);
+        }
+    }
+
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn write_i8(&mut self, v: i8) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn write_u16(&mut self, v: u16) {
+        self.align(2);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn write_u32(&mut self, v: u32) {
+        self.align(4);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.align(8);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Overwrites two bytes at `offset` (for patching the length field).
+    pub fn patch_u16(&mut self, offset: usize, v: u16) {
+        self.buf[offset..offset + 2].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_alignment_skips_padding() {
+        // u8 at 0, then u16 must skip to offset 2.
+        let buf = [0x01, 0xff, 0x34, 0x12];
+        let mut c = ReadCursor::new(&buf);
+        assert_eq!(c.read_u8().unwrap(), 1);
+        assert_eq!(c.read_u16().unwrap(), 0x1234);
+        assert_eq!(c.pos(), 4);
+    }
+
+    #[test]
+    fn write_alignment_inserts_padding() {
+        let mut w = WriteCursor::new();
+        w.write_u8(1);
+        w.write_u64(0x0807060504030201);
+        // u64 starts at offset 8 after 7 pad bytes.
+        assert_eq!(w.len(), 16);
+        let bytes = w.into_bytes();
+        assert_eq!(&bytes[1..8], &[0u8; 7]);
+        assert_eq!(bytes[8], 0x01);
+    }
+
+    #[test]
+    fn truncated_reads_error() {
+        let buf = [0x01];
+        let mut c = ReadCursor::new(&buf);
+        assert!(c.read_u16().is_err());
+    }
+
+    #[test]
+    fn seek_validates_bounds() {
+        let buf = [0u8; 4];
+        let mut c = ReadCursor::new(&buf);
+        assert!(c.seek(4).is_ok());
+        let mut c = ReadCursor::new(&buf);
+        assert!(c.seek(5).is_err());
+    }
+
+    #[test]
+    fn patch_u16_rewrites_in_place() {
+        let mut w = WriteCursor::new();
+        w.write_u32(0);
+        w.patch_u16(2, 0xbeef);
+        assert_eq!(w.into_bytes(), vec![0, 0, 0xef, 0xbe]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Radiotap header encode/decode.
+//!
+//! Radiotap is the de-facto capture header that prepends 802.11 frames in
+//! pcap files (LINKTYPE 127). Each header carries a presence bitmask and a
+//! sequence of naturally-aligned fields (timestamp, rate, channel, RSSI…).
+//!
+//! The reproduction notes for this paper call out radiotap as the thin spot
+//! in the Rust ecosystem, so this crate implements the format from the
+//! specification: little-endian fields, per-field natural alignment,
+//! chained extended presence words, and vendor-namespace skipping.
+//!
+//! The sensing experiments lean on this header: the attacker's sniffer
+//! reads per-ACK RSSI/channel metadata from radiotap while the CSI itself
+//! rides in the PHY model.
+//!
+//! ```
+//! use polite_wifi_radiotap::{Radiotap, ChannelInfo};
+//!
+//! let hdr = Radiotap {
+//!     tsft_us: Some(1_000_000),
+//!     rate_500kbps: Some(2),            // 1 Mb/s, a legacy ACK rate
+//!     channel: Some(ChannelInfo::ghz2(6)),
+//!     antenna_signal_dbm: Some(-42),
+//!     ..Radiotap::default()
+//! };
+//! let bytes = hdr.encode();
+//! let (parsed, consumed) = Radiotap::parse(&bytes).unwrap();
+//! assert_eq!(consumed, bytes.len());
+//! assert_eq!(parsed.antenna_signal_dbm, Some(-42));
+//! ```
+
+mod cursor;
+mod header;
+
+pub use header::{ChannelInfo, Flags, McsInfo, Radiotap, RadiotapError};
+
+/// Presence-bit numbers from the radiotap specification.
+pub mod present_bit {
+    pub const TSFT: u32 = 0;
+    pub const FLAGS: u32 = 1;
+    pub const RATE: u32 = 2;
+    pub const CHANNEL: u32 = 3;
+    pub const FHSS: u32 = 4;
+    pub const ANTENNA_SIGNAL_DBM: u32 = 5;
+    pub const ANTENNA_NOISE_DBM: u32 = 6;
+    pub const LOCK_QUALITY: u32 = 7;
+    pub const TX_ATTENUATION: u32 = 8;
+    pub const TX_ATTENUATION_DB: u32 = 9;
+    pub const TX_POWER_DBM: u32 = 10;
+    pub const ANTENNA: u32 = 11;
+    pub const ANTENNA_SIGNAL_DB: u32 = 12;
+    pub const ANTENNA_NOISE_DB: u32 = 13;
+    pub const RX_FLAGS: u32 = 14;
+    pub const TX_FLAGS: u32 = 15;
+    pub const DATA_RETRIES: u32 = 17;
+    pub const MCS: u32 = 19;
+    pub const RADIOTAP_NAMESPACE: u32 = 29;
+    pub const VENDOR_NAMESPACE: u32 = 30;
+    pub const EXT: u32 = 31;
+}

@@ -1,0 +1,98 @@
+//! Property tests: radiotap headers round-trip for every combination of
+//! populated fields, and the parser is total on garbage input.
+
+use polite_wifi_radiotap::{ChannelInfo, Flags, McsInfo, Radiotap};
+use proptest::prelude::*;
+
+fn arb_radiotap() -> impl Strategy<Value = Radiotap> {
+    (
+        (
+            proptest::option::of(any::<u64>()),
+            proptest::option::of(any::<u8>().prop_map(Flags)),
+            proptest::option::of(any::<u8>()),
+            proptest::option::of((any::<u16>(), any::<u16>()).prop_map(|(freq_mhz, flags)| {
+                ChannelInfo { freq_mhz, flags }
+            })),
+            proptest::option::of(any::<u16>()),
+            proptest::option::of(any::<i8>()),
+            proptest::option::of(any::<i8>()),
+            proptest::option::of(any::<u16>()),
+        ),
+        (
+            proptest::option::of(any::<u16>()),
+            proptest::option::of(any::<u16>()),
+            proptest::option::of(any::<i8>()),
+            proptest::option::of(any::<u8>()),
+            proptest::option::of(any::<u8>()),
+            proptest::option::of(any::<u8>()),
+            proptest::option::of(any::<u16>()),
+            proptest::option::of(any::<u16>()),
+            proptest::option::of(any::<u8>()),
+            proptest::option::of(
+                (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(known, flags, index)| McsInfo {
+                    known,
+                    flags,
+                    index,
+                }),
+            ),
+        ),
+    )
+        .prop_map(
+            |(
+                (tsft_us, flags, rate, channel, fhss, sig, noise, lockq),
+                (txatt, txatt_db, txpow, ant, sig_db, noise_db, rxf, txf, retries, mcs),
+            )| Radiotap {
+                tsft_us,
+                flags,
+                rate_500kbps: rate,
+                channel,
+                fhss,
+                antenna_signal_dbm: sig,
+                antenna_noise_dbm: noise,
+                lock_quality: lockq,
+                tx_attenuation: txatt,
+                tx_attenuation_db: txatt_db,
+                tx_power_dbm: txpow,
+                antenna: ant,
+                antenna_signal_db: sig_db,
+                antenna_noise_db: noise_db,
+                rx_flags: rxf,
+                tx_flags: txf,
+                data_retries: retries,
+                mcs,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn any_field_combination_round_trips(rt in arb_radiotap()) {
+        let bytes = rt.encode();
+        let (parsed, consumed) = Radiotap::parse(&bytes).unwrap();
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(parsed, rt);
+    }
+
+    #[test]
+    fn length_field_always_matches_encoding(rt in arb_radiotap()) {
+        let bytes = rt.encode();
+        let declared = u16::from_le_bytes([bytes[2], bytes[3]]) as usize;
+        prop_assert_eq!(declared, bytes.len());
+    }
+
+    #[test]
+    fn header_survives_trailing_payload(rt in arb_radiotap(),
+                                        tail in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut bytes = rt.encode();
+        let hdr_len = bytes.len();
+        bytes.extend_from_slice(&tail);
+        let (parsed, consumed) = Radiotap::parse(&bytes).unwrap();
+        prop_assert_eq!(consumed, hdr_len);
+        prop_assert_eq!(parsed, rt);
+    }
+
+    #[test]
+    fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Radiotap::parse(&bytes);
+    }
+}

@@ -1,0 +1,191 @@
+//! The event queue: time-ordered, deterministically tie-broken.
+
+use crate::node::NodeId;
+use polite_wifi_frame::Frame;
+use polite_wifi_phy::rate::BitRate;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Something that happens at a point in simulated time.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// Run a station's timer work (`Station::poll`).
+    Poll {
+        /// Which node.
+        node: NodeId,
+    },
+    /// A node attempts to start a queued (CSMA) transmission.
+    TxAttempt {
+        /// Which node.
+        node: NodeId,
+    },
+    /// A node starts a scheduled response (SIFS-timed, bypasses CSMA).
+    ResponseTx {
+        /// Which node.
+        node: NodeId,
+        /// The response frame (ACK/CTS/...).
+        frame: Frame,
+        /// Transmit rate.
+        rate: BitRate,
+    },
+    /// A transmission ends at its transmitter.
+    TxEnd {
+        /// The transmitting node.
+        node: NodeId,
+    },
+    /// A frame finishes arriving at a receiver.
+    Arrival {
+        /// The receiving node.
+        node: NodeId,
+        /// The transmitting node.
+        from: NodeId,
+        /// The frame.
+        frame: Frame,
+        /// Rate it was sent at.
+        rate: BitRate,
+        /// Time the frame started on the air (for overlap checks).
+        start_us: u64,
+        /// Band/channel the frame rode on.
+        tune: crate::medium::Tune,
+    },
+    /// The transmitter gave up waiting for an ACK.
+    AckTimeout {
+        /// The waiting node.
+        node: NodeId,
+        /// Token matching the transmission being timed.
+        token: u64,
+    },
+    /// External injection: hand a frame to a node's transmit queue.
+    Inject {
+        /// The transmitting node.
+        node: NodeId,
+        /// The frame to send.
+        frame: Frame,
+        /// Rate to send at.
+        rate: BitRate,
+    },
+}
+
+/// An event bound to a time, ordered for the queue (earliest first; FIFO
+/// among equal times via the sequence number).
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent {
+    /// When the event fires, in microseconds.
+    pub at_us: u64,
+    /// Monotonic tie-breaker.
+    pub seq: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_us == other.at_us && self.seq == other.seq
+    }
+}
+
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at_us
+            .cmp(&self.at_us)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at `at_us`.
+    pub fn push(&mut self, at_us: u64, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at_us, seq, event });
+    }
+
+    /// Pops the earliest event, FIFO among ties.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap.pop()
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.at_us)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poll(node: usize) -> Event {
+        Event::Poll {
+            node: NodeId(node),
+        }
+    }
+
+    #[test]
+    fn earliest_first() {
+        let mut q = EventQueue::new();
+        q.push(30, poll(0));
+        q.push(10, poll(1));
+        q.push(20, poll(2));
+        assert_eq!(q.pop().unwrap().at_us, 10);
+        assert_eq!(q.pop().unwrap().at_us, 20);
+        assert_eq!(q.pop().unwrap().at_us, 30);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(100, poll(i));
+        }
+        let mut order = Vec::new();
+        while let Some(e) = q.pop() {
+            if let Event::Poll { node } = e.event {
+                order.push(node.0);
+            }
+        }
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(5, poll(0));
+        assert_eq!(q.peek_time(), Some(5));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

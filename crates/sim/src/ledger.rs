@@ -1,0 +1,176 @@
+//! Per-node radio-state accounting, consumed by the energy model.
+
+use polite_wifi_mac::RadioState;
+
+/// Accumulated time in each radio state. The battery-drain experiment
+/// (Figure 6) integrates these against the device's power profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StateTotals {
+    /// Microseconds spent asleep.
+    pub sleep_us: u64,
+    /// Microseconds awake but idle (listening).
+    pub idle_us: u64,
+    /// Microseconds actively receiving.
+    pub rx_us: u64,
+    /// Microseconds actively transmitting.
+    pub tx_us: u64,
+}
+
+impl StateTotals {
+    /// Total accounted time.
+    pub fn total_us(&self) -> u64 {
+        self.sleep_us + self.idle_us + self.rx_us + self.tx_us
+    }
+}
+
+/// Tracks a radio's state transitions over time.
+///
+/// TX/RX are "nested" over the awake/asleep base state: `begin_busy`
+/// switches to TX or RX and `end_busy` falls back to the base state.
+#[derive(Debug, Clone)]
+pub struct ActivityLedger {
+    totals: StateTotals,
+    current: RadioState,
+    /// Base state to return to after TX/RX (Idle or Sleep).
+    base: RadioState,
+    since_us: u64,
+}
+
+impl ActivityLedger {
+    /// Starts the ledger at `t0_us` in the given base state.
+    pub fn new(t0_us: u64, awake: bool) -> ActivityLedger {
+        let base = if awake { RadioState::Idle } else { RadioState::Sleep };
+        ActivityLedger {
+            totals: StateTotals::default(),
+            current: base,
+            base,
+            since_us: t0_us,
+        }
+    }
+
+    fn credit(&mut self, until_us: u64) {
+        let dt = until_us.saturating_sub(self.since_us);
+        match self.current {
+            RadioState::Sleep => self.totals.sleep_us += dt,
+            RadioState::Idle => self.totals.idle_us += dt,
+            RadioState::Rx => self.totals.rx_us += dt,
+            RadioState::Tx => self.totals.tx_us += dt,
+        }
+        // Never move backwards: a retroactive transition (e.g. an RX
+        // burst whose start predates an interval we already credited)
+        // must not double-count the overlap.
+        self.since_us = self.since_us.max(until_us);
+    }
+
+    /// Records a base-state change (doze or wake) at `now_us`.
+    pub fn set_base(&mut self, now_us: u64, state: RadioState) {
+        debug_assert!(matches!(state, RadioState::Sleep | RadioState::Idle));
+        self.credit(now_us);
+        self.base = state;
+        // Only drop to the new base if not mid-TX/RX.
+        if matches!(self.current, RadioState::Sleep | RadioState::Idle) {
+            self.current = state;
+        }
+    }
+
+    /// Records the start of a TX or RX burst at `now_us`.
+    pub fn begin_busy(&mut self, now_us: u64, state: RadioState) {
+        debug_assert!(matches!(state, RadioState::Tx | RadioState::Rx));
+        self.credit(now_us);
+        self.current = state;
+    }
+
+    /// Records the end of a TX/RX burst at `now_us`, returning to base.
+    pub fn end_busy(&mut self, now_us: u64) {
+        self.credit(now_us);
+        self.current = self.base;
+    }
+
+    /// Closes the books at `now_us` and returns the totals.
+    pub fn snapshot(&self, now_us: u64) -> StateTotals {
+        let mut copy = self.clone();
+        copy.credit(now_us);
+        copy.totals
+    }
+
+    /// The state the radio is in right now.
+    pub fn current_state(&self) -> RadioState {
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_time_accumulates() {
+        let ledger = ActivityLedger::new(0, true);
+        let t = ledger.snapshot(1_000_000);
+        assert_eq!(t.idle_us, 1_000_000);
+        assert_eq!(t.total_us(), 1_000_000);
+    }
+
+    #[test]
+    fn tx_burst_accounted() {
+        let mut ledger = ActivityLedger::new(0, true);
+        ledger.begin_busy(100, RadioState::Tx);
+        ledger.end_busy(400);
+        let t = ledger.snapshot(1_000);
+        assert_eq!(t.tx_us, 300);
+        assert_eq!(t.idle_us, 700);
+    }
+
+    #[test]
+    fn doze_and_wake() {
+        let mut ledger = ActivityLedger::new(0, true);
+        ledger.set_base(500, RadioState::Sleep);
+        ledger.set_base(800, RadioState::Idle);
+        let t = ledger.snapshot(1_000);
+        assert_eq!(t.idle_us, 500 + 200);
+        assert_eq!(t.sleep_us, 300);
+    }
+
+    #[test]
+    fn doze_during_rx_takes_effect_after() {
+        let mut ledger = ActivityLedger::new(0, true);
+        ledger.begin_busy(100, RadioState::Rx);
+        ledger.set_base(200, RadioState::Sleep); // doze decision mid-RX
+        ledger.end_busy(300);
+        let t = ledger.snapshot(1_000);
+        assert_eq!(t.rx_us, 200);
+        assert_eq!(t.sleep_us, 700);
+        assert_eq!(t.idle_us, 100);
+    }
+
+    #[test]
+    fn starts_asleep_when_configured() {
+        let ledger = ActivityLedger::new(0, false);
+        let t = ledger.snapshot(100);
+        assert_eq!(t.sleep_us, 100);
+    }
+
+    #[test]
+    fn retroactive_begin_does_not_double_count() {
+        // Two overlapping RX bursts, reported at their end times (the
+        // simulator's arrival pattern): [100, 516] then [300, 716].
+        let mut ledger = ActivityLedger::new(0, true);
+        ledger.begin_busy(100, RadioState::Rx);
+        ledger.end_busy(516);
+        ledger.begin_busy(300, RadioState::Rx); // starts in the past
+        ledger.end_busy(716);
+        let t = ledger.snapshot(1_000);
+        assert_eq!(t.rx_us, 616, "overlap must be counted once");
+        assert_eq!(t.total_us(), 1_000);
+    }
+
+    #[test]
+    fn snapshot_does_not_mutate() {
+        let mut ledger = ActivityLedger::new(0, true);
+        ledger.begin_busy(10, RadioState::Tx);
+        let a = ledger.snapshot(100);
+        let b = ledger.snapshot(100);
+        assert_eq!(a, b);
+        assert_eq!(ledger.current_state(), RadioState::Tx);
+    }
+}

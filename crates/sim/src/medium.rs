@@ -1,0 +1,431 @@
+//! The shared radio medium: propagation, link quality, and collisions.
+
+use crate::node::NodeId;
+use polite_wifi_phy::fading::Fading;
+use polite_wifi_phy::link;
+use polite_wifi_phy::pathloss::{noise_floor_dbm, PathLoss};
+use polite_wifi_phy::rate::BitRate;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Radio-environment parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MediumConfig {
+    /// Large-scale propagation model.
+    pub path_loss: PathLoss,
+    /// Small-scale fading statistics per frame.
+    pub fading: Fading,
+    /// Receiver noise figure in dB.
+    pub noise_figure_db: f64,
+    /// Channel bandwidth in MHz (for the noise floor).
+    pub bandwidth_mhz: f64,
+    /// Energy-detect / carrier-sense threshold in dBm.
+    pub cs_threshold_dbm: f64,
+    /// Minimum power ratio (dB) for the stronger of two overlapping frames
+    /// to survive (physical-layer capture).
+    pub capture_threshold_db: f64,
+}
+
+impl Default for MediumConfig {
+    fn default() -> Self {
+        MediumConfig {
+            path_loss: PathLoss::indoor_2ghz4(),
+            fading: Fading::Rician { k: 8.0 },
+            noise_figure_db: 7.0,
+            bandwidth_mhz: 20.0,
+            cs_threshold_dbm: -82.0,
+            capture_threshold_db: 10.0,
+        }
+    }
+}
+
+/// A (band, channel) tune — two transmissions interact only when their
+/// tunes match. Adjacent-channel leakage is out of scope (documented in
+/// DESIGN.md).
+pub type Tune = (polite_wifi_phy::band::Band, u8);
+
+/// A transmission currently (or recently) on the air.
+#[derive(Debug, Clone)]
+pub struct Transmission {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Start of the frame on the air.
+    pub start_us: u64,
+    /// End of the frame on the air.
+    pub end_us: u64,
+    /// Transmit power in dBm.
+    pub tx_power_dbm: f64,
+    /// Band/channel the frame rides on.
+    pub tune: Tune,
+}
+
+/// The shared medium. Owns the propagation RNG so link draws are
+/// reproducible.
+#[derive(Debug)]
+pub struct Medium {
+    config: MediumConfig,
+    rng: ChaCha8Rng,
+    active: Vec<Transmission>,
+    noise_dbm: f64,
+}
+
+/// Outcome of receiving one frame at one receiver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RxOutcome {
+    /// Mean received power in dBm (before fading).
+    pub rx_power_dbm: f64,
+    /// Post-fading SNR in dB.
+    pub snr_db: f64,
+    /// Whether the preamble was detectable at all.
+    pub detectable: bool,
+    /// Whether the FCS check passes (link errors + collisions folded in).
+    pub fcs_ok: bool,
+    /// Whether an overlapping transmission corrupted this frame.
+    pub collided: bool,
+}
+
+impl Medium {
+    /// A medium with the given config, seeded deterministically.
+    pub fn new(config: MediumConfig, seed: u64) -> Medium {
+        use rand::SeedableRng;
+        Medium {
+            config,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0x4d45_4449_554d), // "MEDIUM"
+            noise_dbm: noise_floor_dbm(config.bandwidth_mhz, config.noise_figure_db),
+            active: Vec::new(),
+        }
+    }
+
+    /// The noise floor in dBm.
+    pub fn noise_dbm(&self) -> f64 {
+        self.noise_dbm
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MediumConfig {
+        &self.config
+    }
+
+    /// Registers a transmission on the air.
+    pub fn begin_transmission(&mut self, tx: Transmission) {
+        self.active.push(tx);
+    }
+
+    /// Drops transmissions that ended before `now_us` (keeping a small
+    /// grace window so arrival processing can still see them).
+    pub fn prune(&mut self, now_us: u64) {
+        self.active.retain(|t| t.end_us + 1_000 >= now_us);
+    }
+
+    /// Mean received power at distance `d_m` from a transmitter.
+    pub fn rx_power_dbm(&self, tx_power_dbm: f64, d_m: f64) -> f64 {
+        self.config.path_loss.rx_power_dbm(tx_power_dbm, d_m)
+    }
+
+    /// Whether a node tuned to `tune` at the given distances from all
+    /// active transmitters senses the channel busy at `now_us`. `exclude`
+    /// skips the node's own transmission.
+    pub fn channel_busy(
+        &self,
+        now_us: u64,
+        distances: impl Iterator<Item = (NodeId, f64)>,
+        exclude: NodeId,
+        tune: Tune,
+    ) -> bool {
+        let mut dist: std::collections::HashMap<NodeId, f64> = std::collections::HashMap::new();
+        for (id, d) in distances {
+            dist.insert(id, d);
+        }
+        self.active.iter().any(|t| {
+            t.from != exclude
+                && t.tune == tune
+                && t.start_us <= now_us
+                && now_us < t.end_us
+                && dist.get(&t.from).map_or(false, |&d| {
+                    self.rx_power_dbm(t.tx_power_dbm, d) >= self.config.cs_threshold_dbm
+                })
+        })
+    }
+
+    /// Evaluates the reception of a frame that occupied
+    /// `[start_us, end_us]` on the air, at a receiver `d_m` metres from
+    /// the transmitter. `interferer_distance` maps other nodes to their
+    /// distance from this receiver.
+    /// `tune` is the band/channel the frame rode on; only co-channel
+    /// interferers corrupt it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_rx(
+        &mut self,
+        from: NodeId,
+        start_us: u64,
+        end_us: u64,
+        tx_power_dbm: f64,
+        d_m: f64,
+        psdu_len: usize,
+        rate: BitRate,
+        tune: Tune,
+        interferer_distance: impl Fn(NodeId) -> f64,
+    ) -> RxOutcome {
+        let rx_power = self.rx_power_dbm(tx_power_dbm, d_m);
+        let faded = self.config.fading.faded_power_dbm(rx_power, &mut self.rng);
+        let snr_db = faded - self.noise_dbm;
+        let detectable = faded >= self.config.cs_threshold_dbm && link::detectable(snr_db);
+
+        // Collision check: any other transmission overlapping this frame's
+        // airtime whose power at the receiver is within the capture
+        // threshold corrupts the frame.
+        let mut collided = false;
+        for t in &self.active {
+            if t.from == from || t.tune != tune {
+                continue;
+            }
+            let overlaps = t.start_us < end_us && start_us < t.end_us;
+            if !overlaps {
+                continue;
+            }
+            let interferer_power = self.rx_power_dbm(t.tx_power_dbm, interferer_distance(t.from));
+            if faded - interferer_power < self.config.capture_threshold_db {
+                collided = true;
+                break;
+            }
+        }
+
+        let fer = link::fer(psdu_len, rate, snr_db);
+        let fcs_ok = detectable && !collided && self.rng.gen::<f64>() >= fer;
+        RxOutcome {
+            rx_power_dbm: rx_power,
+            snr_db,
+            detectable,
+            fcs_ok,
+            collided,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CH6: Tune = (polite_wifi_phy::band::Band::Ghz2, 6);
+    const CH36: Tune = (polite_wifi_phy::band::Band::Ghz5, 36);
+
+    fn medium() -> Medium {
+        Medium::new(MediumConfig::default(), 1)
+    }
+
+    #[test]
+    fn close_range_reception_is_reliable() {
+        let mut m = medium();
+        let mut ok = 0;
+        for i in 0..200 {
+            let out = m.evaluate_rx(
+                NodeId(0),
+                i * 1000,
+                i * 1000 + 400,
+                20.0,
+                5.0,
+                28,
+                BitRate::Mbps1,
+                CH6,
+                |_| f64::INFINITY,
+            );
+            if out.fcs_ok {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 198, "only {ok}/200 at 5 m");
+    }
+
+    #[test]
+    fn extreme_range_fails() {
+        let mut m = medium();
+        let out = m.evaluate_rx(
+            NodeId(0),
+            0,
+            400,
+            20.0,
+            1_000.0,
+            28,
+            BitRate::Mbps54,
+            CH6,
+            |_| f64::INFINITY,
+        );
+        assert!(!out.fcs_ok);
+        assert!(!out.detectable);
+    }
+
+    #[test]
+    fn overlapping_comparable_power_collides() {
+        let mut m = medium();
+        m.begin_transmission(Transmission {
+            from: NodeId(7),
+            start_us: 100,
+            end_us: 500,
+            tx_power_dbm: 20.0,
+            tune: CH6,
+        });
+        // Victim frame overlaps [100,500]; interferer at the same distance.
+        let out = m.evaluate_rx(
+            NodeId(0),
+            200,
+            600,
+            20.0,
+            5.0,
+            28,
+            BitRate::Mbps1,
+            CH6,
+            |_| 5.0,
+        );
+        assert!(out.collided);
+        assert!(!out.fcs_ok);
+    }
+
+    #[test]
+    fn capture_survives_weak_interferer() {
+        let mut m = medium();
+        m.begin_transmission(Transmission {
+            from: NodeId(7),
+            start_us: 100,
+            end_us: 500,
+            tx_power_dbm: 20.0,
+            tune: CH6,
+        });
+        // Interferer is 100 m away (≫ capture threshold below our 2 m frame).
+        let out = m.evaluate_rx(
+            NodeId(0),
+            200,
+            600,
+            20.0,
+            2.0,
+            28,
+            BitRate::Mbps1,
+            CH6,
+            |_| 100.0,
+        );
+        assert!(!out.collided, "strong frame should capture");
+    }
+
+    #[test]
+    fn cross_channel_interferer_harmless() {
+        let mut m = medium();
+        m.begin_transmission(Transmission {
+            from: NodeId(7),
+            start_us: 100,
+            end_us: 500,
+            tx_power_dbm: 20.0,
+            tune: CH36, // different band entirely
+        });
+        let out = m.evaluate_rx(
+            NodeId(0),
+            200,
+            600,
+            20.0,
+            5.0,
+            28,
+            BitRate::Mbps1,
+            CH6,
+            |_| 5.0,
+        );
+        assert!(!out.collided, "cross-channel frames must not collide");
+    }
+
+    #[test]
+    fn carrier_sense_is_per_channel() {
+        let mut m = medium();
+        m.begin_transmission(Transmission {
+            from: NodeId(3),
+            start_us: 0,
+            end_us: 1_000,
+            tx_power_dbm: 20.0,
+            tune: CH6,
+        });
+        let near = vec![(NodeId(3), 5.0)];
+        assert!(m.channel_busy(500, near.iter().copied(), NodeId(0), CH6));
+        assert!(!m.channel_busy(500, near.iter().copied(), NodeId(0), CH36));
+    }
+
+    #[test]
+    fn non_overlapping_does_not_collide() {
+        let mut m = medium();
+        m.begin_transmission(Transmission {
+            from: NodeId(7),
+            start_us: 0,
+            end_us: 100,
+            tx_power_dbm: 20.0,
+            tune: CH6,
+        });
+        let out = m.evaluate_rx(
+            NodeId(0),
+            100,
+            500,
+            20.0,
+            5.0,
+            28,
+            BitRate::Mbps1,
+            CH6,
+            |_| 5.0,
+        );
+        assert!(!out.collided);
+    }
+
+    #[test]
+    fn channel_busy_detection() {
+        let mut m = medium();
+        m.begin_transmission(Transmission {
+            from: NodeId(3),
+            start_us: 0,
+            end_us: 1_000,
+            tx_power_dbm: 20.0,
+            tune: CH6,
+        });
+        let near = vec![(NodeId(3), 5.0)];
+        let far = vec![(NodeId(3), 10_000.0)];
+        assert!(m.channel_busy(500, near.iter().copied(), NodeId(0), CH6));
+        assert!(!m.channel_busy(500, far.iter().copied(), NodeId(0), CH6));
+        // After the transmission ends the channel is free.
+        assert!(!m.channel_busy(1_500, near.iter().copied(), NodeId(0), CH6));
+        // A node never senses its own transmission as busy.
+        assert!(!m.channel_busy(500, near.iter().copied(), NodeId(3), CH6));
+    }
+
+    #[test]
+    fn prune_keeps_recent() {
+        let mut m = medium();
+        m.begin_transmission(Transmission {
+            from: NodeId(1),
+            start_us: 0,
+            end_us: 100,
+            tx_power_dbm: 20.0,
+            tune: CH6,
+        });
+        m.prune(500);
+        assert_eq!(m.active.len(), 1, "grace window keeps it");
+        m.prune(10_000);
+        assert!(m.active.is_empty());
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let run = |seed: u64| {
+            let mut m = Medium::new(MediumConfig::default(), seed);
+            (0..50)
+                .map(|i| {
+                    m.evaluate_rx(
+                        NodeId(0),
+                        i * 1000,
+                        i * 1000 + 100,
+                        20.0,
+                        30.0,
+                        1500,
+                        BitRate::Mbps54,
+                        CH6,
+                        |_| f64::INFINITY,
+                    )
+                    .fcs_ok
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

@@ -1,0 +1,1167 @@
+//! The simulator: event loop, transmissions, receptions, retries.
+
+use crate::event::{Event, EventQueue};
+use crate::medium::{Medium, MediumConfig, Transmission, Tune};
+use crate::node::{Node, NodeId, QueuedFrame};
+use polite_wifi_frame::{ControlFrame, Frame};
+use polite_wifi_mac::{MacAction, RadioState, Station, StationConfig};
+use polite_wifi_pcap::capture::Capture;
+use polite_wifi_phy::airtime;
+use polite_wifi_phy::rate::BitRate;
+use polite_wifi_radiotap::{ChannelInfo, Radiotap};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Simulator-wide configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimConfig {
+    /// Radio environment.
+    pub medium: MediumConfig,
+}
+
+/// A frame mid-transmission at a node.
+#[derive(Debug, Clone)]
+struct CurrentTx {
+    frame: Frame,
+    rate: BitRate,
+    is_response: bool,
+}
+
+/// The discrete-event radio simulator. See the crate docs for an example.
+pub struct Simulator {
+    now_us: u64,
+    queue: EventQueue,
+    nodes: Vec<Node>,
+    current_tx: Vec<Option<CurrentTx>>,
+    medium: Medium,
+    rng: ChaCha8Rng,
+    global_capture: Capture,
+    next_token: u64,
+    last_prune_us: u64,
+}
+
+impl Simulator {
+    /// Builds an empty simulator with a deterministic seed.
+    pub fn new(config: SimConfig, seed: u64) -> Simulator {
+        Simulator {
+            now_us: 0,
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            current_tx: Vec::new(),
+            medium: Medium::new(config.medium, seed),
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0x5349_4d55_4c41_544f), // "SIMULATO"
+            global_capture: Capture::new(),
+            next_token: 0,
+            last_prune_us: 0,
+        }
+    }
+
+    /// Adds a node at a position (metres) and returns its id.
+    pub fn add_node(&mut self, cfg: StationConfig, position: (f64, f64)) -> NodeId {
+        let station = Station::new(cfg);
+        let id = NodeId(self.nodes.len());
+        let node = Node::new(station, position);
+        // Bootstrap the station's timers.
+        if let Some(at) = node.station.next_poll_at(self.now_us) {
+            self.queue.push(at, Event::Poll { node: id });
+        }
+        self.nodes.push(node);
+        self.current_tx.push(None);
+        id
+    }
+
+    /// Current simulation time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Immutable access to a node's station.
+    pub fn station(&self, id: NodeId) -> &Station {
+        &self.nodes[id.0].station
+    }
+
+    /// Mutable access to a node's station (associate peers, block MACs...).
+    pub fn station_mut(&mut self, id: NodeId) -> &mut Station {
+        &mut self.nodes[id.0].station
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Puts a node's radio in monitor mode (captures everything it hears).
+    pub fn set_monitor(&mut self, id: NodeId, monitor: bool) {
+        self.nodes[id.0].monitor = monitor;
+    }
+
+    /// Enables or disables transmitter-side retries for a node (the
+    /// paper's Scapy injector fires and forgets).
+    pub fn set_retries(&mut self, id: NodeId, enabled: bool) {
+        self.nodes[id.0].retries_enabled = enabled;
+    }
+
+    /// Sets a node's velocity in m/s (constant linear motion from its
+    /// configured position).
+    pub fn set_velocity(&mut self, id: NodeId, velocity: (f64, f64)) {
+        self.nodes[id.0].velocity = velocity;
+    }
+
+    /// Enables ARF rate adaptation on a node's queued transmissions.
+    pub fn enable_rate_adaptation(&mut self, id: NodeId, arf: polite_wifi_mac::rate_control::Arf) {
+        self.nodes[id.0].rate_ctrl = Some(arf);
+    }
+
+    /// The ideal-observer capture of every completed transmission.
+    pub fn global_capture(&self) -> &Capture {
+        &self.global_capture
+    }
+
+    /// The propagation model in use (e.g. for inverting RSSI to range).
+    pub fn path_loss(&self) -> polite_wifi_phy::pathloss::PathLoss {
+        self.medium.config().path_loss
+    }
+
+    /// The band/channel a node's radio is tuned to.
+    pub fn tune_of(&self, id: NodeId) -> Tune {
+        let cfg = self.nodes[id.0].station.config();
+        (cfg.band, cfg.channel)
+    }
+
+    /// Retunes a node's radio (the wardriving dongle hops channels).
+    pub fn retune(&mut self, id: NodeId, band: polite_wifi_phy::band::Band, channel: u8) {
+        self.nodes[id.0].station.retune(band, channel);
+    }
+
+    /// Kicks off a client's on-air join sequence (authentication →
+    /// association) with the AP at `ap_mac`.
+    pub fn start_join(&mut self, client: NodeId, ap_mac: polite_wifi_frame::MacAddr) {
+        let actions = self.nodes[client.0].station.start_join(ap_mac);
+        self.apply_actions(client, actions);
+    }
+
+    /// Schedules a frame to be handed to `node`'s transmit queue at
+    /// `at_us` (contends via CSMA from then on).
+    pub fn inject(&mut self, at_us: u64, node: NodeId, frame: Frame, rate: BitRate) {
+        self.queue
+            .push(at_us.max(self.now_us), Event::Inject { node, frame, rate });
+    }
+
+    /// Like [`Simulator::inject`], but data frames larger than
+    /// `threshold` payload bytes are MAC-fragmented first; each fragment
+    /// contends (and is acknowledged) separately. Returns the fragment
+    /// count.
+    pub fn inject_fragmented(
+        &mut self,
+        at_us: u64,
+        node: NodeId,
+        frame: Frame,
+        rate: BitRate,
+        threshold: usize,
+    ) -> usize {
+        match frame {
+            Frame::Data(d) => {
+                let frags = polite_wifi_mac::fragment::fragment(&d, threshold);
+                let n = frags.len();
+                for f in frags {
+                    self.inject(at_us, node, Frame::Data(f), rate);
+                }
+                n
+            }
+            other => {
+                self.inject(at_us, node, other, rate);
+                1
+            }
+        }
+    }
+
+    /// Runs the event loop until simulated time reaches `t_us`.
+    pub fn run_until(&mut self, t_us: u64) {
+        while let Some(at) = self.queue.peek_time() {
+            if at > t_us {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.now_us = ev.at_us;
+            self.handle(ev.event);
+            if self.now_us.saturating_sub(self.last_prune_us) > 1_000_000 {
+                self.medium.prune(self.now_us);
+                self.last_prune_us = self.now_us;
+            }
+        }
+        self.now_us = self.now_us.max(t_us);
+    }
+
+    /// Runs until the event queue drains completely (useful in tests).
+    pub fn run_to_completion(&mut self) {
+        self.run_until(u64::MAX);
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Inject { node, frame, rate } => {
+                self.nodes[node.0].tx_queue.push_back(QueuedFrame {
+                    frame,
+                    rate,
+                    attempts: 0,
+                });
+                self.schedule_tx_attempt(node);
+            }
+            Event::Poll { node } => self.do_poll(node),
+            Event::TxAttempt { node } => self.do_tx_attempt(node),
+            Event::ResponseTx { node, frame, rate } => {
+                self.start_transmission(node, frame, rate, true);
+            }
+            Event::TxEnd { node } => self.do_tx_end(node),
+            Event::Arrival {
+                node,
+                from,
+                frame,
+                rate,
+                start_us,
+                tune,
+            } => self.do_arrival(node, from, frame, rate, start_us, tune),
+            Event::AckTimeout { node, token } => self.do_ack_timeout(node, token),
+        }
+    }
+
+    fn do_poll(&mut self, id: NodeId) {
+        let now = self.now_us;
+        let actions = self.nodes[id.0].station.poll(now);
+        self.apply_actions(id, actions);
+        self.reschedule_poll(id);
+    }
+
+    fn reschedule_poll(&mut self, id: NodeId) {
+        if let Some(at) = self.nodes[id.0].station.next_poll_at(self.now_us) {
+            // Never schedule a poll at the current instant again, or a
+            // timer that stays due would spin forever.
+            self.queue
+                .push(at.max(self.now_us + 1), Event::Poll { node: id });
+        }
+    }
+
+    fn schedule_tx_attempt(&mut self, id: NodeId) {
+        let node = &mut self.nodes[id.0];
+        if node.tx_attempt_pending || node.tx_queue.is_empty() {
+            return;
+        }
+        node.tx_attempt_pending = true;
+        let draw: u16 = self.rng.gen();
+        let defer = node.csma.defer_us(draw) as u64;
+        self.queue
+            .push(self.now_us + defer, Event::TxAttempt { node: id });
+    }
+
+    fn do_tx_attempt(&mut self, id: NodeId) {
+        self.nodes[id.0].tx_attempt_pending = false;
+        if self.nodes[id.0].tx_queue.is_empty() {
+            return;
+        }
+        // Half-duplex: if mid-transmission, try again after it ends.
+        if self.nodes[id.0].tx_busy_until > self.now_us {
+            let at = self.nodes[id.0].tx_busy_until;
+            self.nodes[id.0].tx_attempt_pending = true;
+            self.queue.push(at, Event::TxAttempt { node: id });
+            return;
+        }
+        // An outstanding ACK wait means the head frame is in flight.
+        if self.nodes[id.0].ack_wait.is_some() {
+            return;
+        }
+        // Virtual carrier sense: the NAV set by overheard Duration fields
+        // defers contended transmissions (SIFS responses are exempt).
+        if self.nodes[id.0].nav_until > self.now_us {
+            let at = self.nodes[id.0].nav_until;
+            self.nodes[id.0].tx_attempt_pending = true;
+            self.queue.push(at, Event::TxAttempt { node: id });
+            return;
+        }
+        // Carrier sense.
+        let distances: Vec<(NodeId, f64)> = (0..self.nodes.len())
+            .filter(|&i| i != id.0)
+            .map(|i| {
+                (
+                    NodeId(i),
+                    self.nodes[id.0].distance_to_at(&self.nodes[i], self.now_us),
+                )
+            })
+            .collect();
+        if self
+            .medium
+            .channel_busy(self.now_us, distances.iter().copied(), id, self.tune_of(id))
+        {
+            // Busy: back off and retry.
+            let draw: u16 = self.rng.gen();
+            let defer = self.nodes[id.0].csma.defer_us(draw) as u64;
+            self.nodes[id.0].tx_attempt_pending = true;
+            self.queue
+                .push(self.now_us + defer, Event::TxAttempt { node: id });
+            return;
+        }
+        let head = self.nodes[id.0].tx_queue.front().cloned().expect("checked");
+        let rate = match &self.nodes[id.0].rate_ctrl {
+            Some(arf) => arf.rate(),
+            None => head.rate,
+        };
+        let mut frame = head.frame.clone();
+        // Mark MAC-level retries.
+        if head.attempts > 0 {
+            match &mut frame {
+                Frame::Data(d) => d.fc.retry = true,
+                Frame::Mgmt(m) => m.fc.retry = true,
+                Frame::Ctrl(_) => {}
+            }
+        }
+        self.start_transmission(id, frame, rate, false);
+    }
+
+    fn start_transmission(&mut self, id: NodeId, frame: Frame, rate: BitRate, is_response: bool) {
+        if !is_response {
+            // Initiating a transmission wakes (and keeps awake) a
+            // power-save radio; answering with an ACK does not.
+            let actions = self.nodes[id.0].station.on_transmit(self.now_us, &frame);
+            self.apply_actions(id, actions);
+        }
+        let duration = airtime::frame_duration_us(frame.air_len(), rate, false) as u64;
+        let end = self.now_us + duration;
+        let tx_power = self.nodes[id.0].tx_power_dbm;
+        {
+            let node = &mut self.nodes[id.0];
+            node.tx_busy_until = end;
+            node.tx_count += 1;
+            node.ledger.begin_busy(self.now_us, RadioState::Tx);
+        }
+        self.current_tx[id.0] = Some(CurrentTx {
+            frame: frame.clone(),
+            rate,
+            is_response,
+        });
+        let tune = self.tune_of(id);
+        self.medium.begin_transmission(Transmission {
+            from: id,
+            start_us: self.now_us,
+            end_us: end,
+            tx_power_dbm: tx_power,
+            tune,
+        });
+        self.queue.push(end, Event::TxEnd { node: id });
+        for i in 0..self.nodes.len() {
+            if i == id.0 {
+                continue;
+            }
+            self.queue.push(
+                end,
+                Event::Arrival {
+                    node: NodeId(i),
+                    from: id,
+                    frame: frame.clone(),
+                    rate,
+                    start_us: self.now_us,
+                    tune,
+                },
+            );
+        }
+    }
+
+    fn do_tx_end(&mut self, id: NodeId) {
+        let now = self.now_us;
+        self.nodes[id.0].ledger.end_busy(now);
+        let tx = match self.current_tx[id.0].take() {
+            Some(tx) => tx,
+            None => return,
+        };
+        // The ideal observer logs every completed transmission.
+        self.global_capture.record_frame(now, &tx.frame);
+        // A monitor-mode radio also captures its own transmissions, the
+        // way a real monitor-mode dongle's sniffer sees injected frames.
+        if self.nodes[id.0].monitor {
+            self.nodes[id.0].capture.record_frame(now, &tx.frame);
+        }
+
+        if tx.is_response {
+            return;
+        }
+        let solicits = tx.frame.solicits_ack() || tx.frame.solicits_cts();
+        let node = &mut self.nodes[id.0];
+        if solicits && node.retries_enabled {
+            let token = self.next_token;
+            self.next_token += 1;
+            node.ack_wait = Some(crate::node::AckWait {
+                token,
+                satisfied: false,
+            });
+            let band = node.station.config().band;
+            let timeout = airtime::ack_timeout_us(band, tx.rate) as u64;
+            self.queue.push(now + timeout, Event::AckTimeout { node: id, token });
+        } else {
+            // Fire-and-forget: the frame is done, move on.
+            node.tx_queue.pop_front();
+            self.schedule_tx_attempt(id);
+        }
+    }
+
+    fn do_ack_timeout(&mut self, id: NodeId, token: u64) {
+        let node = &mut self.nodes[id.0];
+        let wait = match &node.ack_wait {
+            Some(w) if w.token == token => w.clone(),
+            _ => return, // stale timeout
+        };
+        node.ack_wait = None;
+        if wait.satisfied {
+            return;
+        }
+        // No response: binary exponential backoff, retry or drop.
+        if let Some(arf) = &mut node.rate_ctrl {
+            arf.on_failure();
+        }
+        let keep = node.csma.on_failure();
+        if keep {
+            if let Some(head) = node.tx_queue.front_mut() {
+                head.attempts += 1;
+            }
+        } else {
+            node.tx_queue.pop_front();
+            node.tx_failures += 1;
+        }
+        self.schedule_tx_attempt(id);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn do_arrival(
+        &mut self,
+        id: NodeId,
+        from: NodeId,
+        frame: Frame,
+        rate: BitRate,
+        start_us: u64,
+        tune: Tune,
+    ) {
+        let now = self.now_us;
+        // A radio tuned elsewhere hears nothing of this frame.
+        if self.tune_of(id) != tune {
+            return;
+        }
+        // Half-duplex: a radio that was transmitting during any part of
+        // the frame cannot have received it.
+        if self.nodes[id.0].tx_busy_until > start_us && id != from {
+            let own_tx_overlaps = self.nodes[id.0].tx_busy_until > start_us;
+            if own_tx_overlaps && self.current_or_recent_tx_overlap(id, start_us) {
+                return;
+            }
+        }
+        // A dozing radio hears nothing — with one exception: the ACK for
+        // the frame it just transmitted. Real radios finish the exchange
+        // (PM=1 null → ACK) before powering down; without this, the doze
+        // announcement would retry-storm into the attacker's power books.
+        if !self.nodes[id.0].station.is_awake() {
+            let my_mac = self.nodes[id.0].station.mac();
+            let is_my_ack = matches!(
+                &frame,
+                Frame::Ctrl(ControlFrame::Ack { ra }) if *ra == my_mac
+            );
+            if is_my_ack && self.nodes[id.0].ack_wait.is_some() {
+                let d = self.nodes[id.0].distance_to_at(&self.nodes[from.0], now);
+                let tx_power = self.nodes[from.0].tx_power_dbm;
+                let positions: Vec<(f64, f64)> =
+                    self.nodes.iter().map(|n| n.position_at(now)).collect();
+                let my_pos = positions[id.0];
+                let outcome = self.medium.evaluate_rx(
+                    from,
+                    start_us,
+                    now,
+                    tx_power,
+                    d,
+                    frame.air_len(),
+                    rate,
+                    tune,
+                    |other: NodeId| {
+                        let p = positions[other.0];
+                        let dx = p.0 - my_pos.0;
+                        let dy = p.1 - my_pos.1;
+                        dx.hypot(dy).max(0.1)
+                    },
+                );
+                if outcome.fcs_ok {
+                    let node = &mut self.nodes[id.0];
+                    if let Some(wait) = &mut node.ack_wait {
+                        if !wait.satisfied {
+                            wait.satisfied = true;
+                            node.ack_wait = None;
+                            node.acks_received += 1;
+                            node.csma.on_success();
+                            if let Some(arf) = &mut node.rate_ctrl {
+                                arf.on_success();
+                            }
+                            node.tx_queue.pop_front();
+                            self.schedule_tx_attempt(id);
+                        }
+                    }
+                }
+            }
+            return;
+        }
+
+        let d = self.nodes[id.0].distance_to_at(&self.nodes[from.0], now);
+        let tx_power = self.nodes[from.0].tx_power_dbm;
+        let positions: Vec<(f64, f64)> = self.nodes.iter().map(|n| n.position_at(now)).collect();
+        let my_pos = positions[id.0];
+        let outcome = self.medium.evaluate_rx(
+            from,
+            start_us,
+            now,
+            tx_power,
+            d,
+            frame.air_len(),
+            rate,
+            tune,
+            |other: NodeId| {
+                let p = positions[other.0];
+                let dx = p.0 - my_pos.0;
+                let dy = p.1 - my_pos.1;
+                dx.hypot(dy).max(0.1)
+            },
+        );
+
+        if !outcome.detectable {
+            return;
+        }
+
+        // Account RX time (the energy model charges for listening to the
+        // attacker's frames as well as answering them).
+        {
+            let node = &mut self.nodes[id.0];
+            node.ledger.begin_busy(start_us.max(0), RadioState::Rx);
+            node.ledger.end_busy(now);
+        }
+
+        // Capture taps: monitor nodes record everything that decodes.
+        let for_me = frame.receiver() == Some(self.nodes[id.0].station.mac());
+        if outcome.fcs_ok && (self.nodes[id.0].monitor || for_me) {
+            let cfg = self.nodes[id.0].station.config();
+            let chan = match cfg.band {
+                polite_wifi_phy::band::Band::Ghz2 => ChannelInfo::ghz2(cfg.channel),
+                polite_wifi_phy::band::Band::Ghz5 => ChannelInfo::ghz5(cfg.channel),
+            };
+            let signal = (self.medium.noise_dbm() + outcome.snr_db) as i8;
+            let rt = Radiotap::capture(
+                now,
+                rate.radiotap_500kbps(),
+                chan,
+                signal,
+                self.medium.noise_dbm() as i8,
+            );
+            self.nodes[id.0].capture.record_with_radiotap(now, rt, &frame);
+        }
+
+        // Virtual carrier sense: frames addressed to OTHERS set this
+        // node's NAV from their Duration field. This is the mechanism a
+        // forged-RTS attacker abuses: the victim's automatic CTS makes
+        // every bystander defer (PS-Poll's Duration field is an AID and
+        // is exempt).
+        if outcome.fcs_ok && !for_me {
+            let nav_us = match &frame {
+                Frame::Ctrl(ControlFrame::Rts { duration_us, .. })
+                | Frame::Ctrl(ControlFrame::Cts { duration_us, .. }) => *duration_us as u64,
+                Frame::Ctrl(_) => 0,
+                Frame::Data(d) => d.duration as u64,
+                Frame::Mgmt(m) => m.duration as u64,
+            };
+            if nav_us > 0 {
+                let node = &mut self.nodes[id.0];
+                node.nav_until = node.nav_until.max(now + nav_us);
+            }
+        }
+
+        // Transmitter-side response matching: an ACK/CTS addressed to me
+        // satisfies my outstanding wait.
+        if outcome.fcs_ok && for_me {
+            let my_mac = self.nodes[id.0].station.mac();
+            let is_response_to_me = matches!(
+                &frame,
+                Frame::Ctrl(ControlFrame::Ack { ra }) if *ra == my_mac
+            ) || matches!(
+                &frame,
+                Frame::Ctrl(ControlFrame::Cts { ra, .. }) if *ra == my_mac
+            );
+            if is_response_to_me {
+                let node = &mut self.nodes[id.0];
+                if let Some(wait) = &mut node.ack_wait {
+                    if !wait.satisfied {
+                        wait.satisfied = true;
+                        node.ack_wait = None;
+                        match &frame {
+                            Frame::Ctrl(ControlFrame::Ack { .. }) => node.acks_received += 1,
+                            Frame::Ctrl(ControlFrame::Cts { .. }) => node.cts_received += 1,
+                            _ => {}
+                        }
+                        node.csma.on_success();
+                        if let Some(arf) = &mut node.rate_ctrl {
+                            arf.on_success();
+                        }
+                        node.tx_queue.pop_front();
+                        self.schedule_tx_attempt(id);
+                    }
+                } else {
+                    match &frame {
+                        Frame::Ctrl(ControlFrame::Ack { .. }) => {
+                            self.nodes[id.0].acks_received += 1
+                        }
+                        Frame::Ctrl(ControlFrame::Cts { .. }) => {
+                            self.nodes[id.0].cts_received += 1
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        // Hand the frame to the MAC state machine.
+        let actions = self.nodes[id.0]
+            .station
+            .on_receive(now, &frame, outcome.fcs_ok, rate);
+        self.apply_actions(id, actions);
+        self.reschedule_poll(id);
+    }
+
+    /// True when the node's own transmission overlapped `[start_us, now]`.
+    fn current_or_recent_tx_overlap(&self, id: NodeId, start_us: u64) -> bool {
+        // tx_busy_until > start_us means some transmission of ours ended
+        // after the incoming frame began.
+        self.nodes[id.0].tx_busy_until > start_us
+    }
+
+    fn apply_actions(&mut self, id: NodeId, actions: Vec<MacAction>) {
+        for action in actions {
+            match action {
+                MacAction::Respond {
+                    frame,
+                    delay_us,
+                    rate,
+                } => {
+                    self.queue.push(
+                        self.now_us + delay_us as u64,
+                        Event::ResponseTx {
+                            node: id,
+                            frame,
+                            rate,
+                        },
+                    );
+                }
+                MacAction::Enqueue { frame, rate } => {
+                    self.nodes[id.0].tx_queue.push_back(QueuedFrame {
+                        frame,
+                        rate,
+                        attempts: 0,
+                    });
+                    self.schedule_tx_attempt(id);
+                }
+                MacAction::Radio(state) => match state {
+                    RadioState::Sleep | RadioState::Idle => {
+                        self.nodes[id.0].ledger.set_base(self.now_us, state);
+                    }
+                    _ => {}
+                },
+                MacAction::Deliver(_) | MacAction::Discard { .. } => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polite_wifi_frame::{builder, MacAddr};
+    use polite_wifi_mac::Behavior;
+
+    fn victim_mac() -> MacAddr {
+        "f2:6e:0b:11:22:33".parse().unwrap()
+    }
+
+    fn two_node_sim() -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(SimConfig::default(), 7);
+        let victim = sim.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
+        let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (5.0, 0.0));
+        sim.set_monitor(attacker, true);
+        (sim, victim, attacker)
+    }
+
+    #[test]
+    fn fake_frame_elicits_ack_end_to_end() {
+        let (mut sim, victim, attacker) = two_node_sim();
+        let fake = builder::fake_null_frame(victim_mac(), MacAddr::FAKE);
+        sim.inject(1_000, attacker, fake, BitRate::Mbps1);
+        sim.run_until(50_000);
+        assert_eq!(sim.station(victim).stats.acks_sent, 1);
+        assert_eq!(sim.node(attacker).acks_received, 1);
+    }
+
+    #[test]
+    fn ack_arrives_sifs_after_frame_end() {
+        let (mut sim, _victim, attacker) = two_node_sim();
+        let fake = builder::fake_null_frame(victim_mac(), MacAddr::FAKE);
+        sim.inject(0, attacker, fake, BitRate::Mbps1);
+        sim.run_until(50_000);
+        let cap = sim.global_capture();
+        assert_eq!(cap.len(), 2);
+        let fake_end = cap.frames()[0].ts_us;
+        let ack_end = cap.frames()[1].ts_us;
+        // ACK occupies SIFS + 304 µs (14 bytes at 1 Mb/s) after frame end.
+        assert_eq!(ack_end - fake_end, 10 + 304);
+    }
+
+    #[test]
+    fn attacker_capture_contains_the_ack() {
+        let (mut sim, _victim, attacker) = two_node_sim();
+        let fake = builder::fake_null_frame(victim_mac(), MacAddr::FAKE);
+        sim.inject(0, attacker, fake, BitRate::Mbps1);
+        sim.run_until(50_000);
+        let cap = &sim.node(attacker).capture;
+        let ack = cap
+            .frames()
+            .iter()
+            .find(|cf| matches!(&cf.frame, Frame::Ctrl(ControlFrame::Ack { ra }) if *ra == MacAddr::FAKE))
+            .expect("ACK captured");
+        // Received frames carry radiotap metadata; the attacker's own
+        // injected frame is logged without it (own TX has no RX info).
+        assert!(ack.radiotap.is_some());
+        assert!(cap
+            .frames()
+            .iter()
+            .any(|cf| cf.frame.frame_control().is_null_data() && cf.radiotap.is_none()));
+    }
+
+    #[test]
+    fn injection_burst_all_acked() {
+        let (mut sim, victim, attacker) = two_node_sim();
+        for i in 0..100u64 {
+            let fake = builder::fake_null_frame(victim_mac(), MacAddr::FAKE);
+            sim.inject(i * 5_000, attacker, fake, BitRate::Mbps1);
+        }
+        sim.run_until(2_000_000);
+        assert_eq!(sim.station(victim).stats.acks_sent, 100);
+        assert_eq!(sim.node(attacker).acks_received, 100);
+        assert_eq!(sim.node(attacker).tx_failures, 0);
+    }
+
+    #[test]
+    fn rts_elicits_cts_end_to_end() {
+        let (mut sim, victim, attacker) = two_node_sim();
+        let rts = builder::fake_rts(victim_mac(), MacAddr::FAKE, 300);
+        sim.inject(0, attacker, rts, BitRate::Mbps1);
+        sim.run_until(50_000);
+        assert_eq!(sim.station(victim).stats.cts_sent, 1);
+        assert_eq!(sim.node(attacker).cts_received, 1);
+    }
+
+    #[test]
+    fn out_of_range_victim_never_acks() {
+        let mut sim = Simulator::new(SimConfig::default(), 7);
+        let victim = sim.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
+        let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (5_000.0, 0.0));
+        let fake = builder::fake_null_frame(victim_mac(), MacAddr::FAKE);
+        sim.inject(0, attacker, fake, BitRate::Mbps1);
+        sim.run_until(100_000);
+        assert_eq!(sim.station(victim).stats.acks_sent, 0);
+        assert_eq!(sim.node(attacker).acks_received, 0);
+    }
+
+    #[test]
+    fn fire_and_forget_does_not_retry() {
+        let mut sim = Simulator::new(SimConfig::default(), 7);
+        let _victim = sim.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
+        let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (3_000.0, 0.0));
+        sim.set_retries(attacker, false);
+        let fake = builder::fake_null_frame(victim_mac(), MacAddr::FAKE);
+        sim.inject(0, attacker, fake, BitRate::Mbps1);
+        sim.run_until(1_000_000);
+        assert_eq!(sim.node(attacker).tx_count, 1, "exactly one attempt");
+    }
+
+    #[test]
+    fn retries_happen_when_no_ack() {
+        let mut sim = Simulator::new(SimConfig::default(), 7);
+        let _victim = sim.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
+        // Victim is unreachable; attacker retries up to the limit.
+        let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (3_000.0, 0.0));
+        let fake = builder::fake_null_frame(victim_mac(), MacAddr::FAKE);
+        sim.inject(0, attacker, fake, BitRate::Mbps1);
+        sim.run_until(5_000_000);
+        assert!(sim.node(attacker).tx_count >= 8, "tx_count {}", sim.node(attacker).tx_count);
+        assert_eq!(sim.node(attacker).tx_failures, 1);
+    }
+
+    #[test]
+    fn deauthing_ap_scenario_matches_figure3() {
+        let mut sim = Simulator::new(SimConfig::default(), 11);
+        let mut ap_cfg = StationConfig::access_point(victim_mac(), "PrivateNet");
+        ap_cfg.behavior = Behavior::deauthing_ap();
+        ap_cfg.beacon_interval_us = None; // keep the trace clean
+        let ap = sim.add_node(ap_cfg, (0.0, 0.0));
+        let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (5.0, 0.0));
+        sim.set_monitor(attacker, true);
+        let fake = builder::fake_null_frame(victim_mac(), MacAddr::FAKE);
+        sim.inject(10_000, attacker, fake, BitRate::Mbps1);
+        sim.run_until(1_000_000);
+        // The AP deauthed AND acked.
+        assert_eq!(sim.station(ap).stats.acks_sent, 1);
+        assert!(sim.station(ap).stats.deauths_sent >= 3);
+        // Attacker's capture contains both deauths and its own ACK.
+        let cap = &sim.node(attacker).capture;
+        let deauths = cap
+            .frames()
+            .iter()
+            .filter(|cf| cf.frame.info_column().starts_with("Deauthentication"))
+            .count();
+        assert!(deauths >= 3, "captured {deauths} deauths");
+    }
+
+    #[test]
+    fn power_save_station_dozes_and_ledger_accounts_it() {
+        let mut sim = Simulator::new(SimConfig::default(), 3);
+        let mut cfg = StationConfig::client(victim_mac());
+        cfg.behavior = Behavior::iot_power_save();
+        let iot = sim.add_node(cfg, (0.0, 0.0));
+        sim.run_until(1_000_000);
+        let totals = sim.node(iot).ledger.snapshot(sim.now_us());
+        // Awake 100 ms (idle timeout) plus ~9 beacon windows of 3 ms.
+        let awake = totals.idle_us + totals.rx_us + totals.tx_us;
+        assert!(
+            (100_000..200_000).contains(&awake),
+            "awake {awake} µs in 1 s"
+        );
+        assert!(totals.sleep_us > 800_000, "sleep {} µs", totals.sleep_us);
+    }
+
+    #[test]
+    fn fake_frame_flood_keeps_radio_awake() {
+        let mut sim = Simulator::new(SimConfig::default(), 3);
+        let mut cfg = StationConfig::client(victim_mac());
+        cfg.behavior = Behavior::iot_power_save();
+        let iot = sim.add_node(cfg, (0.0, 0.0));
+        let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (5.0, 0.0));
+        sim.set_retries(attacker, false);
+        // 50 pps for 1 s.
+        for i in 0..50u64 {
+            let fake = builder::fake_null_frame(victim_mac(), MacAddr::FAKE);
+            sim.inject(i * 20_000, attacker, fake, BitRate::Mbps1);
+        }
+        sim.run_until(1_000_000);
+        let totals = sim.node(iot).ledger.snapshot(sim.now_us());
+        assert!(
+            totals.sleep_us < 120_000,
+            "victim slept {} µs under 50 pps flood",
+            totals.sleep_us
+        );
+        assert!(sim.station(iot).stats.acks_sent > 40);
+    }
+
+    #[test]
+    fn drive_by_attacker_gets_acks_only_in_range() {
+        // A wardriving car passes a house: out of range, in range, out
+        // again. ACKs arrive only during the middle of the pass.
+        let mut sim = Simulator::new(SimConfig::default(), 71);
+        let _victim = sim.add_node(StationConfig::client(victim_mac()), (0.0, 10.0));
+        // Car starts 400 m west, drives east at 20 m/s along the street.
+        let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (-400.0, 0.0));
+        sim.set_velocity(attacker, (20.0, 0.0));
+        sim.set_retries(attacker, false);
+        // Inject 4 fakes per second for 40 s of driving.
+        for i in 0..160u64 {
+            sim.inject(
+                i * 250_000,
+                attacker,
+                builder::fake_null_frame(victim_mac(), MacAddr::FAKE),
+                BitRate::Mbps1,
+            );
+        }
+        sim.run_until(40_000_000);
+
+        let ack_times: Vec<u64> = sim
+            .node(attacker)
+            .capture
+            .frames()
+            .iter()
+            .filter(|cf| matches!(&cf.frame, Frame::Ctrl(ControlFrame::Ack { .. })))
+            .map(|cf| cf.ts_us)
+            .collect();
+        assert!(
+            !ack_times.is_empty(),
+            "the pass never got in range"
+        );
+        // Closest approach is at t = 20 s; the indoor detection radius is
+        // ~100 m, so ACKs fall within roughly t ∈ [15 s, 25 s].
+        let first = *ack_times.first().unwrap();
+        let last = *ack_times.last().unwrap();
+        assert!(first > 10_000_000, "first ACK at {first} — too early");
+        assert!(last < 30_000_000, "last ACK at {last} — too late");
+        // And the window straddles the closest approach.
+        assert!(first < 20_000_000 && last > 20_000_000);
+        // Far fewer than the 160 injected fakes got answered.
+        assert!(
+            (ack_times.len() as u64) < 100,
+            "{} ACKs for a drive-by",
+            ack_times.len()
+        );
+    }
+
+    #[test]
+    fn overheard_cts_sets_nav_and_defers_bystander() {
+        let mut sim = Simulator::new(SimConfig::default(), 51);
+        let victim = sim.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
+        let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (5.0, 0.0));
+        let bystander_mac: MacAddr = "02:00:00:00:00:66".parse().unwrap();
+        let bystander = sim.add_node(StationConfig::client(bystander_mac), (0.0, 5.0));
+        sim.set_retries(bystander, false);
+        sim.set_retries(attacker, false);
+
+        // Attacker reserves the channel with a huge NAV; the victim's
+        // automatic CTS relays the reservation.
+        sim.inject(
+            0,
+            attacker,
+            builder::fake_rts(victim_mac(), MacAddr::FAKE, 30_000),
+            BitRate::Mbps1,
+        );
+        // The bystander tries to send shortly after the exchange.
+        sim.inject(
+            2_000,
+            bystander,
+            builder::fake_null_frame(victim_mac(), bystander_mac),
+            BitRate::Mbps1,
+        );
+        sim.run_until(60_000);
+
+        // The bystander's frame completed only after the NAV expired
+        // (~30 ms), not at ~2.5 ms as it would have without NAV.
+        let bystander_tx_end = sim
+            .global_capture()
+            .frames()
+            .iter()
+            .find(|cf| cf.frame.transmitter() == Some(bystander_mac))
+            .map(|cf| cf.ts_us)
+            .expect("bystander transmitted");
+        assert!(
+            bystander_tx_end > 30_000,
+            "bystander transmitted at {bystander_tx_end} µs despite NAV"
+        );
+        assert!(sim.station(victim).stats.cts_sent >= 1);
+    }
+
+    #[test]
+    fn arf_climbs_on_a_clean_short_link() {
+        use polite_wifi_mac::rate_control::Arf;
+        let peer_mac: MacAddr = "02:00:00:00:00:77".parse().unwrap();
+        let mut sim = Simulator::new(SimConfig::default(), 41);
+        let victim = sim.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
+        let peer = sim.add_node(StationConfig::client(peer_mac), (2.0, 0.0));
+        sim.station_mut(victim).associate(peer_mac);
+        sim.enable_rate_adaptation(peer, Arf::ofdm());
+        assert_eq!(sim.node(peer).rate_ctrl.as_ref().unwrap().rate(), BitRate::Mbps6);
+        for i in 0..120u64 {
+            sim.inject(
+                i * 3_000,
+                peer,
+                builder::protected_qos_data(victim_mac(), peer_mac, peer_mac, i as u16, 100),
+                BitRate::Mbps6, // ignored: ARF picks the rate
+            );
+        }
+        sim.run_until(2_000_000);
+        // 2 m, clean channel: ARF should have climbed to the top.
+        assert_eq!(
+            sim.node(peer).rate_ctrl.as_ref().unwrap().rate(),
+            BitRate::Mbps54,
+            "acks_received {}",
+            sim.node(peer).acks_received
+        );
+        assert!(sim.node(peer).acks_received >= 110);
+    }
+
+    #[test]
+    fn arf_stays_low_on_a_marginal_link() {
+        use polite_wifi_mac::rate_control::Arf;
+        let peer_mac: MacAddr = "02:00:00:00:00:78".parse().unwrap();
+        let mut sim = Simulator::new(SimConfig::default(), 43);
+        let victim = sim.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
+        // ~70 m indoors: 48/54 Mb/s frames essentially always fail,
+        // mid-ladder rates mostly work.
+        let peer = sim.add_node(StationConfig::client(peer_mac), (70.0, 0.0));
+        sim.station_mut(victim).associate(peer_mac);
+        sim.enable_rate_adaptation(peer, Arf::ofdm());
+        for i in 0..150u64 {
+            sim.inject(
+                i * 10_000,
+                peer,
+                builder::protected_qos_data(victim_mac(), peer_mac, peer_mac, i as u16, 400),
+                BitRate::Mbps6,
+            );
+        }
+        sim.run_until(5_000_000);
+        let final_rate = sim.node(peer).rate_ctrl.as_ref().unwrap().rate();
+        assert!(
+            final_rate.bps() <= BitRate::Mbps36.bps(),
+            "marginal link settled at {final_rate:?}"
+        );
+    }
+
+    #[test]
+    fn fragmented_msdu_each_fragment_acked_one_delivery() {
+        let ap_mac: MacAddr = "68:02:b8:00:00:01".parse().unwrap();
+        let mut sim = Simulator::new(SimConfig::default(), 31);
+        let mut ap_cfg = StationConfig::access_point(ap_mac, "Net");
+        ap_cfg.beacon_interval_us = None;
+        let ap = sim.add_node(ap_cfg, (0.0, 0.0));
+        let victim = sim.add_node(StationConfig::client(victim_mac()), (4.0, 0.0));
+        sim.station_mut(victim).associate(ap_mac);
+        sim.station_mut(ap).associate(victim_mac());
+
+        let frame = builder::protected_qos_data(victim_mac(), ap_mac, ap_mac, 30, 1200);
+        let n = sim.inject_fragmented(0, ap, frame, BitRate::Mbps24, 256);
+        assert_eq!(n, 5); // 1200 bytes / 256 per fragment
+        sim.run_until(2_000_000);
+
+        // Every fragment individually acknowledged, one MSDU delivered.
+        assert_eq!(sim.station(victim).stats.acks_sent, 5);
+        assert_eq!(sim.station(victim).stats.delivered, 1);
+        assert_eq!(sim.node(ap).acks_received, 5);
+    }
+
+    #[test]
+    fn off_channel_victim_hears_nothing() {
+        let mut sim = Simulator::new(SimConfig::default(), 7);
+        let mut cfg = StationConfig::client(victim_mac());
+        cfg.channel = 11; // attacker stays on the default channel 6
+        let victim = sim.add_node(cfg, (0.0, 0.0));
+        let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (5.0, 0.0));
+        let fake = builder::fake_null_frame(victim_mac(), MacAddr::FAKE);
+        sim.inject(0, attacker, fake, BitRate::Mbps1);
+        sim.run_until(1_000_000);
+        assert_eq!(sim.station(victim).stats.acks_sent, 0);
+    }
+
+    #[test]
+    fn retuning_brings_victim_into_range() {
+        use polite_wifi_phy::band::Band;
+        let mut sim = Simulator::new(SimConfig::default(), 7);
+        let mut cfg = StationConfig::client(victim_mac());
+        cfg.band = Band::Ghz5;
+        cfg.channel = 36;
+        let victim = sim.add_node(cfg, (0.0, 0.0));
+        let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (5.0, 0.0));
+        // First fake on the wrong channel, then hop and try again.
+        sim.inject(
+            0,
+            attacker,
+            builder::fake_null_frame(victim_mac(), MacAddr::FAKE),
+            BitRate::Mbps1,
+        );
+        sim.run_until(500_000);
+        assert_eq!(sim.station(victim).stats.acks_sent, 0);
+        sim.retune(attacker, Band::Ghz5, 36);
+        assert_eq!(sim.tune_of(attacker), (Band::Ghz5, 36));
+        sim.inject(
+            500_000,
+            attacker,
+            builder::fake_null_frame(victim_mac(), MacAddr::FAKE),
+            BitRate::Mbps6,
+        );
+        sim.run_until(1_000_000);
+        assert_eq!(sim.station(victim).stats.acks_sent, 1);
+    }
+
+    #[test]
+    fn co_channel_only_collisions() {
+        // Two transmitters on different channels never collide with each
+        // other even when both are close to the same receiver.
+        let mut sim = Simulator::new(SimConfig::default(), 21);
+        let victim = sim.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
+        let a1 = sim.add_node(StationConfig::client(MacAddr::FAKE), (4.0, 0.0));
+        let mut cfg5 = StationConfig::client("aa:bb:bb:bb:bb:05".parse().unwrap());
+        cfg5.band = polite_wifi_phy::band::Band::Ghz5;
+        cfg5.channel = 36;
+        let a5 = sim.add_node(cfg5, (0.0, 4.0));
+        // Both transmit at overlapping times; victim (on 2.4/6) hears a1.
+        for i in 0..20u64 {
+            sim.inject(
+                i * 10_000,
+                a1,
+                builder::fake_null_frame(victim_mac(), MacAddr::FAKE),
+                BitRate::Mbps1,
+            );
+            sim.inject(
+                i * 10_000 + 50, // deliberately overlapping
+                a5,
+                builder::fake_null_frame(
+                    "02:00:00:00:00:aa".parse().unwrap(),
+                    "aa:bb:bb:bb:bb:05".parse().unwrap(),
+                ),
+                BitRate::Mbps6,
+            );
+        }
+        sim.run_until(2_000_000);
+        assert_eq!(
+            sim.station(victim).stats.acks_sent,
+            20,
+            "cross-channel traffic must not corrupt co-channel frames"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_capture() {
+        let run = |seed| {
+            let mut sim = Simulator::new(SimConfig::default(), seed);
+            let _v = sim.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
+            let a = sim.add_node(StationConfig::client(MacAddr::FAKE), (8.0, 0.0));
+            for i in 0..20u64 {
+                let fake = builder::fake_null_frame(victim_mac(), MacAddr::FAKE);
+                sim.inject(i * 10_000, a, fake, BitRate::Mbps1);
+            }
+            sim.run_until(500_000);
+            sim.global_capture()
+                .frames()
+                .iter()
+                .map(|cf| cf.ts_us)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn two_attackers_contend_without_livelock() {
+        let mut sim = Simulator::new(SimConfig::default(), 13);
+        let victim = sim.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
+        let a1 = sim.add_node(StationConfig::client(MacAddr::FAKE), (4.0, 0.0));
+        let a2 = sim.add_node(
+            StationConfig::client("aa:bb:bb:bb:bb:01".parse().unwrap()),
+            (0.0, 4.0),
+        );
+        for i in 0..50u64 {
+            sim.inject(
+                i * 2_000,
+                a1,
+                builder::fake_null_frame(victim_mac(), MacAddr::FAKE),
+                BitRate::Mbps1,
+            );
+            sim.inject(
+                i * 2_000 + 500,
+                a2,
+                builder::fake_null_frame(victim_mac(), "aa:bb:bb:bb:bb:01".parse().unwrap()),
+                BitRate::Mbps1,
+            );
+        }
+        sim.run_until(5_000_000);
+        // Both attackers eventually delivered everything (retries cover
+        // collisions) or dropped a few; the victim acked a lot.
+        assert!(sim.station(victim).stats.acks_sent >= 90);
+    }
+}

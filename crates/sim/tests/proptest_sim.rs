@@ -1,0 +1,102 @@
+//! Property tests on the simulator: conservation and sanity invariants
+//! that must hold for arbitrary injection schedules.
+
+use polite_wifi_frame::{builder, MacAddr};
+use polite_wifi_mac::StationConfig;
+use polite_wifi_phy::rate::BitRate;
+use polite_wifi_sim::{SimConfig, Simulator};
+use proptest::prelude::*;
+
+fn victim_mac() -> MacAddr {
+    MacAddr::new([0xf2, 0x6e, 0x0b, 0x11, 0x22, 0x33])
+}
+
+/// A schedule of (time, rate-index) injections.
+fn arb_schedule() -> impl Strategy<Value = Vec<(u64, u8)>> {
+    proptest::collection::vec((0u64..3_000_000, 0u8..12), 0..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// ACKs received by the attacker never exceed ACKs sent by the victim,
+    /// and both never exceed the number of injected frames.
+    #[test]
+    fn ack_conservation(schedule in arb_schedule(), seed in 0u64..1000) {
+        let mut sim = Simulator::new(SimConfig::default(), seed);
+        let victim = sim.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
+        let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (5.0, 0.0));
+        sim.set_retries(attacker, false);
+        let n = schedule.len() as u64;
+        for (t, r) in schedule {
+            let rate = BitRate::ALL[r as usize % 12];
+            sim.inject(t, attacker, builder::fake_null_frame(victim_mac(), MacAddr::FAKE), rate);
+        }
+        sim.run_until(10_000_000);
+        let acks_sent = sim.station(victim).stats.acks_sent;
+        let acks_rx = sim.node(attacker).acks_received;
+        prop_assert!(acks_sent <= n, "{acks_sent} > {n}");
+        prop_assert!(acks_rx <= acks_sent, "{acks_rx} > {acks_sent}");
+        // Clean close-range channel: nearly everything goes through.
+        prop_assert!(acks_rx + 5 >= n.min(acks_sent), "rx {acks_rx} of {n}");
+    }
+
+    /// The radio ledger accounts every microsecond exactly once.
+    #[test]
+    fn ledger_time_conservation(schedule in arb_schedule(), seed in 0u64..1000) {
+        let mut sim = Simulator::new(SimConfig::default(), seed);
+        let mut cfg = StationConfig::client(victim_mac());
+        cfg.behavior = polite_wifi_mac::Behavior::iot_power_save();
+        let victim = sim.add_node(cfg, (0.0, 0.0));
+        let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (5.0, 0.0));
+        sim.set_retries(attacker, false);
+        for (t, _) in schedule {
+            sim.inject(t, attacker, builder::fake_null_frame(victim_mac(), MacAddr::FAKE), BitRate::Mbps1);
+        }
+        let horizon = 5_000_000;
+        sim.run_until(horizon);
+        for id in [victim, attacker] {
+            let totals = sim.node(id).ledger.snapshot(sim.now_us());
+            prop_assert_eq!(totals.total_us(), sim.now_us(), "node {:?}", id);
+        }
+    }
+
+    /// Determinism: identical seeds and schedules give identical stats.
+    #[test]
+    fn replay_determinism(schedule in arb_schedule(), seed in 0u64..100) {
+        let run = |sched: &[(u64, u8)]| {
+            let mut sim = Simulator::new(SimConfig::default(), seed);
+            let victim = sim.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
+            let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (5.0, 0.0));
+            for &(t, r) in sched {
+                let rate = BitRate::ALL[r as usize % 12];
+                sim.inject(t, attacker, builder::fake_null_frame(victim_mac(), MacAddr::FAKE), rate);
+            }
+            sim.run_until(10_000_000);
+            (
+                sim.station(victim).stats,
+                sim.node(attacker).acks_received,
+                sim.global_capture().len(),
+            )
+        };
+        prop_assert_eq!(run(&schedule), run(&schedule));
+    }
+
+    /// Simulated time never runs backwards and the run always terminates.
+    #[test]
+    fn time_monotone_and_terminating(schedule in arb_schedule()) {
+        let mut sim = Simulator::new(SimConfig::default(), 3);
+        let victim = sim.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
+        let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (5.0, 0.0));
+        let _ = victim;
+        for (t, _) in schedule {
+            sim.inject(t, attacker, builder::fake_null_frame(victim_mac(), MacAddr::FAKE), BitRate::Mbps1);
+        }
+        let mut last = 0;
+        for step in 1..=10u64 {
+            sim.run_until(step * 500_000);
+            prop_assert!(sim.now_us() >= last);
+            last = sim.now_us();
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! The battery-drain attack of §4.2: sweep fake-frame rates against an
+//! ESP8266-class power-save victim and project battery life.
+//!
+//! ```sh
+//! cargo run --release --example battery_drain
+//! ```
+
+use polite_wifi::core::BatteryDrainAttack;
+
+fn main() {
+    let rates = [0u32, 5, 20, 100, 300, 900];
+    println!("Sweeping fake-frame rates against an ESP8266 in power save...\n");
+    println!(
+        "{:>9} {:>12} {:>10} {:>10}",
+        "rate pps", "power mW", "sleep %", "ACKs/s"
+    );
+
+    let mut at_900 = None;
+    for &rate in &rates {
+        let m = BatteryDrainAttack {
+            rate_pps: rate,
+            warmup_us: 3_000_000,
+            measure_us: 10_000_000,
+            seed: 99,
+            ..BatteryDrainAttack::default()
+        }
+        .run();
+        println!(
+            "{:>9} {:>12.1} {:>10.1} {:>10.1}",
+            m.rate_pps,
+            m.average_power_mw,
+            m.sleep_fraction * 100.0,
+            m.acks_sent as f64 / 13.0
+        );
+        if rate == 900 {
+            at_900 = Some(m);
+        }
+    }
+
+    let m = at_900.expect("900 pps measured");
+    println!("\nBattery-life projections under the 900 pps attack:");
+    for p in BatteryDrainAttack::project_batteries(&m) {
+        println!(
+            "  {:<20} {:>6.0} mWh  advertised {:>6.0} h  under attack {:>5.1} h  ({}x faster)",
+            p.battery.name,
+            p.battery.capacity_mwh,
+            p.battery.advertised_life_hours,
+            p.attacked_life_hours,
+            p.speedup.round()
+        );
+    }
+}

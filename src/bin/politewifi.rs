@@ -1,0 +1,334 @@
+//! `politewifi` — command-line front end to the Polite WiFi toolkit.
+//!
+//! ```text
+//! politewifi quickstart [--seed N] [--out FILE.pcap|FILE.pcapng]
+//! politewifi drain --rate PPS [--seconds S] [--rts]
+//! politewifi keystroke [--seed N]
+//! politewifi survey [--devices N] [--seed N]
+//! politewifi analyze FILE.pcap [--attacker MAC]
+//! politewifi sifs
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency policy
+//! favours a small footprint over a CLI framework).
+
+use polite_wifi::core::{
+    analysis, AckVerifier, BatteryDrainAttack, InjectionKind, KeystrokeAttack, WardriveScanner,
+};
+use polite_wifi::devices::{CityPopulation, DeviceSpec};
+use polite_wifi::frame::{builder, MacAddr};
+use polite_wifi::mac::StationConfig;
+use polite_wifi::pcap::{capture, read_pcap, read_pcapng, trace, LinkType};
+use polite_wifi::phy::rate::BitRate;
+use polite_wifi::sim::{SimConfig, Simulator};
+use std::process::ExitCode;
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            if let Some(name) = raw[i].strip_prefix("--") {
+                let value = raw
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned();
+                if value.is_some() {
+                    i += 1;
+                }
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(raw[i].clone());
+            }
+            i += 1;
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn u64_flag(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got '{v}'")),
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "politewifi — the Polite WiFi toolkit (simulation substrate)
+
+USAGE:
+    politewifi <command> [options]
+
+COMMANDS:
+    quickstart   One fake frame, one ACK: the paper's core observation.
+                 [--seed N] [--out FILE.pcap|FILE.pcapng]
+    drain        Battery-drain attack against an ESP8266-class victim.
+                 --rate PPS [--seconds S] [--rts]
+    keystroke    The Figure 5 CSI activity/keystroke attack. [--seed N]
+    survey       Wardrive a slice of the Table 2 city.
+                 [--devices N] [--seed N] [--randomize PCT]
+    analyze      Decode a capture and verify fake→ACK exchanges.
+                 FILE.pcap|FILE.pcapng [--attacker MAC]
+    sifs         Print the SIFS-vs-decryption feasibility analysis.
+"
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first().cloned() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = Args::parse(&raw[1..]);
+    let result = match command.as_str() {
+        "quickstart" => cmd_quickstart(&args),
+        "drain" => cmd_drain(&args),
+        "keystroke" => cmd_keystroke(&args),
+        "survey" => cmd_survey(&args),
+        "analyze" => cmd_analyze(&args),
+        "sifs" => cmd_sifs(),
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_quickstart(args: &Args) -> Result<(), String> {
+    let seed = args.u64_flag("seed", 2020)?;
+    let victim_mac: MacAddr = "f2:6e:0b:11:22:33".parse().unwrap();
+    let mut sim = Simulator::new(SimConfig::default(), seed);
+    let victim = sim.add_node(StationConfig::client(victim_mac), (0.0, 0.0));
+    let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (5.0, 0.0));
+    sim.set_monitor(attacker, true);
+    sim.set_retries(attacker, false);
+    sim.inject(
+        10_000,
+        attacker,
+        builder::fake_null_frame(victim_mac, MacAddr::FAKE),
+        BitRate::Mbps1,
+    );
+    sim.run_until(100_000);
+    println!("{}", trace::format_capture(&sim.node(attacker).capture));
+    println!(
+        "victim ACKs sent: {} (no keys, no association, no consent)",
+        sim.station(victim).stats.acks_sent
+    );
+    if let Some(path) = args.flag("out") {
+        let cap = &sim.node(attacker).capture;
+        if path.ends_with(".pcapng") {
+            cap.write_pcapng_file(path, LinkType::Ieee80211Radiotap)
+        } else {
+            cap.write_pcap_file(path, LinkType::Ieee80211Radiotap)
+        }
+        .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("capture written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_drain(args: &Args) -> Result<(), String> {
+    let rate = args.u64_flag("rate", 900)? as u32;
+    let seconds = args.u64_flag("seconds", 10)?;
+    let attack = BatteryDrainAttack {
+        rate_pps: rate,
+        kind: if args.has("rts") {
+            InjectionKind::Rts
+        } else {
+            InjectionKind::NullData
+        },
+        warmup_us: 3_000_000,
+        measure_us: seconds * 1_000_000,
+        seed: args.u64_flag("seed", 42)?,
+    };
+    let m = attack.run();
+    println!(
+        "rate {:>4} pps ({}) → {:.1} mW average, slept {:.1}%, {} responses",
+        m.rate_pps,
+        if args.has("rts") { "RTS→CTS" } else { "null→ACK" },
+        m.average_power_mw,
+        m.sleep_fraction * 100.0,
+        m.acks_sent
+    );
+    for p in BatteryDrainAttack::project_batteries(&m) {
+        println!(
+            "  {:<20} {:>7.1} h under attack ({}x faster than advertised)",
+            p.battery.name,
+            p.attacked_life_hours,
+            p.speedup.round()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_keystroke(args: &Args) -> Result<(), String> {
+    let seed = args.u64_flag("seed", 2020)?;
+    let result = KeystrokeAttack::figure5(seed).run();
+    println!(
+        "measured {} ACKs at {:.1} Hz",
+        result.acks_measured, result.sample_rate_hz
+    );
+    println!("{:<10} {:>10} {:>10}", "phase", "mean", "std");
+    for p in &result.phase_stats {
+        println!("{:<10} {:>10.4} {:>10.4}", p.label, p.mean, p.std_dev);
+    }
+    let (hits, _, fa) = result.keystroke_score;
+    println!(
+        "keystrokes: {hits}/{} detected, {fa} false alarms",
+        result.keystrokes_truth
+    );
+    Ok(())
+}
+
+fn cmd_survey(args: &Args) -> Result<(), String> {
+    let n = args.u64_flag("devices", 200)? as usize;
+    let seed = args.u64_flag("seed", 20)?;
+    let randomize_pct = args.u64_flag("randomize", 0)?;
+    let full = CityPopulation::table2(seed);
+    let step = (full.devices.len() / n.max(1)).max(1);
+    let devices: Vec<DeviceSpec> = full.devices.iter().step_by(step).take(n).cloned().collect();
+    let slice = CityPopulation {
+        devices,
+        registry: full.registry.clone(),
+    }
+    .with_randomized_client_macs(randomize_pct as f64 / 100.0, seed);
+    println!(
+        "surveying {} devices ({} clients, {} APs)...",
+        slice.devices.len(),
+        slice.clients().count(),
+        slice.aps().count()
+    );
+    let report = WardriveScanner {
+        seed,
+        ..WardriveScanner::default()
+    }
+    .run(&slice);
+    println!(
+        "discovered {}, verified {} ({:.1}%) in {:.0} simulated seconds",
+        report.discovered,
+        report.verified,
+        100.0 * report.verified as f64 / report.discovered.max(1) as f64,
+        report.survey_time_us as f64 / 1e6
+    );
+    for (vendor, count) in report.client_counts.iter().take(8) {
+        println!("  client {vendor:<24} {count}");
+    }
+    for (vendor, count) in report.ap_counts.iter().take(8) {
+        println!("  AP     {vendor:<24} {count}");
+    }
+    if report.pmf_aps > 0 {
+        println!(
+            "  ({} APs advertised 802.11w — polite all the same)",
+            report.pmf_aps
+        );
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("analyze needs a capture file path")?;
+    let attacker: MacAddr = args
+        .flag("attacker")
+        .unwrap_or("aa:bb:bb:bb:bb:bb")
+        .parse()
+        .map_err(|e| format!("bad --attacker address: {e}"))?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+
+    // Try pcapng first, then classic pcap.
+    let (link_type, records) = match read_pcapng(&bytes) {
+        Ok(f) => (f.link_type, f.records),
+        Err(_) => {
+            let f = read_pcap(&bytes).map_err(|e| format!("not a pcap/pcapng file: {e}"))?;
+            (f.link_type, f.records)
+        }
+    };
+
+    let mut cap = capture::Capture::new();
+    let mut undecodable = 0usize;
+    for rec in &records {
+        let frame_bytes: &[u8] = match link_type {
+            LinkType::Ieee80211Radiotap => {
+                match polite_wifi::radiotap::Radiotap::parse(&rec.data) {
+                    Ok((_, consumed)) => &rec.data[consumed..],
+                    Err(_) => {
+                        undecodable += 1;
+                        continue;
+                    }
+                }
+            }
+            _ => &rec.data,
+        };
+        match polite_wifi::frame::Frame::parse(frame_bytes, true) {
+            Ok(frame) => cap.record_frame(rec.ts_us, &frame),
+            Err(_) => undecodable += 1,
+        }
+    }
+
+    println!("{}", trace::format_capture(&cap));
+    if undecodable > 0 {
+        println!("({undecodable} records did not decode as 802.11)");
+    }
+    let verifier = AckVerifier::new(attacker);
+    let exchanges = verifier.verify(&cap);
+    println!(
+        "verified fake→ACK exchanges for {attacker}: {}",
+        exchanges.len()
+    );
+    for v in verifier.responding_victims(&cap) {
+        println!("  responding victim: {v}");
+    }
+    Ok(())
+}
+
+fn cmd_sifs() -> Result<(), String> {
+    let report = analysis::sifs_report();
+    for (band, sifs) in &report.sifs_us {
+        println!("{band}: SIFS = {sifs} µs");
+    }
+    for (band, sweep) in &report.sweeps {
+        for f in sweep {
+            println!(
+                "  {band}: ACK ready at {:>3} µs vs {:>2} µs budget → {}",
+                f.ack_ready_us,
+                f.deadline_us,
+                if f.misses_deadline { "MISSES" } else { "ok" }
+            );
+        }
+    }
+    println!(
+        "worst-case overrun: {:.0}x; and forged RTS still elicits CTS regardless",
+        analysis::worst_case_overrun()
+    );
+    Ok(())
+}

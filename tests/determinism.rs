@@ -1,0 +1,79 @@
+//! Reproducibility: every experiment is a pure function of its seed.
+//!
+//! This is a substrate-level guarantee the whole evaluation rests on —
+//! EXPERIMENTS.md quotes numbers that must regenerate bit-for-bit.
+
+use polite_wifi::core::{BatteryDrainAttack, KeystrokeAttack, SensingHub, WardriveScanner};
+use polite_wifi::devices::{CityPopulation, DeviceSpec};
+use polite_wifi::sensing::MotionScript;
+
+#[test]
+fn drain_attack_is_deterministic() {
+    let run = || {
+        BatteryDrainAttack {
+            rate_pps: 150,
+            warmup_us: 1_000_000,
+            measure_us: 3_000_000,
+            seed: 11,
+            ..BatteryDrainAttack::default()
+        }
+        .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn keystroke_attack_is_deterministic() {
+    let a = KeystrokeAttack::figure5(13).run();
+    let b = KeystrokeAttack::figure5(13).run();
+    assert_eq!(a.amplitudes, b.amplitudes);
+    assert_eq!(a.keystroke_score, b.keystroke_score);
+    // ...and a different seed gives a different channel realisation.
+    let c = KeystrokeAttack::figure5(14).run();
+    assert_ne!(a.amplitudes, c.amplitudes);
+}
+
+#[test]
+fn survey_is_deterministic() {
+    let full = CityPopulation::table2(3);
+    let devices: Vec<DeviceSpec> = full.devices.iter().step_by(200).cloned().collect();
+    let slice = CityPopulation {
+        devices,
+        registry: full.registry.clone(),
+    };
+    let scanner = WardriveScanner {
+        segment_size: 14,
+        dwell_us: 1_500_000,
+        ..WardriveScanner::default()
+    };
+    let a = scanner.run(&slice);
+    let b = scanner.run(&slice);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn sensing_hub_is_deterministic() {
+    let scripts = vec![MotionScript::walk_by(10_000_000, 4_000_000, 6_000_000)];
+    let hub = SensingHub {
+        rate_pps_per_target: 150,
+        subcarrier: 17,
+        seed: 21,
+    };
+    assert_eq!(hub.run(&scripts), hub.run(&scripts));
+}
+
+#[test]
+fn population_is_deterministic_but_seed_sensitive() {
+    let a = CityPopulation::table2(1);
+    let b = CityPopulation::table2(1);
+    let c = CityPopulation::table2(2);
+    assert_eq!(a.devices, b.devices);
+    // Same marginals, different sampled details.
+    assert_eq!(a.devices.len(), c.devices.len());
+    assert_ne!(
+        a.devices.iter().map(|d| d.channel).collect::<Vec<_>>(),
+        c.devices.iter().map(|d| d.channel).collect::<Vec<_>>()
+    );
+}

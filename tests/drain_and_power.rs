@@ -1,0 +1,88 @@
+//! Cross-crate integration: the battery-drain attack through the sim
+//! ledger and the energy model, checked against the paper's Figure 6
+//! shape and §4.2 projections.
+
+use polite_wifi::core::BatteryDrainAttack;
+use polite_wifi::power::{Battery, PowerProfile, StateDurations};
+
+fn measure(rate_pps: u32) -> polite_wifi::core::DrainMeasurement {
+    BatteryDrainAttack {
+        rate_pps,
+        warmup_us: 3_000_000,
+        measure_us: 8_000_000,
+        seed: 77,
+        ..BatteryDrainAttack::default()
+    }
+    .run()
+}
+
+#[test]
+fn figure6_shape_holds_end_to_end() {
+    let m0 = measure(0);
+    let m20 = measure(20);
+    let m900 = measure(900);
+
+    // Anchor 1: power save works without the attack.
+    assert!((5.0..20.0).contains(&m0.average_power_mw), "{}", m0.average_power_mw);
+    // Anchor 2: the >10 pps knee.
+    assert!((200.0..260.0).contains(&m20.average_power_mw), "{}", m20.average_power_mw);
+    assert!(m20.sleep_fraction < 0.02);
+    // Anchor 3: 900 pps, ~35x.
+    assert!((320.0..400.0).contains(&m900.average_power_mw), "{}", m900.average_power_mw);
+    let factor = m900.average_power_mw / m0.average_power_mw;
+    assert!((20.0..50.0).contains(&factor), "factor {factor}");
+}
+
+#[test]
+fn ledger_and_profile_agree_on_energy() {
+    // The measurement's average power must equal the profile applied to
+    // its own durations (no hidden bookkeeping).
+    let m = measure(100);
+    let p = PowerProfile::esp8266();
+    let recomputed = p.average_power_mw(&m.durations);
+    assert!((recomputed - m.average_power_mw).abs() < 1e-9);
+    // And the durations cover the measurement window.
+    assert!((m.durations.total_us() as i64 - 8_000_000i64).abs() < 1_000);
+}
+
+#[test]
+fn acks_track_injection_rate_once_awake() {
+    let m = measure(300);
+    // 11 s of injection at 300 pps; the victim is pinned awake, so it
+    // acknowledges nearly everything that arrives during the run.
+    assert!(
+        m.acks_sent > 2_900,
+        "only {} ACKs for a 300 pps × 11 s attack",
+        m.acks_sent
+    );
+}
+
+#[test]
+fn paper_projection_numbers() {
+    let m = measure(900);
+    let projections = BatteryDrainAttack::project_batteries(&m);
+    let circle2 = &projections[0];
+    let xt2 = &projections[1];
+    assert!((5.5..8.0).contains(&circle2.attacked_life_hours), "{}", circle2.attacked_life_hours);
+    assert!((14.0..19.5).contains(&xt2.attacked_life_hours), "{}", xt2.attacked_life_hours);
+    // Both drain hundreds to thousands of times faster than advertised.
+    assert!(circle2.speedup > 100.0);
+    assert!(xt2.speedup > 500.0);
+}
+
+#[test]
+fn power_model_is_pure_given_durations() {
+    // Determinism across the crate boundary: identical durations =>
+    // identical energy, regardless of where they came from.
+    let d = StateDurations {
+        sleep_us: 500_000,
+        idle_us: 300_000,
+        rx_us: 150_000,
+        tx_us: 50_000,
+    };
+    let p = PowerProfile::esp8266();
+    assert_eq!(p.average_power_mw(&d), p.average_power_mw(&d));
+    let b = Battery::logitech_circle2();
+    let life = b.life_hours(p.average_power_mw(&d));
+    assert!(life.is_finite() && life > 0.0);
+}

@@ -1,0 +1,134 @@
+//! Cross-crate integration: the on-air join handshake and the classic
+//! deauthentication attack (related work the paper contrasts with), both
+//! over the full simulator.
+
+use polite_wifi::frame::{builder, MacAddr, ReasonCode};
+use polite_wifi::mac::{Behavior, JoinState, StationConfig};
+use polite_wifi::phy::rate::BitRate;
+use polite_wifi::sim::{SimConfig, Simulator};
+
+fn ap_mac() -> MacAddr {
+    "68:02:b8:00:00:01".parse().unwrap()
+}
+
+fn client_mac() -> MacAddr {
+    "f2:6e:0b:11:22:33".parse().unwrap()
+}
+
+#[test]
+fn join_handshake_completes_over_the_air() {
+    let mut sim = Simulator::new(SimConfig::default(), 1);
+    let ap = sim.add_node(StationConfig::access_point(ap_mac(), "PrivateNet"), (0.0, 0.0));
+    let client = sim.add_node(StationConfig::client(client_mac()), (5.0, 0.0));
+
+    sim.start_join(client, ap_mac());
+    sim.run_until(1_000_000);
+
+    assert_eq!(
+        sim.station(client).join_state(),
+        JoinState::Joined {
+            ap: ap_mac(),
+            aid: 1
+        }
+    );
+    assert!(sim.station(ap).is_associated_with(client_mac()));
+    assert_eq!(sim.station(ap).aid_of(client_mac()), Some(1));
+
+    // The handshake frames were all acknowledged along the way (auth req,
+    // assoc req at the AP; auth resp, assoc resp at the client).
+    assert!(sim.station(ap).stats.acks_sent >= 2);
+    assert!(sim.station(client).stats.acks_sent >= 2);
+}
+
+#[test]
+fn two_clients_get_distinct_aids() {
+    let mut sim = Simulator::new(SimConfig::default(), 2);
+    let ap = sim.add_node(StationConfig::access_point(ap_mac(), "Net"), (0.0, 0.0));
+    let c1 = sim.add_node(StationConfig::client(client_mac()), (4.0, 0.0));
+    let c2_mac: MacAddr = "f2:6e:0b:44:55:66".parse().unwrap();
+    let c2 = sim.add_node(StationConfig::client(c2_mac), (0.0, 4.0));
+
+    sim.start_join(c1, ap_mac());
+    sim.run_until(500_000);
+    sim.start_join(c2, ap_mac());
+    sim.run_until(1_500_000);
+
+    let aid1 = sim.station(ap).aid_of(client_mac()).unwrap();
+    let aid2 = sim.station(ap).aid_of(c2_mac).unwrap();
+    assert_ne!(aid1, aid2);
+    assert!(matches!(
+        sim.station(c1).join_state(),
+        JoinState::Joined { .. }
+    ));
+    assert!(matches!(
+        sim.station(c2).join_state(),
+        JoinState::Joined { .. }
+    ));
+}
+
+/// The related-work contrast: a spoofed deauth kicks a non-PMF client off
+/// its network (and, per Polite WiFi, even the kick is acknowledged);
+/// 802.11w stops the kick but cannot stop the acknowledgement.
+#[test]
+fn deauth_attack_vs_pmf_over_the_air() {
+    for pmf in [false, true] {
+        let mut sim = Simulator::new(SimConfig::default(), 3);
+        let _ap = sim.add_node(StationConfig::access_point(ap_mac(), "Net"), (0.0, 0.0));
+        let mut cfg = StationConfig::client(client_mac());
+        if pmf {
+            cfg.behavior = Behavior::pmf_client();
+        }
+        let client = sim.add_node(cfg, (4.0, 0.0));
+        sim.start_join(client, ap_mac());
+        sim.run_until(1_000_000);
+        assert!(matches!(
+            sim.station(client).join_state(),
+            JoinState::Joined { .. }
+        ));
+
+        // Attacker spoofs a deauth "from" the AP at the client.
+        let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (6.0, 0.0));
+        sim.set_retries(attacker, false);
+        let spoof = builder::deauth(
+            client_mac(),
+            ap_mac(),
+            ap_mac(),
+            999,
+            ReasonCode::StaLeaving,
+        );
+        let acks_before = sim.station(client).stats.acks_sent;
+        sim.inject(1_100_000, attacker, spoof, BitRate::Mbps1);
+        sim.run_until(2_000_000);
+
+        let still_joined = matches!(
+            sim.station(client).join_state(),
+            JoinState::Joined { .. }
+        );
+        assert_eq!(still_joined, pmf, "pmf={pmf}");
+        // Either way the spoofed frame itself got an ACK: Polite WiFi.
+        assert!(sim.station(client).stats.acks_sent > acks_before);
+    }
+}
+
+/// Deauth from the *real* AP also tears down AP-side state.
+#[test]
+fn legitimate_deauth_cleans_up_both_sides() {
+    let mut sim = Simulator::new(SimConfig::default(), 4);
+    let ap = sim.add_node(StationConfig::access_point(ap_mac(), "Net"), (0.0, 0.0));
+    let client = sim.add_node(StationConfig::client(client_mac()), (4.0, 0.0));
+    sim.start_join(client, ap_mac());
+    sim.run_until(1_000_000);
+
+    let deauth = builder::deauth(
+        client_mac(),
+        ap_mac(),
+        ap_mac(),
+        50,
+        ReasonCode::StaLeaving,
+    );
+    sim.inject(1_100_000, ap, deauth, BitRate::Mbps1);
+    sim.run_until(2_000_000);
+
+    assert_eq!(sim.station(client).join_state(), JoinState::Idle);
+    assert!(!sim.station(client).is_associated_with(ap_mac()));
+}

@@ -1,0 +1,183 @@
+//! Cross-crate integration: the survey pipeline and the sensing stack.
+
+use polite_wifi::core::{SensingHub, WardriveScanner};
+use polite_wifi::devices::{CityPopulation, DeviceSpec};
+use polite_wifi::mac::Role;
+use polite_wifi::sensing::MotionScript;
+
+/// A mixed 60-device slice of the Table 2 city: survey it and check the
+/// paper's headline (100% respond) plus vendor attribution integrity.
+#[test]
+fn survey_mixed_slice_everyone_responds() {
+    let full = CityPopulation::table2(9);
+    let mut devices: Vec<DeviceSpec> = Vec::new();
+    // Interleave clients and APs from across the vendor spectrum.
+    devices.extend(full.clients().step_by(50).take(30).cloned());
+    devices.extend(full.aps().step_by(120).take(30).cloned());
+    let slice = CityPopulation {
+        devices,
+        registry: full.registry.clone(),
+    };
+
+    let report = WardriveScanner {
+        segment_size: 20,
+        dwell_us: 2_500_000,
+        ..WardriveScanner::default()
+    }
+    .run(&slice);
+
+    assert_eq!(report.verified, report.discovered);
+    assert!(report.discovered >= 58, "discovered {}", report.discovered);
+    // Attribution matches the population's ground truth.
+    let truth_clients = slice.devices.iter().filter(|d| d.role == Role::Client).count();
+    assert!(report.total_clients as usize >= truth_clients - 2);
+    // Vendors reported by the survey must be vendors in the slice.
+    let all_vendors: std::collections::HashSet<&str> =
+        slice.devices.iter().map(|d| d.vendor.as_str()).collect();
+    for (vendor, _) in report.client_counts.iter().chain(report.ap_counts.iter()) {
+        assert!(all_vendors.contains(vendor.as_str()), "phantom vendor {vendor}");
+    }
+}
+
+/// IoT power-save devices are the hard survey targets (they doze through
+/// fakes); the continuous-injection pipeline must still verify them.
+#[test]
+fn survey_verifies_dozing_iot_devices() {
+    let full = CityPopulation::table2(10);
+    let devices: Vec<DeviceSpec> = full
+        .clients()
+        .filter(|d| d.behavior.power_save.is_some())
+        .take(12)
+        .cloned()
+        .collect();
+    assert_eq!(devices.len(), 12);
+    let slice = CityPopulation {
+        devices,
+        registry: full.registry.clone(),
+    };
+    let report = WardriveScanner {
+        segment_size: 12,
+        dwell_us: 3_000_000,
+        ..WardriveScanner::default()
+    }
+    .run(&slice);
+    assert_eq!(report.verified, report.discovered);
+    assert!(report.discovered >= 11, "discovered {}", report.discovered);
+}
+
+/// 802.11w (PMF) APs are spotted from their beacon RSN element — and
+/// verified polite all the same (footnote 2 of the paper).
+#[test]
+fn pmf_aps_counted_and_still_polite() {
+    let full = CityPopulation::table2(14);
+    // A slice guaranteed to contain PMF APs.
+    let mut devices: Vec<DeviceSpec> = full
+        .aps()
+        .filter(|d| d.behavior.pmf)
+        .take(8)
+        .cloned()
+        .collect();
+    let truth_pmf = devices.len() as u32;
+    devices.extend(full.aps().filter(|d| !d.behavior.pmf).take(8).cloned());
+    let slice = CityPopulation {
+        devices,
+        registry: full.registry.clone(),
+    };
+    let report = WardriveScanner {
+        segment_size: 16,
+        dwell_us: 2_500_000,
+        ..WardriveScanner::default()
+    }
+    .run(&slice);
+    assert_eq!(report.verified, report.discovered, "PMF must not stop ACKs");
+    assert_eq!(report.pmf_aps, truth_pmf, "beacon RSN parsing miscounted");
+}
+
+/// MAC randomisation (post-2020 phone behaviour) hides vendors from the
+/// survey but cannot hide the Polite WiFi response itself.
+#[test]
+fn randomized_macs_still_ack_but_lose_attribution() {
+    let full = CityPopulation::table2(12);
+    let mut devices: Vec<DeviceSpec> = full
+        .clients()
+        .filter(|d| d.vendor == "Apple")
+        .take(20)
+        .cloned()
+        .collect();
+    devices.extend(full.aps().take(5).cloned());
+    let slice = CityPopulation {
+        devices,
+        registry: full.registry.clone(),
+    }
+    .with_randomized_client_macs(1.0, 99);
+
+    let report = WardriveScanner {
+        segment_size: 25,
+        dwell_us: 2_500_000,
+        ..WardriveScanner::default()
+    }
+    .run(&slice);
+
+    // Everyone still responds — randomisation is an attribution shield,
+    // not an ACK shield.
+    assert_eq!(report.verified, report.discovered);
+    assert!(report.discovered >= 24, "discovered {}", report.discovered);
+    // But the Apple clients now show up as Unknown.
+    let unknown = report
+        .client_counts
+        .iter()
+        .find(|(v, _)| v.starts_with("Unknown"))
+        .map(|(_, c)| *c)
+        .unwrap_or(0);
+    assert!(unknown >= 19, "unknown {unknown}");
+    assert!(report
+        .client_counts
+        .iter()
+        .all(|(v, _)| v != "Apple"));
+}
+
+/// The sensing hub distinguishes which neighbour had motion, when —
+/// across the sim, CSI, filtering and segmentation crates at once.
+#[test]
+fn sensing_hub_localises_motion_in_time_and_target() {
+    let duration = 24_000_000;
+    let scripts = vec![
+        MotionScript::walk_by(duration, 6_000_000, 8_000_000),
+        MotionScript::idle(duration),
+    ];
+    let report = SensingHub {
+        rate_pps_per_target: 150,
+        subcarrier: 17,
+        seed: 5,
+    }
+    .run(&scripts);
+
+    assert_eq!(report.devices_modified, 1);
+    let active = &report.targets[0];
+    let quiet = &report.targets[1];
+    assert_eq!(active.motion_windows_us.len(), 1);
+    let (s, e) = active.motion_windows_us[0];
+    assert!(s < 7_000_000 && e > 7_000_000, "window {s}..{e} misses the walk");
+    assert!(quiet.motion_windows_us.is_empty());
+}
+
+/// Different subcarriers tell the same story (the paper: "most other
+/// subcarriers had similar patterns").
+#[test]
+fn sensing_is_not_subcarrier_17_specific() {
+    let duration = 20_000_000;
+    let scripts = vec![MotionScript::walk_by(duration, 8_000_000, 10_000_000)];
+    for subcarrier in [5usize, 17, 40] {
+        let report = SensingHub {
+            rate_pps_per_target: 150,
+            subcarrier,
+            seed: 6,
+        }
+        .run(&scripts);
+        assert_eq!(
+            report.targets[0].motion_windows_us.len(),
+            1,
+            "subcarrier {subcarrier} failed"
+        );
+    }
+}
