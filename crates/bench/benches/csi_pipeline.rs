@@ -11,7 +11,10 @@ use polite_wifi_sensing::segment::{segment, SegmenterConfig};
 fn series(n: usize) -> Vec<f64> {
     let mut ch = CsiChannel::new(1);
     (0..n)
-        .map(|i| ch.sample(if i % 100 < 30 { 0.6 } else { 0.0 }).amplitude(17))
+        .map(|i| {
+            ch.sample(if i % 100 < 30 { 0.6 } else { 0.0 })
+                .amplitude(17)
+        })
         .collect()
 }
 
@@ -27,8 +30,12 @@ fn bench_conditioning(c: &mut Criterion) {
     let s = series(6750); // 45 s at 150 Hz — the Figure 5 workload
     let mut g = c.benchmark_group("conditioning");
     g.throughput(Throughput::Elements(s.len() as u64));
-    g.bench_function("hampel_plus_ma_45s", |b| b.iter(|| filter::condition(black_box(&s))));
-    g.bench_function("hampel_only_45s", |b| b.iter(|| filter::hampel(black_box(&s), 5, 3.0)));
+    g.bench_function("hampel_plus_ma_45s", |b| {
+        b.iter(|| filter::condition(black_box(&s)))
+    });
+    g.bench_function("hampel_only_45s", |b| {
+        b.iter(|| filter::hampel(black_box(&s), 5, 3.0))
+    });
     g.bench_function("moving_average_only_45s", |b| {
         b.iter(|| filter::moving_average(black_box(&s), 2))
     });
@@ -39,7 +46,9 @@ fn bench_features_and_detection(c: &mut Criterion) {
     let s = series(6750);
     let conditioned = filter::condition(&s);
     let mut g = c.benchmark_group("inference");
-    g.bench_function("window_features_60", |b| b.iter(|| extract(black_box(&conditioned[..60]))));
+    g.bench_function("window_features_60", |b| {
+        b.iter(|| extract(black_box(&conditioned[..60])))
+    });
     g.bench_function("sliding_features_45s", |b| {
         b.iter(|| sliding_features(black_box(&conditioned), 30, 10))
     });

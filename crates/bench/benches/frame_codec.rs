@@ -24,7 +24,9 @@ fn bench_frame_codec(c: &mut Criterion) {
         b.iter(|| Frame::parse(black_box(&fake_bytes), true).unwrap())
     });
     g.throughput(Throughput::Bytes(beacon_bytes.len() as u64));
-    g.bench_function("encode_beacon", |b| b.iter(|| black_box(&beacon).encode(true)));
+    g.bench_function("encode_beacon", |b| {
+        b.iter(|| black_box(&beacon).encode(true))
+    });
     g.bench_function("parse_beacon", |b| {
         b.iter(|| Frame::parse(black_box(&beacon_bytes), true).unwrap())
     });
@@ -36,9 +38,13 @@ fn bench_fcs(c: &mut Criterion) {
     let payload_28 = vec![0xa5u8; 28];
     let mut g = c.benchmark_group("fcs_crc32");
     g.throughput(Throughput::Bytes(1500));
-    g.bench_function("crc32_1500B", |b| b.iter(|| fcs::crc32(black_box(&payload_1500))));
+    g.bench_function("crc32_1500B", |b| {
+        b.iter(|| fcs::crc32(black_box(&payload_1500)))
+    });
     g.throughput(Throughput::Bytes(28));
-    g.bench_function("crc32_28B", |b| b.iter(|| fcs::crc32(black_box(&payload_28))));
+    g.bench_function("crc32_28B", |b| {
+        b.iter(|| fcs::crc32(black_box(&payload_28)))
+    });
     g.finish();
 }
 
@@ -46,7 +52,9 @@ fn bench_radiotap(c: &mut Criterion) {
     let rt = Radiotap::capture(1_000_000, 2, ChannelInfo::ghz2(6), -48, -91);
     let bytes = rt.encode();
     let mut g = c.benchmark_group("radiotap");
-    g.bench_function("encode_capture_header", |b| b.iter(|| black_box(&rt).encode()));
+    g.bench_function("encode_capture_header", |b| {
+        b.iter(|| black_box(&rt).encode())
+    });
     g.bench_function("parse_capture_header", |b| {
         b.iter(|| Radiotap::parse(black_box(&bytes)).unwrap())
     });

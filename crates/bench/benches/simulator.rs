@@ -115,5 +115,10 @@ fn bench_medium_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_exchanges, bench_dense_cell, bench_medium_ablation);
+criterion_group!(
+    benches,
+    bench_exchanges,
+    bench_dense_cell,
+    bench_medium_ablation
+);
 criterion_main!(benches);

@@ -5,13 +5,13 @@
 //! ACK timeout expires long before the validated ACK arrives, so every
 //! frame is retransmitted to the retry limit and finally reported lost —
 //! breaking WiFi for *legitimate* traffic, which is exactly why the
-//! standard cannot adopt validate-then-ACK.
+//! standard cannot adopt validate-then-ACK. The four MAC variants are
+//! independent scenarios, fanned over the harness worker pool.
 
-use polite_wifi_bench::{compare, header, write_json};
+use polite_wifi_bench::{compare, Experiment, RunArgs, ScenarioBuilder};
 use polite_wifi_frame::{builder, MacAddr};
 use polite_wifi_mac::{Behavior, StationConfig};
 use polite_wifi_phy::rate::BitRate;
-use polite_wifi_sim::{SimConfig, Simulator};
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -24,31 +24,32 @@ struct AblationRow {
     retry_amplification: f64,
 }
 
-fn run(decode_us: Option<u32>) -> AblationRow {
+fn run(decode_us: Option<u32>, seed: u64) -> AblationRow {
     let victim_mac: MacAddr = "f2:6e:0b:11:22:33".parse().unwrap();
     let peer_mac: MacAddr = "02:00:00:00:00:42".parse().unwrap();
 
-    let mut sim = Simulator::new(SimConfig::default(), 6);
+    let mut sb = ScenarioBuilder::new().duration_us(60_000_000);
     let mut cfg = StationConfig::client(victim_mac);
     if let Some(us) = decode_us {
         cfg.behavior = Behavior::hypothetical_validating(us);
     }
-    let victim = sim.add_node(cfg, (0.0, 0.0));
-    sim.station_mut(victim).associate(peer_mac);
+    let victim = sb.station(cfg, (0.0, 0.0));
     // A *legitimate* peer this time — the ablation hurts friends, not
     // just attackers.
-    let peer = sim.add_node(StationConfig::client(peer_mac), (4.0, 0.0));
+    let peer = sb.client(peer_mac, (4.0, 0.0));
+    sb.associate(victim, peer_mac);
+    let mut scenario = sb.build_with_seed(seed);
 
     let frames_offered = 50u64;
     for i in 0..frames_offered {
-        sim.inject(
+        scenario.sim.inject(
             i * 20_000,
             peer,
             builder::protected_qos_data(victim_mac, peer_mac, peer_mac, i as u16, 200),
             BitRate::Mbps24,
         );
     }
-    sim.run_until(60_000_000);
+    let sim = scenario.run();
 
     let node = sim.node(peer);
     AblationRow {
@@ -61,13 +62,21 @@ fn run(decode_us: Option<u32>) -> AblationRow {
     }
 }
 
-fn main() {
-    header(
+fn main() -> std::io::Result<()> {
+    let mut exp = Experiment::start_defaults(
         "A1 (ablation): validate-then-ACK breaks legitimate WiFi",
         "DESIGN.md §5 / paper §2.2 — why the fix cannot exist",
+        RunArgs {
+            seed: 6,
+            ..RunArgs::default()
+        },
     );
 
-    let rows = vec![run(None), run(Some(200)), run(Some(450)), run(Some(700))];
+    let seed = exp.seed();
+    let variants = [None, Some(200), Some(450), Some(700)];
+    let rows = exp
+        .runner()
+        .run_indexed(variants.len(), |i| run(variants[i], seed));
     println!(
         "\n{:<26} {:>8} {:>8} {:>10} {:>8} {:>8}",
         "MAC design", "offered", "tx'd", "confirmed", "lost", "amplif."
@@ -79,16 +88,25 @@ fn main() {
         };
         println!(
             "{:<26} {:>8} {:>8} {:>10} {:>8} {:>7.1}x",
-            label, r.frames_offered, r.transmissions, r.confirmed, r.reported_lost,
+            label,
+            r.frames_offered,
+            r.transmissions,
+            r.confirmed,
+            r.reported_lost,
             r.retry_amplification
         );
+        exp.metrics
+            .record("retry_amplification", r.retry_amplification);
     }
 
     println!();
     compare(
         "compliant MAC: one transmission per frame, nothing lost",
         "-",
-        &format!("{} tx, {} lost", rows[0].transmissions, rows[0].reported_lost),
+        &format!(
+            "{} tx, {} lost",
+            rows[0].transmissions, rows[0].reported_lost
+        ),
     );
     compare(
         "validating MAC: retry amplification",
@@ -122,5 +140,5 @@ fn main() {
             r.frames_offered
         );
     }
-    write_json("ablation_validate", &rows);
+    exp.finish("ablation_validate", &rows)
 }

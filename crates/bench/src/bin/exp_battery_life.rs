@@ -1,26 +1,41 @@
 //! E8 — §4.2's battery-life projections: the Logitech Circle 2 and
-//! Amazon Blink XT2 under a 900 pps attack.
+//! Amazon Blink XT2 under a 900 pps attack. With `--trials N` the
+//! measurement repeats on N derived seeds and the projections use the
+//! Monte-Carlo mean power.
 
-use polite_wifi_bench::{compare, header, write_json};
+use polite_wifi_bench::{compare, Experiment, RunArgs};
 use polite_wifi_core::BatteryDrainAttack;
 
-fn main() {
-    header(
+fn main() -> std::io::Result<()> {
+    let mut exp = Experiment::start_defaults(
         "E8: battery-life projections under the 900 pps attack",
         "§4.2 of the paper (Circle 2 → ~6.7 h, Blink XT2 → ~16.7 h)",
+        RunArgs {
+            seed: 42,
+            ..RunArgs::default()
+        },
     );
+    let args = exp.args();
 
-    let m = BatteryDrainAttack {
-        rate_pps: 900,
-        ..BatteryDrainAttack::default()
-    }
-    .run();
+    let measurements = exp.runner().run_trials(exp.seed(), args.trials, |t| {
+        BatteryDrainAttack {
+            rate_pps: 900,
+            seed: t.seed,
+            ..BatteryDrainAttack::default()
+        }
+        .run()
+    });
+    let mean_mw =
+        measurements.iter().map(|m| m.average_power_mw).sum::<f64>() / measurements.len() as f64;
     println!(
-        "\nmeasured victim power at 900 pps: {:.1} mW (paper: ~360 mW)\n",
-        m.average_power_mw
+        "\nmeasured victim power at 900 pps: {:.1} mW over {} trial(s) (paper: ~360 mW)\n",
+        mean_mw,
+        measurements.len()
     );
+    exp.metrics.record("power_mw_at_900pps", mean_mw);
 
-    let projections = BatteryDrainAttack::project_batteries(&m);
+    let m = &measurements[0];
+    let projections = BatteryDrainAttack::project_batteries(m);
     println!(
         "{:<20} {:>9} {:>14} {:>13} {:>9}",
         "device", "mWh", "advertised", "under attack", "speedup"
@@ -37,10 +52,18 @@ fn main() {
     }
 
     println!();
-    compare("Logitech Circle 2 drains in", "~6.7 h", &format!("{:.1} h", projections[0].attacked_life_hours));
-    compare("Amazon Blink XT2 drains in", "~16.7 h", &format!("{:.1} h", projections[1].attacked_life_hours));
+    compare(
+        "Logitech Circle 2 drains in",
+        "~6.7 h",
+        &format!("{:.1} h", projections[0].attacked_life_hours),
+    );
+    compare(
+        "Amazon Blink XT2 drains in",
+        "~16.7 h",
+        &format!("{:.1} h", projections[1].attacked_life_hours),
+    );
 
     assert!((5.5..8.0).contains(&projections[0].attacked_life_hours));
     assert!((14.0..19.5).contains(&projections[1].attacked_life_hours));
-    write_json("battery_life", &projections);
+    exp.finish("battery_life", &projections)
 }

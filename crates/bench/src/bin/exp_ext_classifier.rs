@@ -7,7 +7,7 @@
 //! with session-held-out evaluation — the honest protocol (no window of a
 //! test session in training).
 
-use polite_wifi_bench::{compare, header, write_json};
+use polite_wifi_bench::{compare, Experiment, RunArgs};
 use polite_wifi_sensing::classify::ActivityClass;
 use polite_wifi_sensing::dataset::{cross_session_accuracy, generate_dataset, mean_std_of_class};
 use serde::Serialize;
@@ -21,27 +21,29 @@ struct ClassifierResult {
     class_order: Vec<String>,
 }
 
-fn main() {
-    header(
+fn main() -> std::io::Result<()> {
+    let mut exp = Experiment::start_defaults(
         "X4 (extension): activity classification, properly scored",
         "quantifies Figure 5's 'very distinct patterns' claim",
+        RunArgs {
+            seed: 2020,
+            ..RunArgs::default()
+        },
     );
 
     // Feature-separation sanity (the Figure 5 ordering).
     let sessions = generate_dataset(3, 900, 45, 15, 5, 17);
     println!("\nmean window std by class (Figure 5's ordering):");
     for class in ActivityClass::ALL {
-        println!(
-            "  {:?}: {:.4}",
-            class,
-            mean_std_of_class(&sessions, class)
-        );
+        println!("  {:?}: {:.4}", class, mean_std_of_class(&sessions, class));
     }
 
     // Held-out evaluation.
     let sessions_per_class = 6;
-    let matrix = cross_session_accuracy(sessions_per_class, 1350, 2020);
+    let matrix = cross_session_accuracy(sessions_per_class, 1350, exp.seed());
     let accuracy = matrix.accuracy();
+    exp.metrics.record("accuracy", accuracy);
+    exp.metrics.record("windows_scored", matrix.total() as f64);
 
     println!("\nconfusion matrix (rows = truth, cols = predicted):");
     println!(
@@ -69,21 +71,17 @@ fn main() {
     assert!(accuracy > 0.8, "accuracy {accuracy}");
     assert!(matrix.total() > 500);
 
-    write_json(
+    exp.finish(
         "ext_classifier",
         &ClassifierResult {
             sessions_per_class,
             windows_scored: matrix.total(),
             accuracy,
-            confusion: matrix
-                .counts
-                .iter()
-                .map(|row| row.to_vec())
-                .collect(),
+            confusion: matrix.counts.iter().map(|row| row.to_vec()).collect(),
             class_order: ActivityClass::ALL
                 .iter()
                 .map(|c| format!("{c:?}"))
                 .collect(),
         },
-    );
+    )
 }

@@ -6,14 +6,14 @@
 //! as they come into range, injecting at them while in range, and
 //! verifying their ACKs — one continuous simulation, no teleporting.
 
-use polite_wifi_bench::{compare, header, write_json};
+use polite_wifi_bench::{compare, Experiment, RunArgs, ScenarioBuilder};
 use polite_wifi_core::AckVerifier;
 use polite_wifi_frame::{builder, ControlFrame, Frame, MacAddr};
 use polite_wifi_mac::StationConfig;
 use polite_wifi_phy::rate::BitRate;
-use polite_wifi_sim::{SimConfig, Simulator};
+use polite_wifi_sim::NodeId;
 use serde::Serialize;
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 #[derive(Serialize)]
 struct DriveByResult {
@@ -25,10 +25,14 @@ struct DriveByResult {
     speed_mps: f64,
 }
 
-fn main() {
-    header(
+fn main() -> std::io::Result<()> {
+    let mut exp = Experiment::start_defaults(
         "X6 (extension): continuous drive-by survey (real mobility)",
         "§3's setup run literally — car, street, houses, no segmenting",
+        RunArgs {
+            seed: 81,
+            ..RunArgs::default()
+        },
     );
 
     let houses = 14usize;
@@ -37,42 +41,51 @@ fn main() {
     let street_len = houses as f64 * spacing;
     let drive_seconds = (street_len / speed) as u64 + 10;
 
-    let mut sim = Simulator::new(SimConfig::default(), 81);
+    let mut sb = ScenarioBuilder::new().duration_us(drive_seconds * 1_000_000);
     // The car: monitor-mode injector moving east along y = 0.
-    let car = sim.add_node(StationConfig::client(MacAddr::FAKE), (-60.0, 0.0));
-    sim.set_monitor(car, true);
-    sim.set_retries(car, false);
-    sim.set_velocity(car, (speed, 0.0));
+    let car = sb.monitor(MacAddr::FAKE, (-60.0, 0.0));
+    sb.retries(car, false);
+    sb.velocity(car, (speed, 0.0));
 
     // Houses along the street, 18 m back from the kerb: an AP plus two
     // clients each, everyone on channel 6 (the car's tune).
     let mut members: Vec<MacAddr> = Vec::new();
+    let mut probers: Vec<(NodeId, MacAddr, u64)> = Vec::new();
     for h in 0..houses {
         let x = h as f64 * spacing;
         let ap_mac = MacAddr::new([0x68, 0x02, 0xb8, 0x10, 0, h as u8]);
-        let ap = StationConfig::access_point(ap_mac, &format!("House-{h}"));
-        sim.add_node(ap, (x, 18.0));
+        sb.station(
+            StationConfig::access_point(ap_mac, &format!("House-{h}")),
+            (x, 18.0),
+        );
         members.push(ap_mac);
         for c in 0..2u8 {
             let mac = MacAddr::new([0xf0, 0x18, 0x98, 0x10, c, h as u8]);
-            let id = sim.add_node(StationConfig::client(mac), (x + 3.0, 21.0 + c as f64));
+            let id = sb.client(mac, (x + 3.0, 21.0 + c as f64));
             members.push(mac);
-            // Clients probe every ~700 ms throughout.
-            let mut t = (h as u64 * 137 + c as u64 * 313) * 1_000;
-            let mut seq = 0u16;
-            while t < drive_seconds * 1_000_000 {
-                sim.inject(t, id, builder::probe_request(mac, seq), BitRate::Mbps1);
-                seq = seq.wrapping_add(1);
-                t += 700_000;
-            }
+            probers.push((id, mac, (h as u64 * 137 + c as u64 * 313) * 1_000));
+        }
+    }
+    let mut scenario = sb.build_with_seed(exp.seed());
+    let sim = &mut scenario.sim;
+
+    // Clients probe every ~700 ms throughout.
+    for (id, mac, start_us) in &probers {
+        let mut t = *start_us;
+        let mut seq = 0u16;
+        while t < drive_seconds * 1_000_000 {
+            sim.inject(t, *id, builder::probe_request(*mac, seq), BitRate::Mbps1);
+            seq = seq.wrapping_add(1);
+            t += 700_000;
         }
     }
     let member_set: HashSet<MacAddr> = members.iter().copied().collect();
 
     // Drive: every 250 ms, discover new transmitters from the car's
     // capture and keep injecting at in-range undiscovered/unverified ones.
-    let mut discovered: HashSet<MacAddr> = HashSet::new();
-    let mut verified: HashSet<MacAddr> = HashSet::new();
+    // MAC-ordered sets so the injection schedule is deterministic.
+    let mut discovered: BTreeSet<MacAddr> = BTreeSet::new();
+    let mut verified: BTreeSet<MacAddr> = BTreeSet::new();
     let mut pending_pair: Option<(MacAddr, u64)> = None;
     let mut offset = 0usize;
     let mut now = 0u64;
@@ -116,7 +129,7 @@ fn main() {
     }
 
     // Cross-check the inline pairing against the library verifier.
-    let verified_check: HashSet<MacAddr> = AckVerifier::new(MacAddr::FAKE)
+    let verified_check: BTreeSet<MacAddr> = AckVerifier::new(MacAddr::FAKE)
         .responding_victims(&sim.node(car).capture)
         .into_iter()
         .collect();
@@ -126,8 +139,13 @@ fn main() {
         .capture
         .frames()
         .iter()
-        .filter(|cf| matches!(&cf.frame, Frame::Ctrl(ControlFrame::Ack { ra }) if *ra == MacAddr::FAKE))
+        .filter(
+            |cf| matches!(&cf.frame, Frame::Ctrl(ControlFrame::Ack { ra }) if *ra == MacAddr::FAKE),
+        )
         .count();
+    exp.metrics.record("discovered", discovered.len() as f64);
+    exp.metrics.record("verified", verified.len() as f64);
+    exp.metrics.record("acks_heard", acks_heard as f64);
 
     println!(
         "\nstreet: {houses} houses, {} devices; drive: {:.0} m at {speed} m/s ({drive_seconds} s)",
@@ -149,7 +167,7 @@ fn main() {
 
     assert_eq!(discovered.len(), members.len(), "missed a device");
     assert_eq!(verified.len(), members.len(), "a device failed to verify");
-    write_json(
+    exp.finish(
         "ext_driveby",
         &DriveByResult {
             houses,
@@ -159,5 +177,5 @@ fn main() {
             drive_seconds,
             speed_mps: speed,
         },
-    );
+    )
 }

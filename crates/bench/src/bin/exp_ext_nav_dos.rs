@@ -7,12 +7,12 @@
 //! every station honouring virtual carrier sense, including stations
 //! that cannot hear the attacker at all, defers for the advertised time.
 //! A classic DoS, powered by the same unauthenticated response behaviour.
+//! The five attack configurations are independent simulations, fanned
+//! over the harness worker pool.
 
-use polite_wifi_bench::{bar, compare, header, write_json};
+use polite_wifi_bench::{bar, compare, Experiment, RunArgs, ScenarioBuilder};
 use polite_wifi_frame::{builder, MacAddr};
-use polite_wifi_mac::StationConfig;
 use polite_wifi_phy::rate::BitRate;
-use polite_wifi_sim::{SimConfig, Simulator};
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -25,21 +25,22 @@ struct NavDosRow {
 
 /// Runs a legitimate pair offering 200 frames/s for 5 s while the
 /// attacker fires `rts_pps` forged RTS at the victim with `nav_us`.
-fn run(rts_pps: u32, nav_us: u16) -> NavDosRow {
+fn run(rts_pps: u32, nav_us: u16, seed: u64) -> NavDosRow {
     let a_mac: MacAddr = "02:00:00:00:00:0a".parse().unwrap();
     let b_mac: MacAddr = "02:00:00:00:00:0b".parse().unwrap();
 
-    let mut sim = Simulator::new(SimConfig::default(), 61);
-    let a = sim.add_node(StationConfig::client(a_mac), (0.0, 0.0));
-    let b = sim.add_node(StationConfig::client(b_mac), (10.0, 0.0));
-    sim.station_mut(b).associate(a_mac);
-    let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (20.0, 0.0));
-    sim.set_retries(attacker, false);
-
     let seconds = 5u64;
+    let mut sb = ScenarioBuilder::new().duration_us(seconds * 1_000_000);
+    let a = sb.client(a_mac, (0.0, 0.0));
+    let b = sb.client(b_mac, (10.0, 0.0));
+    sb.associate(b, a_mac);
+    let attacker = sb.client(MacAddr::FAKE, (20.0, 0.0));
+    sb.retries(attacker, false);
+    let mut scenario = sb.build_with_seed(seed);
+
     // Legitimate offered load: 200 small frames/s from A to B.
     for i in 0..(200 * seconds) {
-        sim.inject(
+        scenario.sim.inject(
             i * 5_000,
             a,
             builder::protected_qos_data(b_mac, a_mac, a_mac, i as u16, 200),
@@ -52,7 +53,7 @@ fn run(rts_pps: u32, nav_us: u16) -> NavDosRow {
     if rts_pps > 0 {
         let gap = 1_000_000 / rts_pps as u64;
         for i in 0..(rts_pps as u64 * (seconds + 1)) {
-            sim.inject(
+            scenario.sim.inject(
                 i * gap,
                 attacker,
                 builder::fake_rts(b_mac, MacAddr::FAKE, nav_us),
@@ -60,7 +61,7 @@ fn run(rts_pps: u32, nav_us: u16) -> NavDosRow {
             );
         }
     }
-    sim.run_until(seconds * 1_000_000);
+    let sim = scenario.run();
 
     let delivered = sim.node(a).acks_received as f64 / seconds as f64;
     NavDosRow {
@@ -71,25 +72,37 @@ fn run(rts_pps: u32, nav_us: u16) -> NavDosRow {
     }
 }
 
-fn main() {
-    header(
+fn main() -> std::io::Result<()> {
+    let mut exp = Experiment::start_defaults(
         "X5 (extension): channel-reservation DoS through automatic CTS",
         "the NAV-abuse dual of the paper's minimal-NAV injection",
+        RunArgs {
+            seed: 61,
+            ..RunArgs::default()
+        },
     );
 
-    let baseline = run(0, 0);
+    let seed = exp.seed();
+    let configs = [
+        (0u32, 0u16),
+        (10, 5_000),
+        (30, 30_000),
+        (40, 32_767),
+        (60, 32_767),
+    ];
+    let rows = exp
+        .runner()
+        .run_indexed(configs.len(), |i| run(configs[i].0, configs[i].1, seed));
+
     println!(
         "\nlegitimate pair without attack: {:.0} frames/s delivered\n",
-        baseline.delivered_per_second
+        rows[0].delivered_per_second
     );
-
     println!(
         "{:>8} {:>9} {:>13} {:>9}  throughput",
         "RTS/s", "NAV µs", "delivered/s", "fraction"
     );
-    let mut rows = vec![baseline];
-    for (pps, nav) in [(10u32, 5_000u16), (30, 30_000), (40, 32_767), (60, 32_767)] {
-        let row = run(pps, nav);
+    for row in &rows[1..] {
         println!(
             "{:>8} {:>9} {:>13.0} {:>8.0}%  {}",
             row.rts_per_second,
@@ -98,7 +111,10 @@ fn main() {
             row.throughput_fraction * 100.0,
             bar(row.throughput_fraction, 1.0, 30)
         );
-        rows.push(row);
+    }
+    for row in &rows {
+        exp.metrics
+            .record("throughput_fraction", row.throughput_fraction);
     }
 
     println!();
@@ -132,5 +148,5 @@ fn main() {
     );
     // More aggressive ≤ less throughput, monotonically.
     assert!(rows[4].throughput_fraction <= rows[3].throughput_fraction + 0.05);
-    write_json("ext_nav_dos", &rows);
+    exp.finish("ext_nav_dos", &rows)
 }

@@ -6,7 +6,7 @@
 //! every randomised device still answers fake frames. Attribution
 //! degrades; the attack surface does not.
 
-use polite_wifi_bench::{compare, header, write_json};
+use polite_wifi_bench::{compare, Experiment, RunArgs};
 use polite_wifi_core::WardriveScanner;
 use polite_wifi_devices::{CityPopulation, DeviceSpec};
 use serde::Serialize;
@@ -20,11 +20,16 @@ struct RandomizationResult {
     apple_clients_attributed: u32,
 }
 
-fn main() {
-    header(
+fn main() -> std::io::Result<()> {
+    let mut exp = Experiment::start_defaults(
         "X3 (extension): MAC randomisation hides vendors, not ACKs",
         "post-2020 phone privacy behaviour applied to the §3 survey",
+        RunArgs {
+            seed: 20,
+            ..RunArgs::default()
+        },
     );
+    let args = exp.args();
 
     // A phone-heavy slice of the city: Apple/Google/Samsung clients + APs.
     let full = CityPopulation::table2(30);
@@ -55,9 +60,10 @@ fn main() {
         let report = WardriveScanner {
             segment_size: 40,
             dwell_us: 2_500_000,
+            seed: exp.seed(),
             ..WardriveScanner::default()
         }
-        .run(&slice);
+        .run_sharded(&slice, args.workers);
         let unknown = report
             .client_counts
             .iter()
@@ -79,6 +85,7 @@ fn main() {
             apple
         );
         assert_eq!(report.verified, report.discovered, "ACKs unaffected");
+        exp.metrics.record("verified", report.verified as f64);
         rows.push(RandomizationResult {
             fraction,
             discovered: report.discovered,
@@ -89,7 +96,11 @@ fn main() {
     }
 
     println!();
-    compare("randomisation stops the ACKs", "no (protocol-level)", "no — 100% respond at every fraction");
+    compare(
+        "randomisation stops the ACKs",
+        "no (protocol-level)",
+        "no — 100% respond at every fraction",
+    );
     compare(
         "randomisation hides the vendor",
         "yes",
@@ -101,5 +112,5 @@ fn main() {
     assert!(rows[0].unknown_clients == 0);
     assert!(rows[2].apple_clients_attributed == 0);
     assert!(rows[2].unknown_clients >= 85);
-    write_json("ext_randomization", &rows);
+    exp.finish("ext_randomization", &rows)
 }

@@ -1,13 +1,12 @@
 //! X2 — extension: RSSI ranging to an unassociated victim (the Wi-Peep
 //! direction). The attacker elicits as many ACKs as it wants, so the
-//! estimate sharpens with sample count — quantified here.
+//! estimate sharpens with sample count — quantified here. The per-distance
+//! measurements are independent, so they fan out over the worker pool.
 
-use polite_wifi_bench::{compare, header, write_json};
+use polite_wifi_bench::{compare, Experiment, RunArgs, ScenarioBuilder};
 use polite_wifi_core::{estimate_range, FakeFrameInjector, InjectionKind, InjectionPlan};
 use polite_wifi_frame::MacAddr;
-use polite_wifi_mac::StationConfig;
 use polite_wifi_phy::rate::BitRate;
-use polite_wifi_sim::{SimConfig, Simulator};
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -21,10 +20,10 @@ struct RangeRow {
 
 fn measure(true_distance: f64, rate_pps: u32, duration_us: u64, seed: u64) -> RangeRow {
     let victim_mac: MacAddr = "f2:6e:0b:11:22:33".parse().unwrap();
-    let mut sim = Simulator::new(SimConfig::default(), seed);
-    let _v = sim.add_node(StationConfig::client(victim_mac), (true_distance, 0.0));
-    let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (0.0, 0.0));
-    sim.set_monitor(attacker, true);
+    let mut sb = ScenarioBuilder::new().duration_us(duration_us + 500_000);
+    let _v = sb.client(victim_mac, (true_distance, 0.0));
+    let attacker = sb.monitor(MacAddr::FAKE, (0.0, 0.0));
+    let mut scenario = sb.build_with_seed(seed);
     let plan = InjectionPlan {
         victim: victim_mac,
         forged_ta: MacAddr::FAKE,
@@ -34,8 +33,8 @@ fn measure(true_distance: f64, rate_pps: u32, duration_us: u64, seed: u64) -> Ra
         duration_us,
         bitrate: BitRate::Mbps1,
     };
-    FakeFrameInjector::new(attacker).execute(&mut sim, &plan);
-    sim.run_until(duration_us + 500_000);
+    FakeFrameInjector::new(attacker).execute(&mut scenario.sim, &plan);
+    let sim = scenario.run();
     let model = sim.path_loss();
     let est = estimate_range(&sim.node(attacker).capture, MacAddr::FAKE, 20.0, &model)
         .expect("ACKs collected");
@@ -48,16 +47,26 @@ fn measure(true_distance: f64, rate_pps: u32, duration_us: u64, seed: u64) -> Ra
     }
 }
 
-fn main() {
-    header(
+fn main() -> std::io::Result<()> {
+    let mut exp = Experiment::start_defaults(
         "X2 (extension): RSSI ranging to an unassociated victim",
         "follow-up direction (Wi-Peep); enabled by unlimited ACK elicitation",
+        RunArgs {
+            seed: 1,
+            ..RunArgs::default()
+        },
     );
 
-    println!("\n{:>8} {:>8} {:>10} {:>10} {:>8}", "true m", "samples", "RSSI dBm", "est. m", "err %");
-    let mut rows = Vec::new();
-    for (d, seed) in [(2.0, 1u64), (5.0, 2), (10.0, 3), (20.0, 4)] {
-        let row = measure(d, 200, 3_000_000, seed);
+    let seed = exp.seed();
+    let distances = [2.0f64, 5.0, 10.0, 20.0];
+    let rows = exp.runner().run_indexed(distances.len(), |i| {
+        measure(distances[i], 200, 3_000_000, seed + i as u64)
+    });
+    println!(
+        "\n{:>8} {:>8} {:>10} {:>10} {:>8}",
+        "true m", "samples", "RSSI dBm", "est. m", "err %"
+    );
+    for row in &rows {
         println!(
             "{:>8.1} {:>8} {:>10.1} {:>10.2} {:>7.1}%",
             row.true_distance_m,
@@ -66,12 +75,12 @@ fn main() {
             row.estimated_m,
             row.relative_error * 100.0
         );
-        rows.push(row);
+        exp.metrics.record("relative_error", row.relative_error);
     }
 
     // More elicited samples → tighter estimate (the Polite WiFi lever).
-    let short = measure(10.0, 50, 400_000, 9); // ~20 samples
-    let long = measure(10.0, 200, 10_000_000, 9); // ~2000 samples
+    let short = measure(10.0, 50, 400_000, seed + 8); // ~20 samples
+    let long = measure(10.0, 200, 10_000_000, seed + 8); // ~2000 samples
     println!();
     compare(
         "estimate sharpens with elicited sample count",
@@ -87,10 +96,14 @@ fn main() {
     compare(
         "ordering preserved across distances",
         "-",
-        if rows.windows(2).all(|w| w[1].estimated_m > w[0].estimated_m) { "yes" } else { "no" },
+        if rows.windows(2).all(|w| w[1].estimated_m > w[0].estimated_m) {
+            "yes"
+        } else {
+            "no"
+        },
     );
 
     assert!(rows.iter().all(|r| r.relative_error < 0.45), "{rows:?}");
     assert!(rows.windows(2).all(|w| w[1].estimated_m > w[0].estimated_m));
-    write_json("ext_ranging", &rows);
+    exp.finish("ext_ranging", &rows)
 }

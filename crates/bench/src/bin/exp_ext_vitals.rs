@@ -2,7 +2,7 @@
 //! synthetic channel — breathing-rate estimation and occupancy detection
 //! from elicited ACK CSI.
 
-use polite_wifi_bench::{compare, header, write_json};
+use polite_wifi_bench::{compare, Experiment, RunArgs};
 use polite_wifi_core::VitalSignsAttack;
 use polite_wifi_phy::csi::CsiChannel;
 use polite_wifi_sensing::occupancy::{detect_occupancy, OccupancyConfig};
@@ -16,32 +16,44 @@ struct VitalsJson {
     occupancy_detected: Vec<bool>,
 }
 
-fn main() {
-    header(
+fn main() -> std::io::Result<()> {
+    let mut exp = Experiment::start_defaults(
         "X1 (extension): vital signs & occupancy through Polite WiFi",
         "§4.1's open questions: breathing rate and occupancy detection",
+        RunArgs {
+            seed: 41,
+            ..RunArgs::default()
+        },
     );
 
-    // --- Breathing ---
+    // --- Breathing --- (three independent subjects, fanned over the pool)
     println!("\n-- breathing-rate recovery from a victim's ACK stream --\n");
-    let mut breathing = Vec::new();
-    for (true_bpm, seed) in [(12.0, 41u64), (16.0, 42), (22.0, 43)] {
-        let result = VitalSignsAttack {
-            true_bpm,
+    let seed = exp.seed();
+    let cases = [12.0f64, 16.0, 22.0];
+    let breathing = exp.runner().run_indexed(cases.len(), |i| {
+        VitalSignsAttack {
+            true_bpm: cases[i],
             duration_us: 60_000_000,
-            seed,
+            seed: seed + i as u64,
             ..VitalSignsAttack::default()
         }
-        .run();
-        let est = result.estimate.expect("long series");
+        .run()
+    });
+    for (true_bpm, result) in cases.iter().zip(&breathing) {
+        let est = result.estimate.as_ref().expect("long series");
         println!(
             "true {true_bpm:>5.1} bpm → estimated {:>5.1} bpm (confidence {:>5.1}, {} samples)",
             est.bpm, est.confidence, result.samples
         );
         assert!((est.bpm - true_bpm).abs() <= 1.0, "estimate off: {est:?}");
-        breathing.push(result);
+        exp.metrics
+            .record("bpm_abs_error", (est.bpm - true_bpm).abs());
     }
-    compare("breathing rate recoverable", "open question", "yes, ±0.5 bpm on this channel");
+    compare(
+        "breathing rate recoverable",
+        "open question",
+        "yes, ±0.5 bpm on this channel",
+    );
 
     // --- Occupancy ---
     println!("\n-- occupancy detection near an unmodified device --\n");
@@ -102,12 +114,12 @@ fn main() {
     );
     assert_eq!(correct, truth.len(), "occupancy misclassification");
 
-    write_json(
+    exp.finish(
         "ext_vitals",
         &VitalsJson {
             breathing,
             occupancy_truth: truth,
             occupancy_detected: detected,
         },
-    );
+    )
 }

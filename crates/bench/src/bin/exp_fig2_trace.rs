@@ -4,13 +4,11 @@
 //! the victim answers with an ACK addressed back to the forged MAC.
 //! Prints the Wireshark-style rows and writes the pcap.
 
-use polite_wifi_bench::{compare, header, write_json};
+use polite_wifi_bench::{compare, ensure_results_dir, Experiment, RunArgs, ScenarioBuilder};
 use polite_wifi_core::{AckVerifier, FakeFrameInjector, InjectionKind, InjectionPlan};
 use polite_wifi_frame::MacAddr;
-use polite_wifi_mac::StationConfig;
 use polite_wifi_pcap::{trace, LinkType};
 use polite_wifi_phy::rate::BitRate;
-use polite_wifi_sim::{SimConfig, Simulator};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -21,22 +19,25 @@ struct Fig2Result {
     trace_rows: Vec<[String; 4]>,
 }
 
-fn main() {
-    header(
+fn main() -> std::io::Result<()> {
+    let mut exp = Experiment::start_defaults(
         "E1: attacker/victim trace (fake null frame → ACK)",
         "Figure 2 of 'WiFi Says Hi! Back to Strangers!' (HotNets '20)",
+        RunArgs {
+            seed: 2,
+            ..RunArgs::default()
+        },
     );
 
     let victim_mac: MacAddr = "f2:6e:0b:11:22:33".parse().unwrap();
     let ap_mac: MacAddr = "68:02:b8:00:00:01".parse().unwrap();
 
-    let mut sim = Simulator::new(SimConfig::default(), 2);
-    let ap = sim.add_node(StationConfig::access_point(ap_mac, "PrivateNet"), (2.0, 0.0));
-    let victim = sim.add_node(StationConfig::client(victim_mac), (0.0, 0.0));
-    sim.station_mut(victim).associate(ap_mac);
-    sim.station_mut(ap).associate(victim_mac);
-    let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (6.0, 0.0));
-    sim.set_monitor(attacker, true);
+    let mut sb = ScenarioBuilder::new().duration_us(1_500_000);
+    let ap = sb.access_point(ap_mac, "PrivateNet", (2.0, 0.0));
+    let victim = sb.client(victim_mac, (0.0, 0.0));
+    let attacker = sb.monitor(MacAddr::FAKE, (6.0, 0.0));
+    sb.link(victim, ap);
+    let mut scenario = sb.build_with_seed(exp.seed());
 
     let plan = InjectionPlan {
         victim: victim_mac,
@@ -47,8 +48,8 @@ fn main() {
         duration_us: 1_000_000,
         bitrate: BitRate::Mbps1,
     };
-    let fakes = FakeFrameInjector::new(attacker).execute(&mut sim, &plan);
-    sim.run_until(1_500_000);
+    let fakes = FakeFrameInjector::new(attacker).execute(&mut scenario.sim, &plan);
+    let sim = scenario.run();
 
     // Print the attack exchange only (beacons elided, like the figure).
     let rows: Vec<_> = trace::rows(&sim.node(attacker).capture)
@@ -65,9 +66,22 @@ fn main() {
         .iter()
         .map(|e| e.ack_ts_us - e.fake_ts_us)
         .collect();
+    exp.metrics.record("fakes_sent", fakes as f64);
+    exp.metrics.record("acks_elicited", exchanges.len() as f64);
+    for l in &latencies {
+        exp.metrics.record("ack_latency_us", *l as f64);
+    }
 
     println!();
-    compare("victim ACKs every fake frame", "yes", if exchanges.len() as u64 == fakes { "yes" } else { "NO" });
+    compare(
+        "victim ACKs every fake frame",
+        "yes",
+        if exchanges.len() as u64 == fakes {
+            "yes"
+        } else {
+            "NO"
+        },
+    );
     compare(
         "ACK destination is the forged MAC",
         "aa:bb:bb:bb:bb:bb",
@@ -83,15 +97,14 @@ fn main() {
         &format!("{} µs total", latencies.first().copied().unwrap_or(0)),
     );
 
-    let path = polite_wifi_bench::results_dir().join("fig2_trace.pcap");
+    let path = ensure_results_dir()?.join("fig2_trace.pcap");
     sim.node(attacker)
         .capture
-        .write_pcap_file(&path, LinkType::Ieee80211Radiotap)
-        .expect("write pcap");
+        .write_pcap_file(&path, LinkType::Ieee80211Radiotap)?;
     println!("\npcap written to {}", path.display());
 
     assert_eq!(exchanges.len() as u64, fakes, "every fake must be ACKed");
-    write_json(
+    exp.finish(
         "fig2_trace",
         &Fig2Result {
             fakes_sent: fakes,
@@ -109,5 +122,5 @@ fn main() {
                 })
                 .collect(),
         },
-    );
+    )
 }

@@ -2,13 +2,15 @@
 //! attacker — and still ACKs the fake frames. A manual MAC blocklist on
 //! the AP changes nothing.
 
-use polite_wifi_bench::{compare, header, write_json};
+use polite_wifi_bench::{
+    compare, derive_trial_seed, ensure_results_dir, Experiment, RunArgs, ScenarioBuilder,
+};
 use polite_wifi_core::AckVerifier;
 use polite_wifi_frame::{builder, MacAddr};
 use polite_wifi_mac::{Behavior, StationConfig};
 use polite_wifi_pcap::{trace, LinkType};
 use polite_wifi_phy::rate::BitRate;
-use polite_wifi_sim::{SimConfig, Simulator};
+use polite_wifi_sim::{NodeId, Simulator};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -20,39 +22,44 @@ struct Fig3Result {
     trace_rows: Vec<[String; 4]>,
 }
 
-fn run_phase(seed: u64, blocklist: bool) -> (Simulator, polite_wifi_sim::NodeId, polite_wifi_sim::NodeId) {
+fn run_phase(seed: u64, blocklist: bool) -> (Simulator, NodeId, NodeId) {
     let ap_mac: MacAddr = "f2:6e:0b:aa:00:01".parse().unwrap();
-    let mut sim = Simulator::new(SimConfig::default(), seed);
+    let mut sb = ScenarioBuilder::new().duration_us(1_000_000);
     let mut ap_cfg = StationConfig::access_point(ap_mac, "PrivateNet");
     ap_cfg.behavior = Behavior::deauthing_ap();
     ap_cfg.beacon_interval_us = None; // keep the figure's trace clean
-    let ap = sim.add_node(ap_cfg, (0.0, 0.0));
+    let ap = sb.station(ap_cfg, (0.0, 0.0));
+    let attacker = sb.monitor(MacAddr::FAKE, (5.0, 0.0));
+    sb.retries(attacker, false);
+
+    let mut scenario = sb.build_with_seed(seed);
     if blocklist {
-        sim.station_mut(ap).block_mac(MacAddr::FAKE);
+        scenario.sim.station_mut(ap).block_mac(MacAddr::FAKE);
     }
-    let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (5.0, 0.0));
-    sim.set_monitor(attacker, true);
-    sim.set_retries(attacker, false);
     for i in 0..5u64 {
-        sim.inject(
+        scenario.sim.inject(
             10_000 + i * 100_000,
             attacker,
             builder::fake_null_frame(ap_mac, MacAddr::FAKE),
             BitRate::Mbps1,
         );
     }
-    sim.run_until(1_000_000);
-    (sim, ap, attacker)
+    scenario.run();
+    (scenario.sim, ap, attacker)
 }
 
-fn main() {
-    header(
+fn main() -> std::io::Result<()> {
+    let mut exp = Experiment::start_defaults(
         "E3: AP deauths the attacker yet still ACKs its fakes",
         "Figure 3 + the blocklist experiment of §2.1",
+        RunArgs {
+            seed: 3,
+            ..RunArgs::default()
+        },
     );
 
     // Phase 1: plain deauthing AP.
-    let (sim, ap, attacker) = run_phase(3, false);
+    let (sim, ap, attacker) = run_phase(derive_trial_seed(exp.seed(), 0), false);
     let rows: Vec<_> = trace::rows(&sim.node(attacker).capture);
     println!("\nSource             Destination        Info");
     for r in rows.iter().take(12) {
@@ -72,7 +79,10 @@ fn main() {
         .iter()
         .filter_map(|cf| match &cf.frame {
             polite_wifi_frame::Frame::Mgmt(m)
-                if matches!(m.body, polite_wifi_frame::ManagementBody::Deauthentication { .. }) =>
+                if matches!(
+                    m.body,
+                    polite_wifi_frame::ManagementBody::Deauthentication { .. }
+                ) =>
             {
                 Some(m.seq.sequence)
             }
@@ -83,22 +93,45 @@ fn main() {
 
     // Phase 2: administrator blocks the attacker's MAC. "This experiment
     // destroyed the last hope of preventing this attack."
-    let (sim2, _ap2, attacker2) = run_phase(4, true);
+    let (sim2, _ap2, attacker2) = run_phase(derive_trial_seed(exp.seed(), 1), true);
     let blocked_acks = AckVerifier::new(MacAddr::FAKE)
         .verify(&sim2.node(attacker2).capture)
         .len();
 
+    exp.metrics.record("phase1_acks", acks as f64);
+    exp.metrics.record("phase1_deauths", deauths as f64);
+    exp.metrics
+        .record("phase2_blocklisted_acks", blocked_acks as f64);
+
     println!();
-    compare("AP deauths the never-associated attacker", "yes", if deauths > 0 { "yes" } else { "no" });
-    compare("deauth burst repeats one sequence number", "yes (SN=3275 ×3)", if shares_sn { "yes" } else { "no" });
+    compare(
+        "AP deauths the never-associated attacker",
+        "yes",
+        if deauths > 0 { "yes" } else { "no" },
+    );
+    compare(
+        "deauth burst repeats one sequence number",
+        "yes (SN=3275 ×3)",
+        if shares_sn { "yes" } else { "no" },
+    );
     compare("AP still ACKs the fake frames", "yes", &format!("{acks}/5"));
-    compare("ACKs after blocklisting attacker MAC", "still yes", &format!("{blocked_acks}/5"));
+    compare(
+        "ACKs after blocklisting attacker MAC",
+        "still yes",
+        &format!("{blocked_acks}/5"),
+    );
 
     assert_eq!(acks, 5);
     assert_eq!(blocked_acks, 5);
     assert!(deauths >= 3);
 
-    write_json(
+    let path = ensure_results_dir()?.join("fig3_deauth.pcap");
+    sim.node(attacker)
+        .capture
+        .write_pcap_file(&path, LinkType::Ieee80211Radiotap)?;
+    println!("pcap written to {}", path.display());
+
+    exp.finish(
         "fig3_deauth",
         &Fig3Result {
             phase1_acks: acks,
@@ -117,12 +150,5 @@ fn main() {
                 })
                 .collect(),
         },
-    );
-
-    let path = polite_wifi_bench::results_dir().join("fig3_deauth.pcap");
-    sim.node(attacker)
-        .capture
-        .write_pcap_file(&path, LinkType::Ieee80211Radiotap)
-        .expect("write pcap");
-    println!("\npcap written to {}", path.display());
+    )
 }

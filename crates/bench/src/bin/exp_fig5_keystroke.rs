@@ -4,22 +4,29 @@
 //! separates ground / pickup / hold / typing, and keystroke bursts are
 //! individually detectable.
 
-use polite_wifi_bench::{bar, compare, header, write_json};
+use polite_wifi_bench::{bar, compare, Experiment, RunArgs};
 use polite_wifi_core::KeystrokeAttack;
 
-fn main() {
-    header(
+fn main() -> std::io::Result<()> {
+    let mut exp = Experiment::start_defaults(
         "E6: keystroke/activity inference from ACK CSI",
         "Figure 5 + §4.1 of the paper",
+        RunArgs {
+            seed: 2020,
+            ..RunArgs::default()
+        },
     );
 
-    let attack = KeystrokeAttack::figure5(2020);
+    let attack = KeystrokeAttack::figure5(exp.seed());
     let result = attack.run();
 
     println!(
         "\nfakes: {}   ACKs measured: {}   CSI rate: {:.1} Hz (paper: 150/s)\n",
         result.fakes_sent, result.acks_measured, result.sample_rate_hz
     );
+    exp.metrics
+        .record("acks_measured", result.acks_measured as f64);
+    exp.metrics.record("sample_rate_hz", result.sample_rate_hz);
 
     // Figure 5 as numbers: per-phase variability of subcarrier 17.
     let max_std = result
@@ -27,7 +34,10 @@ fn main() {
         .iter()
         .map(|p| p.std_dev)
         .fold(1e-9, f64::max);
-    println!("{:<10} {:>7}..{:<5} {:>9}  variability", "phase", "start", "end", "std");
+    println!(
+        "{:<10} {:>7}..{:<5} {:>9}  variability",
+        "phase", "start", "end", "std"
+    );
     for p in &result.phase_stats {
         println!(
             "{:<10} {:>6.1}s..{:<4.1}s {:>9.4}  {}",
@@ -53,7 +63,11 @@ fn main() {
     let typing = std_of("typing");
 
     println!();
-    compare("idle signal is very stable", "yes", &format!("std {idle:.4}"));
+    compare(
+        "idle signal is very stable",
+        "yes",
+        &format!("std {idle:.4}"),
+    );
     compare(
         "pickup causes large fluctuations",
         "yes",
@@ -68,7 +82,10 @@ fn main() {
     compare(
         "individual keystrokes visible",
         "potentially",
-        &format!("{hits}/{} bursts detected, {fa} false alarms", result.keystrokes_truth),
+        &format!(
+            "{hits}/{} bursts detected, {fa} false alarms",
+            result.keystrokes_truth
+        ),
     );
 
     assert!(pickup > 10.0 * idle);
@@ -84,7 +101,7 @@ fn main() {
         keystroke_score: (usize, usize, usize),
         keystrokes_truth: usize,
     }
-    write_json(
+    exp.finish(
         "fig5_keystroke",
         &Fig5Json {
             acks_measured: result.acks_measured,
@@ -93,5 +110,5 @@ fn main() {
             keystroke_score: result.keystroke_score,
             keystrokes_truth: result.keystrokes_truth,
         },
-    );
+    )
 }

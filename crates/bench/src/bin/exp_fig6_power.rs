@@ -2,52 +2,88 @@
 //!
 //! Sweeps injection rates against an ESP8266 in power-save mode and
 //! checks the paper's three anchors: ~10 mW idle, ~230 mW past the
-//! 10 pps knee, ~360 mW at 900 pps (a 35× increase).
+//! 10 pps knee, ~360 mW at 900 pps (a 35× increase). With `--trials N`
+//! the sweep repeats on N derived seeds (fanned over the worker pool)
+//! and the anchors are checked on the Monte-Carlo means.
 
-use polite_wifi_bench::{bar, compare, header, write_json};
-use polite_wifi_core::BatteryDrainAttack;
+use polite_wifi_bench::{bar, compare, Experiment, RunArgs};
+use polite_wifi_core::{BatteryDrainAttack, DrainMeasurement};
+use serde::Serialize;
 
-fn main() {
-    header(
+#[derive(Serialize)]
+struct Fig6Json {
+    rates_pps: Vec<u32>,
+    mean_power_mw: Vec<f64>,
+    mean_sleep_fraction: Vec<f64>,
+    first_trial: Vec<DrainMeasurement>,
+}
+
+fn main() -> std::io::Result<()> {
+    let mut exp = Experiment::start_defaults(
         "E7: battery-drain attack — power vs fake-frame rate",
         "Figure 6 + §4.2 of the paper",
+        RunArgs {
+            seed: 2020,
+            ..RunArgs::default()
+        },
     );
+    let args = exp.args();
 
-    let rates = [0u32, 1, 2, 5, 8, 10, 15, 20, 50, 100, 200, 300, 500, 700, 900];
+    let rates = [
+        0u32, 1, 2, 5, 8, 10, 15, 20, 50, 100, 200, 300, 500, 700, 900,
+    ];
+    let sweeps = exp.runner().run_trials(exp.seed(), args.trials, |t| {
+        BatteryDrainAttack::sweep(&rates, t.seed)
+    });
+
+    let n = sweeps.len() as f64;
+    let mean_power: Vec<f64> = (0..rates.len())
+        .map(|ri| sweeps.iter().map(|s| s[ri].average_power_mw).sum::<f64>() / n)
+        .collect();
+    let mean_sleep: Vec<f64> = (0..rates.len())
+        .map(|ri| sweeps.iter().map(|s| s[ri].sleep_fraction).sum::<f64>() / n)
+        .collect();
+    for (ri, &rate) in rates.iter().enumerate() {
+        exp.metrics
+            .record(&format!("power_mw_at_{rate}pps"), mean_power[ri]);
+    }
+
     println!("\n{:>8} {:>10} {:>8}  power", "pps", "mW", "sleep%");
-    let measurements = BatteryDrainAttack::sweep(&rates, 2020);
-    for m in &measurements {
+    for (ri, &rate) in rates.iter().enumerate() {
         println!(
             "{:>8} {:>10.1} {:>8.1}  {}",
-            m.rate_pps,
-            m.average_power_mw,
-            m.sleep_fraction * 100.0,
-            bar(m.average_power_mw, 400.0, 36)
+            rate,
+            mean_power[ri],
+            mean_sleep[ri] * 100.0,
+            bar(mean_power[ri], 400.0, 36)
         );
     }
 
     let at = |pps: u32| {
-        measurements
-            .iter()
-            .find(|m| m.rate_pps == pps)
-            .expect("rate measured")
+        let ri = rates.iter().position(|&r| r == pps).expect("rate measured");
+        mean_power[ri]
     };
-    let baseline = at(0).average_power_mw;
-    let knee = at(20).average_power_mw;
-    let top = at(900).average_power_mw;
+    let baseline = at(0);
+    let knee = at(20);
+    let top = at(900);
 
     println!();
-    compare("no attack (power save works)", "~10 mW", &format!("{baseline:.1} mW"));
-    compare(">10 pps keeps the radio on", "~230 mW", &format!("{knee:.1} mW @ 20 pps"));
+    compare(
+        "no attack (power save works)",
+        "~10 mW",
+        &format!("{baseline:.1} mW"),
+    );
+    compare(
+        ">10 pps keeps the radio on",
+        "~230 mW",
+        &format!("{knee:.1} mW @ 20 pps"),
+    );
     compare("900 pps", "~360 mW", &format!("{top:.1} mW"));
     compare("increase factor", "35x", &format!("{:.0}x", top / baseline));
 
     // Linearity above the knee, as the paper notes.
-    let p100 = at(100).average_power_mw;
-    let p500 = at(500).average_power_mw;
-    let p900 = at(900).average_power_mw;
-    let slope1 = (p500 - p100) / 400.0;
-    let slope2 = (p900 - p500) / 400.0;
+    let slope1 = (at(500) - at(100)) / 400.0;
+    let slope2 = (at(900) - at(500)) / 400.0;
     compare(
         "power grows linearly with rate",
         "yes",
@@ -59,7 +95,19 @@ fn main() {
     assert!((320.0..400.0).contains(&top), "top {top}");
     let factor = top / baseline;
     assert!((20.0..50.0).contains(&factor), "factor {factor}");
-    assert!((slope1 - slope2).abs() < 0.08, "not linear: {slope1} vs {slope2}");
+    assert!(
+        (slope1 - slope2).abs() < 0.08,
+        "not linear: {slope1} vs {slope2}"
+    );
 
-    write_json("fig6_power", &measurements);
+    let first_trial = sweeps.into_iter().next().expect("at least one trial");
+    exp.finish(
+        "fig6_power",
+        &Fig6Json {
+            rates_pps: rates.to_vec(),
+            mean_power_mw: mean_power,
+            mean_sleep_fraction: mean_sleep,
+            first_trial,
+        },
+    )
 }

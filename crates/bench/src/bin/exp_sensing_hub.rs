@@ -2,12 +2,12 @@
 //! unmodified neighbours, motion events recovered at their scripted
 //! times (the Figure 5 caption's "sharp changes at times 9 and 32").
 
-use polite_wifi_bench::{compare, header, write_json};
+use polite_wifi_bench::{compare, Experiment};
 use polite_wifi_core::SensingHub;
 use polite_wifi_sensing::{MotionScript, Phase};
 
-fn main() {
-    header(
+fn main() -> std::io::Result<()> {
+    let mut exp = Experiment::start(
         "E9: single-device WiFi sensing via Polite WiFi",
         "§4.3 of the paper (+ the motion events of Figure 5's caption)",
     );
@@ -60,25 +60,41 @@ fn main() {
             "target {i} ({})  {:>5} samples  motion: {}",
             t.target,
             t.samples,
-            if windows.is_empty() { "none".into() } else { windows.join(", ") }
+            if windows.is_empty() {
+                "none".into()
+            } else {
+                windows.join(", ")
+            }
         );
+        exp.metrics.record("samples_per_target", t.samples as f64);
     }
 
     println!();
-    compare("software modified on", "1 device", &format!("{} device", report.devices_modified));
+    compare(
+        "software modified on",
+        "1 device",
+        &format!("{} device", report.devices_modified),
+    );
     compare(
         "events at ≈9 s and ≈32 s detected",
         "yes (Figure 5)",
-        &format!("{} windows on target 0", report.targets[0].motion_windows_us.len()),
+        &format!(
+            "{} windows on target 0",
+            report.targets[0].motion_windows_us.len()
+        ),
     );
     compare(
         "idle neighbour stays quiet",
         "yes",
-        if report.targets[1].motion_windows_us.is_empty() { "yes" } else { "no" },
+        if report.targets[1].motion_windows_us.is_empty() {
+            "yes"
+        } else {
+            "no"
+        },
     );
 
     assert_eq!(report.targets[0].motion_windows_us.len(), 2);
     assert!(report.targets[1].motion_windows_us.is_empty());
     assert_eq!(report.targets[2].motion_windows_us.len(), 1);
-    write_json("sensing_hub", &report);
+    exp.finish("sensing_hub", &report)
 }

@@ -9,13 +9,12 @@
 //! victim still answers a forged RTS with a CTS, because control frames
 //! cannot be encrypted.
 
-use polite_wifi_bench::{bar, compare, header, write_json};
+use polite_wifi_bench::{bar, compare, Experiment, RunArgs, ScenarioBuilder};
 use polite_wifi_core::analysis;
 use polite_wifi_frame::{builder, MacAddr};
 use polite_wifi_mac::{Behavior, StationConfig};
 use polite_wifi_phy::rate::BitRate;
 use polite_wifi_phy::timing::{WPA2_DECODE_MAX_US, WPA2_DECODE_MIN_US};
-use polite_wifi_sim::{SimConfig, Simulator};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -26,10 +25,14 @@ struct SifsResult {
     pmf_victim_ack_count: u64,
 }
 
-fn main() {
-    header(
+fn main() -> std::io::Result<()> {
+    let mut exp = Experiment::start_defaults(
         "E4: the SIFS feasibility argument + the RTS/CTS fallback",
         "§2.2 (timing) and footnote 2 (802.11w) of the paper",
+        RunArgs {
+            seed: 4,
+            ..RunArgs::default()
+        },
     );
 
     let report = analysis::sifs_report();
@@ -48,7 +51,11 @@ fn main() {
                 f.ack_ready_us,
                 f.deadline_us,
                 bar(f.ack_ready_us as f64, 700.0, 28),
-                if f.misses_deadline { "MISSES — frame retransmitted" } else { "on time" }
+                if f.misses_deadline {
+                    "MISSES — frame retransmitted"
+                } else {
+                    "on time"
+                }
             );
         }
         println!();
@@ -73,31 +80,38 @@ fn main() {
 
     println!("\n-- Part 2: the RTS/CTS fallback defeats even a fast decoder --\n");
     let victim_mac: MacAddr = "f2:6e:0b:11:22:33".parse().unwrap();
-    let mut sim = Simulator::new(SimConfig::default(), 4);
+    let mut sb = ScenarioBuilder::new().duration_us(1_000_000);
     let mut cfg = StationConfig::client(victim_mac);
     cfg.behavior = Behavior::pmf_client(); // 802.11w enabled
-    let victim = sim.add_node(cfg, (0.0, 0.0));
-    let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (5.0, 0.0));
+    let victim = sb.station(cfg, (0.0, 0.0));
+    let attacker = sb.client(MacAddr::FAKE, (5.0, 0.0));
+    let mut scenario = sb.build_with_seed(exp.seed());
     for i in 0..10u64 {
-        sim.inject(
+        scenario.sim.inject(
             i * 50_000,
             attacker,
             builder::fake_rts(victim_mac, MacAddr::FAKE, 248),
             BitRate::Mbps11,
         );
     }
-    sim.run_until(1_000_000);
+    let sim = scenario.run();
     let cts = sim.station(victim).stats.cts_sent;
-    compare("PMF victim answers forged RTS with CTS", "10/10", &format!("{cts}/10"));
+    compare(
+        "PMF victim answers forged RTS with CTS",
+        "10/10",
+        &format!("{cts}/10"),
+    );
     assert_eq!(cts, 10);
+    exp.metrics.record("pmf_victim_cts", cts as f64);
 
-    write_json(
+    let ack_count = sim.station(victim).stats.acks_sent;
+    exp.finish(
         "sifs_timing",
         &SifsResult {
             worst_case_overrun: analysis::worst_case_overrun(),
             pmf_victim_cts_count: cts,
-            pmf_victim_ack_count: sim.station(victim).stats.acks_sent,
+            pmf_victim_ack_count: ack_count,
             report,
         },
-    );
+    )
 }

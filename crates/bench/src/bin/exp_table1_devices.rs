@@ -2,15 +2,15 @@
 //!
 //! Reconstructs each Table 1 device as a simulated station with its
 //! band/standard/behaviour profile and verifies that fake frames are
-//! acknowledged by every one of them.
+//! acknowledged by every one of them. The five device scenarios are
+//! independent, so they fan out over the harness worker pool.
 
-use polite_wifi_bench::{compare, header, write_json};
+use polite_wifi_bench::{compare, derive_trial_seed, Experiment, RunArgs, ScenarioBuilder};
 use polite_wifi_core::{AckVerifier, FakeFrameInjector, InjectionKind, InjectionPlan};
 use polite_wifi_devices::Table1Device;
 use polite_wifi_frame::MacAddr;
 use polite_wifi_mac::{Role, StationConfig};
 use polite_wifi_phy::rate::BitRate;
-use polite_wifi_sim::{SimConfig, Simulator};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -23,80 +23,91 @@ struct DeviceRow {
     responds: bool,
 }
 
-fn main() {
-    header(
+fn device_row(i: usize, base_seed: u64) -> DeviceRow {
+    let profile = Table1Device::ALL[i].profile();
+    let victim_mac = MacAddr::new([0x02, 0xd1, 0x00, 0x00, 0x00, i as u8 + 1]);
+
+    let mut sb = ScenarioBuilder::new().duration_us(3_000_000);
+    let mut cfg = StationConfig::client(victim_mac);
+    cfg.role = profile.role;
+    cfg.band = profile.band;
+    cfg.channel = profile.band.default_channel();
+    cfg.behavior = profile.behavior;
+    if profile.role == Role::AccessPoint {
+        cfg.ssid = "GoogleWifi".into();
+        cfg.beacon_interval_us = Some(102_400);
+    }
+    let _victim = sb.station(cfg, (0.0, 0.0));
+    // The dongle tunes to the victim's band/channel.
+    let mut attacker_cfg = StationConfig::client(MacAddr::FAKE);
+    attacker_cfg.band = profile.band;
+    attacker_cfg.channel = profile.band.default_channel();
+    let attacker = sb.station(attacker_cfg, (5.0, 0.0));
+    sb.set_monitor(attacker);
+    let mut scenario = sb.build_with_seed(derive_trial_seed(base_seed, i as u64));
+
+    // 20 fakes over 2 s; power-save devices may doze so we expect the
+    // injector to land at least a solid majority, and ≥1 suffices to
+    // demonstrate the behaviour (the paper's criterion).
+    let plan = InjectionPlan {
+        victim: victim_mac,
+        forged_ta: MacAddr::FAKE,
+        kind: InjectionKind::NullData,
+        rate_pps: 20,
+        start_us: 10_000,
+        duration_us: 2_000_000,
+        bitrate: if profile.band == polite_wifi_phy::band::Band::Ghz5 {
+            BitRate::Mbps6 // no DSSS rates on 5 GHz
+        } else {
+            BitRate::Mbps1
+        },
+    };
+    let fakes = FakeFrameInjector::new(attacker).execute(&mut scenario.sim, &plan);
+    let sim = scenario.run();
+
+    let acks = AckVerifier::new(MacAddr::FAKE)
+        .verify(&sim.node(attacker).capture)
+        .len();
+    DeviceRow {
+        device: profile.device,
+        chipset: profile.chipset,
+        standard: profile.standard.label().to_string(),
+        fakes,
+        acks,
+        responds: acks > 0,
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let mut exp = Experiment::start_defaults(
         "E2: per-chipset Polite WiFi check",
         "Table 1 of the paper (five devices, five chipset vendors)",
+        RunArgs {
+            seed: 100,
+            ..RunArgs::default()
+        },
     );
 
-    let mut rows = Vec::new();
+    let seed = exp.seed();
+    let rows = exp
+        .runner()
+        .run_indexed(Table1Device::ALL.len(), |i| device_row(i, seed));
+
     println!(
         "\n{:<22} {:<18} {:<8} {:>6} {:>6}  verdict",
         "Device", "WiFi module", "Std", "fakes", "ACKs"
     );
-
-    for (i, dev) in Table1Device::ALL.iter().enumerate() {
-        let profile = dev.profile();
-        let victim_mac = MacAddr::new([0x02, 0xd1, 0x00, 0x00, 0x00, i as u8 + 1]);
-
-        let mut sim = Simulator::new(SimConfig::default(), 100 + i as u64);
-        let mut cfg = StationConfig::client(victim_mac);
-        cfg.role = profile.role;
-        cfg.band = profile.band;
-        cfg.channel = profile.band.default_channel();
-        cfg.behavior = profile.behavior;
-        if profile.role == Role::AccessPoint {
-            cfg.ssid = "GoogleWifi".into();
-            cfg.beacon_interval_us = Some(102_400);
-        }
-        let _victim = sim.add_node(cfg, (0.0, 0.0));
-        // The dongle tunes to the victim's band/channel.
-        let mut attacker_cfg = StationConfig::client(MacAddr::FAKE);
-        attacker_cfg.band = profile.band;
-        attacker_cfg.channel = profile.band.default_channel();
-        let attacker = sim.add_node(attacker_cfg, (5.0, 0.0));
-        sim.set_monitor(attacker, true);
-
-        // 20 fakes over 2 s; power-save devices may doze so we expect the
-        // injector to land at least a solid majority, and ≥1 suffices to
-        // demonstrate the behaviour (the paper's criterion).
-        let plan = InjectionPlan {
-            victim: victim_mac,
-            forged_ta: MacAddr::FAKE,
-            kind: InjectionKind::NullData,
-            rate_pps: 20,
-            start_us: 10_000,
-            duration_us: 2_000_000,
-            bitrate: if profile.band == polite_wifi_phy::band::Band::Ghz5 {
-                BitRate::Mbps6 // no DSSS rates on 5 GHz
-            } else {
-                BitRate::Mbps1
-            },
-        };
-        let fakes = FakeFrameInjector::new(attacker).execute(&mut sim, &plan);
-        sim.run_until(3_000_000);
-
-        let acks = AckVerifier::new(MacAddr::FAKE)
-            .verify(&sim.node(attacker).capture)
-            .len();
-        let responds = acks > 0;
+    for r in &rows {
         println!(
             "{:<22} {:<18} {:<8} {:>6} {:>6}  {}",
-            profile.device,
-            profile.chipset,
-            profile.standard.label(),
-            fakes,
-            acks,
-            if responds { "POLITE" } else { "silent" }
+            r.device,
+            r.chipset,
+            r.standard,
+            r.fakes,
+            r.acks,
+            if r.responds { "POLITE" } else { "silent" }
         );
-        rows.push(DeviceRow {
-            device: profile.device,
-            chipset: profile.chipset,
-            standard: profile.standard.label().to_string(),
-            fakes,
-            acks,
-            responds,
-        });
+        exp.metrics.record("acks_per_device", r.acks as f64);
     }
 
     println!();
@@ -106,5 +117,5 @@ fn main() {
         &format!("{}/5", rows.iter().filter(|r| r.responds).count()),
     );
     assert!(rows.iter().all(|r| r.responds), "a device went impolite");
-    write_json("table1_devices", &rows);
+    exp.finish("table1_devices", &rows)
 }

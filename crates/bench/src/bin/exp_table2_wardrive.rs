@@ -4,23 +4,30 @@
 //! exactly, drives the three-stage discover/inject/verify pipeline
 //! through it, and prints the top-20 vendor tables next to the paper's.
 //!
-//! This is the heavyweight experiment (full city ≈ a couple of minutes).
-//! Pass `--quick` to survey a 500-device slice instead.
+//! This is the heavyweight experiment (full city ≈ a couple of minutes
+//! single-threaded). The city's per-channel segments are independent, so
+//! `--workers N` fans them over the harness worker pool — the report is
+//! byte-identical for every worker count. Pass `--quick` to survey a
+//! 500-device slice instead.
 
-use polite_wifi_bench::{compare, header, write_json};
+use polite_wifi_bench::{compare, Experiment, RunArgs};
 use polite_wifi_core::WardriveScanner;
 use polite_wifi_devices::population::{TABLE2_APS, TABLE2_CLIENTS};
 use polite_wifi_devices::CityPopulation;
 
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    header(
+fn main() -> std::io::Result<()> {
+    let mut exp = Experiment::start_defaults(
         "E5: large-scale survey — every device ACKs fake frames",
         "Table 2 + §3 of the paper (5,328 devices, 186 vendors)",
+        RunArgs {
+            seed: 20,
+            ..RunArgs::default()
+        },
     );
+    let args = exp.args();
 
     let mut population = CityPopulation::table2(2020);
-    if quick {
+    if args.quick {
         population.devices.truncate(500);
         println!("\n(--quick: surveying the first 500 devices only)");
     }
@@ -33,19 +40,29 @@ fn main() {
         population.distinct_vendor_count()
     );
 
-    let scanner = WardriveScanner::default();
+    let scanner = WardriveScanner {
+        seed: exp.seed(),
+        ..WardriveScanner::default()
+    };
     println!(
-        "scanning in segments of {} devices, {} ms dwell each...",
+        "scanning in segments of {} devices, {} ms dwell each, {} worker(s)...",
         scanner.segment_size,
-        scanner.dwell_us / 1000
+        scanner.dwell_us / 1000,
+        args.workers
     );
     let start = std::time::Instant::now();
-    let report = scanner.run(&population);
+    let report = scanner.run_sharded(&population, args.workers);
+    let wall_s = start.elapsed().as_secs_f64();
     println!(
         "survey done in {:.1} s wall / {:.0} s simulated\n",
-        start.elapsed().as_secs_f64(),
+        wall_s,
         report.survey_time_us as f64 / 1e6
     );
+    exp.metrics.record("wall_seconds", wall_s);
+    exp.metrics.record("discovered", report.discovered as f64);
+    exp.metrics.record("verified", report.verified as f64);
+    exp.metrics
+        .record("survey_time_s", report.survey_time_us as f64 / 1e6);
 
     // Table 2, side by side with the paper.
     println!(
@@ -104,7 +121,11 @@ fn main() {
         "Total", 1523, report.total_clients, "Total", 3805, report.total_aps
     );
 
-    compare("devices discovered", "5,328", &report.discovered.to_string());
+    compare(
+        "devices discovered",
+        "5,328",
+        &report.discovered.to_string(),
+    );
     compare(
         "discovered devices that ACKed our fakes",
         "all (100%)",
@@ -126,21 +147,33 @@ fn main() {
     compare(
         "APs advertising 802.11w (PMF) — all polite anyway",
         "footnote 2",
-        &format!(
-            "{} of {} verified APs",
-            report.pmf_aps, report.total_aps
-        ),
+        &format!("{} of {} verified APs", report.pmf_aps, report.total_aps),
     );
 
     assert_eq!(
         report.verified, report.discovered,
         "a discovered device failed to ACK"
     );
-    if !quick {
+    if !args.quick {
         // The shape of Table 2 must reproduce: ≥99% of each population
         // discovered and verified (probe collisions may hide a handful).
-        assert!(report.total_clients as usize >= 1500, "clients {}", report.total_clients);
-        assert!(report.total_aps as usize >= 3790, "APs {}", report.total_aps);
+        assert!(
+            report.total_clients as usize >= 1500,
+            "clients {}",
+            report.total_clients
+        );
+        assert!(
+            report.total_aps as usize >= 3790,
+            "APs {}",
+            report.total_aps
+        );
     }
-    write_json(if quick { "table2_wardrive_quick" } else { "table2_wardrive" }, &report);
+    exp.finish(
+        if args.quick {
+            "table2_wardrive_quick"
+        } else {
+            "table2_wardrive"
+        },
+        &report,
+    )
 }

@@ -1,36 +1,44 @@
 //! Shared plumbing for the experiment regenerators.
 //!
 //! Each paper table/figure has a binary under `src/bin/` (see DESIGN.md
-//! §4 for the index). Binaries print the human-readable rows the paper
-//! reports *and* drop a machine-readable JSON next to them under
-//! `results/`, which EXPERIMENTS.md references.
+//! §4 for the index). Binaries run their trials through the experiment
+//! harness ([`polite_wifi_harness`]): `Experiment::start…` prints the
+//! standard header and parses the shared `--trials/--workers/--seed/
+//! --quick` flags, and `Experiment::finish` writes the unified result
+//! JSON under `results/`, which EXPERIMENTS.md references. This crate
+//! keeps only the bench-side display helpers and re-exports the harness
+//! entry points so binaries have one import surface.
 
 use serde::Serialize;
+use std::io;
 use std::path::PathBuf;
 
-/// Directory experiment JSON results are written to (workspace-relative).
+pub use polite_wifi_harness::{
+    derive_trial_seed, Experiment, MetricsLedger, RunArgs, Runner, ScenarioBuilder, TrialCtx,
+};
+
+/// Directory experiment JSON results are written to (workspace-relative,
+/// `POLITE_WIFI_RESULTS` overrides). Not created by this call — use
+/// [`ensure_results_dir`] before writing into it directly.
 pub fn results_dir() -> PathBuf {
-    let dir = std::env::var("POLITE_WIFI_RESULTS")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("results"));
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    dir
+    polite_wifi_harness::results_dir()
 }
 
-/// Serialises an experiment result to `results/<name>.json`.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
-    let path = results_dir().join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serialise result");
-    std::fs::write(&path, json).expect("write result json");
+/// Creates the results directory (and parents) if missing and returns
+/// its path. For artifacts written next to the JSON (pcaps, CSVs).
+pub fn ensure_results_dir() -> io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Serialises an experiment result to `results/<name>.json`, creating
+/// the directory if needed. Prefer `Experiment::finish`, which wraps the
+/// payload in the unified envelope; this remains for bare payloads.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> io::Result<PathBuf> {
+    let path = polite_wifi_harness::write_json(name, value)?;
     println!("\n[result JSON written to {}]", path.display());
-}
-
-/// Prints a section header in a consistent style.
-pub fn header(experiment: &str, paper_ref: &str) {
-    println!("{}", "=".repeat(72));
-    println!("{experiment}");
-    println!("reproduces: {paper_ref}");
-    println!("{}", "=".repeat(72));
+    Ok(path)
 }
 
 /// Prints a paper-vs-measured comparison row.
@@ -57,5 +65,17 @@ mod tests {
         assert_eq!(bar(5.0, 10.0, 10).chars().filter(|&c| c == '█').count(), 5);
         // Overflow clamps.
         assert_eq!(bar(20.0, 10.0, 4), "████");
+    }
+
+    #[test]
+    fn write_json_creates_the_directory() {
+        let dir = std::env::temp_dir().join("polite-wifi-bench-write-json");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("POLITE_WIFI_RESULTS", &dir);
+        let path = write_json("probe", &42u32).unwrap();
+        assert!(path.ends_with("probe.json"));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "42");
+        std::env::remove_var("POLITE_WIFI_RESULTS");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -78,7 +78,10 @@ mod tests {
     #[test]
     fn report_covers_both_bands() {
         let r = sifs_report();
-        assert_eq!(r.sifs_us, vec![("2.4 GHz".to_string(), 10), ("5 GHz".to_string(), 16)]);
+        assert_eq!(
+            r.sifs_us,
+            vec![("2.4 GHz".to_string(), 10), ("5 GHz".to_string(), 16)]
+        );
         assert_eq!(r.sweeps.len(), 2);
         assert!(r.rts_fallback_works);
     }

@@ -100,8 +100,7 @@ impl BatteryDrainAttack {
             durations,
             average_power_mw: profile.average_power_mw(&durations),
             sleep_fraction: durations.sleep_us as f64 / durations.total_us().max(1) as f64,
-            acks_sent: sim.station(victim).stats.acks_sent
-                + sim.station(victim).stats.cts_sent,
+            acks_sent: sim.station(victim).stats.acks_sent + sim.station(victim).stats.cts_sent,
         }
     }
 
@@ -219,8 +218,6 @@ mod tests {
         assert_eq!(projections.len(), 2);
         let circle2 = &projections[0];
         assert!((circle2.battery.capacity_mwh - 2400.0).abs() < 1e-9);
-        assert!(
-            (circle2.attacked_life_hours - 2400.0 / m.average_power_mw).abs() < 1e-9
-        );
+        assert!((circle2.attacked_life_hours - 2400.0 / m.average_power_mw).abs() < 1e-9);
     }
 }

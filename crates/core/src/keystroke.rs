@@ -11,7 +11,9 @@ use crate::injector::{FakeFrameInjector, InjectionPlan};
 use polite_wifi_frame::{ControlFrame, Frame, MacAddr};
 use polite_wifi_mac::StationConfig;
 use polite_wifi_phy::csi::{CsiChannel, CsiConfig};
-use polite_wifi_sensing::keystroke::{detect_keystrokes, score_detections, KeystrokeDetectorConfig};
+use polite_wifi_sensing::keystroke::{
+    detect_keystrokes, score_detections, KeystrokeDetectorConfig,
+};
 use polite_wifi_sensing::{filter, CsiSeries, MotionScript};
 use polite_wifi_sim::{SimConfig, Simulator};
 use serde::{Deserialize, Serialize};
@@ -87,7 +89,10 @@ impl KeystrokeAttack {
         let ap_mac: MacAddr = "68:02:b8:00:00:02".parse().unwrap();
 
         let mut sim = Simulator::new(SimConfig::default(), self.seed);
-        let ap = sim.add_node(StationConfig::access_point(ap_mac, "PrivateNet"), (2.0, 2.0));
+        let ap = sim.add_node(
+            StationConfig::access_point(ap_mac, "PrivateNet"),
+            (2.0, 2.0),
+        );
         let victim = sim.add_node(StationConfig::client(victim_mac), (0.0, 0.0));
         sim.station_mut(victim).associate(ap_mac);
         sim.station_mut(ap).associate(victim_mac);
@@ -170,11 +175,7 @@ impl KeystrokeAttack {
         }
     }
 
-    fn score_keystrokes(
-        &self,
-        series: &CsiSeries,
-        amplitudes: &[f64],
-    ) -> (usize, usize, usize) {
+    fn score_keystrokes(&self, series: &CsiSeries, amplitudes: &[f64]) -> (usize, usize, usize) {
         if self.script.keystrokes_us.is_empty() {
             return (0, 0, 0);
         }

@@ -9,8 +9,9 @@
 //!   (ACKs carry no transmitter address, so pairing is temporal, exactly
 //!   as the paper's third Scapy thread did),
 //! * [`scanner`] — the three-stage wardriving pipeline of Section 3
-//!   (discover / inject / verify, staged over crossbeam channels like the
-//!   paper's three threads),
+//!   (discover / inject / verify, the paper's three threads as inline
+//!   state), sharded across the experiment harness's worker pool with
+//!   per-segment derived seeds,
 //! * [`drain`] — the battery-drain attack of Section 4.2,
 //! * [`keystroke`] — the CSI keystroke/activity sniffer of Section 4.1,
 //! * [`sensing_hub`] — the single-device sensing opportunity of

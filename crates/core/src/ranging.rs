@@ -61,9 +61,7 @@ pub fn estimate_range(
     let mut rssi: Vec<f64> = capture
         .frames()
         .iter()
-        .filter(|cf| {
-            matches!(&cf.frame, Frame::Ctrl(ControlFrame::Ack { ra }) if *ra == attacker)
-        })
+        .filter(|cf| matches!(&cf.frame, Frame::Ctrl(ControlFrame::Ack { ra }) if *ra == attacker))
         .filter_map(|cf| cf.radiotap.as_ref()?.antenna_signal_dbm)
         .map(|s| s as f64)
         .collect();

@@ -3,32 +3,30 @@
 //! The paper's rig was a three-thread Scapy program on a laptop with an
 //! RTL8812AU dongle: thread 1 discovered nearby devices by sniffing,
 //! thread 2 injected fake frames at discovered targets, thread 3 verified
-//! the ACKs. This module reproduces that architecture: a **discovery
-//! worker** and a **verification worker** run on their own OS threads,
-//! fed sniffed-frame batches over crossbeam channels, while the
-//! coordinator drives the radio (here: the simulator) and injects.
+//! the ACKs. This module reproduces that *logic* — the same role
+//! inference and temporal fake→ACK pairing, with no ground-truth
+//! peeking — but organises the work for determinism and scale: the city
+//! is partitioned into per-channel *neighbourhood segments* (the set of
+//! devices within radio range of the car at one stretch of the drive),
+//! each segment scan is a self-contained function of its own derived
+//! seed, and the segments are fanned across the experiment harness's
+//! worker pool ([`WardriveScanner::run_sharded`]).
 //!
-//! The city is scanned in *neighbourhood segments* — the set of devices
-//! within radio range of the car at one stretch of the drive — because
-//! out-of-range devices physically cannot be heard. Segment size and
-//! dwell time are configurable.
+//! Every segment derives its seed as `seed ^ segment_index` and results
+//! merge in segment order, so the report is byte-identical whether one
+//! worker scanned the whole city or eight split it.
 
 use crate::verifier::AckVerifier;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use polite_wifi_devices::{CityPopulation, DeviceSpec};
 use polite_wifi_frame::{builder, Frame, MacAddr};
+use polite_wifi_harness::{derive_trial_seed, Runner};
 use polite_wifi_mac::{Role, StationConfig};
-use polite_wifi_pcap::capture::Capture;
 use polite_wifi_phy::rate::BitRate;
 use polite_wifi_sim::{NodeId, SimConfig, Simulator};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
-use std::thread;
-
-/// A batch of sniffed frames: (capture timestamp µs, frame).
-type SniffedBatch = Vec<(u64, Frame)>;
 
 /// A discovery: a transmitter address, the role the sniffer *infers*
 /// from the frame kind that revealed it (beacons/probe responses mean AP,
@@ -89,76 +87,144 @@ pub struct ScanReport {
     pub survey_time_us: u64,
 }
 
-/// Messages from the coordinator to the workers.
-enum WorkerInput {
-    /// Sniffed frames to process.
-    Batch(SniffedBatch),
-    /// Survey over; flush and exit.
-    Done,
+/// Thread 1 of the paper's pipeline, as inline state: discover devices
+/// by sniffing. Emits each transmitter address the first time it is
+/// heard, with the role inferred from the revealing frame — beacons and
+/// probe responses come from APs; everything else is treated as a
+/// client.
+struct DiscoveryState {
+    seen: HashSet<MacAddr>,
 }
 
-/// A worker pair: input channel, output channel, and a completion channel
-/// the worker signals after each processed batch (so the coordinator can
-/// synchronise with the pipeline without busy-waiting).
-struct Worker<O> {
-    input: Sender<WorkerInput>,
-    output: Receiver<O>,
-    completed: Receiver<u64>,
-    handle: Option<thread::JoinHandle<()>>,
+impl DiscoveryState {
+    fn new() -> DiscoveryState {
+        let mut seen = HashSet::new();
+        seen.insert(MacAddr::FAKE); // never target ourselves
+        DiscoveryState { seen }
+    }
+
+    fn observe(&mut self, frame: &Frame, out: &mut Vec<Discovery>) {
+        use polite_wifi_frame::ManagementBody;
+        let Some(ta) = frame.transmitter() else {
+            return;
+        };
+        let (role, pmf) = match frame {
+            Frame::Mgmt(m) => match &m.body {
+                ManagementBody::Beacon { elements, .. } => {
+                    use polite_wifi_frame::ie::{element_id, InformationElement};
+                    let pmf = InformationElement::find(elements, element_id::RSN)
+                        .is_some_and(|rsn| rsn.rsn_has_pmf());
+                    (Role::AccessPoint, pmf)
+                }
+                ManagementBody::ProbeResponse { .. } => (Role::AccessPoint, false),
+                _ => (Role::Client, false),
+            },
+            _ => (Role::Client, false),
+        };
+        if ta.is_unicast() && self.seen.insert(ta) {
+            out.push((ta, role, pmf));
+        } else if pmf && ta.is_unicast() {
+            // PMF flag may arrive on a later beacon than the discovery;
+            // re-announce so it sticks.
+            out.push((ta, role, true));
+        }
+    }
 }
 
-impl<O> Worker<O> {
-    /// Sends a batch and blocks until the worker reports it processed.
-    fn process(&self, batch: SniffedBatch) {
-        if self.input.send(WorkerInput::Batch(batch)).is_ok() {
-            let _ = self.completed.recv();
+/// Thread 3 of the paper's pipeline, as inline state: verify that
+/// targets answered, with the same temporal fake→ACK pairing as
+/// [`AckVerifier`], streaming.
+struct VerifierState {
+    verifier: AckVerifier,
+    reported: HashSet<MacAddr>,
+    /// Pairing state survives capture-slice boundaries within a segment.
+    pending: Option<(MacAddr, u64)>,
+}
+
+impl VerifierState {
+    fn new() -> VerifierState {
+        VerifierState {
+            verifier: AckVerifier::new(MacAddr::FAKE),
+            reported: HashSet::new(),
+            pending: None,
         }
     }
 
-    /// Shuts the worker down, joining the thread. Drain results first via
-    /// the type-specific helpers.
-    fn shutdown(&mut self) {
-        let _ = self.input.send(WorkerInput::Done);
-        if let Some(h) = self.handle.take() {
-            h.join().expect("scanner worker panicked");
+    fn observe(&mut self, ts: u64, frame: &Frame, out: &mut Vec<MacAddr>) {
+        use polite_wifi_frame::ControlFrame;
+        match frame {
+            Frame::Ctrl(ControlFrame::Ack { ra }) | Frame::Ctrl(ControlFrame::Cts { ra, .. })
+                if *ra == self.verifier.attacker =>
+            {
+                if let Some((victim, fake_ts)) = self.pending.take() {
+                    if ts.saturating_sub(fake_ts) <= self.verifier.window_us
+                        && self.reported.insert(victim)
+                    {
+                        out.push(victim);
+                    }
+                }
+            }
+            other => {
+                if other.transmitter() == Some(self.verifier.attacker) {
+                    if let Some(victim) = other.receiver() {
+                        self.pending = Some((victim, ts));
+                    }
+                }
+            }
         }
     }
 }
 
-impl Worker<Discovery> {
-    fn drain(&self, into: &mut HashMap<MacAddr, (Role, bool)>) {
-        for (mac, role, pmf) in self.output.try_iter() {
-            let entry = into.entry(mac).or_insert((role, pmf));
-            entry.1 |= pmf;
-        }
-    }
-}
-
-impl Worker<MacAddr> {
-    fn drain(&self, into: &mut HashSet<MacAddr>) {
-        for mac in self.output.try_iter() {
-            into.insert(mac);
-        }
-    }
+/// What one self-contained segment scan produced, in emission order, so
+/// segment outcomes merge identically however they were scheduled.
+struct SegmentOutcome {
+    discovered: Vec<Discovery>,
+    verified: Vec<MacAddr>,
+    survey_time_us: u64,
 }
 
 impl WardriveScanner {
-    /// Runs the survey over a population. Returns the Table 2 aggregate.
+    /// Runs the survey over a population on one worker. Returns the
+    /// Table 2 aggregate. Equivalent to `run_sharded(population, 1)` —
+    /// and, by construction, to any other worker count.
     pub fn run(&self, population: &CityPopulation) -> ScanReport {
-        // --- Spawn the two worker threads of the paper's pipeline. ---
-        let mut discovery = spawn_worker(discovery_worker);
-        let mut verification = spawn_worker(verification_worker);
+        self.run_sharded(population, 1)
+    }
 
-        // --- Drive the car through the city, one segment at a time. ---
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+    /// Runs the survey with the city's segments fanned across a worker
+    /// pool. Each segment scan is a pure function of the scanner config
+    /// and its derived seed (`seed ^ segment_index`), and outcomes merge
+    /// in segment order — so every worker count produces byte-identical
+    /// reports, and the wall-clock speedup is the only difference.
+    pub fn run_sharded(&self, population: &CityPopulation, workers: usize) -> ScanReport {
+        let segments = self.plan_segments(population);
+        let runner = Runner::new(workers);
+        let outcomes = runner.run_indexed(segments.len(), |i| {
+            self.scan_segment(&segments[i], derive_trial_seed(self.seed, i as u64))
+        });
+
+        // --- Merge in segment order (scheduling-independent). ---
         let mut discovered: HashMap<MacAddr, (Role, bool)> = HashMap::new();
         let mut verified: HashSet<MacAddr> = HashSet::new();
         let mut survey_time_us = 0u64;
+        for outcome in outcomes {
+            for (mac, role, pmf) in outcome.discovered {
+                let entry = discovered.entry(mac).or_insert((role, pmf));
+                entry.1 |= pmf;
+            }
+            verified.extend(outcome.verified);
+            survey_time_us += outcome.survey_time_us;
+        }
 
-        // Radios only hear their tuned channel, so the drive visits one
-        // channel at a time: group the city by (band, channel) and chunk
-        // each group into neighbourhood segments. The dongle retunes at
-        // each segment boundary, like a real wardriving rig's hop plan.
+        self.aggregate(population, &discovered, &verified, survey_time_us)
+    }
+
+    /// Plans the drive: radios only hear their tuned channel, so the
+    /// drive visits one channel at a time — group the city by (band,
+    /// channel) and chunk each group into neighbourhood segments. The
+    /// dongle retunes at each segment boundary, like a real wardriving
+    /// rig's hop plan.
+    fn plan_segments<'p>(&self, population: &'p CityPopulation) -> Vec<Vec<&'p DeviceSpec>> {
         let mut by_tune: Vec<&DeviceSpec> = population.devices.iter().collect();
         by_tune.sort_by_key(|d| {
             (
@@ -167,55 +233,29 @@ impl WardriveScanner {
                 d.mac,
             )
         });
-        let segments: Vec<Vec<&DeviceSpec>> = {
-            let mut out: Vec<Vec<&DeviceSpec>> = Vec::new();
-            for d in by_tune {
-                let fits = out.last().map_or(false, |seg: &Vec<&DeviceSpec>| {
-                    seg.len() < self.segment_size.max(1)
-                        && seg[0].band == d.band
-                        && seg[0].channel == d.channel
-                });
-                if fits {
-                    out.last_mut().expect("checked").push(d);
-                } else {
-                    out.push(vec![d]);
-                }
+        let mut out: Vec<Vec<&DeviceSpec>> = Vec::new();
+        for d in by_tune {
+            let fits = out.last().is_some_and(|seg: &Vec<&DeviceSpec>| {
+                seg.len() < self.segment_size.max(1)
+                    && seg[0].band == d.band
+                    && seg[0].channel == d.channel
+            });
+            if fits {
+                out.last_mut().expect("checked").push(d);
+            } else {
+                out.push(vec![d]);
             }
-            out
-        };
-
-        for segment in &segments {
-            survey_time_us += self.scan_segment(
-                segment,
-                &mut rng,
-                &discovery,
-                &verification,
-                &mut discovered,
-                &mut verified,
-            );
         }
-
-        // --- Shut the pipeline down and collect stragglers. ---
-        discovery.shutdown();
-        discovery.drain(&mut discovered);
-        verification.shutdown();
-        verification.drain(&mut verified);
-
-        self.aggregate(population, &discovered, &verified, survey_time_us)
+        out
     }
 
     /// Scans one neighbourhood (all devices share one band/channel; the
-    /// attacker's dongle is tuned to it). Returns the simulated time
-    /// spent.
-    fn scan_segment(
-        &self,
-        segment: &[&DeviceSpec],
-        rng: &mut ChaCha8Rng,
-        discovery: &Worker<Discovery>,
-        verification: &Worker<MacAddr>,
-        discovered: &mut HashMap<MacAddr, (Role, bool)>,
-        verified: &mut HashSet<MacAddr>,
-    ) -> u64 {
+    /// attacker's dongle is tuned to it). Self-contained: everything is
+    /// derived from the scanner config and `seed`, so segments can run
+    /// on any worker in any order.
+    fn scan_segment(&self, segment: &[&DeviceSpec], seed: u64) -> SegmentOutcome {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let rng = &mut rng;
         let mut sim = Simulator::new(SimConfig::default(), rng.gen());
         let mut attacker_cfg = StationConfig::client(MacAddr::FAKE);
         if let Some(first) = segment.first() {
@@ -258,64 +298,110 @@ impl WardriveScanner {
             }
         }
 
-        // Pump the pipeline in 250 ms slices. Thread 2's behaviour from
-        // the paper: keep injecting at every discovered target until it
+        // Drive the paper's pipeline in 250 ms slices. Thread 2's
+        // behaviour: keep injecting at every discovered target until it
         // verifies (power-save targets doze and miss one-shot fakes).
+        // `pending` iterates in MAC order (BTreeSet) so injection times
+        // never depend on hash-map seeding.
+        let mut discovery = DiscoveryState::new();
+        let mut verification = VerifierState::new();
+        let mut discovered: Vec<Discovery> = Vec::new();
+        let mut verified: Vec<MacAddr> = Vec::new();
+        let mut verified_set: HashSet<MacAddr> = HashSet::new();
         let mut capture_offset = 0usize;
-        let mut pending: HashSet<MacAddr> = HashSet::new();
+        let mut pending: std::collections::BTreeSet<MacAddr> = std::collections::BTreeSet::new();
         let slice_us = 250_000u64;
         let mut now = 0u64;
+
+        // Processes newly captured frames through both inline workers
+        // and refreshes the pending-target set.
+        let pump = |sim: &Simulator,
+                    offset: &mut usize,
+                    discovery: &mut DiscoveryState,
+                    verification: &mut VerifierState,
+                    discovered: &mut Vec<Discovery>,
+                    verified: &mut Vec<MacAddr>,
+                    verified_set: &mut HashSet<MacAddr>,
+                    pending: &mut std::collections::BTreeSet<MacAddr>| {
+            let frames = sim.node(attacker).capture.frames();
+            let mut fresh: Vec<Discovery> = Vec::new();
+            let mut fresh_verified: Vec<MacAddr> = Vec::new();
+            for cf in &frames[*offset..] {
+                discovery.observe(&cf.frame, &mut fresh);
+                verification.observe(cf.ts_us, &cf.frame, &mut fresh_verified);
+            }
+            *offset = frames.len();
+            for (mac, role, pmf) in fresh {
+                if members.contains(&mac) && !verified_set.contains(&mac) {
+                    pending.insert(mac);
+                }
+                discovered.push((mac, role, pmf));
+            }
+            for mac in fresh_verified {
+                verified_set.insert(mac);
+                pending.remove(&mac);
+                verified.push(mac);
+            }
+        };
+
         while now < self.dwell_us {
             now += slice_us;
             sim.run_until(now);
-            capture_offset =
-                self.pump(&sim, attacker, capture_offset, discovery, verification);
-            let mut new_targets: HashMap<MacAddr, (Role, bool)> = HashMap::new();
-            discovery.drain(&mut new_targets);
-            for (mac, info) in new_targets {
-                let entry = discovered.entry(mac).or_insert(info);
-                entry.1 |= info.1;
-                if members.contains(&mac) {
-                    pending.insert(mac);
-                }
-            }
-            verification.drain(verified);
-            pending.retain(|mac| !verified.contains(mac));
+            pump(
+                &sim,
+                &mut capture_offset,
+                &mut discovery,
+                &mut verification,
+                &mut discovered,
+                &mut verified,
+                &mut verified_set,
+                &mut pending,
+            );
             self.inject_round(&mut sim, attacker, &pending, now);
         }
         // Stragglers: power-save targets doze most of the time and only
-        // hear fakes in their brief wake windows. The paper's thread 2
-        // keeps injecting while the car is in range — extend the dwell
-        // (up to 4x) until every pending target verified.
+        // hear fakes in their brief wake windows, and a device whose
+        // every probe collided so far has not even been *heard* yet. The
+        // paper's thread 2 keeps injecting while the car is in range —
+        // extend the dwell (up to 4x) until every in-range device has
+        // been discovered and verified. (`verified` only ever contains
+        // segment members, so the count comparison is exact.)
         let max_extension = now + 4 * self.dwell_us;
-        while !pending.is_empty() && now < max_extension {
+        while verified_set.len() < members.len() && now < max_extension {
             self.inject_round(&mut sim, attacker, &pending, now);
             now += slice_us;
             sim.run_until(now);
-            capture_offset =
-                self.pump(&sim, attacker, capture_offset, discovery, verification);
-            // Late discoveries (devices whose every earlier probe
-            // collided) still get their fakes.
-            let mut late: HashMap<MacAddr, (Role, bool)> = HashMap::new();
-            discovery.drain(&mut late);
-            for (mac, info) in late {
-                let entry = discovered.entry(mac).or_insert(info);
-                entry.1 |= info.1;
-                if members.contains(&mac) {
-                    pending.insert(mac);
-                }
-            }
-            verification.drain(verified);
-            pending.retain(|mac| !verified.contains(mac));
+            pump(
+                &sim,
+                &mut capture_offset,
+                &mut discovery,
+                &mut verification,
+                &mut discovered,
+                &mut verified,
+                &mut verified_set,
+                &mut pending,
+            );
         }
 
         // Let trailing injections and their ACKs finish, then flush.
         let tail = now + 300_000;
         sim.run_until(tail);
-        self.pump(&sim, attacker, capture_offset, discovery, verification);
-        discovery.drain(discovered);
-        verification.drain(verified);
-        tail
+        pump(
+            &sim,
+            &mut capture_offset,
+            &mut discovery,
+            &mut verification,
+            &mut discovered,
+            &mut verified,
+            &mut verified_set,
+            &mut pending,
+        );
+
+        SegmentOutcome {
+            discovered,
+            verified,
+            survey_time_us: tail,
+        }
     }
 
     /// Injects one slice's worth of fakes at every pending target,
@@ -325,7 +411,7 @@ impl WardriveScanner {
         &self,
         sim: &mut Simulator,
         attacker: NodeId,
-        pending: &HashSet<MacAddr>,
+        pending: &std::collections::BTreeSet<MacAddr>,
         slice_start_us: u64,
     ) {
         let hop = 250_000 / self.fakes_per_target.max(1) as u64;
@@ -339,31 +425,6 @@ impl WardriveScanner {
                 );
             }
         }
-    }
-
-    /// Ships newly captured frames to both workers (waiting for each to
-    /// chew through the batch); returns the new offset into the attacker's
-    /// capture.
-    fn pump(
-        &self,
-        sim: &Simulator,
-        attacker: NodeId,
-        offset: usize,
-        discovery: &Worker<Discovery>,
-        verification: &Worker<MacAddr>,
-    ) -> usize {
-        let capture: &Capture = &sim.node(attacker).capture;
-        let frames = capture.frames();
-        if offset >= frames.len() {
-            return offset;
-        }
-        let batch: SniffedBatch = frames[offset..]
-            .iter()
-            .map(|cf| (cf.ts_us, cf.frame.clone()))
-            .collect();
-        discovery.process(batch.clone());
-        verification.process(batch);
-        frames.len()
     }
 
     fn aggregate(
@@ -428,110 +489,6 @@ impl WardriveScanner {
     }
 }
 
-/// Spawns a pipeline worker with its channel plumbing.
-fn spawn_worker<O: Send + 'static>(
-    body: fn(Receiver<WorkerInput>, Sender<O>, Sender<u64>),
-) -> Worker<O> {
-    let (in_tx, in_rx) = unbounded();
-    let (out_tx, out_rx) = unbounded();
-    let (done_tx, done_rx) = unbounded();
-    let handle = thread::spawn(move || body(in_rx, out_tx, done_tx));
-    Worker {
-        input: in_tx,
-        output: out_rx,
-        completed: done_rx,
-        handle: Some(handle),
-    }
-}
-
-/// Thread 1 of the paper's pipeline: discover devices by sniffing. Emits
-/// each transmitter address the first time it is heard, along with the
-/// role inferred from the revealing frame: beacons and probe responses
-/// come from APs; everything else is treated as a client.
-fn discovery_worker(rx: Receiver<WorkerInput>, tx: Sender<Discovery>, done: Sender<u64>) {
-    use polite_wifi_frame::ManagementBody;
-    let mut seen: HashSet<MacAddr> = HashSet::new();
-    seen.insert(MacAddr::FAKE); // never target ourselves
-    let mut batch_no = 0u64;
-    while let Ok(input) = rx.recv() {
-        match input {
-            WorkerInput::Batch(batch) => {
-                for (_, frame) in &batch {
-                    if let Some(ta) = frame.transmitter() {
-                        let (role, pmf) = match frame {
-                            Frame::Mgmt(m) => match &m.body {
-                                ManagementBody::Beacon { elements, .. } => {
-                                    use polite_wifi_frame::ie::{element_id, InformationElement};
-                                    let pmf = InformationElement::find(elements, element_id::RSN)
-                                        .map_or(false, |rsn| rsn.rsn_has_pmf());
-                                    (Role::AccessPoint, pmf)
-                                }
-                                ManagementBody::ProbeResponse { .. } => (Role::AccessPoint, false),
-                                _ => (Role::Client, false),
-                            },
-                            _ => (Role::Client, false),
-                        };
-                        if ta.is_unicast() && seen.insert(ta) {
-                            let _ = tx.send((ta, role, pmf));
-                        } else if pmf && ta.is_unicast() {
-                            // PMF flag may arrive on a later beacon than
-                            // the discovery; re-announce so it sticks.
-                            let _ = tx.send((ta, role, true));
-                        }
-                    }
-                }
-                batch_no += 1;
-                let _ = done.send(batch_no);
-            }
-            WorkerInput::Done => break,
-        }
-    }
-}
-
-/// Thread 3 of the paper's pipeline: verify that targets answered. Uses
-/// the same temporal fake→ACK pairing as [`AckVerifier`], streaming.
-fn verification_worker(rx: Receiver<WorkerInput>, tx: Sender<MacAddr>, done: Sender<u64>) {
-    let verifier = AckVerifier::new(MacAddr::FAKE);
-    let mut reported: HashSet<MacAddr> = HashSet::new();
-    // Pairing state survives batch boundaries within a segment; a stray
-    // pair spanning *segments* is harmless because the window is 1 ms.
-    let mut pending: Option<(MacAddr, u64)> = None;
-    let mut batch_no = 0u64;
-    while let Ok(input) = rx.recv() {
-        match input {
-            WorkerInput::Batch(batch) => {
-                for (ts, frame) in &batch {
-                    use polite_wifi_frame::ControlFrame;
-                    match frame {
-                        Frame::Ctrl(ControlFrame::Ack { ra })
-                        | Frame::Ctrl(ControlFrame::Cts { ra, .. })
-                            if *ra == verifier.attacker =>
-                        {
-                            if let Some((victim, fake_ts)) = pending.take() {
-                                if ts.saturating_sub(fake_ts) <= verifier.window_us
-                                    && reported.insert(victim)
-                                {
-                                    let _ = tx.send(victim);
-                                }
-                            }
-                        }
-                        other => {
-                            if other.transmitter() == Some(verifier.attacker) {
-                                if let Some(victim) = other.receiver() {
-                                    pending = Some((victim, *ts));
-                                }
-                            }
-                        }
-                    }
-                }
-                batch_no += 1;
-                let _ = done.send(batch_no);
-            }
-            WorkerInput::Done => break,
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -592,6 +549,19 @@ mod tests {
         assert_eq!(report.client_counts.len(), 1);
         assert_eq!(report.client_counts[0].0, "Apple");
         assert_eq!(report.client_counts[0].1, 30);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let pop = mini_population(12, 12);
+        let scanner = WardriveScanner {
+            segment_size: 6,
+            dwell_us: 1_500_000,
+            ..WardriveScanner::default()
+        };
+        let sequential = scanner.run_sharded(&pop, 1);
+        assert_eq!(sequential, scanner.run_sharded(&pop, 4));
+        assert_eq!(sequential, scanner.run(&pop));
     }
 
     #[test]

@@ -64,11 +64,7 @@ impl SensingHub {
     /// near target `i`. Returns detected motion windows per target.
     pub fn run(&self, scripts: &[MotionScript]) -> SensingReport {
         let hub_mac: MacAddr = "18:b4:30:00:00:01".parse().unwrap(); // an IoT hub
-        let duration_us = scripts
-            .iter()
-            .map(|s| s.duration_us())
-            .max()
-            .unwrap_or(0);
+        let duration_us = scripts.iter().map(|s| s.duration_us()).max().unwrap_or(0);
 
         let mut sim = Simulator::new(SimConfig::default(), self.seed);
         let hub = sim.add_node(StationConfig::client(hub_mac), (0.0, 0.0));
@@ -91,14 +87,20 @@ impl SensingHub {
                 forged_ta: hub_mac,
                 kind: crate::injector::InjectionKind::NullData,
                 rate_pps: self.rate_pps_per_target,
-                start_us: (i as u64) * 1_000_000 / (self.rate_pps_per_target as u64)
+                start_us: (i as u64) * 1_000_000
+                    / (self.rate_pps_per_target as u64)
                     / (scripts.len().max(1) as u64),
                 duration_us,
                 bitrate: BitRate::Mbps1,
             };
             sim.set_retries(hub, false);
             for &t in &plan.schedule() {
-                sim.inject(t, hub, builder::fake_null_frame(target, hub_mac), plan.bitrate);
+                sim.inject(
+                    t,
+                    hub,
+                    builder::fake_null_frame(target, hub_mac),
+                    plan.bitrate,
+                );
             }
         }
         sim.run_until(duration_us + 100_000);
@@ -201,7 +203,10 @@ mod tests {
         let (s1, e1) = t.motion_windows_us[0];
         let (s2, e2) = t.motion_windows_us[1];
         assert!(s1 < 10_000_000 && e1 > 9_000_000, "first window {s1}..{e1}");
-        assert!(s2 < 33_000_000 && e2 > 32_000_000, "second window {s2}..{e2}");
+        assert!(
+            s2 < 33_000_000 && e2 > 32_000_000,
+            "second window {s2}..{e2}"
+        );
     }
 
     #[test]

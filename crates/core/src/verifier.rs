@@ -49,7 +49,8 @@ impl AckVerifier {
         let mut pending: Option<(MacAddr, u64)> = None;
         for cf in capture.frames() {
             match &cf.frame {
-                Frame::Ctrl(ControlFrame::Ack { ra }) | Frame::Ctrl(ControlFrame::Cts { ra, .. })
+                Frame::Ctrl(ControlFrame::Ack { ra })
+                | Frame::Ctrl(ControlFrame::Cts { ra, .. })
                     if *ra == self.attacker =>
                 {
                     if let Some((victim, fake_ts)) = pending.take() {
@@ -76,11 +77,7 @@ impl AckVerifier {
 
     /// Distinct victims that verifiably answered at least once.
     pub fn responding_victims(&self, capture: &Capture) -> Vec<MacAddr> {
-        let mut victims: Vec<MacAddr> = self
-            .verify(capture)
-            .iter()
-            .map(|e| e.victim)
-            .collect();
+        let mut victims: Vec<MacAddr> = self.verify(capture).iter().map(|e| e.victim).collect();
         victims.sort();
         victims.dedup();
         victims
@@ -99,7 +96,10 @@ mod tests {
     #[test]
     fn pairs_fake_with_following_ack() {
         let mut cap = Capture::new();
-        cap.record_frame(1_000, &builder::fake_null_frame(victim_mac(), MacAddr::FAKE));
+        cap.record_frame(
+            1_000,
+            &builder::fake_null_frame(victim_mac(), MacAddr::FAKE),
+        );
         cap.record_frame(1_314, &builder::ack(MacAddr::FAKE));
         let v = AckVerifier::new(MacAddr::FAKE);
         let ex = v.verify(&cap);
@@ -111,7 +111,10 @@ mod tests {
     #[test]
     fn late_ack_not_paired() {
         let mut cap = Capture::new();
-        cap.record_frame(1_000, &builder::fake_null_frame(victim_mac(), MacAddr::FAKE));
+        cap.record_frame(
+            1_000,
+            &builder::fake_null_frame(victim_mac(), MacAddr::FAKE),
+        );
         cap.record_frame(5_000, &builder::ack(MacAddr::FAKE));
         assert!(AckVerifier::new(MacAddr::FAKE).verify(&cap).is_empty());
     }
@@ -120,7 +123,10 @@ mod tests {
     fn ack_to_someone_else_ignored() {
         let other: MacAddr = "02:00:00:00:00:09".parse().unwrap();
         let mut cap = Capture::new();
-        cap.record_frame(1_000, &builder::fake_null_frame(victim_mac(), MacAddr::FAKE));
+        cap.record_frame(
+            1_000,
+            &builder::fake_null_frame(victim_mac(), MacAddr::FAKE),
+        );
         cap.record_frame(1_314, &builder::ack(other));
         assert!(AckVerifier::new(MacAddr::FAKE).verify(&cap).is_empty());
     }
@@ -154,7 +160,10 @@ mod tests {
     fn interleaved_foreign_traffic_does_not_confuse() {
         let other: MacAddr = "02:00:00:00:00:09".parse().unwrap();
         let mut cap = Capture::new();
-        cap.record_frame(1_000, &builder::fake_null_frame(victim_mac(), MacAddr::FAKE));
+        cap.record_frame(
+            1_000,
+            &builder::fake_null_frame(victim_mac(), MacAddr::FAKE),
+        );
         // A foreign beacon lands between the fake and the ACK.
         cap.record_frame(1_100, &builder::beacon(other, "X", 6, 0, 0, false));
         cap.record_frame(1_314, &builder::ack(MacAddr::FAKE));

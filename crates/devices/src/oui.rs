@@ -128,11 +128,38 @@ mod tests {
     fn all_table2_top20_vendors_present() {
         let r = OuiRegistry::with_known_vendors();
         for v in [
-            "Apple", "Google", "Intel", "Hitron", "HP", "Samsung", "Espressif", "Hon Hai",
-            "Amazon", "Sagemcom", "Liteon", "AzureWave", "Sonos", "Nest Labs", "Murata", "Belkin",
-            "TP-LINK", "Cisco", "ecobee", "Microsoft", "Technicolor", "eero", "Extreme N.",
-            "NETGEAR", "D-Link", "ASUSTek", "Aruba", "SmartRG", "Ubiquiti N.", "Zebra",
-            "Pegatron", "Mitsumi",
+            "Apple",
+            "Google",
+            "Intel",
+            "Hitron",
+            "HP",
+            "Samsung",
+            "Espressif",
+            "Hon Hai",
+            "Amazon",
+            "Sagemcom",
+            "Liteon",
+            "AzureWave",
+            "Sonos",
+            "Nest Labs",
+            "Murata",
+            "Belkin",
+            "TP-LINK",
+            "Cisco",
+            "ecobee",
+            "Microsoft",
+            "Technicolor",
+            "eero",
+            "Extreme N.",
+            "NETGEAR",
+            "D-Link",
+            "ASUSTek",
+            "Aruba",
+            "SmartRG",
+            "Ubiquiti N.",
+            "Zebra",
+            "Pegatron",
+            "Mitsumi",
         ] {
             assert!(r.oui_of(v).is_some(), "missing {v}");
         }

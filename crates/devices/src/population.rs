@@ -156,8 +156,10 @@ impl CityPopulation {
         let other_ap_total = TOTAL_APS - named_ap_total;
         let ap_tail: Vec<&String> = shared.iter().chain(ap_only.iter()).collect();
         assert_eq!(ap_tail.len() as u32, AP_VENDORS - 20);
-        let mut ap_counts: Vec<(String, u32)> =
-            TABLE2_APS.iter().map(|(v, c)| (v.to_string(), *c)).collect();
+        let mut ap_counts: Vec<(String, u32)> = TABLE2_APS
+            .iter()
+            .map(|(v, c)| (v.to_string(), *c))
+            .collect();
         ap_counts.extend(spread(other_ap_total, &ap_tail));
 
         for (vendor, count) in &ap_counts {
@@ -255,7 +257,14 @@ fn spread(total: u32, vendors: &[&String]) -> Vec<(String, u32)> {
 }
 
 /// IoT vendors whose clients run battery power save.
-const IOT_VENDORS: &[&str] = &["Espressif", "ecobee", "Nest Labs", "Amazon", "Sonos", "Belkin"];
+const IOT_VENDORS: &[&str] = &[
+    "Espressif",
+    "ecobee",
+    "Nest Labs",
+    "Amazon",
+    "Sonos",
+    "Belkin",
+];
 
 fn client_spec(vendor: &str, mac: MacAddr, rng: &mut ChaCha8Rng) -> DeviceSpec {
     let behavior = if IOT_VENDORS.contains(&vendor) {
@@ -263,7 +272,11 @@ fn client_spec(vendor: &str, mac: MacAddr, rng: &mut ChaCha8Rng) -> DeviceSpec {
     } else {
         Behavior::client()
     };
-    let band = if rng.gen_bool(0.6) { Band::Ghz2 } else { Band::Ghz5 };
+    let band = if rng.gen_bool(0.6) {
+        Band::Ghz2
+    } else {
+        Band::Ghz5
+    };
     DeviceSpec {
         mac,
         vendor: vendor.to_string(),
@@ -286,10 +299,14 @@ fn ap_spec(vendor: &str, mac: MacAddr, index: u32, rng: &mut ChaCha8Rng) -> Devi
     if rng.gen_bool(0.1) {
         behavior.pmf = true;
     }
-    let band = if rng.gen_bool(0.5) { Band::Ghz2 } else { Band::Ghz5 };
+    let band = if rng.gen_bool(0.5) {
+        Band::Ghz2
+    } else {
+        Band::Ghz5
+    };
     let channel = match band {
-        Band::Ghz2 => *[1u8, 6, 11].get(rng.gen_range(0..3)).unwrap(),
-        Band::Ghz5 => *[36u8, 40, 149, 153].get(rng.gen_range(0..4)).unwrap(),
+        Band::Ghz2 => *[1u8, 6, 11].get(rng.gen_range(0..3usize)).unwrap(),
+        Band::Ghz5 => *[36u8, 40, 149, 153].get(rng.gen_range(0..4usize)).unwrap(),
     };
     DeviceSpec {
         mac,
@@ -344,10 +361,7 @@ mod tests {
     #[test]
     fn vendor_cardinalities_match() {
         let pop = CityPopulation::table2(1);
-        assert_eq!(
-            pop.vendor_counts(Role::Client).len() as u32,
-            CLIENT_VENDORS
-        );
+        assert_eq!(pop.vendor_counts(Role::Client).len() as u32, CLIENT_VENDORS);
         assert_eq!(
             pop.vendor_counts(Role::AccessPoint).len() as u32,
             AP_VENDORS
@@ -375,10 +389,7 @@ mod tests {
         // The paper: "we found 47 IoT devices that utilize Espressif WiFi
         // chipsets" — all power-save candidates for the drain attack.
         let pop = CityPopulation::table2(1);
-        let esp: Vec<&DeviceSpec> = pop
-            .clients()
-            .filter(|d| d.vendor == "Espressif")
-            .collect();
+        let esp: Vec<&DeviceSpec> = pop.clients().filter(|d| d.vendor == "Espressif").collect();
         assert_eq!(esp.len(), 47);
         assert!(esp.iter().all(|d| d.behavior.power_save.is_some()));
     }

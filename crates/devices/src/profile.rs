@@ -135,23 +135,43 @@ mod tests {
             .collect();
         assert_eq!(
             rows[0],
-            ("MSI GE62 laptop".to_string(), "Intel AC 3160".to_string(), "11ac")
+            (
+                "MSI GE62 laptop".to_string(),
+                "Intel AC 3160".to_string(),
+                "11ac"
+            )
         );
         assert_eq!(
             rows[1],
-            ("Ecobee3 thermostat".to_string(), "Atheros".to_string(), "11n")
+            (
+                "Ecobee3 thermostat".to_string(),
+                "Atheros".to_string(),
+                "11n"
+            )
         );
         assert_eq!(
             rows[2],
-            ("Surface Pro 2017".to_string(), "Marvell 88W8897".to_string(), "11ac")
+            (
+                "Surface Pro 2017".to_string(),
+                "Marvell 88W8897".to_string(),
+                "11ac"
+            )
         );
         assert_eq!(
             rows[3],
-            ("Samsung Galaxy S8".to_string(), "Murata KM5D18098".to_string(), "11ac")
+            (
+                "Samsung Galaxy S8".to_string(),
+                "Murata KM5D18098".to_string(),
+                "11ac"
+            )
         );
         assert_eq!(
             rows[4],
-            ("Google Wifi AP".to_string(), "Qualcomm IPQ 4019".to_string(), "11ac")
+            (
+                "Google Wifi AP".to_string(),
+                "Qualcomm IPQ 4019".to_string(),
+                "11ac"
+            )
         );
     }
 

@@ -130,7 +130,7 @@ impl FromStr for MacAddr {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut octets = [0u8; 6];
-        let mut parts = s.split(|c| c == ':' || c == '-');
+        let mut parts = s.split([':', '-']);
         for octet in octets.iter_mut() {
             let part = parts.next().ok_or(FrameError::BadMacAddress)?;
             if part.len() != 2 {

@@ -75,7 +75,9 @@ pub fn beacon(
             capabilities: 0x0411, // ESS | privacy | short slot
             elements: vec![
                 InformationElement::ssid(ssid),
-                InformationElement::supported_rates(&[0x82, 0x84, 0x8b, 0x96, 0x0c, 0x12, 0x18, 0x24]),
+                InformationElement::supported_rates(&[
+                    0x82, 0x84, 0x8b, 0x96, 0x0c, 0x12, 0x18, 0x24,
+                ]),
                 InformationElement::ds_parameter(channel),
                 InformationElement::tim(0, 3, 0, &[0x00]),
                 rsn,

@@ -314,10 +314,8 @@ impl ManagementFrame {
                         available: body_bytes.len(),
                     });
                 }
-                let reason = ReasonCode::from_u16(u16::from_le_bytes([
-                    body_bytes[0],
-                    body_bytes[1],
-                ]));
+                let reason =
+                    ReasonCode::from_u16(u16::from_le_bytes([body_bytes[0], body_bytes[1]]));
                 if fc.subtype == mgmt_subtype::DEAUTH {
                     ManagementBody::Deauthentication { reason }
                 } else {

@@ -97,10 +97,7 @@ mod tests {
 
     #[test]
     fn class3_is_the_nonassociated_code() {
-        assert_eq!(
-            ReasonCode::ClassThreeFrameFromNonassociatedSta.to_u16(),
-            7
-        );
+        assert_eq!(ReasonCode::ClassThreeFrameFromNonassociatedSta.to_u16(), 7);
         assert!(ReasonCode::ClassThreeFrameFromNonassociatedSta
             .describe()
             .contains("nonassociated"));

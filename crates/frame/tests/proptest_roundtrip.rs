@@ -68,18 +68,29 @@ fn arb_ctrl() -> impl Strategy<Value = ControlFrame> {
         (any::<u16>(), arb_mac())
             .prop_map(|(duration_us, ra)| ControlFrame::Cts { duration_us, ra }),
         arb_mac().prop_map(|ra| ControlFrame::Ack { ra }),
-        (0u16..0x4000, arb_mac(), arb_mac())
-            .prop_map(|(aid, bssid, ta)| ControlFrame::PsPoll { aid, bssid, ta }),
-        (any::<u16>(), arb_mac(), arb_mac(), any::<u16>(), any::<u16>(), any::<u64>()).prop_map(
-            |(duration_us, ra, ta, control, start_seq, bitmap)| ControlFrame::BlockAck {
-                duration_us,
-                ra,
-                ta,
-                control,
-                start_seq,
-                bitmap,
-            }
-        ),
+        (0u16..0x4000, arb_mac(), arb_mac()).prop_map(|(aid, bssid, ta)| ControlFrame::PsPoll {
+            aid,
+            bssid,
+            ta
+        }),
+        (
+            any::<u16>(),
+            arb_mac(),
+            arb_mac(),
+            any::<u16>(),
+            any::<u16>(),
+            any::<u64>()
+        )
+            .prop_map(|(duration_us, ra, ta, control, start_seq, bitmap)| {
+                ControlFrame::BlockAck {
+                    duration_us,
+                    ra,
+                    ta,
+                    control,
+                    start_seq,
+                    bitmap,
+                }
+            }),
     ]
 }
 
@@ -113,7 +124,9 @@ fn arb_data() -> impl Strategy<Value = DataFrame> {
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
         (arb_mac(), arb_mac(), arb_mac(), 0u16..4096, arb_mgmt_body()).prop_map(
-            |(ra, ta, bssid, seq, body)| Frame::Mgmt(ManagementFrame::new(ra, ta, bssid, seq, body))
+            |(ra, ta, bssid, seq, body)| Frame::Mgmt(ManagementFrame::new(
+                ra, ta, bssid, seq, body
+            ))
         ),
         arb_ctrl().prop_map(Frame::Ctrl),
         arb_data().prop_map(Frame::Data),

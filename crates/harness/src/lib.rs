@@ -1,0 +1,49 @@
+//! Experiment lifecycle layer for the Polite WiFi reproduction.
+//!
+//! Every paper experiment used to hand-roll the same four things:
+//! simulator setup, seed plumbing, metric accumulation, and JSON result
+//! output. This crate owns that lifecycle end to end:
+//!
+//! * [`scenario`] — a [`ScenarioBuilder`](scenario::ScenarioBuilder)
+//!   that declares a population/topology once and can stamp out a fresh
+//!   deterministic [`Simulator`](polite_wifi_sim::Simulator) per trial;
+//! * [`ledger`] — a typed [`MetricsLedger`](ledger::MetricsLedger)
+//!   accumulating named samples with mean/min/max summaries;
+//! * [`runner`] — a [`Runner`](runner::Runner) that fans independent
+//!   trials across a scoped worker pool with deterministic per-trial
+//!   seed derivation ([`runner::derive_trial_seed`]); results merge in
+//!   trial order, so 1-worker and N-worker runs are byte-identical;
+//! * [`report`] — the [`Experiment`](report::Experiment) facade and the
+//!   unified JSON result schema written under `results/`.
+//!
+//! ```
+//! use polite_wifi_harness::prelude::*;
+//!
+//! let runner = Runner::new(4);
+//! let means: Vec<f64> = runner.run_trials(42, 8, |trial| {
+//!     // `trial.rng` is seeded from `derive_trial_seed(42, trial.index)`,
+//!     // so this is reproducible regardless of worker count.
+//!     let mut ledger = MetricsLedger::new();
+//!     ledger.record("noise_db", trial.seed as f64 % 7.0);
+//!     ledger.mean("noise_db").unwrap()
+//! });
+//! assert_eq!(means.len(), 8);
+//! ```
+
+pub mod ledger;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use ledger::{MetricSummary, MetricsLedger};
+pub use report::{results_dir, write_json, Experiment};
+pub use runner::{derive_trial_seed, RunArgs, Runner, TrialCtx};
+pub use scenario::{Scenario, ScenarioBuilder};
+
+/// The common imports experiment binaries need.
+pub mod prelude {
+    pub use crate::ledger::{MetricSummary, MetricsLedger};
+    pub use crate::report::{results_dir, write_json, Experiment};
+    pub use crate::runner::{derive_trial_seed, RunArgs, Runner, TrialCtx};
+    pub use crate::scenario::{Scenario, ScenarioBuilder};
+}

@@ -1,0 +1,202 @@
+//! The experiment facade and unified result schema.
+//!
+//! Every experiment binary follows the same lifecycle:
+//!
+//! ```text
+//! let mut exp = Experiment::start("E1: ...", "Figure 2 of ...");
+//! // ... run trials via exp.args() / exp.runner(), record into
+//! //     exp.metrics ...
+//! exp.finish("fig2_trace", &payload)?;   // prints + writes results/fig2_trace.json
+//! ```
+//!
+//! [`Experiment::finish`] writes one JSON document with a fixed
+//! envelope — experiment name, paper reference, seed, trial/worker
+//! counts, metric summaries — and the experiment-specific payload under
+//! `payload`. Consumers (EXPERIMENTS.md tooling, plots) can rely on the
+//! envelope without knowing any experiment's payload shape.
+
+use crate::ledger::{MetricSummary, MetricsLedger};
+use crate::runner::{RunArgs, Runner};
+use serde::Serialize;
+use serde_json::Value;
+use std::io;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Directory experiment JSON results are written to. Honours the
+/// `POLITE_WIFI_RESULTS` override; created on demand by [`write_json`].
+pub fn results_dir() -> PathBuf {
+    std::env::var("POLITE_WIFI_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Serialises a value to `results/<name>.json`, creating the directory
+/// if needed. Returns the path written.
+pub fn write_json<T: Serialize + ?Sized>(name: &str, value: &T) -> io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).map_err(io::Error::other)?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// The fixed envelope every experiment result is written in.
+#[derive(Serialize)]
+struct ReportEnvelope {
+    experiment: String,
+    paper_ref: String,
+    seed: u64,
+    trials: u64,
+    workers: u64,
+    quick: bool,
+    metrics: Vec<MetricSummary>,
+    payload: Value,
+}
+
+/// Lifecycle handle for one experiment run.
+pub struct Experiment {
+    name: String,
+    paper_ref: String,
+    args: RunArgs,
+    /// Experiment-level metric accumulators, summarised into the JSON
+    /// envelope on [`finish`](Self::finish).
+    pub metrics: MetricsLedger,
+    started: Instant,
+}
+
+impl Experiment {
+    /// Starts an experiment: prints the standard header and parses the
+    /// shared `--trials/--workers/--seed/--quick` flags from the
+    /// process arguments (exiting with a usage message on bad input).
+    pub fn start(name: &str, paper_ref: &str) -> Experiment {
+        Self::start_with(name, paper_ref, RunArgs::from_env(RunArgs::default()))
+    }
+
+    /// Starts an experiment with experiment-specific default arguments
+    /// (still overridable from the command line).
+    pub fn start_defaults(name: &str, paper_ref: &str, defaults: RunArgs) -> Experiment {
+        Self::start_with(name, paper_ref, RunArgs::from_env(defaults))
+    }
+
+    /// Starts an experiment with fully explicit arguments (for tests).
+    pub fn start_with(name: &str, paper_ref: &str, args: RunArgs) -> Experiment {
+        println!("{}", "=".repeat(72));
+        println!("{name}");
+        println!("reproduces: {paper_ref}");
+        println!(
+            "seed {}   trials {}   workers {}{}",
+            args.seed,
+            args.trials,
+            args.workers,
+            if args.quick { "   (quick)" } else { "" }
+        );
+        println!("{}", "=".repeat(72));
+        Experiment {
+            name: name.to_string(),
+            paper_ref: paper_ref.to_string(),
+            args,
+            metrics: MetricsLedger::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The parsed run arguments.
+    pub fn args(&self) -> RunArgs {
+        self.args
+    }
+
+    /// Base seed for this run.
+    pub fn seed(&self) -> u64 {
+        self.args.seed
+    }
+
+    /// A worker pool sized from `--workers`.
+    pub fn runner(&self) -> Runner {
+        self.args.runner()
+    }
+
+    /// Finishes the experiment: merges the payload into the unified
+    /// envelope, writes `results/<slug>.json`, and prints where.
+    pub fn finish<T: Serialize>(self, slug: &str, payload: &T) -> io::Result<()> {
+        let envelope = ReportEnvelope {
+            experiment: self.name,
+            paper_ref: self.paper_ref,
+            seed: self.args.seed,
+            trials: self.args.trials as u64,
+            workers: self.args.workers as u64,
+            quick: self.args.quick,
+            metrics: self.metrics.summaries(),
+            payload: serde_json::to_value(payload).map_err(io::Error::other)?,
+        };
+        let path = write_json(slug, &envelope)?;
+        println!(
+            "\n[result JSON written to {} in {:.2}s]",
+            path.display(),
+            self.started.elapsed().as_secs_f64()
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ResultsDirGuard(Option<String>);
+
+    impl ResultsDirGuard {
+        fn set(dir: &std::path::Path) -> ResultsDirGuard {
+            let old = std::env::var("POLITE_WIFI_RESULTS").ok();
+            std::env::set_var("POLITE_WIFI_RESULTS", dir);
+            ResultsDirGuard(old)
+        }
+    }
+
+    impl Drop for ResultsDirGuard {
+        fn drop(&mut self) {
+            match &self.0 {
+                Some(old) => std::env::set_var("POLITE_WIFI_RESULTS", old),
+                None => std::env::remove_var("POLITE_WIFI_RESULTS"),
+            }
+        }
+    }
+
+    #[derive(Serialize)]
+    struct Payload {
+        acks: u64,
+    }
+
+    #[test]
+    fn finish_writes_unified_envelope() {
+        let dir = std::env::temp_dir().join("polite-wifi-harness-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _guard = ResultsDirGuard::set(&dir);
+
+        let args = RunArgs {
+            trials: 3,
+            workers: 2,
+            seed: 11,
+            quick: true,
+        };
+        let mut exp = Experiment::start_with("E0: smoke", "none", args);
+        exp.metrics.record("acks", 5.0);
+        exp.finish("smoke", &Payload { acks: 5 }).unwrap();
+
+        let written = std::fs::read_to_string(dir.join("smoke.json")).unwrap();
+        for needle in [
+            "\"experiment\": \"E0: smoke\"",
+            "\"seed\": 11",
+            "\"trials\": 3",
+            "\"workers\": 2",
+            "\"quick\": true",
+            "\"name\": \"acks\"",
+            "\"payload\": {",
+            "\"acks\": 5",
+        ] {
+            assert!(written.contains(needle), "missing {needle} in:\n{written}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -20,8 +20,8 @@ impl PowerSave {
     /// The ESP8266 modem-sleep profile used in the Section 4.2 experiment.
     pub fn esp8266() -> PowerSave {
         PowerSave {
-            idle_timeout_us: 100_000,     // 100 ms
-            beacon_interval_us: 102_400,  // 100 TU
+            idle_timeout_us: 100_000,    // 100 ms
+            beacon_interval_us: 102_400, // 100 TU
             beacon_rx_us: 3_000,
         }
     }

@@ -125,7 +125,13 @@ mod tests {
     }
 
     fn big_frame(len: usize, seq: u16) -> DataFrame {
-        DataFrame::new(addr(1), addr(2), addr(3), seq, (0..len).map(|i| i as u8).collect())
+        DataFrame::new(
+            addr(1),
+            addr(2),
+            addr(3),
+            seq,
+            (0..len).map(|i| i as u8).collect(),
+        )
     }
 
     #[test]
@@ -170,7 +176,10 @@ mod tests {
             })
             .sum();
         assert_eq!(total, 2000);
-        assert!(frags.iter().enumerate().all(|(i, fr)| fr.seq.fragment == i as u8));
+        assert!(frags
+            .iter()
+            .enumerate()
+            .all(|(i, fr)| fr.seq.fragment == i as u8));
     }
 
     #[test]

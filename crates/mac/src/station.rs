@@ -4,10 +4,10 @@ use crate::actions::{DiscardReason, MacAction, RadioState};
 use crate::behavior::Behavior;
 use crate::dedup::DedupCache;
 use crate::fragment::Reassembler;
+use polite_wifi_frame::seq::SequenceCounter;
 use polite_wifi_frame::{
     builder, ControlFrame, Frame, MacAddr, ManagementBody, ReasonCode, SequenceControl,
 };
-use polite_wifi_frame::seq::SequenceCounter;
 use polite_wifi_phy::airtime;
 use polite_wifi_phy::band::Band;
 use polite_wifi_phy::rate::BitRate;
@@ -325,17 +325,17 @@ impl Station {
         let sifs = self.cfg.band.sifs_us();
         if for_us {
             match frame {
-                Frame::Ctrl(ControlFrame::Rts { duration_us, ta, .. }) => {
-                    if self.cfg.behavior.cts_to_stranger_rts {
-                        let cts_dur = airtime::cts_duration_us(rate, false);
-                        let remaining = duration_us.saturating_sub(sifs as u16 + cts_dur as u16);
-                        actions.push(MacAction::Respond {
-                            frame: builder::cts(*ta, remaining),
-                            delay_us: sifs,
-                            rate: rate.response_rate(),
-                        });
-                        self.stats.cts_sent += 1;
-                    }
+                Frame::Ctrl(ControlFrame::Rts {
+                    duration_us, ta, ..
+                }) if self.cfg.behavior.cts_to_stranger_rts => {
+                    let cts_dur = airtime::cts_duration_us(rate, false);
+                    let remaining = duration_us.saturating_sub(sifs as u16 + cts_dur as u16);
+                    actions.push(MacAction::Respond {
+                        frame: builder::cts(*ta, remaining),
+                        delay_us: sifs,
+                        rate: rate.response_rate(),
+                    });
+                    self.stats.cts_sent += 1;
                 }
                 _ if frame.solicits_ack() => {
                     let to = frame
@@ -378,10 +378,7 @@ impl Station {
                 if !for_us {
                     return;
                 }
-                if self
-                    .dedup
-                    .check_and_update(d.addr2, d.seq, d.fc.retry)
-                {
+                if self.dedup.check_and_update(d.addr2, d.seq, d.fc.retry) {
                     self.stats.duplicates += 1;
                     actions.push(MacAction::Discard {
                         reason: DiscardReason::Duplicate,
@@ -527,7 +524,9 @@ impl Station {
                         }
                     }
                     ManagementBody::Authentication {
-                        transaction, status, ..
+                        transaction,
+                        status,
+                        ..
                     } => {
                         if !for_us {
                             return;
@@ -645,8 +644,13 @@ impl Station {
                 {
                     let sifs = self.cfg.band.sifs_us();
                     let buffered = self.ps_buffer.get_mut(ta);
-                    match buffered.and_then(|b| if b.is_empty() { None } else { Some(b.remove(0)) })
-                    {
+                    match buffered.and_then(|b| {
+                        if b.is_empty() {
+                            None
+                        } else {
+                            Some(b.remove(0))
+                        }
+                    }) {
                         Some((mut frame, rate)) => {
                             let more = self.buffered_for(*ta) > 0;
                             match &mut frame {
@@ -802,8 +806,7 @@ impl Station {
                     actions.push(MacAction::Radio(RadioState::Idle));
                 }
             }
-            let idle_expired =
-                now_us.saturating_sub(self.last_activity_us) >= ps.idle_timeout_us;
+            let idle_expired = now_us.saturating_sub(self.last_activity_us) >= ps.idle_timeout_us;
             let window_over = now_us >= self.beacon_window_until_us;
             if self.awake && idle_expired && window_over {
                 // Announce the doze to the AP (PM=1 null) so it buffers
@@ -841,8 +844,8 @@ impl Station {
         }
         if let Some(ps) = self.cfg.behavior.power_save {
             if self.awake {
-                let doze_at = (self.last_activity_us + ps.idle_timeout_us)
-                    .max(self.beacon_window_until_us);
+                let doze_at =
+                    (self.last_activity_us + ps.idle_timeout_us).max(self.beacon_window_until_us);
                 next = Some(next.map_or(doze_at, |n| n.min(doze_at)));
             }
             // Always wake for the next beacon.
@@ -918,9 +921,7 @@ fn tim_bit_set(elements: &[polite_wifi_frame::ie::InformationElement], aid: u16)
     }
     let bitmap = &tim.data[3..];
     let byte = aid as usize / 8;
-    bitmap
-        .get(byte)
-        .map_or(false, |b| b & (1 << (aid % 8)) != 0)
+    bitmap.get(byte).is_some_and(|b| b & (1 << (aid % 8)) != 0)
 }
 
 #[cfg(test)]
@@ -1092,8 +1093,10 @@ mod tests {
         let a3 = ap.on_receive(60_000, &fake_frame(), true, BitRate::Mbps1);
         let count_deauth = |acts: &[MacAction]| {
             acts.iter()
-                .filter(|a| matches!(a, MacAction::Enqueue { frame: Frame::Mgmt(m), .. }
-                    if matches!(m.body, ManagementBody::Deauthentication { .. })))
+                .filter(|a| {
+                    matches!(a, MacAction::Enqueue { frame: Frame::Mgmt(m), .. }
+                    if matches!(m.body, ManagementBody::Deauthentication { .. }))
+                })
                 .count()
         };
         assert_eq!(count_deauth(&a1), 3);
@@ -1162,9 +1165,7 @@ mod tests {
         sta.associate(peer);
         let f = Frame::Data(DataFrame::null(victim_mac(), peer, 1));
         let actions = sta.on_receive(0, &f, true, BitRate::Mbps1);
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, MacAction::Deliver(_))));
+        assert!(actions.iter().any(|a| matches!(a, MacAction::Deliver(_))));
         assert_eq!(sta.stats.delivered, 1);
     }
 
@@ -1227,9 +1228,13 @@ mod tests {
         // 2 pps: 500 ms gaps — dozes 100 ms after each frame, wakes on next.
         sta.on_receive(500_000, &fake_frame(), true, BitRate::Mbps1);
         let a = sta.poll(600_000);
-        assert!(a.iter().any(|x| matches!(x, MacAction::Radio(RadioState::Sleep))));
+        assert!(a
+            .iter()
+            .any(|x| matches!(x, MacAction::Radio(RadioState::Sleep))));
         let a = sta.on_receive(1_000_000, &fake_frame(), true, BitRate::Mbps1);
-        assert!(a.iter().any(|x| matches!(x, MacAction::Radio(RadioState::Idle))));
+        assert!(a
+            .iter()
+            .any(|x| matches!(x, MacAction::Radio(RadioState::Idle))));
         assert!(sta.is_awake());
     }
 
@@ -1296,7 +1301,10 @@ mod tests {
 
         assert_eq!(client.join_state(), JoinState::Idle);
         let auth_req = client.start_join(ap_mac);
-        assert_eq!(client.join_state(), JoinState::Authenticating { ap: ap_mac });
+        assert_eq!(
+            client.join_state(),
+            JoinState::Authenticating { ap: ap_mac }
+        );
 
         let auth_resp = step(&mut client, &mut ap, auth_req, 1_000);
         let assoc_req = step(&mut ap, &mut client, auth_resp, 2_000);
@@ -1353,15 +1361,13 @@ mod tests {
         client.associate(ap_mac);
         assert!(matches!(client.join_state(), JoinState::Joined { .. }));
         // Attacker spoofs a deauth "from" the AP.
-        let spoofed = builder::deauth(
-            victim_mac(),
-            ap_mac,
-            ap_mac,
-            99,
-            ReasonCode::StaLeaving,
-        );
+        let spoofed = builder::deauth(victim_mac(), ap_mac, ap_mac, 99, ReasonCode::StaLeaving);
         client.on_receive(0, &spoofed, true, BitRate::Mbps1);
-        assert_eq!(client.join_state(), JoinState::Idle, "classic deauth attack");
+        assert_eq!(
+            client.join_state(),
+            JoinState::Idle,
+            "classic deauth attack"
+        );
         assert!(!client.is_associated_with(ap_mac));
     }
 
@@ -1372,13 +1378,7 @@ mod tests {
         cfg.behavior = Behavior::pmf_client();
         let mut client = Station::new(cfg);
         client.associate(ap_mac);
-        let spoofed = builder::deauth(
-            victim_mac(),
-            ap_mac,
-            ap_mac,
-            99,
-            ReasonCode::StaLeaving,
-        );
+        let spoofed = builder::deauth(victim_mac(), ap_mac, ap_mac, 99, ReasonCode::StaLeaving);
         client.on_receive(0, &spoofed, true, BitRate::Mbps1);
         assert!(
             matches!(client.join_state(), JoinState::Joined { .. }),
@@ -1436,9 +1436,10 @@ mod tests {
         let beacon = beacon_actions
             .iter()
             .find_map(|a| match a {
-                MacAction::Enqueue { frame: Frame::Mgmt(m), .. }
-                    if matches!(m.body, ManagementBody::Beacon { .. }) =>
-                {
+                MacAction::Enqueue {
+                    frame: Frame::Mgmt(m),
+                    ..
+                } if matches!(m.body, ManagementBody::Beacon { .. }) => {
                     Some(Frame::Mgmt(m.clone()))
                 }
                 _ => None,
@@ -1578,7 +1579,11 @@ mod tests {
         join(&mut ap, &mut client);
         // Without buffered traffic, the TIM bit is clear.
         let b0 = ap.poll(0);
-        if let Some(MacAction::Enqueue { frame: Frame::Mgmt(m), .. }) = b0.first() {
+        if let Some(MacAction::Enqueue {
+            frame: Frame::Mgmt(m),
+            ..
+        }) = b0.first()
+        {
             if let ManagementBody::Beacon { elements, .. } = &m.body {
                 assert!(!tim_bit_set(elements, 1));
             }
@@ -1600,7 +1605,10 @@ mod tests {
         );
         let b1 = ap.poll(102_400);
         let found = b1.iter().any(|a| match a {
-            MacAction::Enqueue { frame: Frame::Mgmt(m), .. } => match &m.body {
+            MacAction::Enqueue {
+                frame: Frame::Mgmt(m),
+                ..
+            } => match &m.body {
                 ManagementBody::Beacon { elements, .. } => tim_bit_set(elements, 1),
                 _ => false,
             },

@@ -72,11 +72,7 @@ impl Capture {
             let frame_bytes = cf.frame.encode(true);
             match link_type {
                 LinkType::Ieee80211Radiotap => {
-                    let rt_bytes = cf
-                        .radiotap
-                        .clone()
-                        .unwrap_or_default()
-                        .encode();
+                    let rt_bytes = cf.radiotap.clone().unwrap_or_default().encode();
                     let mut packet = rt_bytes;
                     packet.extend_from_slice(&frame_bytes);
                     w.write_record(cf.ts_us, &packet);

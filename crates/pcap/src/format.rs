@@ -122,7 +122,8 @@ impl PcapWriter {
         self.buf.extend_from_slice(&sec.to_le_bytes());
         self.buf.extend_from_slice(&usec.to_le_bytes());
         self.buf.extend_from_slice(&(cap_len as u32).to_le_bytes());
-        self.buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(data.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(&data[..cap_len]);
         self.records += 1;
     }

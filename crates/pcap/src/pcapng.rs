@@ -153,7 +153,7 @@ pub fn read_pcapng(bytes: &[u8]) -> Result<PcapNgFile, PcapError> {
     while pos + 12 <= bytes.len() {
         let btype = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
         let blen = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap()) as usize;
-        if blen < 12 || pos + blen > bytes.len() || blen % 4 != 0 {
+        if blen < 12 || pos + blen > bytes.len() || !blen.is_multiple_of(4) {
             return Err(PcapError::TruncatedRecord { index });
         }
         let body = &bytes[pos + 8..pos + blen - 4];
@@ -163,14 +163,13 @@ pub fn read_pcapng(bytes: &[u8]) -> Result<PcapNgFile, PcapError> {
                     return Err(PcapError::TruncatedRecord { index });
                 }
                 link_type = Some(LinkType::from_u32(
-                    u16::from_le_bytes([body[0], body[1]]) as u32,
+                    u16::from_le_bytes([body[0], body[1]]) as u32
                 ));
                 // Scan options for if_tsresol (code 9).
                 let mut opt = 8;
                 while opt + 4 <= body.len() {
                     let code = u16::from_le_bytes([body[opt], body[opt + 1]]);
-                    let olen =
-                        u16::from_le_bytes([body[opt + 2], body[opt + 3]]) as usize;
+                    let olen = u16::from_le_bytes([body[opt + 2], body[opt + 3]]) as usize;
                     if code == 0 {
                         break;
                     }

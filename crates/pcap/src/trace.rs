@@ -30,10 +30,7 @@ pub fn row_for(ts_us: u64, frame: &Frame) -> TraceRow {
             .transmitter()
             .map(|a| a.to_string())
             .unwrap_or_default(),
-        destination: frame
-            .receiver()
-            .map(|a| a.to_string())
-            .unwrap_or_default(),
+        destination: frame.receiver().map(|a| a.to_string()).unwrap_or_default(),
         info: frame.info_column(),
     }
 }

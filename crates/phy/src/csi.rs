@@ -187,8 +187,8 @@ pub fn std_dev(series: &[f64]) -> f64 {
         return 0.0;
     }
     let mean = series.iter().sum::<f64>() / series.len() as f64;
-    let var = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-        / (series.len() - 1) as f64;
+    let var =
+        series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (series.len() - 1) as f64;
     var.sqrt()
 }
 
@@ -281,14 +281,20 @@ mod tests {
     fn same_seed_same_series() {
         let mut a = CsiChannel::new(9);
         let mut b = CsiChannel::new(9);
-        assert_eq!(a.amplitude_series(50, 0.7, 3), b.amplitude_series(50, 0.7, 3));
+        assert_eq!(
+            a.amplitude_series(50, 0.7, 3),
+            b.amplitude_series(50, 0.7, 3)
+        );
     }
 
     #[test]
     fn different_seeds_differ() {
         let mut a = CsiChannel::new(1);
         let mut b = CsiChannel::new(2);
-        assert_ne!(a.amplitude_series(10, 0.5, 3), b.amplitude_series(10, 0.5, 3));
+        assert_ne!(
+            a.amplitude_series(10, 0.5, 3),
+            b.amplitude_series(10, 0.5, 3)
+        );
     }
 
     #[test]

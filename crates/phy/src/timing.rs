@@ -69,7 +69,10 @@ pub fn sweep_validate_then_ack(band: Band) -> Vec<SifsFeasibility> {
     let mut out = vec![analyze(band, AckPolicy::AckBeforeValidate)];
     let mut decode = WPA2_DECODE_MIN_US;
     while decode <= WPA2_DECODE_MAX_US {
-        out.push(analyze(band, AckPolicy::ValidateThenAck { decode_us: decode }));
+        out.push(analyze(
+            band,
+            AckPolicy::ValidateThenAck { decode_us: decode },
+        ));
         decode += 100;
     }
     out

@@ -30,7 +30,10 @@ impl fmt::Display for RadiotapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RadiotapError::Truncated { at, needed } => {
-                write!(f, "radiotap truncated at offset {at}, needed {needed} more bytes")
+                write!(
+                    f,
+                    "radiotap truncated at offset {at}, needed {needed} more bytes"
+                )
             }
             RadiotapError::BadVersion(v) => write!(f, "unsupported radiotap version {v}"),
             RadiotapError::BadLength {

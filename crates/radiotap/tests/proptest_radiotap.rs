@@ -10,9 +10,10 @@ fn arb_radiotap() -> impl Strategy<Value = Radiotap> {
             proptest::option::of(any::<u64>()),
             proptest::option::of(any::<u8>().prop_map(Flags)),
             proptest::option::of(any::<u8>()),
-            proptest::option::of((any::<u16>(), any::<u16>()).prop_map(|(freq_mhz, flags)| {
-                ChannelInfo { freq_mhz, flags }
-            })),
+            proptest::option::of(
+                (any::<u16>(), any::<u16>())
+                    .prop_map(|(freq_mhz, flags)| ChannelInfo { freq_mhz, flags }),
+            ),
             proptest::option::of(any::<u16>()),
             proptest::option::of(any::<i8>()),
             proptest::option::of(any::<i8>()),
@@ -28,13 +29,13 @@ fn arb_radiotap() -> impl Strategy<Value = Radiotap> {
             proptest::option::of(any::<u16>()),
             proptest::option::of(any::<u16>()),
             proptest::option::of(any::<u8>()),
-            proptest::option::of(
-                (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(known, flags, index)| McsInfo {
+            proptest::option::of((any::<u8>(), any::<u8>(), any::<u8>()).prop_map(
+                |(known, flags, index)| McsInfo {
                     known,
                     flags,
                     index,
-                }),
-            ),
+                },
+            )),
         ),
     )
         .prop_map(

@@ -153,9 +153,15 @@ mod tests {
         // has spectral structure that a sensitive estimator picks up).
         use rand::{Rng, SeedableRng};
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(8);
-        let s: Vec<f64> = (0..9000).map(|_| 1.0 + 0.05 * (rng.gen::<f64>() - 0.5)).collect();
+        let s: Vec<f64> = (0..9000)
+            .map(|_| 1.0 + 0.05 * (rng.gen::<f64>() - 0.5))
+            .collect();
         let est = estimate_breathing_rate(&s, 150.0).unwrap();
-        assert!(!est.is_confident(), "confidence {} on noise", est.confidence);
+        assert!(
+            !est.is_confident(),
+            "confidence {} on noise",
+            est.confidence
+        );
     }
 
     /// Heteroscedastic breathing: noise whose *power* tracks the chest
@@ -165,10 +171,8 @@ mod tests {
         (0..n)
             .map(|i| {
                 let t = i as f64 / sample_rate_hz;
-                let pseudo =
-                    ((i as u64).wrapping_mul(2654435761) % 1000) as f64 / 1000.0 - 0.5;
-                let sigma =
-                    0.02 + 0.015 * (2.0 * std::f64::consts::PI * bpm / 60.0 * t).sin();
+                let pseudo = ((i as u64).wrapping_mul(2654435761) % 1000) as f64 / 1000.0 - 0.5;
+                let sigma = 0.02 + 0.015 * (2.0 * std::f64::consts::PI * bpm / 60.0 * t).sin();
                 1.0 + sigma * pseudo
             })
             .collect()

@@ -217,7 +217,10 @@ mod tests {
         let mut knn = KnnClassifier::new();
         for seed in 0..10 {
             knn.add_example(ActivityClass::Idle, extract(&synth_window(0.02, seed)));
-            knn.add_example(ActivityClass::Motion, extract(&synth_window(3.0, seed + 100)));
+            knn.add_example(
+                ActivityClass::Motion,
+                extract(&synth_window(3.0, seed + 100)),
+            );
         }
         assert_eq!(knn.len(), 20);
         let idle_test = extract(&synth_window(0.02, 999));

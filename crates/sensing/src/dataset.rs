@@ -56,7 +56,11 @@ pub fn generate_session(
             }
             ActivityClass::Motion => 0.75 + rng.gen_range(-0.2..0.25),
         };
-        out.push(channel.sample(intensity.clamp(0.0, 1.0)).amplitude(subcarrier));
+        out.push(
+            channel
+                .sample(intensity.clamp(0.0, 1.0))
+                .amplitude(subcarrier),
+        );
     }
     filter::condition(&out)
 }

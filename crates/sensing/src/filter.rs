@@ -97,7 +97,10 @@ mod tests {
         let filtered = hampel(&series, 5, 3.0);
         assert_eq!(filtered[25], 1.0);
         // Everything else untouched.
-        assert!(filtered.iter().enumerate().all(|(i, &v)| i == 25 || v == 1.0));
+        assert!(filtered
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| i == 25 || v == 1.0));
     }
 
     #[test]

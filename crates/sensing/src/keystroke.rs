@@ -48,7 +48,10 @@ pub fn detect_keystrokes(series: &[f64], config: &KeystrokeDetectorConfig) -> Ve
     }
     // Burst score: smoothed magnitude of the first difference.
     let conditioned = filter::condition(series);
-    let diffs: Vec<f64> = conditioned.windows(2).map(|w| (w[1] - w[0]).abs()).collect();
+    let diffs: Vec<f64> = conditioned
+        .windows(2)
+        .map(|w| (w[1] - w[0]).abs())
+        .collect();
     let score = filter::moving_average(&diffs, config.smooth_half_window);
 
     let threshold = filter::median(&score).max(1e-9) * config.threshold_factor;
@@ -90,9 +93,10 @@ pub fn score_detections(
     let mut used = vec![false; detected.len()];
     let mut hits = 0;
     for &t in truth {
-        let found = detected.iter().enumerate().position(|(i, e)| {
-            !used[i] && e.index.abs_diff(t) <= tolerance
-        });
+        let found = detected
+            .iter()
+            .enumerate()
+            .position(|(i, e)| !used[i] && e.index.abs_diff(t) <= tolerance);
         if let Some(i) = found {
             used[i] = true;
             hits += 1;
@@ -158,8 +162,14 @@ mod tests {
     #[test]
     fn scoring_counts_false_alarms() {
         let detected = vec![
-            KeystrokeEvent { index: 100, score: 1.0 },
-            KeystrokeEvent { index: 400, score: 1.0 },
+            KeystrokeEvent {
+                index: 100,
+                score: 1.0,
+            },
+            KeystrokeEvent {
+                index: 400,
+                score: 1.0,
+            },
         ];
         let truth = [102];
         let (hits, misses, fa) = score_detections(&detected, &truth, 10);

@@ -125,7 +125,7 @@ mod tests {
     #[test]
     fn occupied_stretch_detected() {
         // Occupied during samples 600..1800 (intervals 1 and 2).
-        let s = series(3000, &[600..1800]);
+        let s = series(3000, std::slice::from_ref(&(600..1800)));
         let intervals = detect_occupancy(&s, &OccupancyConfig::default());
         assert!(!intervals[0].occupied);
         assert!(intervals[1].occupied, "{:?}", intervals[1]);
@@ -135,7 +135,7 @@ mod tests {
 
     #[test]
     fn activity_fraction_reflects_duty() {
-        let s = series(1200, &[600..1200]);
+        let s = series(1200, std::slice::from_ref(&(600..1200)));
         let intervals = detect_occupancy(&s, &OccupancyConfig::default());
         assert!(intervals[1].activity_fraction > intervals[0].activity_fraction);
     }

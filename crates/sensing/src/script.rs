@@ -234,7 +234,10 @@ mod tests {
     fn typing_phase_has_keystroke_bursts() {
         let s = MotionScript::figure5();
         assert!(!s.keystrokes_us.is_empty());
-        assert!(s.keystrokes_us.iter().all(|&k| (19_000_000..29_000_000).contains(&k)));
+        assert!(s
+            .keystrokes_us
+            .iter()
+            .all(|&k| (19_000_000..29_000_000).contains(&k)));
         // During a burst, intensity jumps.
         let k = s.keystrokes_us[0];
         assert!(s.intensity_at(k + 1_000) > s.intensity_at(k - 1_000));

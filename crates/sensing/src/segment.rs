@@ -117,7 +117,10 @@ mod tests {
     #[test]
     fn two_bursts_detected_separately() {
         let mut series = series_with_burst(2000, 300..500, 2.0);
-        for (i, v) in series_with_burst(2000, 1200..1400, 2.0).into_iter().enumerate() {
+        for (i, v) in series_with_burst(2000, 1200..1400, 2.0)
+            .into_iter()
+            .enumerate()
+        {
             if (1200..1400).contains(&i) {
                 series[i] = v;
             }

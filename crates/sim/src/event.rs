@@ -148,9 +148,7 @@ mod tests {
     use super::*;
 
     fn poll(node: usize) -> Event {
-        Event::Poll {
-            node: NodeId(node),
-        }
+        Event::Poll { node: NodeId(node) }
     }
 
     #[test]

@@ -39,7 +39,11 @@ pub struct ActivityLedger {
 impl ActivityLedger {
     /// Starts the ledger at `t0_us` in the given base state.
     pub fn new(t0_us: u64, awake: bool) -> ActivityLedger {
-        let base = if awake { RadioState::Idle } else { RadioState::Sleep };
+        let base = if awake {
+            RadioState::Idle
+        } else {
+            RadioState::Sleep
+        };
         ActivityLedger {
             totals: StateTotals::default(),
             current: base,

@@ -44,7 +44,15 @@ pub mod medium;
 pub mod node;
 pub mod sim;
 
-pub use ledger::ActivityLedger;
+pub use ledger::{ActivityLedger, StateTotals};
 pub use medium::MediumConfig;
 pub use node::NodeId;
 pub use sim::{SimConfig, Simulator};
+
+// The parallel trial runner moves whole simulators across worker
+// threads; fail the build if any future field (an Rc, a raw pointer)
+// silently takes that away.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Simulator>()
+};

@@ -141,7 +141,7 @@ impl Medium {
                 && t.tune == tune
                 && t.start_us <= now_us
                 && now_us < t.end_us
-                && dist.get(&t.from).map_or(false, |&d| {
+                && dist.get(&t.from).is_some_and(|&d| {
                     self.rx_power_dbm(t.tx_power_dbm, d) >= self.config.cs_threshold_dbm
                 })
         })
@@ -339,7 +339,7 @@ mod tests {
             tx_power_dbm: 20.0,
             tune: CH6,
         });
-        let near = vec![(NodeId(3), 5.0)];
+        let near = [(NodeId(3), 5.0)];
         assert!(m.channel_busy(500, near.iter().copied(), NodeId(0), CH6));
         assert!(!m.channel_busy(500, near.iter().copied(), NodeId(0), CH36));
     }
@@ -378,8 +378,8 @@ mod tests {
             tx_power_dbm: 20.0,
             tune: CH6,
         });
-        let near = vec![(NodeId(3), 5.0)];
-        let far = vec![(NodeId(3), 10_000.0)];
+        let near = [(NodeId(3), 5.0)];
+        let far = [(NodeId(3), 10_000.0)];
         assert!(m.channel_busy(500, near.iter().copied(), NodeId(0), CH6));
         assert!(!m.channel_busy(500, far.iter().copied(), NodeId(0), CH6));
         // After the transmission ends the channel is free.

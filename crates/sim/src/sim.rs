@@ -207,6 +207,49 @@ impl Simulator {
         self.run_until(u64::MAX);
     }
 
+    /// Resets the simulator to time zero under a new seed, keeping the
+    /// declared population: every node is rebuilt from its original
+    /// `StationConfig` at its t=0 position, with monitor mode, retry
+    /// policy, velocity and transmit power preserved. Station-level
+    /// runtime state (associations, joins, power-save, captures,
+    /// ledgers) restarts from cold boot — the point is a fresh,
+    /// independently-seeded trial over the same scenario.
+    pub fn reset(&mut self, seed: u64) {
+        let specs: Vec<_> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                (
+                    n.station.config().clone(),
+                    n.position,
+                    n.velocity,
+                    n.monitor,
+                    n.retries_enabled,
+                    n.tx_power_dbm,
+                )
+            })
+            .collect();
+        *self = Simulator::new(
+            SimConfig {
+                medium: *self.medium.config(),
+            },
+            seed,
+        );
+        for (cfg, position, velocity, monitor, retries, tx_power_dbm) in specs {
+            let id = self.add_node(cfg, position);
+            self.nodes[id.0].velocity = velocity;
+            self.nodes[id.0].monitor = monitor;
+            self.nodes[id.0].retries_enabled = retries;
+            self.nodes[id.0].tx_power_dbm = tx_power_dbm;
+        }
+    }
+
+    /// Snapshot of a node's radio-state time accounting up to now —
+    /// the tap the harness's metrics ledger reads energy figures from.
+    pub fn activity_totals(&self, id: NodeId) -> crate::ledger::StateTotals {
+        self.nodes[id.0].ledger.snapshot(self.now_us)
+    }
+
     fn handle(&mut self, event: Event) {
         match event {
             Event::Inject { node, frame, rate } => {
@@ -403,7 +446,8 @@ impl Simulator {
             });
             let band = node.station.config().band;
             let timeout = airtime::ack_timeout_us(band, tx.rate) as u64;
-            self.queue.push(now + timeout, Event::AckTimeout { node: id, token });
+            self.queue
+                .push(now + timeout, Event::AckTimeout { node: id, token });
         } else {
             // Fire-and-forget: the frame is done, move on.
             node.tx_queue.pop_front();
@@ -541,7 +585,7 @@ impl Simulator {
         // attacker's frames as well as answering them).
         {
             let node = &mut self.nodes[id.0];
-            node.ledger.begin_busy(start_us.max(0), RadioState::Rx);
+            node.ledger.begin_busy(start_us, RadioState::Rx);
             node.ledger.end_busy(now);
         }
 
@@ -561,7 +605,9 @@ impl Simulator {
                 signal,
                 self.medium.noise_dbm() as i8,
             );
-            self.nodes[id.0].capture.record_with_radiotap(now, rt, &frame);
+            self.nodes[id.0]
+                .capture
+                .record_with_radiotap(now, rt, &frame);
         }
 
         // Virtual carrier sense: frames addressed to OTHERS set this
@@ -617,9 +663,7 @@ impl Simulator {
                         Frame::Ctrl(ControlFrame::Ack { .. }) => {
                             self.nodes[id.0].acks_received += 1
                         }
-                        Frame::Ctrl(ControlFrame::Cts { .. }) => {
-                            self.nodes[id.0].cts_received += 1
-                        }
+                        Frame::Ctrl(ControlFrame::Cts { .. }) => self.nodes[id.0].cts_received += 1,
                         _ => {}
                     }
                 }
@@ -797,7 +841,11 @@ mod tests {
         let fake = builder::fake_null_frame(victim_mac(), MacAddr::FAKE);
         sim.inject(0, attacker, fake, BitRate::Mbps1);
         sim.run_until(5_000_000);
-        assert!(sim.node(attacker).tx_count >= 8, "tx_count {}", sim.node(attacker).tx_count);
+        assert!(
+            sim.node(attacker).tx_count >= 8,
+            "tx_count {}",
+            sim.node(attacker).tx_count
+        );
         assert_eq!(sim.node(attacker).tx_failures, 1);
     }
 
@@ -895,10 +943,7 @@ mod tests {
             .filter(|cf| matches!(&cf.frame, Frame::Ctrl(ControlFrame::Ack { .. })))
             .map(|cf| cf.ts_us)
             .collect();
-        assert!(
-            !ack_times.is_empty(),
-            "the pass never got in range"
-        );
+        assert!(!ack_times.is_empty(), "the pass never got in range");
         // Closest approach is at t = 20 s; the indoor detection radius is
         // ~100 m, so ACKs fall within roughly t ∈ [15 s, 25 s].
         let first = *ack_times.first().unwrap();
@@ -967,7 +1012,10 @@ mod tests {
         let peer = sim.add_node(StationConfig::client(peer_mac), (2.0, 0.0));
         sim.station_mut(victim).associate(peer_mac);
         sim.enable_rate_adaptation(peer, Arf::ofdm());
-        assert_eq!(sim.node(peer).rate_ctrl.as_ref().unwrap().rate(), BitRate::Mbps6);
+        assert_eq!(
+            sim.node(peer).rate_ctrl.as_ref().unwrap().rate(),
+            BitRate::Mbps6
+        );
         for i in 0..120u64 {
             sim.inject(
                 i * 3_000,

@@ -64,9 +64,7 @@ fn main() {
     let (hits, misses, false_alarms) = result.keystroke_score;
     println!(
         "\nkeystroke bursts: {}/{} detected ({} false alarms)",
-        hits,
-        result.keystrokes_truth,
-        false_alarms
+        hits, result.keystrokes_truth, false_alarms
     );
     println!(
         "\nThe attacker never joined the network, never had a key, and the \

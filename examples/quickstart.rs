@@ -21,7 +21,10 @@ fn main() {
     let mut sim = Simulator::new(SimConfig::default(), 2020);
 
     // A private WPA2 network: AP + associated client.
-    let ap = sim.add_node(StationConfig::access_point(ap_mac, "PrivateNet"), (2.0, 0.0));
+    let ap = sim.add_node(
+        StationConfig::access_point(ap_mac, "PrivateNet"),
+        (2.0, 0.0),
+    );
     let victim = sim.add_node(StationConfig::client(victim_mac), (0.0, 0.0));
     sim.station_mut(victim).associate(ap_mac);
     sim.station_mut(ap).associate(victim_mac);
@@ -52,5 +55,8 @@ fn main() {
         .capture
         .write_pcap_file(&path, LinkType::Ieee80211Radiotap)
         .expect("write pcap");
-    println!("\npcap written to {} — open it in Wireshark.", path.display());
+    println!(
+        "\npcap written to {} — open it in Wireshark.",
+        path.display()
+    );
 }

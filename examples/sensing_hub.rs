@@ -10,8 +10,8 @@ use polite_wifi::sensing::MotionScript;
 
 fn main() {
     let duration = 30_000_000; // 30 s
-    // Ground truth: someone walks past target 0 at 8 s and target 2 at
-    // 20 s; nothing happens near target 1.
+                               // Ground truth: someone walks past target 0 at 8 s and target 2 at
+                               // 20 s; nothing happens near target 1.
     let scripts = vec![
         MotionScript::walk_by(duration, 8_000_000, 10_000_000),
         MotionScript::idle(duration),
@@ -27,10 +27,7 @@ fn main() {
         report.devices_modified, report.devices_participating
     );
     for (i, t) in report.targets.iter().enumerate() {
-        print!(
-            "target {} ({})  {} CSI samples  → ",
-            i, t.target, t.samples
-        );
+        print!("target {} ({})  {} CSI samples  → ", i, t.target, t.samples);
         if t.motion_windows_us.is_empty() {
             println!("no motion detected");
         } else {

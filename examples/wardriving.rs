@@ -15,13 +15,7 @@ use polite_wifi::devices::{CityPopulation, DeviceSpec};
 fn main() {
     let full = CityPopulation::table2(11);
     // A representative slice: every 44th device, preserving variety.
-    let devices: Vec<DeviceSpec> = full
-        .devices
-        .iter()
-        .step_by(44)
-        .take(120)
-        .cloned()
-        .collect();
+    let devices: Vec<DeviceSpec> = full.devices.iter().step_by(44).take(120).cloned().collect();
     let slice = CityPopulation {
         devices,
         registry: full.registry.clone(),
@@ -46,8 +40,15 @@ fn main() {
         report.survey_time_us as f64 / 1e6
     );
 
-    println!("{:<16} {:>5}    {:<16} {:>5}", "Client vendor", "#", "AP vendor", "#");
-    let rows = report.client_counts.len().max(report.ap_counts.len()).min(12);
+    println!(
+        "{:<16} {:>5}    {:<16} {:>5}",
+        "Client vendor", "#", "AP vendor", "#"
+    );
+    let rows = report
+        .client_counts
+        .len()
+        .max(report.ap_counts.len())
+        .min(12);
     for i in 0..rows {
         let c = report
             .client_counts
@@ -66,5 +67,8 @@ fn main() {
         report.verified, report.discovered,
         "every discovered device must be polite"
     );
-    println!("\nAll {} discovered devices responded. Polite WiFi everywhere.", report.verified);
+    println!(
+        "\nAll {} discovered devices responded. Polite WiFi everywhere.",
+        report.verified
+    );
 }

@@ -36,10 +36,7 @@ impl Args {
         let mut i = 0;
         while i < raw.len() {
             if let Some(name) = raw[i].strip_prefix("--") {
-                let value = raw
-                    .get(i + 1)
-                    .filter(|v| !v.starts_with("--"))
-                    .cloned();
+                let value = raw.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
                 if value.is_some() {
                     i += 1;
                 }
@@ -173,7 +170,11 @@ fn cmd_drain(args: &Args) -> Result<(), String> {
     println!(
         "rate {:>4} pps ({}) → {:.1} mW average, slept {:.1}%, {} responses",
         m.rate_pps,
-        if args.has("rts") { "RTS→CTS" } else { "null→ACK" },
+        if args.has("rts") {
+            "RTS→CTS"
+        } else {
+            "null→ACK"
+        },
         m.average_power_mw,
         m.sleep_fraction * 100.0,
         m.acks_sent

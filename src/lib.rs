@@ -58,5 +58,9 @@ pub use polite_wifi_power as power;
 /// OUI registry, device profiles, Table 2 population.
 pub use polite_wifi_devices as devices;
 
+/// Experiment lifecycle: scenario builder, metrics ledger, parallel
+/// deterministic runner, unified JSON results.
+pub use polite_wifi_harness as harness;
+
 /// The Polite WiFi toolkit: injector, scanner, attacks, sensing hub.
 pub use polite_wifi_core as core;

@@ -41,7 +41,11 @@ fn quickstart_pcap_round_trips_through_analyze() {
         let path = dir.join(format!("politewifi_cli_test.{ext}"));
         let path_str = path.to_str().unwrap();
         let out = politewifi(&["quickstart", "--out", path_str]);
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
 
         let out = politewifi(&["analyze", path_str]);
         assert!(out.status.success());
@@ -78,7 +82,11 @@ fn sifs_command_prints_the_argument() {
 #[test]
 fn drain_command_reports_power() {
     let out = politewifi(&["drain", "--rate", "50", "--seconds", "3"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("mW average"), "{stdout}");
     assert!(stdout.contains("Logitech Circle 2"));

@@ -23,12 +23,24 @@ fn figure6_shape_holds_end_to_end() {
     let m900 = measure(900);
 
     // Anchor 1: power save works without the attack.
-    assert!((5.0..20.0).contains(&m0.average_power_mw), "{}", m0.average_power_mw);
+    assert!(
+        (5.0..20.0).contains(&m0.average_power_mw),
+        "{}",
+        m0.average_power_mw
+    );
     // Anchor 2: the >10 pps knee.
-    assert!((200.0..260.0).contains(&m20.average_power_mw), "{}", m20.average_power_mw);
+    assert!(
+        (200.0..260.0).contains(&m20.average_power_mw),
+        "{}",
+        m20.average_power_mw
+    );
     assert!(m20.sleep_fraction < 0.02);
     // Anchor 3: 900 pps, ~35x.
-    assert!((320.0..400.0).contains(&m900.average_power_mw), "{}", m900.average_power_mw);
+    assert!(
+        (320.0..400.0).contains(&m900.average_power_mw),
+        "{}",
+        m900.average_power_mw
+    );
     let factor = m900.average_power_mw / m0.average_power_mw;
     assert!((20.0..50.0).contains(&factor), "factor {factor}");
 }
@@ -63,8 +75,16 @@ fn paper_projection_numbers() {
     let projections = BatteryDrainAttack::project_batteries(&m);
     let circle2 = &projections[0];
     let xt2 = &projections[1];
-    assert!((5.5..8.0).contains(&circle2.attacked_life_hours), "{}", circle2.attacked_life_hours);
-    assert!((14.0..19.5).contains(&xt2.attacked_life_hours), "{}", xt2.attacked_life_hours);
+    assert!(
+        (5.5..8.0).contains(&circle2.attacked_life_hours),
+        "{}",
+        circle2.attacked_life_hours
+    );
+    assert!(
+        (14.0..19.5).contains(&xt2.attacked_life_hours),
+        "{}",
+        xt2.attacked_life_hours
+    );
     // Both drain hundreds to thousands of times faster than advertised.
     assert!(circle2.speedup > 100.0);
     assert!(xt2.speedup > 500.0);

@@ -46,7 +46,9 @@ fn inject_ack_capture_pcap_reparse() {
         assert_eq!(decoded.len(), sim.node(attacker).capture.len());
         let acks = decoded
             .iter()
-            .filter(|(_, f)| matches!(f, Frame::Ctrl(ControlFrame::Ack { ra }) if *ra == MacAddr::FAKE))
+            .filter(
+                |(_, f)| matches!(f, Frame::Ctrl(ControlFrame::Ack { ra }) if *ra == MacAddr::FAKE),
+            )
             .count();
         assert_eq!(acks, 10, "{link:?}");
     }
@@ -82,12 +84,20 @@ fn deauthing_blocklisting_ap_still_acks_through_the_whole_stack() {
     }
     sim.run_until(1_500_000);
 
-    assert_eq!(sim.station(ap).stats.acks_sent, 4, "blocklist must not matter");
+    assert_eq!(
+        sim.station(ap).stats.acks_sent,
+        4,
+        "blocklist must not matter"
+    );
     assert!(sim.station(ap).stats.deauths_sent >= 3);
 
     // Both the deauth frames and our ACKs are in the monitor capture.
-    let decoded =
-        decode_capture(&sim.node(attacker).capture.to_pcap_bytes(LinkType::Ieee80211)).unwrap();
+    let decoded = decode_capture(
+        &sim.node(attacker)
+            .capture
+            .to_pcap_bytes(LinkType::Ieee80211),
+    )
+    .unwrap();
     let deauths = decoded
         .iter()
         .filter(|(_, f)| f.info_column().starts_with("Deauthentication"))
@@ -128,7 +138,10 @@ fn rts_cts_pipeline_with_pmf_victim() {
 fn attack_coexists_with_encrypted_network_traffic() {
     let ap_mac: MacAddr = "68:02:b8:00:00:07".parse().unwrap();
     let mut sim = Simulator::new(SimConfig::default(), 4);
-    let ap = sim.add_node(StationConfig::access_point(ap_mac, "PrivateNet"), (1.0, 1.0));
+    let ap = sim.add_node(
+        StationConfig::access_point(ap_mac, "PrivateNet"),
+        (1.0, 1.0),
+    );
     let victim = sim.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
     sim.station_mut(victim).associate(ap_mac);
     sim.station_mut(ap).associate(victim_mac());

@@ -18,7 +18,10 @@ fn client_mac() -> MacAddr {
 #[test]
 fn join_handshake_completes_over_the_air() {
     let mut sim = Simulator::new(SimConfig::default(), 1);
-    let ap = sim.add_node(StationConfig::access_point(ap_mac(), "PrivateNet"), (0.0, 0.0));
+    let ap = sim.add_node(
+        StationConfig::access_point(ap_mac(), "PrivateNet"),
+        (0.0, 0.0),
+    );
     let client = sim.add_node(StationConfig::client(client_mac()), (5.0, 0.0));
 
     sim.start_join(client, ap_mac());
@@ -100,10 +103,7 @@ fn deauth_attack_vs_pmf_over_the_air() {
         sim.inject(1_100_000, attacker, spoof, BitRate::Mbps1);
         sim.run_until(2_000_000);
 
-        let still_joined = matches!(
-            sim.station(client).join_state(),
-            JoinState::Joined { .. }
-        );
+        let still_joined = matches!(sim.station(client).join_state(), JoinState::Joined { .. });
         assert_eq!(still_joined, pmf, "pmf={pmf}");
         // Either way the spoofed frame itself got an ACK: Polite WiFi.
         assert!(sim.station(client).stats.acks_sent > acks_before);
@@ -119,13 +119,7 @@ fn legitimate_deauth_cleans_up_both_sides() {
     sim.start_join(client, ap_mac());
     sim.run_until(1_000_000);
 
-    let deauth = builder::deauth(
-        client_mac(),
-        ap_mac(),
-        ap_mac(),
-        50,
-        ReasonCode::StaLeaving,
-    );
+    let deauth = builder::deauth(client_mac(), ap_mac(), ap_mac(), 50, ReasonCode::StaLeaving);
     sim.inject(1_100_000, ap, deauth, BitRate::Mbps1);
     sim.run_until(2_000_000);
 

@@ -29,13 +29,20 @@ fn survey_mixed_slice_everyone_responds() {
     assert_eq!(report.verified, report.discovered);
     assert!(report.discovered >= 58, "discovered {}", report.discovered);
     // Attribution matches the population's ground truth.
-    let truth_clients = slice.devices.iter().filter(|d| d.role == Role::Client).count();
+    let truth_clients = slice
+        .devices
+        .iter()
+        .filter(|d| d.role == Role::Client)
+        .count();
     assert!(report.total_clients as usize >= truth_clients - 2);
     // Vendors reported by the survey must be vendors in the slice.
     let all_vendors: std::collections::HashSet<&str> =
         slice.devices.iter().map(|d| d.vendor.as_str()).collect();
     for (vendor, _) in report.client_counts.iter().chain(report.ap_counts.iter()) {
-        assert!(all_vendors.contains(vendor.as_str()), "phantom vendor {vendor}");
+        assert!(
+            all_vendors.contains(vendor.as_str()),
+            "phantom vendor {vendor}"
+        );
     }
 }
 
@@ -130,10 +137,7 @@ fn randomized_macs_still_ack_but_lose_attribution() {
         .map(|(_, c)| *c)
         .unwrap_or(0);
     assert!(unknown >= 19, "unknown {unknown}");
-    assert!(report
-        .client_counts
-        .iter()
-        .all(|(v, _)| v != "Apple"));
+    assert!(report.client_counts.iter().all(|(v, _)| v != "Apple"));
 }
 
 /// The sensing hub distinguishes which neighbour had motion, when —
@@ -157,7 +161,10 @@ fn sensing_hub_localises_motion_in_time_and_target() {
     let quiet = &report.targets[1];
     assert_eq!(active.motion_windows_us.len(), 1);
     let (s, e) = active.motion_windows_us[0];
-    assert!(s < 7_000_000 && e > 7_000_000, "window {s}..{e} misses the walk");
+    assert!(
+        s < 7_000_000 && e > 7_000_000,
+        "window {s}..{e} misses the walk"
+    );
     assert!(quiet.motion_windows_us.is_empty());
 }
 

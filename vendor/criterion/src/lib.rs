@@ -1,0 +1,224 @@
+//! Vendored, API-compatible subset of `criterion`.
+//!
+//! The build environment has no registry access, so this crate puts a
+//! plain calibrated timing loop behind the criterion API the workspace's
+//! benches use (`benchmark_group`, `throughput`, `sample_size`,
+//! `bench_function`, `iter`, `iter_batched`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros). It reports mean
+//! wall-clock time per iteration plus derived throughput — no outlier
+//! rejection, HTML reports, or statistical comparison against baselines.
+
+#![allow(clippy::all)] // vendored stub: keep diff-to-upstream minimal, not lint-clean
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared work per iteration, used to derive a throughput figure.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// How `iter_batched` amortises setup (ignored by the timing loop; the
+/// vendored implementation always times the routine per batch of one).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to each benchmark closure; runs and times the hot loop.
+pub struct Bencher<'a> {
+    samples: usize,
+    result: &'a mut Option<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` over enough iterations for a stable mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count taking ≳10ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || iters >= 1 << 24 {
+                *self.result = Some(elapsed / iters as u32);
+                break;
+            }
+            iters *= 2;
+        }
+        let _ = self.samples;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let budget = Duration::from_millis(50).max(Duration::ZERO);
+        while total < budget && iters < 1 << 20 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        if iters > 0 {
+            *self.result = Some(total / iters as u32);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn sample_size(&mut self, samples: usize) {
+        self.samples = samples;
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut result = None;
+        let mut bencher = Bencher {
+            samples: self.samples,
+            result: &mut result,
+        };
+        f(&mut bencher);
+        report(&self.name, id, result, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            samples: 100,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut result = None;
+        let mut bencher = Bencher {
+            samples: 100,
+            result: &mut result,
+        };
+        f(&mut bencher);
+        report("bench", id, result, None);
+        self
+    }
+}
+
+fn report(group: &str, id: &str, result: Option<Duration>, throughput: Option<Throughput>) {
+    let Some(per_iter) = result else {
+        println!("{group}/{id}: no measurement");
+        return;
+    };
+    let nanos = per_iter.as_nanos().max(1) as f64;
+    let time = if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    };
+    match throughput {
+        Some(Throughput::Bytes(b)) => {
+            let rate = b as f64 / (nanos / 1e9) / (1024.0 * 1024.0);
+            println!("{group}/{id}: {time}/iter ({rate:.1} MiB/s)");
+        }
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (nanos / 1e9);
+            println!("{group}/{id}: {time}/iter ({rate:.0} elem/s)");
+        }
+        None => println!("{group}/{id}: {time}/iter"),
+    }
+}
+
+/// Collects benchmark functions into a runner callable from `main`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($name, $($target),+);
+    };
+}
+
+/// Generates `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_a_duration() {
+        let mut result = None;
+        let mut b = Bencher {
+            samples: 10,
+            result: &mut result,
+        };
+        b.iter(|| black_box(41u64) + 1);
+        assert!(result.is_some());
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut result = None;
+        let mut b = Bencher {
+            samples: 10,
+            result: &mut result,
+        };
+        b.iter_batched(
+            || vec![1u8; 64],
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(result.is_some());
+    }
+}

@@ -1,0 +1,151 @@
+//! Vendored ChaCha8 PRNG (`rand_chacha` stand-in).
+//!
+//! A faithful ChaCha8 keystream generator (Bernstein's ChaCha with 8
+//! rounds, the variant upstream `rand_chacha` exposes as `ChaCha8Rng`),
+//! implementing the vendored [`rand`] traits. The keystream is a pure
+//! function of the 256-bit seed, so every simulation seeded through this
+//! type replays bit-for-bit — the property the whole workspace rests on.
+//! No output compatibility with upstream `rand_chacha` word order is
+//! promised (the workspace never compares against upstream streams).
+
+#![allow(clippy::all)] // vendored stub: keep diff-to-upstream minimal, not lint-clean
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 rounds, 64-bit block counter, zero nonce.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// 256-bit key as eight little-endian words.
+    key: [u32; 8],
+    /// Block counter (low/high words 12–13 of the state).
+    counter: u64,
+    /// The current 16-word output block.
+    block: [u32; 16],
+    /// Next unread word within `block` (16 = exhausted).
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// "expand 32-byte k", the ChaCha constant.
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+    fn refill(&mut self) {
+        let mut state: [u32; 16] = [0; 16];
+        state[..4].copy_from_slice(&Self::SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0; // nonce
+        state[15] = 0;
+        let initial = state;
+        for _ in 0..4 {
+            // A double round: four column rounds + four diagonal rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial.iter()) {
+            *word = word.wrapping_add(*init);
+        }
+        self.block = state;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, word) in key.iter_mut().enumerate() {
+            *word = u32::from_le_bytes([
+                seed[4 * i],
+                seed[4 * i + 1],
+                seed[4 * i + 2],
+                seed[4 * i + 3],
+            ]);
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let va: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn counter_advances_blocks() {
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        let first_block: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        let second_block: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        assert_ne!(first_block, second_block);
+    }
+
+    #[test]
+    fn uniformish_floats() {
+        let mut r = ChaCha8Rng::seed_from_u64(33);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,293 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build environment has no registry access, so this proc-macro is
+//! written against `proc_macro` alone — no `syn`, no `quote`. It parses
+//! just enough item structure for the shapes this workspace derives:
+//! plain (non-generic) structs with named fields, tuple structs, unit
+//! structs, and enums whose variants are unit, tuple, or struct-like.
+//!
+//! Output conventions mirror upstream serde:
+//! * named struct  → object with fields in declaration order,
+//! * newtype struct → the inner value, transparently,
+//! * tuple struct  → array,
+//! * unit variant  → `"Variant"`,
+//! * newtype variant → `{"Variant": value}`,
+//! * tuple variant → `{"Variant": [..]}`,
+//! * struct variant → `{"Variant": {..}}`.
+
+#![allow(clippy::all)] // vendored stub: keep diff-to-upstream minimal, not lint-clean
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive learned about the item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { fields, .. } => struct_body(fields, "self."),
+        Item::Enum { name, variants } => enum_body(name, variants),
+    };
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive: generated impl must parse")
+}
+
+/// Serialization expression for struct fields (`prefix` is `self.` for
+/// structs, empty for destructured enum variants).
+fn struct_body(fields: &Fields, prefix: &str) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let pairs: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&{prefix}{f}))")
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+        Fields::Tuple(1) => format!("::serde::Serialize::to_value(&{prefix}0)"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&{prefix}{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    }
+}
+
+fn enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = Vec::new();
+    for (variant, fields) in variants {
+        let arm = match fields {
+            Fields::Unit => {
+                format!("{name}::{variant} => ::serde::Value::String(String::from(\"{variant}\")),")
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                };
+                format!(
+                    "{name}::{variant}({}) => ::serde::Value::Object(vec![\
+                         (String::from(\"{variant}\"), {inner})]),",
+                    binds.join(", ")
+                )
+            }
+            Fields::Named(field_names) => {
+                let pairs: Vec<String> = field_names
+                    .iter()
+                    .map(|f| format!("(String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"))
+                    .collect();
+                format!(
+                    "{name}::{variant} {{ {} }} => ::serde::Value::Object(vec![\
+                         (String::from(\"{variant}\"), \
+                          ::serde::Value::Object(vec![{}]))]),",
+                    field_names.join(", "),
+                    pairs.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!("match self {{ {} }}", arms.join("\n"))
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#` + bracket group) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` / `pub(super)`.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic type `{name}` is unsupported");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: unexpected enum body {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Splits a comma-separated token run at *top level*, tracking `<...>`
+/// nesting so commas inside generic arguments don't split (groups are
+/// single trees and nest for free).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                parts.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        parts.last_mut().expect("nonempty").push(tt);
+    }
+    if parts.last().map_or(false, Vec::is_empty) {
+        parts.pop();
+    }
+    parts
+}
+
+/// Field names of a named-fields body, in declaration order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|field_tokens| {
+            // [attrs] [vis] name ':' type — the name is the ident right
+            // before the first top-level ':'.
+            let mut j = 0;
+            loop {
+                match field_tokens.get(j) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => j += 2,
+                    Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                        j += 1;
+                        if let Some(TokenTree::Group(g)) = field_tokens.get(j) {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                j += 1;
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            match field_tokens.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Number of fields in a tuple-struct/tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|variant_tokens| {
+            let mut j = 0;
+            while let Some(TokenTree::Punct(p)) = variant_tokens.get(j) {
+                if p.as_char() == '#' {
+                    j += 2;
+                } else {
+                    break;
+                }
+            }
+            let name = match variant_tokens.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, got {other:?}"),
+            };
+            j += 1;
+            let fields = match variant_tokens.get(j) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                // Unit variant, possibly with `= discriminant`.
+                _ => Fields::Unit,
+            };
+            (name, fields)
+        })
+        .collect()
+}
