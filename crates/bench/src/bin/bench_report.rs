@@ -1,0 +1,625 @@
+//! The benchmark regression gate.
+//!
+//! Criterion benches are great locally but awkward as a CI gate: they
+//! need a stable machine and minutes of runtime. `bench_report` runs the
+//! same workloads (frame codec, exchange simulator, CSI pipeline) plus
+//! three macro-scenarios (a wardrive shard, the Figure 5 keystroke
+//! pipeline, a Figure 6 power sweep) through plain `Instant` timing
+//! loops, and splits every metric into one of two kinds:
+//!
+//! - **work** — deterministic output counts (ACKs received, devices
+//!   verified, mean power at an injection rate). Identical on every
+//!   machine and every run; any drift means behaviour changed, so these
+//!   gate hard in `--check` mode.
+//! - **timing** — wall-clock ns/op. Machine-dependent, so informational
+//!   by default; `--gate-timing` turns them into gates too (for local
+//!   A/B runs against a baseline written on the *same* machine).
+//!
+//! Modes:
+//!
+//! ```text
+//! bench_report                      # run, print, write results/BENCH_report.json
+//! bench_report --write-baseline    # also write BENCH_baseline.json (commit it)
+//! bench_report --check             # compare work metrics to the baseline;
+//!                                   #   exit 1 on drift beyond --tolerance (%)
+//! bench_report --quick             # shrink timing loops (CI); work metrics
+//!                                   #   are unchanged, so --check still holds
+//! ```
+//!
+//! The baseline is parsed with `polite_wifi_obs::json::parse` (the
+//! vendored serde_json is write-only by design).
+
+use polite_wifi_frame::{builder, fcs, Frame, MacAddr};
+use polite_wifi_mac::StationConfig;
+use polite_wifi_obs::json::{parse, JsonValue, JsonWriter};
+use polite_wifi_sensing::filter;
+use polite_wifi_sensing::keystroke::{detect_keystrokes, KeystrokeDetectorConfig};
+use polite_wifi_sim::{SimConfig, Simulator};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const DEFAULT_BASELINE: &str = "BENCH_baseline.json";
+const REPORT_SLUG: &str = "BENCH_report";
+
+/// What a metric means for the gate: `Work` values are deterministic and
+/// always compared; `Timing` values are wall-clock and informational
+/// unless `--gate-timing`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Work,
+    Timing,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Work => "work",
+            Kind::Timing => "timing",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Metric {
+    name: String,
+    kind: Kind,
+    value: f64,
+    unit: &'static str,
+}
+
+#[derive(Debug)]
+struct Report {
+    metrics: Vec<Metric>,
+}
+
+impl Report {
+    fn new() -> Report {
+        Report {
+            metrics: Vec::new(),
+        }
+    }
+
+    fn work(&mut self, name: &str, value: f64, unit: &'static str) {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            kind: Kind::Work,
+            value,
+            unit,
+        });
+    }
+
+    fn timing(&mut self, name: &str, value: f64, unit: &'static str) {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            kind: Kind::Timing,
+            value,
+            unit,
+        });
+    }
+
+    fn to_json(&self, quick: bool) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .key("schema")
+            .string("polite-wifi-bench-report-v1")
+            .key("quick")
+            .bool(quick)
+            .key("metrics")
+            .begin_object();
+        for m in &self.metrics {
+            w.key(&m.name)
+                .begin_object()
+                .key("kind")
+                .string(m.kind.label())
+                .key("value")
+                .f64(m.value)
+                .key("unit")
+                .string(m.unit)
+                .end_object();
+        }
+        w.end_object().end_object();
+        w.finish()
+    }
+}
+
+/// Times `iters` calls of `f`, returning mean ns/op. The closure's
+/// result is black-boxed so the work can't be optimised away.
+fn time_ns<T, F: FnMut() -> T>(iters: u64, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn victim() -> MacAddr {
+    "f2:6e:0b:11:22:33".parse().unwrap()
+}
+
+/// The criterion `simulator/1000_fake_ack_exchanges` workload, verbatim.
+fn exchange_sim(n_frames: u64) -> Simulator {
+    let mut sim = Simulator::new(SimConfig::default(), 7);
+    let _v = sim.add_node(StationConfig::client(victim()), (0.0, 0.0));
+    let a = sim.add_node(StationConfig::client(MacAddr::FAKE), (5.0, 0.0));
+    sim.set_retries(a, false);
+    for i in 0..n_frames {
+        sim.inject(
+            i * 1_000,
+            a,
+            builder::fake_null_frame(victim(), MacAddr::FAKE),
+            BitRate::Mbps1,
+        );
+    }
+    sim
+}
+
+use polite_wifi_phy::rate::BitRate;
+
+/// The criterion CSI series: 45 s at 150 Hz, bursts every 100 samples.
+fn csi_series(n: usize) -> Vec<f64> {
+    let mut ch = polite_wifi_phy::csi::CsiChannel::new(1);
+    (0..n)
+        .map(|i| {
+            ch.sample(if i % 100 < 30 { 0.6 } else { 0.0 })
+                .amplitude(17)
+        })
+        .collect()
+}
+
+fn run_codec(report: &mut Report, quick: bool) {
+    let iters = if quick { 2_000 } else { 20_000 };
+    let fake = builder::fake_null_frame(victim(), MacAddr::FAKE);
+    let fake_bytes = fake.encode(true);
+    let beacon = builder::beacon(victim(), "PrivateNet", 6, 7, 123_456, true);
+    let beacon_bytes = beacon.encode(true);
+    let payload_1500 = vec![0xa5u8; 1500];
+
+    report.work("work.codec.fake_null_len", fake_bytes.len() as f64, "bytes");
+    report.work("work.codec.beacon_len", beacon_bytes.len() as f64, "bytes");
+    report.work(
+        "work.codec.crc32_1500B",
+        fcs::crc32(&payload_1500) as f64,
+        "checksum",
+    );
+    report.timing(
+        "time.codec.encode_fake_null",
+        time_ns(iters, || fake.encode(true)),
+        "ns/op",
+    );
+    report.timing(
+        "time.codec.parse_fake_null",
+        time_ns(iters, || Frame::parse(&fake_bytes, true).unwrap()),
+        "ns/op",
+    );
+    report.timing(
+        "time.codec.parse_beacon",
+        time_ns(iters, || Frame::parse(&beacon_bytes, true).unwrap()),
+        "ns/op",
+    );
+    report.timing(
+        "time.codec.crc32_1500B",
+        time_ns(iters, || fcs::crc32(&payload_1500)),
+        "ns/op",
+    );
+}
+
+fn run_exchange_sim(report: &mut Report) {
+    let start = Instant::now();
+    let mut sim = exchange_sim(1000);
+    sim.run_until(2_000_000);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // The new obs scope doubles as the work-metric source: any change to
+    // MAC/sim behaviour shows up here before it shows up in a figure.
+    let obs = sim.obs();
+    report.work(
+        "work.sim.acks_received",
+        obs.counters.get("sim.acks_received") as f64,
+        "acks",
+    );
+    report.work(
+        "work.sim.frames_txed",
+        obs.counters.get("sim.frames_txed") as f64,
+        "frames",
+    );
+    report.work(
+        "work.sim.ack_timeouts",
+        obs.counters.get("sim.ack_timeouts") as f64,
+        "timeouts",
+    );
+    let turnaround = obs.histograms.get("mac.ack_turnaround_us");
+    report.work(
+        "work.sim.ack_turnaround_mean_us",
+        turnaround.and_then(|h| h.mean()).unwrap_or(0.0),
+        "us",
+    );
+    report.timing("time.sim.1000_exchanges", wall_ms, "ms");
+}
+
+fn run_csi_pipeline(report: &mut Report, quick: bool) {
+    let iters = if quick { 3 } else { 20 };
+    let s = csi_series(6750);
+    let conditioned = filter::condition(&s);
+    let cfg = KeystrokeDetectorConfig::default();
+    let keystrokes = detect_keystrokes(&conditioned, &cfg);
+
+    report.work(
+        "work.csi.conditioned_mean_x1e6",
+        (conditioned.iter().sum::<f64>() / conditioned.len() as f64 * 1e6).round(),
+        "amp",
+    );
+    report.work(
+        "work.csi.keystrokes_detected",
+        keystrokes.len() as f64,
+        "events",
+    );
+    report.timing(
+        "time.csi.condition_45s",
+        time_ns(iters, || filter::condition(&s)) / 1e6,
+        "ms",
+    );
+    report.timing(
+        "time.csi.keystroke_detect_45s",
+        time_ns(iters, || detect_keystrokes(&conditioned, &cfg)) / 1e6,
+        "ms",
+    );
+}
+
+fn run_wardrive_shard(report: &mut Report) {
+    use polite_wifi_core::WardriveScanner;
+    use polite_wifi_devices::CityPopulation;
+
+    let mut population = CityPopulation::table2(2020);
+    population.devices.truncate(160);
+    let scanner = WardriveScanner {
+        seed: 20,
+        ..WardriveScanner::default()
+    };
+    let start = Instant::now();
+    let scan = scanner.run_sharded(&population, 1);
+    report.timing(
+        "time.macro.wardrive_shard",
+        start.elapsed().as_secs_f64() * 1e3,
+        "ms",
+    );
+    report.work(
+        "work.wardrive.discovered",
+        scan.discovered as f64,
+        "devices",
+    );
+    report.work("work.wardrive.verified", scan.verified as f64, "devices");
+}
+
+fn run_keystroke_macro(report: &mut Report) {
+    use polite_wifi_core::KeystrokeAttack;
+
+    let start = Instant::now();
+    let result = KeystrokeAttack::figure5(2020).run();
+    report.timing(
+        "time.macro.keystroke_fig5",
+        start.elapsed().as_secs_f64() * 1e3,
+        "ms",
+    );
+    report.work(
+        "work.keystroke.acks_measured",
+        result.acks_measured as f64,
+        "acks",
+    );
+    let (hits, _misses, false_alarms) = result.keystroke_score;
+    report.work("work.keystroke.hits", hits as f64, "events");
+    report.work("work.keystroke.false_alarms", false_alarms as f64, "events");
+}
+
+fn run_power_macro(report: &mut Report) {
+    use polite_wifi_core::BatteryDrainAttack;
+
+    let rates = [0u32, 20, 900];
+    let start = Instant::now();
+    let sweep = BatteryDrainAttack::sweep(&rates, 2020);
+    report.timing(
+        "time.macro.power_sweep",
+        start.elapsed().as_secs_f64() * 1e3,
+        "ms",
+    );
+    for (m, rate) in sweep.iter().zip(rates) {
+        report.work(
+            &format!("work.power.mw_at_{rate}pps"),
+            m.average_power_mw,
+            "mW",
+        );
+    }
+}
+
+/// One gate comparison: baseline vs current, relative drift in percent.
+struct Drift {
+    name: String,
+    baseline: f64,
+    current: f64,
+    percent: f64,
+}
+
+fn check(
+    baseline: &JsonValue,
+    report: &Report,
+    tolerance: f64,
+    gate_timing: bool,
+) -> Result<usize, Vec<String>> {
+    let mut failures: Vec<String> = Vec::new();
+    let mut drifts: Vec<Drift> = Vec::new();
+
+    let base_metrics = baseline
+        .get("metrics")
+        .and_then(|m| m.as_object())
+        .ok_or_else(|| vec!["baseline has no `metrics` object".to_string()])?;
+
+    for (name, entry) in base_metrics {
+        let kind = entry.get("kind").and_then(|k| k.as_str()).unwrap_or("work");
+        if kind == "timing" && !gate_timing {
+            continue;
+        }
+        let base_value = match entry.get("value").and_then(|v| v.as_f64()) {
+            Some(v) => v,
+            None => {
+                failures.push(format!("baseline metric `{name}` has no numeric value"));
+                continue;
+            }
+        };
+        let current = match report.metrics.iter().find(|m| &m.name == name) {
+            Some(m) => m.value,
+            None => {
+                failures.push(format!(
+                    "metric `{name}` is in the baseline but was not measured \
+                     (workload removed? re-baseline with --write-baseline)"
+                ));
+                continue;
+            }
+        };
+        let percent = if base_value == 0.0 {
+            if current == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (current - base_value).abs() / base_value.abs() * 100.0
+        };
+        if percent > tolerance {
+            failures.push(format!(
+                "`{name}` drifted {percent:.1}% (baseline {base_value}, now {current}, \
+                 tolerance {tolerance}%)"
+            ));
+        }
+        drifts.push(Drift {
+            name: name.clone(),
+            baseline: base_value,
+            current,
+            percent,
+        });
+    }
+
+    println!(
+        "\n{:<34} {:>14} {:>14} {:>8}",
+        "gated metric", "baseline", "current", "drift"
+    );
+    for d in &drifts {
+        println!(
+            "{:<34} {:>14.3} {:>14.3} {:>7.2}%",
+            d.name, d.baseline, d.current, d.percent
+        );
+    }
+    // New metrics the baseline doesn't know about yet: informational.
+    for m in report.metrics.iter().filter(|m| m.kind == Kind::Work) {
+        if !base_metrics.iter().any(|(name, _)| name == &m.name) {
+            println!(
+                "(new metric `{}` not in baseline — consider re-baselining)",
+                m.name
+            );
+        }
+    }
+
+    if failures.is_empty() {
+        Ok(drifts.len())
+    } else {
+        Err(failures)
+    }
+}
+
+#[derive(Debug)]
+struct Args {
+    check: bool,
+    write_baseline: bool,
+    baseline: PathBuf,
+    tolerance: f64,
+    quick: bool,
+    gate_timing: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        check: false,
+        write_baseline: false,
+        baseline: PathBuf::from(DEFAULT_BASELINE),
+        tolerance: 15.0,
+        quick: false,
+        gate_timing: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let mut unknown: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => out.check = true,
+            "--write-baseline" => out.write_baseline = true,
+            "--quick" => out.quick = true,
+            "--gate-timing" => out.gate_timing = true,
+            "--baseline" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| "--baseline needs a value".to_string())?;
+                out.baseline = PathBuf::from(raw);
+            }
+            "--tolerance" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| "--tolerance needs a value".to_string())?;
+                out.tolerance = raw
+                    .parse()
+                    .map_err(|_| format!("--tolerance: invalid value `{raw}`"))?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: bench_report [--check] [--write-baseline] [--baseline FILE] \
+                     [--tolerance PCT] [--quick] [--gate-timing]"
+                        .to_string(),
+                )
+            }
+            other => unknown.push(format!("`{other}`")),
+        }
+    }
+    if !unknown.is_empty() {
+        let plural = if unknown.len() == 1 { "" } else { "s" };
+        return Err(format!(
+            "unknown flag{plural} {} (try --help)",
+            unknown.join(", ")
+        ));
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    println!("bench_report: criterion workloads + macro-scenarios as a regression gate");
+    println!(
+        "mode: {}{}tolerance {}%",
+        if args.quick { "quick, " } else { "full, " },
+        if args.check { "check, " } else { "" },
+        args.tolerance
+    );
+
+    let mut report = Report::new();
+    let total = Instant::now();
+    run_codec(&mut report, args.quick);
+    println!("  codec workloads done");
+    run_exchange_sim(&mut report);
+    println!("  exchange simulator done");
+    run_csi_pipeline(&mut report, args.quick);
+    println!("  CSI pipeline done");
+    run_wardrive_shard(&mut report);
+    println!("  wardrive shard done");
+    run_keystroke_macro(&mut report);
+    println!("  keystroke macro done");
+    run_power_macro(&mut report);
+    println!("  power sweep done");
+    println!("all workloads in {:.1}s", total.elapsed().as_secs_f64());
+
+    println!("\n{:<34} {:>14}  unit", "metric", "value");
+    for m in &report.metrics {
+        println!(
+            "{:<34} {:>14.3}  {} [{}]",
+            m.name,
+            m.value,
+            m.unit,
+            m.kind.label()
+        );
+    }
+
+    let json = report.to_json(args.quick);
+    let report_path = match polite_wifi_harness::write_json(REPORT_SLUG, &RawJson(&json)) {
+        Ok(path) => path,
+        Err(err) => {
+            eprintln!("failed to write report: {err}");
+            std::process::exit(1);
+        }
+    };
+    println!("\n[bench report written to {}]", report_path.display());
+
+    if args.write_baseline {
+        if let Err(err) = std::fs::write(&args.baseline, &json) {
+            eprintln!("failed to write baseline: {err}");
+            std::process::exit(1);
+        }
+        println!(
+            "[baseline written to {} — commit it]",
+            args.baseline.display()
+        );
+    }
+
+    if args.check {
+        let raw = match std::fs::read_to_string(&args.baseline) {
+            Ok(raw) => raw,
+            Err(err) => {
+                eprintln!(
+                    "cannot read baseline {}: {err} (generate one with --write-baseline)",
+                    args.baseline.display()
+                );
+                std::process::exit(1);
+            }
+        };
+        let baseline = match parse(&raw) {
+            Ok(v) => v,
+            Err(err) => {
+                eprintln!(
+                    "baseline {} is not valid JSON: {err}",
+                    args.baseline.display()
+                );
+                std::process::exit(1);
+            }
+        };
+        match check(&baseline, &report, args.tolerance, args.gate_timing) {
+            Ok(gated) => {
+                println!(
+                    "\nbench gate PASSED: {gated} metrics within {}%",
+                    args.tolerance
+                );
+            }
+            Err(failures) => {
+                eprintln!("\nbench gate FAILED:");
+                for f in &failures {
+                    eprintln!("  - {f}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Lets pre-rendered JSON ride through `write_json` (which serialises
+/// with the vendored serde) without re-encoding.
+struct RawJson<'a>(&'a str);
+
+impl serde::Serialize for RawJson<'_> {
+    fn to_value(&self) -> serde_json::Value {
+        // The harness writer pretty-prints a Value; hand it the parsed
+        // tree so the committed report stays valid JSON.
+        raw_to_serde(&parse(self.0).expect("report JSON is well-formed"))
+    }
+}
+
+fn raw_to_serde(v: &JsonValue) -> serde_json::Value {
+    match v {
+        JsonValue::Null => serde_json::Value::Null,
+        JsonValue::Bool(b) => serde_json::Value::Bool(*b),
+        JsonValue::Num(n) => {
+            if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 {
+                serde_json::Value::UInt(*n as u64)
+            } else {
+                serde_json::Value::Float(*n)
+            }
+        }
+        JsonValue::Str(s) => serde_json::Value::String(s.clone()),
+        JsonValue::Arr(items) => serde_json::Value::Array(items.iter().map(raw_to_serde).collect()),
+        JsonValue::Obj(fields) => serde_json::Value::Object(
+            fields
+                .iter()
+                .map(|(k, v)| (k.clone(), raw_to_serde(v)))
+                .collect(),
+        ),
+    }
+}

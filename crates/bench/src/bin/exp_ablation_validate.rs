@@ -24,7 +24,7 @@ struct AblationRow {
     retry_amplification: f64,
 }
 
-fn run(decode_us: Option<u32>, seed: u64) -> AblationRow {
+fn run(decode_us: Option<u32>, seed: u64) -> (AblationRow, polite_wifi_obs::Obs) {
     let victim_mac: MacAddr = "f2:6e:0b:11:22:33".parse().unwrap();
     let peer_mac: MacAddr = "02:00:00:00:00:42".parse().unwrap();
 
@@ -52,14 +52,15 @@ fn run(decode_us: Option<u32>, seed: u64) -> AblationRow {
     let sim = scenario.run();
 
     let node = sim.node(peer);
-    AblationRow {
+    let row = AblationRow {
         decode_us,
         frames_offered,
         transmissions: node.tx_count,
         confirmed: node.acks_received,
         reported_lost: node.tx_failures,
         retry_amplification: node.tx_count as f64 / frames_offered as f64,
-    }
+    };
+    (row, scenario.sim.take_obs())
 }
 
 fn main() -> std::io::Result<()> {
@@ -74,9 +75,14 @@ fn main() -> std::io::Result<()> {
 
     let seed = exp.seed();
     let variants = [None, Some(200), Some(450), Some(700)];
-    let rows = exp
+    let results = exp
         .runner()
         .run_indexed(variants.len(), |i| run(variants[i], seed));
+    let mut rows = Vec::with_capacity(results.len());
+    for (row, obs) in results {
+        exp.absorb_obs(obs);
+        rows.push(row);
+    }
     println!(
         "\n{:<26} {:>8} {:>8} {:>10} {:>8} {:>8}",
         "MAC design", "offered", "tx'd", "confirmed", "lost", "amplif."

@@ -25,6 +25,20 @@ fn main() -> std::io::Result<()> {
         }
         .run()
     });
+    for m in &measurements {
+        exp.obs.add("sim.acks_received", m.acks_sent);
+        polite_wifi_power::observe::record_state_durations(
+            &mut exp.obs,
+            "power.victim",
+            &m.durations,
+        );
+        polite_wifi_power::observe::record_power(
+            &mut exp.obs,
+            "power.victim",
+            &polite_wifi_power::PowerProfile::esp8266(),
+            &m.durations,
+        );
+    }
     let mean_mw =
         measurements.iter().map(|m| m.average_power_mw).sum::<f64>() / measurements.len() as f64;
     println!(

@@ -44,6 +44,11 @@ fn main() -> std::io::Result<()> {
     let accuracy = matrix.accuracy();
     exp.metrics.record("accuracy", accuracy);
     exp.metrics.record("windows_scored", matrix.total() as f64);
+    exp.obs.add("sensing.windows_scored", matrix.total());
+    exp.obs.add(
+        "sensing.windows_correct",
+        (0..4).map(|i| matrix.counts[i][i]).sum(),
+    );
 
     println!("\nconfusion matrix (rows = truth, cols = predicted):");
     println!(

@@ -167,6 +167,9 @@ fn main() -> std::io::Result<()> {
 
     assert_eq!(discovered.len(), members.len(), "missed a device");
     assert_eq!(verified.len(), members.len(), "a device failed to verify");
+    scenario.observe_activity(car, "power.car");
+    let snapshot = scenario.sim.take_obs();
+    exp.absorb_obs(snapshot);
     exp.finish(
         "ext_driveby",
         &DriveByResult {

@@ -25,7 +25,7 @@ struct NavDosRow {
 
 /// Runs a legitimate pair offering 200 frames/s for 5 s while the
 /// attacker fires `rts_pps` forged RTS at the victim with `nav_us`.
-fn run(rts_pps: u32, nav_us: u16, seed: u64) -> NavDosRow {
+fn run(rts_pps: u32, nav_us: u16, seed: u64) -> (NavDosRow, polite_wifi_obs::Obs) {
     let a_mac: MacAddr = "02:00:00:00:00:0a".parse().unwrap();
     let b_mac: MacAddr = "02:00:00:00:00:0b".parse().unwrap();
 
@@ -64,12 +64,13 @@ fn run(rts_pps: u32, nav_us: u16, seed: u64) -> NavDosRow {
     let sim = scenario.run();
 
     let delivered = sim.node(a).acks_received as f64 / seconds as f64;
-    NavDosRow {
+    let row = NavDosRow {
         rts_per_second: rts_pps,
         nav_us,
         delivered_per_second: delivered,
         throughput_fraction: delivered / 200.0,
-    }
+    };
+    (row, scenario.sim.take_obs())
 }
 
 fn main() -> std::io::Result<()> {
@@ -90,9 +91,14 @@ fn main() -> std::io::Result<()> {
         (40, 32_767),
         (60, 32_767),
     ];
-    let rows = exp
+    let results = exp
         .runner()
         .run_indexed(configs.len(), |i| run(configs[i].0, configs[i].1, seed));
+    let mut rows = Vec::with_capacity(results.len());
+    for (row, obs) in results {
+        exp.absorb_obs(obs);
+        rows.push(row);
+    }
 
     println!(
         "\nlegitimate pair without attack: {:.0} frames/s delivered\n",

@@ -86,6 +86,8 @@ fn main() -> std::io::Result<()> {
         );
         assert_eq!(report.verified, report.discovered, "ACKs unaffected");
         exp.metrics.record("verified", report.verified as f64);
+        exp.obs.add("wardrive.discovered", report.discovered as u64);
+        exp.obs.add("wardrive.verified", report.verified as u64);
         rows.push(RandomizationResult {
             fraction,
             discovered: report.discovered,

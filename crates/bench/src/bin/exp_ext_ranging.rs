@@ -18,7 +18,12 @@ struct RangeRow {
     relative_error: f64,
 }
 
-fn measure(true_distance: f64, rate_pps: u32, duration_us: u64, seed: u64) -> RangeRow {
+fn measure(
+    true_distance: f64,
+    rate_pps: u32,
+    duration_us: u64,
+    seed: u64,
+) -> (RangeRow, polite_wifi_obs::Obs) {
     let victim_mac: MacAddr = "f2:6e:0b:11:22:33".parse().unwrap();
     let mut sb = ScenarioBuilder::new().duration_us(duration_us + 500_000);
     let _v = sb.client(victim_mac, (true_distance, 0.0));
@@ -38,13 +43,14 @@ fn measure(true_distance: f64, rate_pps: u32, duration_us: u64, seed: u64) -> Ra
     let model = sim.path_loss();
     let est = estimate_range(&sim.node(attacker).capture, MacAddr::FAKE, 20.0, &model)
         .expect("ACKs collected");
-    RangeRow {
+    let row = RangeRow {
         true_distance_m: true_distance,
         samples: est.samples,
         median_rssi_dbm: est.median_rssi_dbm,
         estimated_m: est.distance_m,
         relative_error: (est.distance_m - true_distance).abs() / true_distance,
-    }
+    };
+    (row, scenario.sim.take_obs())
 }
 
 fn main() -> std::io::Result<()> {
@@ -59,9 +65,14 @@ fn main() -> std::io::Result<()> {
 
     let seed = exp.seed();
     let distances = [2.0f64, 5.0, 10.0, 20.0];
-    let rows = exp.runner().run_indexed(distances.len(), |i| {
+    let results = exp.runner().run_indexed(distances.len(), |i| {
         measure(distances[i], 200, 3_000_000, seed + i as u64)
     });
+    let mut rows = Vec::with_capacity(results.len());
+    for (row, obs) in results {
+        exp.absorb_obs(obs);
+        rows.push(row);
+    }
     println!(
         "\n{:>8} {:>8} {:>10} {:>10} {:>8}",
         "true m", "samples", "RSSI dBm", "est. m", "err %"
@@ -79,8 +90,10 @@ fn main() -> std::io::Result<()> {
     }
 
     // More elicited samples → tighter estimate (the Polite WiFi lever).
-    let short = measure(10.0, 50, 400_000, seed + 8); // ~20 samples
-    let long = measure(10.0, 200, 10_000_000, seed + 8); // ~2000 samples
+    let (short, short_obs) = measure(10.0, 50, 400_000, seed + 8); // ~20 samples
+    let (long, long_obs) = measure(10.0, 200, 10_000_000, seed + 8); // ~2000 samples
+    exp.absorb_obs(short_obs);
+    exp.absorb_obs(long_obs);
     println!();
     compare(
         "estimate sharpens with elicited sample count",

@@ -39,6 +39,9 @@ fn main() -> std::io::Result<()> {
         }
         .run()
     });
+    for result in &breathing {
+        exp.obs.add("sensing.csi_samples", result.samples as u64);
+    }
     for (true_bpm, result) in cases.iter().zip(&breathing) {
         let est = result.estimate.as_ref().expect("long series");
         println!(

@@ -103,6 +103,10 @@ fn main() -> std::io::Result<()> {
         .write_pcap_file(&path, LinkType::Ieee80211Radiotap)?;
     println!("\npcap written to {}", path.display());
 
+    scenario.observe_activity(victim, "power.victim");
+    let snapshot = scenario.sim.take_obs();
+    exp.absorb_obs(snapshot);
+
     assert_eq!(exchanges.len() as u64, fakes, "every fake must be ACKed");
     exp.finish(
         "fig2_trace",

@@ -59,7 +59,7 @@ fn main() -> std::io::Result<()> {
     );
 
     // Phase 1: plain deauthing AP.
-    let (sim, ap, attacker) = run_phase(derive_trial_seed(exp.seed(), 0), false);
+    let (mut sim, ap, attacker) = run_phase(derive_trial_seed(exp.seed(), 0), false);
     let rows: Vec<_> = trace::rows(&sim.node(attacker).capture);
     println!("\nSource             Destination        Info");
     for r in rows.iter().take(12) {
@@ -93,7 +93,7 @@ fn main() -> std::io::Result<()> {
 
     // Phase 2: administrator blocks the attacker's MAC. "This experiment
     // destroyed the last hope of preventing this attack."
-    let (sim2, _ap2, attacker2) = run_phase(derive_trial_seed(exp.seed(), 1), true);
+    let (mut sim2, _ap2, attacker2) = run_phase(derive_trial_seed(exp.seed(), 1), true);
     let blocked_acks = AckVerifier::new(MacAddr::FAKE)
         .verify(&sim2.node(attacker2).capture)
         .len();
@@ -131,6 +131,8 @@ fn main() -> std::io::Result<()> {
         .write_pcap_file(&path, LinkType::Ieee80211Radiotap)?;
     println!("pcap written to {}", path.display());
 
+    exp.absorb_obs(sim.take_obs());
+    exp.absorb_obs(sim2.take_obs());
     exp.finish(
         "fig3_deauth",
         &Fig3Result {

@@ -27,6 +27,15 @@ fn main() -> std::io::Result<()> {
     exp.metrics
         .record("acks_measured", result.acks_measured as f64);
     exp.metrics.record("sample_rate_hz", result.sample_rate_hz);
+    exp.obs.add("sim.acks_received", result.acks_measured);
+    exp.obs.add(
+        "sensing.keystrokes_detected",
+        result.keystroke_score.0 as u64,
+    );
+    exp.obs.add(
+        "sensing.keystroke_false_alarms",
+        result.keystroke_score.2 as u64,
+    );
 
     // Figure 5 as numbers: per-phase variability of subcarrier 17.
     let max_std = result

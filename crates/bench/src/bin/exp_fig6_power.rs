@@ -36,6 +36,16 @@ fn main() -> std::io::Result<()> {
         BatteryDrainAttack::sweep(&rates, t.seed)
     });
 
+    for sweep in &sweeps {
+        for m in sweep {
+            exp.obs.add("sim.acks_received", m.acks_sent);
+            polite_wifi_power::observe::record_state_durations(
+                &mut exp.obs,
+                "power.victim",
+                &m.durations,
+            );
+        }
+    }
     let n = sweeps.len() as f64;
     let mean_power: Vec<f64> = (0..rates.len())
         .map(|ri| sweeps.iter().map(|s| s[ri].average_power_mw).sum::<f64>() / n)

@@ -67,6 +67,9 @@ fn main() -> std::io::Result<()> {
             }
         );
         exp.metrics.record("samples_per_target", t.samples as f64);
+        exp.obs.add("sensing.csi_samples", t.samples as u64);
+        exp.obs
+            .add("sensing.motion_windows", t.motion_windows_us.len() as u64);
     }
 
     println!();

@@ -105,6 +105,8 @@ fn main() -> std::io::Result<()> {
     exp.metrics.record("pmf_victim_cts", cts as f64);
 
     let ack_count = sim.station(victim).stats.acks_sent;
+    let snapshot = scenario.sim.take_obs();
+    exp.absorb_obs(snapshot);
     exp.finish(
         "sifs_timing",
         &SifsResult {

@@ -23,7 +23,7 @@ struct DeviceRow {
     responds: bool,
 }
 
-fn device_row(i: usize, base_seed: u64) -> DeviceRow {
+fn device_row(i: usize, base_seed: u64) -> (DeviceRow, polite_wifi_obs::Obs) {
     let profile = Table1Device::ALL[i].profile();
     let victim_mac = MacAddr::new([0x02, 0xd1, 0x00, 0x00, 0x00, i as u8 + 1]);
 
@@ -68,14 +68,15 @@ fn device_row(i: usize, base_seed: u64) -> DeviceRow {
     let acks = AckVerifier::new(MacAddr::FAKE)
         .verify(&sim.node(attacker).capture)
         .len();
-    DeviceRow {
+    let row = DeviceRow {
         device: profile.device,
         chipset: profile.chipset,
         standard: profile.standard.label().to_string(),
         fakes,
         acks,
         responds: acks > 0,
-    }
+    };
+    (row, scenario.sim.take_obs())
 }
 
 fn main() -> std::io::Result<()> {
@@ -89,9 +90,14 @@ fn main() -> std::io::Result<()> {
     );
 
     let seed = exp.seed();
-    let rows = exp
+    let results = exp
         .runner()
         .run_indexed(Table1Device::ALL.len(), |i| device_row(i, seed));
+    let mut rows = Vec::with_capacity(results.len());
+    for (row, obs) in results {
+        exp.absorb_obs(obs);
+        rows.push(row);
+    }
 
     println!(
         "\n{:<22} {:<18} {:<8} {:>6} {:>6}  verdict",

@@ -61,6 +61,10 @@ fn main() -> std::io::Result<()> {
     exp.metrics.record("wall_seconds", wall_s);
     exp.metrics.record("discovered", report.discovered as f64);
     exp.metrics.record("verified", report.verified as f64);
+    exp.obs.add("wardrive.discovered", report.discovered as u64);
+    exp.obs.add("wardrive.verified", report.verified as u64);
+    exp.obs.add("wardrive.clients", report.total_clients as u64);
+    exp.obs.add("wardrive.aps", report.total_aps as u64);
     exp.metrics
         .record("survey_time_s", report.survey_time_us as f64 / 1e6);
 

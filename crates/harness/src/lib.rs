@@ -4,17 +4,17 @@
 //! simulator setup, seed plumbing, metric accumulation, and JSON result
 //! output. This crate owns that lifecycle end to end:
 //!
-//! * [`scenario`] — a [`ScenarioBuilder`](scenario::ScenarioBuilder)
-//!   that declares a population/topology once and can stamp out a fresh
-//!   deterministic [`Simulator`](polite_wifi_sim::Simulator) per trial;
-//! * [`ledger`] — a typed [`MetricsLedger`](ledger::MetricsLedger)
-//!   accumulating named samples with mean/min/max summaries;
-//! * [`runner`] — a [`Runner`](runner::Runner) that fans independent
-//!   trials across a scoped worker pool with deterministic per-trial
-//!   seed derivation ([`runner::derive_trial_seed`]); results merge in
-//!   trial order, so 1-worker and N-worker runs are byte-identical;
-//! * [`report`] — the [`Experiment`](report::Experiment) facade and the
-//!   unified JSON result schema written under `results/`.
+//! * [`scenario`] — a [`ScenarioBuilder`] that declares a
+//!   population/topology once and can stamp out a fresh deterministic
+//!   [`Simulator`](polite_wifi_sim::Simulator) per trial;
+//! * [`ledger`] — a typed [`MetricsLedger`] accumulating named samples
+//!   with mean/min/max summaries;
+//! * [`runner`] — a [`Runner`] that fans independent trials across a
+//!   scoped worker pool with deterministic per-trial seed derivation
+//!   ([`derive_trial_seed`]); results merge in trial order, so 1-worker
+//!   and N-worker runs are byte-identical;
+//! * [`report`] — the [`Experiment`] facade and the unified JSON result
+//!   schema written under `results/`.
 //!
 //! ```
 //! use polite_wifi_harness::prelude::*;

@@ -17,6 +17,7 @@
 
 use crate::ledger::{MetricSummary, MetricsLedger};
 use crate::runner::{RunArgs, Runner};
+use polite_wifi_obs::{Obs, ObsConfig};
 use serde::Serialize;
 use serde_json::Value;
 use std::io;
@@ -52,7 +53,54 @@ struct ReportEnvelope {
     workers: u64,
     quick: bool,
     metrics: Vec<MetricSummary>,
+    obs: Value,
     payload: Value,
+}
+
+/// Lowers an observability scope into the envelope's `obs` field:
+/// counters and histograms in sorted-name order (matching
+/// [`Obs::metrics_json`], so the envelope inherits its byte-stability
+/// across worker counts).
+fn obs_value(obs: &Obs) -> Value {
+    let counters: Vec<(String, Value)> = obs
+        .counters
+        .sorted()
+        .into_iter()
+        .map(|(name, v)| (name.to_string(), Value::UInt(v)))
+        .collect();
+    let histograms: Vec<(String, Value)> = obs
+        .histograms
+        .sorted()
+        .into_iter()
+        .map(|(name, h)| {
+            let buckets: Vec<(String, Value)> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| **n > 0)
+                .map(|(i, n)| (i.to_string(), Value::UInt(*n)))
+                .collect();
+            (
+                name.to_string(),
+                Value::Object(vec![
+                    ("count".to_string(), Value::UInt(h.count)),
+                    ("sum".to_string(), Value::UInt(h.sum)),
+                    (
+                        "min".to_string(),
+                        Value::UInt(if h.count == 0 { 0 } else { h.min }),
+                    ),
+                    ("max".to_string(), Value::UInt(h.max)),
+                    ("buckets".to_string(), Value::Object(buckets)),
+                ]),
+            )
+        })
+        .collect();
+    Value::Object(vec![
+        ("counters".to_string(), Value::Object(counters)),
+        ("histograms".to_string(), Value::Object(histograms)),
+        ("spans_dropped".to_string(), Value::UInt(obs.spans.dropped)),
+        ("events_evicted".to_string(), Value::UInt(obs.ring.evicted)),
+    ])
 }
 
 /// Lifecycle handle for one experiment run.
@@ -63,6 +111,12 @@ pub struct Experiment {
     /// Experiment-level metric accumulators, summarised into the JSON
     /// envelope on [`finish`](Self::finish).
     pub metrics: MetricsLedger,
+    /// The experiment's merged observability scope: per-trial snapshots
+    /// [`absorb_obs`](Self::absorb_obs)ed in trial order plus anything
+    /// recorded directly. Embedded in the envelope and, when
+    /// `--trace-out` was given, exported as a Chrome trace on finish.
+    pub obs: Obs,
+    absorbed: u64,
     started: Instant,
 }
 
@@ -82,6 +136,13 @@ impl Experiment {
 
     /// Starts an experiment with fully explicit arguments (for tests).
     pub fn start_with(name: &str, paper_ref: &str, args: RunArgs) -> Experiment {
+        // Span recording costs memory; only turn it on when the run will
+        // actually export a trace. First install wins process-wide (so a
+        // test driving several experiments keeps one consistent config).
+        polite_wifi_obs::install(ObsConfig {
+            spans: args.trace_out.is_some(),
+            ..ObsConfig::default()
+        });
         println!("{}", "=".repeat(72));
         println!("{name}");
         println!("reproduces: {paper_ref}");
@@ -98,13 +159,26 @@ impl Experiment {
             paper_ref: paper_ref.to_string(),
             args,
             metrics: MetricsLedger::new(),
+            obs: Obs::new(),
+            absorbed: 0,
             started: Instant::now(),
         }
     }
 
     /// The parsed run arguments.
     pub fn args(&self) -> RunArgs {
-        self.args
+        self.args.clone()
+    }
+
+    /// Folds one trial's observability snapshot (usually
+    /// `scenario.sim.take_obs()`) into the experiment scope, tagging its
+    /// spans with the absorb index. **Call in trial order** — the runner
+    /// returns per-trial results index-sorted, so iterating those and
+    /// absorbing as you go preserves the byte-identical-across-workers
+    /// guarantee.
+    pub fn absorb_obs(&mut self, snapshot: Obs) {
+        self.obs.absorb(&snapshot, self.absorbed);
+        self.absorbed += 1;
     }
 
     /// Base seed for this run.
@@ -128,9 +202,20 @@ impl Experiment {
             workers: self.args.workers as u64,
             quick: self.args.quick,
             metrics: self.metrics.summaries(),
+            obs: obs_value(&self.obs),
             payload: serde_json::to_value(payload).map_err(io::Error::other)?,
         };
         let path = write_json(slug, &envelope)?;
+        if let Some(trace_path) = &self.args.trace_out {
+            if let Some(dir) = trace_path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir)?;
+            }
+            std::fs::write(trace_path, self.obs.chrome_trace_json())?;
+            println!(
+                "[chrome trace written to {} — open in chrome://tracing or ui.perfetto.dev]",
+                trace_path.display()
+            );
+        }
         println!(
             "\n[result JSON written to {} in {:.2}s]",
             path.display(),
@@ -179,9 +264,12 @@ mod tests {
             workers: 2,
             seed: 11,
             quick: true,
+            trace_out: None,
         };
         let mut exp = Experiment::start_with("E0: smoke", "none", args);
         exp.metrics.record("acks", 5.0);
+        exp.obs.add("sim.frames_injected", 9);
+        exp.obs.observe("mac.ack_turnaround_us", 10);
         exp.finish("smoke", &Payload { acks: 5 }).unwrap();
 
         let written = std::fs::read_to_string(dir.join("smoke.json")).unwrap();
@@ -192,11 +280,55 @@ mod tests {
             "\"workers\": 2",
             "\"quick\": true",
             "\"name\": \"acks\"",
+            "\"obs\": {",
+            "\"sim.frames_injected\": 9",
+            "\"mac.ack_turnaround_us\": {",
             "\"payload\": {",
             "\"acks\": 5",
         ] {
             assert!(written.contains(needle), "missing {needle} in:\n{written}");
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn absorb_obs_merges_in_trial_order() {
+        let mut exp = Experiment::start_with("E0: obs", "none", RunArgs::default());
+        let mut t0 = Obs::new();
+        t0.add("sim.acks_received", 2);
+        let mut t1 = Obs::new();
+        t1.add("sim.acks_received", 3);
+        t1.observe("sim.exchange_rtt_us", 730);
+        exp.absorb_obs(t0);
+        exp.absorb_obs(t1);
+        assert_eq!(exp.obs.counters.get("sim.acks_received"), 5);
+        assert_eq!(
+            exp.obs.histograms.get("sim.exchange_rtt_us").unwrap().count,
+            1
+        );
+    }
+
+    #[test]
+    fn trace_out_writes_a_chrome_trace() {
+        let dir = std::env::temp_dir().join("polite-wifi-harness-trace-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _guard = ResultsDirGuard::set(&dir);
+        let trace_path = dir.join("trace.json");
+
+        let args = RunArgs {
+            trace_out: Some(trace_path.clone()),
+            ..RunArgs::default()
+        };
+        let mut exp = Experiment::start_with("E0: trace", "none", args);
+        // Span recording may be off process-wide (another test installed
+        // the default config first), but the trace file must exist and
+        // be valid either way.
+        exp.obs.add("sim.frames_injected", 1);
+        exp.finish("trace_smoke", &Payload { acks: 0 }).unwrap();
+
+        let written = std::fs::read_to_string(&trace_path).unwrap();
+        let parsed = polite_wifi_obs::json::parse(&written).unwrap();
+        assert!(parsed.get("traceEvents").unwrap().as_array().is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -115,15 +115,19 @@ impl Runner {
 
 /// Command-line arguments shared by every experiment binary.
 ///
-/// Recognised flags: `--trials N`, `--workers M`, `--seed S`, `--quick`.
-/// Unrecognised flags abort with a usage message rather than being
-/// silently ignored.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Recognised flags: `--trials N`, `--workers M`, `--seed S`, `--quick`,
+/// `--trace-out FILE`. Unrecognised flags abort with a usage message
+/// rather than being silently ignored — and *all* of them are reported
+/// at once, so a typo'd invocation is fixed in one round trip.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunArgs {
     pub trials: usize,
     pub workers: usize,
     pub seed: u64,
     pub quick: bool,
+    /// Where to write the Chrome-trace span dump, if anywhere. Setting
+    /// this also turns span recording on for the whole run.
+    pub trace_out: Option<std::path::PathBuf>,
 }
 
 impl Default for RunArgs {
@@ -133,6 +137,7 @@ impl Default for RunArgs {
             workers: 1,
             seed: 7,
             quick: false,
+            trace_out: None,
         }
     }
 }
@@ -146,17 +151,34 @@ impl RunArgs {
         defaults: RunArgs,
     ) -> Result<RunArgs, String> {
         let mut out = defaults;
+        let mut unknown: Vec<String> = Vec::new();
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--trials" => out.trials = next_value(&mut args, "--trials")?,
                 "--workers" => out.workers = next_value(&mut args, "--workers")?,
                 "--seed" => out.seed = next_value(&mut args, "--seed")?,
                 "--quick" => out.quick = true,
-                "--help" | "-h" => {
-                    return Err("usage: [--trials N] [--workers M] [--seed S] [--quick]".to_string())
+                "--trace-out" => {
+                    let raw = args
+                        .next()
+                        .ok_or_else(|| "--trace-out needs a value".to_string())?;
+                    out.trace_out = Some(std::path::PathBuf::from(raw));
                 }
-                other => return Err(format!("unknown flag `{other}` (try --help)")),
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: [--trials N] [--workers M] [--seed S] [--quick] [--trace-out FILE]"
+                            .to_string(),
+                    )
+                }
+                other => unknown.push(format!("`{other}`")),
             }
+        }
+        if !unknown.is_empty() {
+            let plural = if unknown.len() == 1 { "" } else { "s" };
+            return Err(format!(
+                "unknown flag{plural} {} (try --help)",
+                unknown.join(", ")
+            ));
         }
         if out.trials == 0 {
             return Err("--trials must be at least 1".to_string());
@@ -239,7 +261,8 @@ mod tests {
                 trials: 8,
                 workers: 4,
                 seed: 3,
-                quick: true
+                quick: true,
+                trace_out: None,
             }
         );
         assert_eq!(parse(&[]).unwrap(), RunArgs::default());
@@ -247,6 +270,25 @@ mod tests {
         assert!(parse(&["--trials", "zero"]).is_err());
         assert!(parse(&["--workers", "0"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
+        assert_eq!(
+            parse(&["--trace-out", "/tmp/t.json"]).unwrap().trace_out,
+            Some(std::path::PathBuf::from("/tmp/t.json"))
+        );
+        assert!(parse(&["--trace-out"]).is_err());
+    }
+
+    #[test]
+    fn parse_reports_all_unknown_flags_at_once() {
+        let parse =
+            |argv: &[&str]| RunArgs::parse(argv.iter().map(|s| s.to_string()), RunArgs::default());
+        let err = parse(&["--frobnicate", "--trials", "3", "--wrokers", "2"]).unwrap_err();
+        assert!(err.contains("`--frobnicate`"), "{err}");
+        assert!(err.contains("`--wrokers`"), "{err}");
+        assert!(err.contains("`2`"), "{err}"); // --wrokers ate no value
+        assert!(err.starts_with("unknown flags"), "{err}");
+        // A single unknown flag stays singular.
+        let err = parse(&["--frobnicate"]).unwrap_err();
+        assert!(err.starts_with("unknown flag `--frobnicate`"), "{err}");
     }
 
     #[test]

@@ -178,6 +178,21 @@ impl Scenario {
         &mut self.sim
     }
 
+    /// Feeds a node's radio-state accounting into the simulator's
+    /// observability scope as `<prefix>.{sleep,idle,rx,tx}_us` dwell
+    /// histograms (via `polite_wifi_power::observe`), so the per-trial
+    /// snapshot the harness absorbs carries the energy story too.
+    pub fn observe_activity(&mut self, id: NodeId, prefix: &str) {
+        let totals = self.sim.activity_totals(id);
+        let durations = polite_wifi_power::StateDurations {
+            sleep_us: totals.sleep_us,
+            idle_us: totals.idle_us,
+            rx_us: totals.rx_us,
+            tx_us: totals.tx_us,
+        };
+        polite_wifi_power::observe::record_state_durations(self.sim.obs_mut(), prefix, &durations);
+    }
+
     /// Taps a node's radio-state accounting into a metrics ledger as
     /// `<prefix>_{sleep,idle,rx,tx}_us` samples (the energy model's
     /// inputs).

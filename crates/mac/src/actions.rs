@@ -28,6 +28,22 @@ pub enum DiscardReason {
     DecryptFailed,
 }
 
+impl DiscardReason {
+    /// Stable snake_case label used in observability counter names
+    /// (`mac.discard.<label>`).
+    pub fn metric_label(&self) -> &'static str {
+        match self {
+            DiscardReason::FcsFailed => "fcs_failed",
+            DiscardReason::NotForUs => "not_for_us",
+            DiscardReason::Duplicate => "duplicate",
+            DiscardReason::NotAssociated => "not_associated",
+            DiscardReason::Blocklisted => "blocklisted",
+            DiscardReason::PmfViolation => "pmf_violation",
+            DiscardReason::DecryptFailed => "decrypt_failed",
+        }
+    }
+}
+
 /// Radio power states, consumed by the energy model (`polite-wifi-power`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RadioState {

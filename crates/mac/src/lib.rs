@@ -28,6 +28,7 @@ pub mod behavior;
 pub mod csma;
 pub mod dedup;
 pub mod fragment;
+pub mod obs;
 pub mod rate_control;
 pub mod station;
 

@@ -1,0 +1,468 @@
+//! Minimal JSON support: an escape-correct writer and a small reader.
+//!
+//! The crate is zero-dependency by design, so both exporters build their
+//! documents through [`JsonWriter`] and tools that must *read* JSON back
+//! (the bench-regression gate reading `BENCH_baseline.json`) use
+//! [`parse`]. The reader is a strict recursive-descent parser over the
+//! subset of JSON this workspace emits: objects, arrays, strings with
+//! standard escapes, numbers, booleans and null.
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` as a JSON string literal (quotes included).
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats an `f64` the way the vendored serde_json does: integral
+/// values get a trailing `.0`, non-finite values become `null`.
+pub fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{:.1}", v);
+    } else {
+        let _ = write!(out, "{}", v);
+    }
+}
+
+/// A comma-tracking JSON writer for building documents by hand.
+///
+/// The caller supplies structure (`begin_object` / `end_array` pairs);
+/// the writer handles separators and escaping. Output is compact (no
+/// whitespace), so byte-identity of two documents reduces to value
+/// identity plus field order.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// A writer with an empty buffer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    fn separate(&mut self) {
+        if let Some(need) = self.need_comma.last_mut() {
+            if *need {
+                self.out.push(',');
+            }
+            *need = true;
+        }
+    }
+
+    /// Opens `{`. Pair with [`end_object`](Self::end_object).
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.separate();
+        self.out.push('{');
+        self.need_comma.push(false);
+        self
+    }
+
+    /// Closes `}`.
+    pub fn end_object(&mut self) -> &mut Self {
+        self.need_comma.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Opens `[`. Pair with [`end_array`](Self::end_array).
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.separate();
+        self.out.push('[');
+        self.need_comma.push(false);
+        self
+    }
+
+    /// Closes `]`.
+    pub fn end_array(&mut self) -> &mut Self {
+        self.need_comma.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Writes `"key":` — the next write supplies the value.
+    pub fn key(&mut self, key: &str) -> &mut Self {
+        self.separate();
+        write_escaped(&mut self.out, key);
+        self.out.push(':');
+        // The value that follows must not emit its own comma.
+        if let Some(need) = self.need_comma.last_mut() {
+            *need = false;
+        }
+        self
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.separate();
+        write_escaped(&mut self.out, v);
+        self
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.separate();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Writes a float value (serde_json-compatible formatting).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.separate();
+        write_f64(&mut self.out, v);
+        self
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.separate();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Writes pre-rendered JSON verbatim (caller guarantees validity).
+    pub fn raw(&mut self, json: &str) -> &mut Self {
+        self.separate();
+        self.out.push_str(json);
+        self
+    }
+
+    /// Consumes the writer and returns the document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// A parsed JSON value. Object fields keep document order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; parsed as `f64` (exact for integers up to 2^53,
+    /// far beyond any metric this workspace records).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, fields in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup (None for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document. Errors carry a byte offset and description.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("expected `{lit}` at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            // Surrogates never appear in our own output;
+                            // map them to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        raw.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| format!("bad number `{raw}` at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_builds_nested_document() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .key("name")
+            .string("a\"b")
+            .key("vals")
+            .begin_array()
+            .u64(1)
+            .u64(2)
+            .end_array()
+            .key("ok")
+            .bool(true)
+            .key("mean")
+            .f64(2.0)
+            .end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"a\"b","vals":[1,2],"ok":true,"mean":2.0}"#
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .key("metrics")
+            .begin_array()
+            .begin_object()
+            .key("name")
+            .string("acks")
+            .key("value")
+            .f64(123.5)
+            .end_object()
+            .end_array()
+            .key("note")
+            .string("tab\there")
+            .end_object();
+        let doc = w.finish();
+        let parsed = parse(&doc).unwrap();
+        let metrics = parsed.get("metrics").unwrap().as_array().unwrap();
+        assert_eq!(metrics[0].get("name").unwrap().as_str(), Some("acks"));
+        assert_eq!(metrics[0].get("value").unwrap().as_f64(), Some(123.5));
+        assert_eq!(parsed.get("note").unwrap().as_str(), Some("tab\there"));
+    }
+
+    #[test]
+    fn parse_handles_ws_escapes_negatives_and_exponents() {
+        let parsed = parse(" { \"a\" : [ -1.5e2 , null , false , \"\\u0041\\n\" ] } ").unwrap();
+        let arr = parsed.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(-150.0));
+        assert_eq!(arr[1], JsonValue::Null);
+        assert_eq!(arr[2], JsonValue::Bool(false));
+        assert_eq!(arr[3].as_str(), Some("A\n"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} extra").is_err());
+        assert!(parse("nope").is_err());
+    }
+}

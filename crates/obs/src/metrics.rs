@@ -1,0 +1,284 @@
+//! Counters and log2-bucketed histograms.
+//!
+//! Both structures keep entries in **first-recorded order** and merge by
+//! element-wise addition, so folding per-trial snapshots together in
+//! trial-index order yields the same bytes however many workers ran the
+//! trials. Histogram merge is associative and commutative (it is a sum
+//! of fixed-width bucket vectors), which `tests/harness_parallelism.rs`
+//! pins with a property test.
+
+/// Number of histogram buckets: one per possible bit-length of a `u64`
+/// value (0 through 64).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Bucket index for a value: its bit length, i.e. values `2^(i-1)..2^i`
+/// land in bucket `i`, and 0 lands in bucket 0.
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// A fixed-width log2 histogram of `u64` observations.
+///
+/// Buckets are powers of two (bucket `i` spans `2^(i-1)..2^i`), so the
+/// layout never depends on the data and two histograms always merge by
+/// element-wise addition of their bucket counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Observation count per log2 bucket.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping add; sims never get close).
+    pub sum: u64,
+    /// Smallest observed value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one. Element-wise addition, so
+    /// the operation is associative and commutative.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the observations, if any.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// True when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// Named monotonically-increasing counters in first-recorded order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    entries: Vec<(String, u64)>,
+}
+
+impl Counters {
+    /// An empty counter set.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Adds `n` to a counter, creating it at 0 first if new.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if let Some(entry) = self.entries.iter_mut().find(|(k, _)| k == name) {
+            entry.1 += n;
+        } else {
+            self.entries.push((name.to_string(), n));
+        }
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (name, value) in &other.entries {
+            self.add(name, *value);
+        }
+    }
+
+    /// All `(name, value)` pairs sorted by name (the canonical export
+    /// order, independent of recording order).
+    pub fn sorted(&self) -> Vec<(&str, u64)> {
+        let mut out: Vec<(&str, u64)> =
+            self.entries.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        out.sort_by(|a, b| a.0.cmp(b.0));
+        out
+    }
+
+    /// True when no counter exists.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Named histograms in first-recorded order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histograms {
+    entries: Vec<(String, Histogram)>,
+}
+
+impl Histograms {
+    /// An empty histogram set.
+    pub fn new() -> Histograms {
+        Histograms::default()
+    }
+
+    /// Records one observation into a named histogram, creating it if
+    /// new.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.entry(name).observe(value);
+    }
+
+    fn entry(&mut self, name: &str) -> &mut Histogram {
+        if let Some(idx) = self.entries.iter().position(|(k, _)| k == name) {
+            &mut self.entries[idx].1
+        } else {
+            self.entries.push((name.to_string(), Histogram::new()));
+            &mut self.entries.last_mut().unwrap().1
+        }
+    }
+
+    /// Looks up a histogram by name.
+    pub fn get(&self, name: &str) -> Option<&Histogram> {
+        self.entries.iter().find(|(k, _)| k == name).map(|(_, h)| h)
+    }
+
+    /// Folds another histogram set into this one.
+    pub fn merge(&mut self, other: &Histograms) {
+        for (name, hist) in &other.entries {
+            self.entry(name).merge(hist);
+        }
+    }
+
+    /// All `(name, histogram)` pairs sorted by name (canonical export
+    /// order).
+    pub fn sorted(&self) -> Vec<(&str, &Histogram)> {
+        let mut out: Vec<(&str, &Histogram)> =
+            self.entries.iter().map(|(k, h)| (k.as_str(), h)).collect();
+        out.sort_by(|a, b| a.0.cmp(b.0));
+        out
+    }
+
+    /// True when no histogram exists.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_observe_and_stats() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        for v in [10, 16, 10] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 36);
+        assert_eq!(h.min, 10);
+        assert_eq!(h.max, 16);
+        assert_eq!(h.mean(), Some(12.0));
+        assert_eq!(h.buckets[bucket_index(10)], 2);
+        assert_eq!(h.buckets[bucket_index(16)], 1);
+    }
+
+    #[test]
+    fn histogram_merge_matches_sequential() {
+        let values = [0u64, 1, 9, 10, 11, 16, 100, 5000, u64::MAX];
+        let mut sequential = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for (i, v) in values.iter().enumerate() {
+            sequential.observe(*v);
+            if i % 2 == 0 { &mut left } else { &mut right }.observe(*v);
+        }
+        let mut merged = Histogram::new();
+        merged.merge(&left);
+        merged.merge(&right);
+        assert_eq!(merged, sequential);
+        // Commutes.
+        let mut flipped = Histogram::new();
+        flipped.merge(&right);
+        flipped.merge(&left);
+        assert_eq!(flipped, sequential);
+    }
+
+    #[test]
+    fn counters_add_get_merge() {
+        let mut a = Counters::new();
+        a.add("tx", 3);
+        a.add("tx", 2);
+        a.add("rx", 1);
+        assert_eq!(a.get("tx"), 5);
+        assert_eq!(a.get("missing"), 0);
+
+        let mut b = Counters::new();
+        b.add("rx", 9);
+        b.add("drops", 1);
+        a.merge(&b);
+        assert_eq!(a.get("rx"), 10);
+        assert_eq!(a.get("drops"), 1);
+        assert_eq!(a.sorted(), vec![("drops", 1), ("rx", 10), ("tx", 5)],);
+    }
+
+    #[test]
+    fn histograms_named_merge() {
+        let mut a = Histograms::new();
+        a.observe("lat", 10);
+        let mut b = Histograms::new();
+        b.observe("lat", 12);
+        b.observe("backoff", 90);
+        a.merge(&b);
+        assert_eq!(a.get("lat").unwrap().count, 2);
+        assert_eq!(a.get("backoff").unwrap().count, 1);
+        let names: Vec<&str> = a.sorted().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["backoff", "lat"]);
+    }
+}

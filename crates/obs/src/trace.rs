@@ -1,0 +1,108 @@
+//! Chrome-trace (Perfetto) exporter.
+//!
+//! Serialises a span log and ring buffer into the JSON Trace Event
+//! Format understood by `chrome://tracing` and <https://ui.perfetto.dev>:
+//! an object with a `traceEvents` array of complete (`"ph":"X"`) and
+//! instant (`"ph":"i"`) events. Timestamps are **virtual** simulation
+//! microseconds (the unit the format expects), so a trace of a
+//! deterministic run is itself deterministic. Groups (trial indices)
+//! map to `pid` and tracks (node ids) to `tid`, giving each trial a
+//! process lane with one row per node.
+
+use crate::json::JsonWriter;
+use crate::ring::RingLog;
+use crate::span::SpanLog;
+
+/// Renders a complete Chrome-trace JSON document.
+pub fn chrome_trace_json(spans: &SpanLog, ring: &RingLog) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object().key("traceEvents").begin_array();
+    for span in spans.spans() {
+        w.begin_object()
+            .key("name")
+            .string(&span.name)
+            .key("cat")
+            .string(category(&span.name))
+            .key("ph")
+            .string("X")
+            .key("ts")
+            .u64(span.start_us)
+            .key("dur")
+            .u64(span.dur_us)
+            .key("pid")
+            .u64(span.group)
+            .key("tid")
+            .u64(span.track)
+            .end_object();
+    }
+    for event in ring.events() {
+        w.begin_object()
+            .key("name")
+            .string(&event.label)
+            .key("cat")
+            .string(category(&event.label))
+            .key("ph")
+            .string("i")
+            .key("ts")
+            .u64(event.ts_us)
+            .key("s")
+            .string("t")
+            .key("pid")
+            .u64(0)
+            .key("tid")
+            .u64(event.track)
+            .end_object();
+    }
+    w.end_array()
+        .key("displayTimeUnit")
+        .string("ns")
+        .key("otherData")
+        .begin_object()
+        .key("spans_dropped")
+        .u64(spans.dropped)
+        .key("events_evicted")
+        .u64(ring.evicted)
+        .end_object()
+        .end_object();
+    w.finish()
+}
+
+/// Category for the trace viewer's filter box: the metric-name prefix up
+/// to the first `.` (`frame.exchange` → `frame`).
+fn category(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::span::SpanRecord;
+
+    #[test]
+    fn trace_document_is_valid_and_complete() {
+        let mut spans = SpanLog::new(8);
+        spans.push(SpanRecord {
+            name: "frame.exchange".to_string(),
+            track: 2,
+            group: 1,
+            start_us: 10_000,
+            dur_us: 358,
+        });
+        let mut ring = RingLog::new(8);
+        ring.record(10_400, 2, "ack.timeout");
+
+        let doc = chrome_trace_json(&spans, &ring);
+        let parsed = parse(&doc).expect("exporter must emit valid JSON");
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(events[0].get("ts").unwrap().as_f64(), Some(10_000.0));
+        assert_eq!(events[0].get("dur").unwrap().as_f64(), Some(358.0));
+        assert_eq!(events[0].get("cat").unwrap().as_str(), Some("frame"));
+        assert_eq!(events[0].get("pid").unwrap().as_f64(), Some(1.0));
+        assert_eq!(events[0].get("tid").unwrap().as_f64(), Some(2.0));
+        assert_eq!(events[1].get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(events[1].get("name").unwrap().as_str(), Some("ack.timeout"));
+    }
+}

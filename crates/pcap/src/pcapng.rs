@@ -153,7 +153,7 @@ pub fn read_pcapng(bytes: &[u8]) -> Result<PcapNgFile, PcapError> {
     while pos + 12 <= bytes.len() {
         let btype = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
         let blen = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap()) as usize;
-        if blen < 12 || pos + blen > bytes.len() || !blen.is_multiple_of(4) {
+        if blen < 12 || pos + blen > bytes.len() || blen % 4 != 0 {
             return Err(PcapError::TruncatedRecord { index });
         }
         let body = &bytes[pos + 8..pos + blen - 4];

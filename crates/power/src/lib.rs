@@ -11,6 +11,7 @@
 //! 900 packets/s (35× the baseline).
 
 pub mod battery;
+pub mod observe;
 pub mod profile;
 
 pub use battery::{Battery, DrainProjection};

@@ -1,0 +1,56 @@
+//! Observability taps for the energy model.
+//!
+//! Experiments that already pull [`StateDurations`] out of the simulator
+//! can feed the same numbers into an [`Obs`] scope here, so power-state
+//! dwell and average draw show up in the canonical metrics snapshot next
+//! to the MAC counters.
+
+use crate::profile::{PowerProfile, StateDurations};
+use polite_wifi_obs::Obs;
+
+/// Records per-state dwell histograms: `<prefix>.{sleep,idle,rx,tx}_us`.
+///
+/// Each call contributes one observation per state — a per-trial victim
+/// summary, so across trials the histogram shows the dwell distribution.
+pub fn record_state_durations(obs: &mut Obs, prefix: &str, d: &StateDurations) {
+    obs.observe(&format!("{prefix}.sleep_us"), d.sleep_us);
+    obs.observe(&format!("{prefix}.idle_us"), d.idle_us);
+    obs.observe(&format!("{prefix}.rx_us"), d.rx_us);
+    obs.observe(&format!("{prefix}.tx_us"), d.tx_us);
+}
+
+/// Records the energy verdict for one run: `<prefix>.avg_uw` (average
+/// draw in **microwatts**, an integer so the histogram stays exact) and
+/// `<prefix>.energy_uwh` (consumption in microwatt-hours).
+pub fn record_power(obs: &mut Obs, prefix: &str, profile: &PowerProfile, d: &StateDurations) {
+    let avg_uw = (profile.average_power_mw(d) * 1_000.0).round() as u64;
+    let energy_uwh = (profile.energy_mwh(d) * 1_000.0).round() as u64;
+    obs.observe(&format!("{prefix}.avg_uw"), avg_uw);
+    obs.observe(&format!("{prefix}.energy_uwh"), energy_uwh);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polite_wifi_obs::ObsConfig;
+
+    #[test]
+    fn durations_and_power_recorded() {
+        let mut obs = Obs::with_config(ObsConfig::default());
+        let d = StateDurations {
+            sleep_us: 900_000,
+            idle_us: 80_000,
+            rx_us: 15_000,
+            tx_us: 5_000,
+        };
+        record_state_durations(&mut obs, "power.victim", &d);
+        record_power(&mut obs, "power.victim", &PowerProfile::esp8266(), &d);
+        assert_eq!(
+            obs.histograms.get("power.victim.sleep_us").unwrap().max,
+            900_000
+        );
+        let avg = obs.histograms.get("power.victim.avg_uw").unwrap();
+        // 0.9 s at 3 mW + 0.08 s at 230 mW + ... ≈ 28 mW ≈ 28,000 µW.
+        assert!(avg.max > 20_000 && avg.max < 40_000, "avg {} µW", avg.max);
+    }
+}

@@ -118,7 +118,7 @@ impl WriteCursor {
     }
 
     pub fn align(&mut self, align: usize) {
-        while !self.buf.len().is_multiple_of(align) {
+        while self.buf.len() % align != 0 {
             self.buf.push(0);
         }
     }

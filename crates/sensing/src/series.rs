@@ -21,7 +21,7 @@ impl CsiSeries {
 
     /// Appends a snapshot captured at `t_us`.
     pub fn push(&mut self, t_us: u64, snapshot: CsiSnapshot) {
-        debug_assert!(self.times_us.last().is_none_or(|&last| t_us >= last));
+        debug_assert!(self.times_us.last().map_or(true, |&last| t_us >= last));
         self.times_us.push(t_us);
         self.snapshots.push(snapshot);
     }

@@ -101,6 +101,11 @@ impl ActivityLedger {
     pub fn current_state(&self) -> RadioState {
         self.current
     }
+
+    /// The base state (Idle or Sleep) the radio returns to after TX/RX.
+    pub fn base_state(&self) -> RadioState {
+        self.base
+    }
 }
 
 #[cfg(test)]

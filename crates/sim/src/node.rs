@@ -31,6 +31,9 @@ pub struct AckWait {
     pub token: u64,
     /// Set when the ACK arrived before the timeout.
     pub satisfied: bool,
+    /// When the soliciting frame's transmission began — the start of the
+    /// `frame.exchange` span the response closes.
+    pub started_us: u64,
 }
 
 /// One radio node in the simulation.
@@ -77,6 +80,9 @@ pub struct Node {
     pub acks_received: u64,
     /// Count of CTS responses received for its own RTS frames.
     pub cts_received: u64,
+    /// When the radio last changed base state (doze/wake), for dwell
+    /// histograms.
+    pub last_base_change_us: u64,
 }
 
 impl Node {
@@ -104,6 +110,7 @@ impl Node {
             tx_count: 0,
             acks_received: 0,
             cts_received: 0,
+            last_base_change_us: 0,
         }
     }
 

@@ -5,6 +5,7 @@ use crate::medium::{Medium, MediumConfig, Transmission, Tune};
 use crate::node::{Node, NodeId, QueuedFrame};
 use polite_wifi_frame::{ControlFrame, Frame};
 use polite_wifi_mac::{MacAction, RadioState, Station, StationConfig};
+use polite_wifi_obs::Obs;
 use polite_wifi_pcap::capture::Capture;
 use polite_wifi_phy::airtime;
 use polite_wifi_phy::rate::BitRate;
@@ -25,6 +26,7 @@ struct CurrentTx {
     frame: Frame,
     rate: BitRate,
     is_response: bool,
+    start_us: u64,
 }
 
 /// The discrete-event radio simulator. See the crate docs for an example.
@@ -38,6 +40,7 @@ pub struct Simulator {
     global_capture: Capture,
     next_token: u64,
     last_prune_us: u64,
+    obs: Obs,
 }
 
 impl Simulator {
@@ -53,6 +56,7 @@ impl Simulator {
             global_capture: Capture::new(),
             next_token: 0,
             last_prune_us: 0,
+            obs: Obs::new(),
         }
     }
 
@@ -250,9 +254,40 @@ impl Simulator {
         self.nodes[id.0].ledger.snapshot(self.now_us)
     }
 
+    /// This simulator's observability scope: counters, histograms, spans
+    /// and the event ring accumulated since construction (or the last
+    /// [`reset`](Self::reset), which starts a fresh scope).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Mutable access to the observability scope, for experiment-level
+    /// counters recorded alongside the simulator's own.
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
+    }
+
+    /// Takes the accumulated observability scope, leaving a fresh one.
+    /// The harness calls this at the end of each trial and absorbs the
+    /// snapshot in trial order.
+    pub fn take_obs(&mut self) -> Obs {
+        std::mem::replace(&mut self.obs, Obs::new())
+    }
+
+    /// Records the time since the soliciting frame began transmitting as
+    /// a completed `frame.exchange` and bumps `counter`.
+    fn note_exchange_done(&mut self, id: NodeId, started_us: u64, counter: &str) {
+        let dur = self.now_us.saturating_sub(started_us);
+        self.obs.incr(counter);
+        self.obs.observe("sim.exchange_rtt_us", dur);
+        self.obs
+            .span("frame.exchange", id.0 as u64, started_us, dur);
+    }
+
     fn handle(&mut self, event: Event) {
         match event {
             Event::Inject { node, frame, rate } => {
+                self.obs.incr("sim.frames_injected");
                 self.nodes[node.0].tx_queue.push_back(QueuedFrame {
                     frame,
                     rate,
@@ -302,6 +337,7 @@ impl Simulator {
         node.tx_attempt_pending = true;
         let draw: u16 = self.rng.gen();
         let defer = node.csma.defer_us(draw) as u64;
+        self.obs.observe("mac.csma_defer_us", defer);
         self.queue
             .push(self.now_us + defer, Event::TxAttempt { node: id });
     }
@@ -347,6 +383,8 @@ impl Simulator {
             // Busy: back off and retry.
             let draw: u16 = self.rng.gen();
             let defer = self.nodes[id.0].csma.defer_us(draw) as u64;
+            self.obs.incr("mac.csma_busy_backoffs");
+            self.obs.observe("mac.csma_backoff_us", defer);
             self.nodes[id.0].tx_attempt_pending = true;
             self.queue
                 .push(self.now_us + defer, Event::TxAttempt { node: id });
@@ -389,6 +427,7 @@ impl Simulator {
             frame: frame.clone(),
             rate,
             is_response,
+            start_us: self.now_us,
         });
         let tune = self.tune_of(id);
         self.medium.begin_transmission(Transmission {
@@ -424,6 +463,17 @@ impl Simulator {
             Some(tx) => tx,
             None => return,
         };
+        self.obs.incr("sim.frames_txed");
+        self.obs.span(
+            if tx.is_response {
+                "frame.tx_response"
+            } else {
+                "frame.tx"
+            },
+            id.0 as u64,
+            tx.start_us,
+            now.saturating_sub(tx.start_us),
+        );
         // The ideal observer logs every completed transmission.
         self.global_capture.record_frame(now, &tx.frame);
         // A monitor-mode radio also captures its own transmissions, the
@@ -443,6 +493,7 @@ impl Simulator {
             node.ack_wait = Some(crate::node::AckWait {
                 token,
                 satisfied: false,
+                started_us: tx.start_us,
             });
             let band = node.station.config().band;
             let timeout = airtime::ack_timeout_us(band, tx.rate) as u64;
@@ -477,6 +528,15 @@ impl Simulator {
         } else {
             node.tx_queue.pop_front();
             node.tx_failures += 1;
+        }
+        let now = self.now_us;
+        self.obs.incr("sim.ack_timeouts");
+        if keep {
+            self.obs.incr("sim.tx_retries");
+            self.obs.event(now, id.0 as u64, "ack.timeout");
+        } else {
+            self.obs.incr("sim.tx_drops");
+            self.obs.event(now, id.0 as u64, "frame.dropped");
         }
         self.schedule_tx_attempt(id);
     }
@@ -537,10 +597,12 @@ impl Simulator {
                     },
                 );
                 if outcome.fcs_ok {
+                    let mut completed_at = None;
                     let node = &mut self.nodes[id.0];
                     if let Some(wait) = &mut node.ack_wait {
                         if !wait.satisfied {
                             wait.satisfied = true;
+                            completed_at = Some(wait.started_us);
                             node.ack_wait = None;
                             node.acks_received += 1;
                             node.csma.on_success();
@@ -548,8 +610,11 @@ impl Simulator {
                                 arf.on_success();
                             }
                             node.tx_queue.pop_front();
-                            self.schedule_tx_attempt(id);
                         }
+                    }
+                    if let Some(started_us) = completed_at {
+                        self.note_exchange_done(id, started_us, "sim.acks_received");
+                        self.schedule_tx_attempt(id);
                     }
                 }
             }
@@ -641,10 +706,12 @@ impl Simulator {
                 Frame::Ctrl(ControlFrame::Cts { ra, .. }) if *ra == my_mac
             );
             if is_response_to_me {
+                let mut completed_at = None;
                 let node = &mut self.nodes[id.0];
                 if let Some(wait) = &mut node.ack_wait {
                     if !wait.satisfied {
                         wait.satisfied = true;
+                        completed_at = Some(wait.started_us);
                         node.ack_wait = None;
                         match &frame {
                             Frame::Ctrl(ControlFrame::Ack { .. }) => node.acks_received += 1,
@@ -656,16 +723,29 @@ impl Simulator {
                             arf.on_success();
                         }
                         node.tx_queue.pop_front();
-                        self.schedule_tx_attempt(id);
                     }
                 } else {
+                    // Fire-and-forget senders (retries off — the usual
+                    // injection mode) still count their responses.
                     match &frame {
                         Frame::Ctrl(ControlFrame::Ack { .. }) => {
-                            self.nodes[id.0].acks_received += 1
+                            self.nodes[id.0].acks_received += 1;
+                            self.obs.incr("sim.acks_received");
                         }
-                        Frame::Ctrl(ControlFrame::Cts { .. }) => self.nodes[id.0].cts_received += 1,
+                        Frame::Ctrl(ControlFrame::Cts { .. }) => {
+                            self.nodes[id.0].cts_received += 1;
+                            self.obs.incr("sim.cts_received");
+                        }
                         _ => {}
                     }
+                }
+                if let Some(started_us) = completed_at {
+                    let counter = match &frame {
+                        Frame::Ctrl(ControlFrame::Cts { .. }) => "sim.cts_received",
+                        _ => "sim.acks_received",
+                    };
+                    self.note_exchange_done(id, started_us, counter);
+                    self.schedule_tx_attempt(id);
                 }
             }
         }
@@ -686,6 +766,8 @@ impl Simulator {
     }
 
     fn apply_actions(&mut self, id: NodeId, actions: Vec<MacAction>) {
+        let sifs_us = self.nodes[id.0].station.config().band.sifs_us();
+        polite_wifi_mac::obs::observe_actions(&mut self.obs, sifs_us, &actions);
         for action in actions {
             match action {
                 MacAction::Respond {
@@ -712,7 +794,26 @@ impl Simulator {
                 }
                 MacAction::Radio(state) => match state {
                     RadioState::Sleep | RadioState::Idle => {
-                        self.nodes[id.0].ledger.set_base(self.now_us, state);
+                        let now = self.now_us;
+                        let node = &mut self.nodes[id.0];
+                        let prev = node.ledger.base_state();
+                        node.ledger.set_base(now, state);
+                        if prev != state {
+                            let dwell = now.saturating_sub(node.last_base_change_us);
+                            node.last_base_change_us = now;
+                            let dwell_metric = match prev {
+                                RadioState::Sleep => "power.dwell_sleep_us",
+                                _ => "power.dwell_awake_us",
+                            };
+                            self.obs.observe(dwell_metric, dwell);
+                            self.obs.incr("power.transitions");
+                            let label = if state == RadioState::Sleep {
+                                "power.doze"
+                            } else {
+                                "power.wake"
+                            };
+                            self.obs.event(now, id.0 as u64, label);
+                        }
                     }
                     _ => {}
                 },
@@ -748,6 +849,39 @@ mod tests {
         sim.run_until(50_000);
         assert_eq!(sim.station(victim).stats.acks_sent, 1);
         assert_eq!(sim.node(attacker).acks_received, 1);
+    }
+
+    #[test]
+    fn obs_records_the_exchange() {
+        let (mut sim, _victim, attacker) = two_node_sim();
+        let fake = builder::fake_null_frame(victim_mac(), MacAddr::FAKE);
+        sim.inject(1_000, attacker, fake, BitRate::Mbps1);
+        sim.run_until(50_000);
+        let obs = sim.obs();
+        assert_eq!(obs.counters.get("sim.frames_injected"), 1);
+        assert_eq!(obs.counters.get("sim.acks_received"), 1);
+        assert_eq!(obs.counters.get("mac.acks_scheduled"), 1);
+        assert_eq!(obs.counters.get("mac.sifs_deadline_met"), 1);
+        assert_eq!(obs.counters.get("mac.discard.not_associated"), 1);
+        // The ACK was scheduled exactly at the 2.4 GHz SIFS.
+        let t = obs.histograms.get("mac.ack_turnaround_us").unwrap();
+        assert_eq!((t.count, t.min, t.max), (1, 10, 10));
+        // RTT = fake airtime (416 µs) + SIFS (10) + ACK airtime (304).
+        let rtt = obs.histograms.get("sim.exchange_rtt_us").unwrap();
+        assert_eq!(rtt.max, 416 + 10 + 304);
+        // Spans are off without an installed tracing config.
+        assert!(obs.spans.is_empty());
+    }
+
+    #[test]
+    fn take_obs_leaves_a_fresh_scope() {
+        let (mut sim, _victim, attacker) = two_node_sim();
+        let fake = builder::fake_null_frame(victim_mac(), MacAddr::FAKE);
+        sim.inject(1_000, attacker, fake, BitRate::Mbps1);
+        sim.run_until(50_000);
+        let snapshot = sim.take_obs();
+        assert!(snapshot.counters.get("sim.frames_txed") >= 2);
+        assert!(sim.obs().is_empty());
     }
 
     #[test]

@@ -62,5 +62,9 @@ pub use polite_wifi_devices as devices;
 /// deterministic runner, unified JSON results.
 pub use polite_wifi_harness as harness;
 
+/// Structured tracing and metrics (spans, counters, histograms, the
+/// Chrome-trace exporter).
+pub use polite_wifi_obs as obs;
+
 /// The Polite WiFi toolkit: injector, scanner, attacks, sensing hub.
 pub use polite_wifi_core as core;

@@ -10,6 +10,8 @@ use polite_wifi::core::WardriveScanner;
 use polite_wifi::devices::{CityPopulation, DeviceSpec};
 use polite_wifi::frame::{builder, MacAddr};
 use polite_wifi::harness::{derive_trial_seed, MetricsLedger, Runner, ScenarioBuilder};
+use polite_wifi::obs::metrics::Histogram;
+use polite_wifi::obs::Obs;
 use polite_wifi::phy::rate::BitRate;
 use proptest::prelude::*;
 
@@ -89,7 +91,93 @@ fn trial_metrics_are_byte_identical_across_worker_counts() {
     assert_eq!(sequential, run_with(16), "16-worker ledger differs");
 }
 
+#[test]
+fn obs_metrics_snapshot_is_byte_identical_across_worker_counts() {
+    // The observability scope rides the same contract: per-trial Obs
+    // snapshots absorbed in trial order must serialise byte-identically
+    // no matter how many workers ran the trials.
+    let victim_mac: MacAddr = "f2:6e:0b:11:22:33".parse().unwrap();
+    let mut sb = ScenarioBuilder::new().duration_us(400_000);
+    let ap = sb.access_point("68:02:b8:00:00:01".parse().unwrap(), "Net", (2.0, 0.0));
+    let victim = sb.client(victim_mac, (0.0, 0.0));
+    let attacker = sb.monitor(MacAddr::FAKE, (6.0, 0.0));
+    sb.link(victim, ap);
+
+    let run_with = |workers: usize| {
+        let snapshots = Runner::new(workers).run_trials(77, 12, |trial| {
+            let mut scenario = sb.build_with_seed(trial.seed);
+            for i in 0..4u64 {
+                scenario.sim.inject(
+                    10_000 + i * 50_000,
+                    attacker,
+                    builder::fake_null_frame(victim_mac, MacAddr::FAKE),
+                    BitRate::Mbps1,
+                );
+            }
+            scenario.run();
+            scenario.observe_activity(victim, "power.victim");
+            scenario.sim.take_obs()
+        });
+        let mut merged = Obs::new();
+        for (index, snapshot) in snapshots.iter().enumerate() {
+            merged.absorb(snapshot, index as u64);
+        }
+        merged.metrics_json()
+    };
+
+    let sequential = run_with(1);
+    assert!(
+        sequential.contains("mac.acks_scheduled"),
+        "scenario produced no MAC activity:\n{sequential}"
+    );
+    assert!(sequential.contains("power.victim.sleep_us"));
+    assert_eq!(sequential, run_with(2), "2-worker obs snapshot differs");
+    assert_eq!(sequential, run_with(8), "8-worker obs snapshot differs");
+}
+
 proptest! {
+    /// Histogram merge is associative: fold order must not change the
+    /// result, or absorbing per-trial snapshots in trial order would not
+    /// be enough to erase worker scheduling.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..24),
+        b in proptest::collection::vec(any::<u64>(), 0..24),
+        c in proptest::collection::vec(any::<u64>(), 0..24),
+    ) {
+        let hist = |values: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in values {
+                h.observe(v);
+            }
+            h
+        };
+        let (ha, hb, hc) = (hist(&a), hist(&b), hist(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+
+        // And merging is order-independent (commutative), so even a
+        // scheduler that merged out of order would converge.
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        ba.merge(&hc);
+        prop_assert_eq!(&left, &ba);
+
+        // The merged histogram agrees with observing everything in one go.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &hist(&all));
+    }
+
     /// The per-trial seed derivation never collides within a run: for any
     /// base seed, distinct trial indices must get distinct seeds, or two
     /// trials would silently share a random stream.

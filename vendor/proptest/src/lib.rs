@@ -2,7 +2,8 @@
 //!
 //! The build environment has no registry access, so this crate
 //! reimplements the property-testing surface the workspace's test
-//! suites use: the [`Strategy`] trait with `prop_map`, `Just`, ranges
+//! suites use: the [`Strategy`](strategy::Strategy) trait with
+//! `prop_map`, `Just`, ranges
 //! and tuples as strategies, `any::<T>()`, `prop_oneof!`,
 //! `proptest::collection::vec`, `proptest::option::of`, and the
 //! `proptest!` / `prop_assert*` / `prop_assume!` macros.
