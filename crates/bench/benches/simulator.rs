@@ -101,6 +101,7 @@ fn bench_medium_ablation(c: &mut Criterion) {
             t += 500;
             m.evaluate_rx(
                 NodeId(0),
+                NodeId(1),
                 t,
                 t + 400,
                 20.0,

@@ -465,6 +465,11 @@ fn parse_args() -> Result<Args, String> {
                 out.tolerance = raw
                     .parse()
                     .map_err(|_| format!("--tolerance: invalid value `{raw}`"))?;
+                if !out.tolerance.is_finite() || out.tolerance <= 0.0 {
+                    return Err(format!(
+                        "--tolerance must be a positive percentage, got `{raw}`"
+                    ));
+                }
             }
             "--help" | "-h" => {
                 return Err(

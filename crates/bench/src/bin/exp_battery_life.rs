@@ -17,14 +17,26 @@ fn main() -> std::io::Result<()> {
     );
     let args = exp.args();
 
-    let measurements = exp.runner().run_trials(exp.seed(), args.trials, |t| {
-        BatteryDrainAttack {
-            rate_pps: 900,
-            seed: t.seed,
-            ..BatteryDrainAttack::default()
-        }
-        .run()
-    });
+    let measurements: Vec<_> = exp
+        .run_trials(|t| {
+            BatteryDrainAttack {
+                rate_pps: 900,
+                seed: t.seed,
+                faults: args.faults,
+                ..BatteryDrainAttack::default()
+            }
+            .run()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    if measurements.is_empty() {
+        println!("\n(every trial degraded — writing a failure-only envelope)");
+        return exp.finish(
+            "battery_life",
+            &Vec::<polite_wifi_power::DrainProjection>::new(),
+        );
+    }
     for m in &measurements {
         exp.obs.add("sim.acks_received", m.acks_sent);
         polite_wifi_power::observe::record_state_durations(
@@ -77,7 +89,9 @@ fn main() -> std::io::Result<()> {
         &format!("{:.1} h", projections[1].attacked_life_hours),
     );
 
-    assert!((5.5..8.0).contains(&projections[0].attacked_life_hours));
-    assert!((14.0..19.5).contains(&projections[1].attacked_life_hours));
+    if args.faults.is_clean() {
+        assert!((5.5..8.0).contains(&projections[0].attacked_life_hours));
+        assert!((14.0..19.5).contains(&projections[1].attacked_life_hours));
+    }
     exp.finish("battery_life", &projections)
 }

@@ -31,6 +31,13 @@ fn main() -> std::io::Result<()> {
         },
     );
 
+    if !exp.args().faults.is_clean() {
+        println!(
+            "\n(note: the classifier works on synthesised CSI series — `--faults {}` has no medium to degrade here)",
+            exp.args().faults
+        );
+    }
+
     // Feature-separation sanity (the Figure 5 ordering).
     let sessions = generate_dataset(3, 900, 45, 15, 5, 17);
     println!("\nmean window std by class (Figure 5's ordering):");

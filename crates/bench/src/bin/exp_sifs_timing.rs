@@ -80,7 +80,9 @@ fn main() -> std::io::Result<()> {
 
     println!("\n-- Part 2: the RTS/CTS fallback defeats even a fast decoder --\n");
     let victim_mac: MacAddr = "f2:6e:0b:11:22:33".parse().unwrap();
-    let mut sb = ScenarioBuilder::new().duration_us(1_000_000);
+    let mut sb = ScenarioBuilder::new()
+        .duration_us(1_000_000)
+        .faults(exp.args().faults);
     let mut cfg = StationConfig::client(victim_mac);
     cfg.behavior = Behavior::pmf_client(); // 802.11w enabled
     let victim = sb.station(cfg, (0.0, 0.0));
@@ -101,7 +103,9 @@ fn main() -> std::io::Result<()> {
         "10/10",
         &format!("{cts}/10"),
     );
-    assert_eq!(cts, 10);
+    if exp.args().faults.is_clean() {
+        assert_eq!(cts, 10);
+    }
     exp.metrics.record("pmf_victim_cts", cts as f64);
 
     let ack_count = sim.station(victim).stats.acks_sent;

@@ -23,11 +23,15 @@ struct DeviceRow {
     responds: bool,
 }
 
-fn device_row(i: usize, base_seed: u64) -> (DeviceRow, polite_wifi_obs::Obs) {
+fn device_row(
+    i: usize,
+    base_seed: u64,
+    faults: polite_wifi_sim::FaultProfile,
+) -> (DeviceRow, polite_wifi_obs::Obs) {
     let profile = Table1Device::ALL[i].profile();
     let victim_mac = MacAddr::new([0x02, 0xd1, 0x00, 0x00, 0x00, i as u8 + 1]);
 
-    let mut sb = ScenarioBuilder::new().duration_us(3_000_000);
+    let mut sb = ScenarioBuilder::new().duration_us(3_000_000).faults(faults);
     let mut cfg = StationConfig::client(victim_mac);
     cfg.role = profile.role;
     cfg.band = profile.band;
@@ -90,9 +94,10 @@ fn main() -> std::io::Result<()> {
     );
 
     let seed = exp.seed();
+    let faults = exp.args().faults;
     let results = exp
         .runner()
-        .run_indexed(Table1Device::ALL.len(), |i| device_row(i, seed));
+        .run_indexed(Table1Device::ALL.len(), |i| device_row(i, seed, faults));
     let mut rows = Vec::with_capacity(results.len());
     for (row, obs) in results {
         exp.absorb_obs(obs);
@@ -122,6 +127,8 @@ fn main() -> std::io::Result<()> {
         "5/5",
         &format!("{}/5", rows.iter().filter(|r| r.responds).count()),
     );
-    assert!(rows.iter().all(|r| r.responds), "a device went impolite");
+    if faults.is_clean() {
+        assert!(rows.iter().all(|r| r.responds), "a device went impolite");
+    }
     exp.finish("table1_devices", &rows)
 }

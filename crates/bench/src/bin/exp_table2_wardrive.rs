@@ -42,6 +42,7 @@ fn main() -> std::io::Result<()> {
 
     let scanner = WardriveScanner {
         seed: exp.seed(),
+        faults: args.faults,
         ..WardriveScanner::default()
     };
     println!(
@@ -51,8 +52,9 @@ fn main() -> std::io::Result<()> {
         args.workers
     );
     let start = std::time::Instant::now();
-    let report = scanner.run_sharded(&population, args.workers);
+    let report = scanner.run_observed(&population, args.workers, &mut exp.obs);
     let wall_s = start.elapsed().as_secs_f64();
+    exp.note_quarantined(report.quarantined as u64);
     println!(
         "survey done in {:.1} s wall / {:.0} s simulated\n",
         wall_s,
@@ -154,11 +156,18 @@ fn main() -> std::io::Result<()> {
         &format!("{} of {} verified APs", report.pmf_aps, report.total_aps),
     );
 
-    assert_eq!(
-        report.verified, report.discovered,
-        "a discovered device failed to ACK"
-    );
-    if !args.quick {
+    if args.faults.is_clean() {
+        assert_eq!(
+            report.verified, report.discovered,
+            "a discovered device failed to ACK"
+        );
+    } else if report.quarantined > 0 {
+        println!(
+            "({} target(s) quarantined under the `{}` fault profile)",
+            report.quarantined, args.faults
+        );
+    }
+    if !args.quick && args.faults.is_clean() {
         // The shape of Table 2 must reproduce: ≥99% of each population
         // discovered and verified (probe collisions may hide a handful).
         assert!(

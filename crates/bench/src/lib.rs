@@ -15,7 +15,9 @@ use std::path::PathBuf;
 
 pub use polite_wifi_harness::{
     derive_trial_seed, Experiment, MetricsLedger, RunArgs, Runner, ScenarioBuilder, TrialCtx,
+    TrialFailure,
 };
+pub use polite_wifi_sim::FaultProfile;
 
 /// Directory experiment JSON results are written to (workspace-relative,
 /// `POLITE_WIFI_RESULTS` overrides). Not created by this call — use

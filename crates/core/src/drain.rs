@@ -10,7 +10,7 @@ use polite_wifi_frame::MacAddr;
 use polite_wifi_mac::{Behavior, StationConfig};
 use polite_wifi_phy::rate::BitRate;
 use polite_wifi_power::{Battery, DrainProjection, PowerProfile, StateDurations};
-use polite_wifi_sim::{SimConfig, Simulator};
+use polite_wifi_sim::{FaultProfile, SimConfig, Simulator};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one drain measurement.
@@ -27,6 +27,8 @@ pub struct BatteryDrainAttack {
     pub measure_us: u64,
     /// Simulation seed.
     pub seed: u64,
+    /// Channel/device fault profile the scenario runs under.
+    pub faults: FaultProfile,
 }
 
 impl Default for BatteryDrainAttack {
@@ -37,6 +39,7 @@ impl Default for BatteryDrainAttack {
             warmup_us: 3_000_000,
             measure_us: 10_000_000,
             seed: 42,
+            faults: FaultProfile::Clean,
         }
     }
 }
@@ -71,6 +74,7 @@ impl BatteryDrainAttack {
         sim.station_mut(ap).associate(victim_mac);
 
         let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (8.0, 0.0));
+        sim.install_faults(&self.faults.plan());
         let injector = FakeFrameInjector::new(attacker);
         let plan = InjectionPlan {
             victim: victim_mac,
@@ -106,12 +110,22 @@ impl BatteryDrainAttack {
 
     /// Runs the Figure 6 sweep over a list of rates.
     pub fn sweep(rates: &[u32], seed: u64) -> Vec<DrainMeasurement> {
+        Self::sweep_with_faults(rates, seed, FaultProfile::Clean)
+    }
+
+    /// [`sweep`](Self::sweep) under a chaos profile.
+    pub fn sweep_with_faults(
+        rates: &[u32],
+        seed: u64,
+        faults: FaultProfile,
+    ) -> Vec<DrainMeasurement> {
         rates
             .iter()
             .map(|&rate_pps| {
                 BatteryDrainAttack {
                     rate_pps,
                     seed,
+                    faults,
                     ..BatteryDrainAttack::default()
                 }
                 .run()
@@ -200,6 +214,7 @@ mod tests {
             warmup_us: 2_000_000,
             measure_us: 5_000_000,
             seed: 1,
+            faults: FaultProfile::Clean,
         }
         .run();
         assert!(
@@ -209,6 +224,27 @@ mod tests {
         );
         assert!(m.sleep_fraction < 0.05);
         assert!(m.acks_sent > 200, "CTS count {}", m.acks_sent);
+    }
+
+    #[test]
+    fn congested_channel_weakens_but_does_not_stop_the_drain() {
+        let clean = quick(50);
+        let faulty = BatteryDrainAttack {
+            rate_pps: 50,
+            warmup_us: 2_000_000,
+            measure_us: 5_000_000,
+            seed: 1,
+            faults: FaultProfile::Congested,
+            ..BatteryDrainAttack::default()
+        }
+        .run();
+        // Burst loss eats some fakes and some ACKs, so the victim both
+        // sleeps a little more and ACKs less — but the attack still
+        // lands (the paper's point survives a bad channel).
+        assert!(faulty.acks_sent < clean.acks_sent, "{faulty:?}");
+        assert!(faulty.acks_sent > clean.acks_sent / 4, "{faulty:?}");
+        // And the injected faults never leak into a clean rerun.
+        assert_eq!(quick(50), clean);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use polite_wifi_sensing::keystroke::{
     detect_keystrokes, score_detections, KeystrokeDetectorConfig,
 };
 use polite_wifi_sensing::{filter, CsiSeries, MotionScript};
-use polite_wifi_sim::{SimConfig, Simulator};
+use polite_wifi_sim::{FaultProfile, SimConfig, Simulator};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the keystroke-inference attack.
@@ -29,6 +29,8 @@ pub struct KeystrokeAttack {
     pub subcarrier: usize,
     /// Simulation seed.
     pub seed: u64,
+    /// Channel/device fault profile the scenario runs under.
+    pub faults: FaultProfile,
 }
 
 impl KeystrokeAttack {
@@ -39,6 +41,7 @@ impl KeystrokeAttack {
             script: MotionScript::figure5(),
             subcarrier: 17,
             seed,
+            faults: FaultProfile::Clean,
         }
     }
 }
@@ -100,6 +103,7 @@ impl KeystrokeAttack {
         // indoor path-loss model.
         let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (8.0, 1.0));
         sim.set_monitor(attacker, true);
+        sim.install_faults(&self.faults.plan());
 
         let duration_us = self.script.duration_us();
         let plan = InjectionPlan {

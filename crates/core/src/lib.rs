@@ -30,6 +30,7 @@ pub mod drain;
 pub mod injector;
 pub mod keystroke;
 pub mod ranging;
+pub mod retry;
 pub mod scanner;
 pub mod sensing_hub;
 pub mod verifier;
@@ -39,6 +40,7 @@ pub use drain::{BatteryDrainAttack, DrainMeasurement};
 pub use injector::{FakeFrameInjector, InjectionKind, InjectionPlan};
 pub use keystroke::{KeystrokeAttack, KeystrokeAttackResult};
 pub use ranging::{estimate_range, RangeEstimate};
+pub use retry::RetryPolicy;
 pub use scanner::{ScanReport, WardriveScanner};
 pub use sensing_hub::{SensingHub, SensingReport};
 pub use verifier::{AckVerifier, VerifiedExchange};

@@ -16,17 +16,19 @@
 //! merge in segment order, so the report is byte-identical whether one
 //! worker scanned the whole city or eight split it.
 
+use crate::retry::RetryPolicy;
 use crate::verifier::AckVerifier;
 use polite_wifi_devices::{CityPopulation, DeviceSpec};
 use polite_wifi_frame::{builder, Frame, MacAddr};
 use polite_wifi_harness::{derive_trial_seed, Runner};
 use polite_wifi_mac::{Role, StationConfig};
+use polite_wifi_obs::{names, Obs};
 use polite_wifi_phy::rate::BitRate;
-use polite_wifi_sim::{NodeId, SimConfig, Simulator};
+use polite_wifi_sim::{FaultProfile, NodeId, SimConfig, Simulator};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// A discovery: a transmitter address, the role the sniffer *infers*
 /// from the frame kind that revealed it (beacons/probe responses mean AP,
@@ -46,6 +48,10 @@ pub struct WardriveScanner {
     pub dwell_us: u64,
     /// Fake frames injected per discovered target.
     pub fakes_per_target: u32,
+    /// Channel/device fault profile each segment runs under.
+    pub faults: FaultProfile,
+    /// Retry/backoff/quarantine policy for pending targets.
+    pub retry: RetryPolicy,
 }
 
 impl Default for WardriveScanner {
@@ -55,6 +61,8 @@ impl Default for WardriveScanner {
             segment_size: 48,
             dwell_us: 2_500_000,
             fakes_per_target: 3,
+            faults: FaultProfile::Clean,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -80,6 +88,9 @@ pub struct ScanReport {
     pub ap_vendor_count: usize,
     /// Distinct vendors overall.
     pub distinct_vendor_count: usize,
+    /// Targets quarantined after exhausting the retry budget or the
+    /// per-target verify timeout (always 0 on a clean channel).
+    pub quarantined: usize,
     /// Verified APs whose beacons advertised 802.11w (PMF). The paper's
     /// footnote 2: they ACK fakes and answer forged RTS all the same.
     pub pmf_aps: u32,
@@ -175,12 +186,23 @@ impl VerifierState {
     }
 }
 
+/// Thread 2's per-target bookkeeping: how many times a pending target
+/// has been injected at, when it may be injected at again (backoff),
+/// and when the clock on its verify timeout started.
+struct TargetRetry {
+    attempts: u32,
+    next_due_us: u64,
+    first_attempt_us: Option<u64>,
+}
+
 /// What one self-contained segment scan produced, in emission order, so
 /// segment outcomes merge identically however they were scheduled.
 struct SegmentOutcome {
     discovered: Vec<Discovery>,
     verified: Vec<MacAddr>,
+    quarantined: Vec<MacAddr>,
     survey_time_us: u64,
+    obs: Obs,
 }
 
 impl WardriveScanner {
@@ -197,6 +219,19 @@ impl WardriveScanner {
     /// in segment order — so every worker count produces byte-identical
     /// reports, and the wall-clock speedup is the only difference.
     pub fn run_sharded(&self, population: &CityPopulation, workers: usize) -> ScanReport {
+        self.run_observed(population, workers, &mut Obs::new())
+    }
+
+    /// [`run_sharded`](Self::run_sharded), additionally folding every
+    /// segment's observability snapshot (fault/retry counters and
+    /// histograms) into `obs` in segment order — so an experiment's
+    /// envelope reports them byte-identically at any worker count.
+    pub fn run_observed(
+        &self,
+        population: &CityPopulation,
+        workers: usize,
+        obs: &mut Obs,
+    ) -> ScanReport {
         let segments = self.plan_segments(population);
         let runner = Runner::new(workers);
         let outcomes = runner.run_indexed(segments.len(), |i| {
@@ -206,17 +241,26 @@ impl WardriveScanner {
         // --- Merge in segment order (scheduling-independent). ---
         let mut discovered: HashMap<MacAddr, (Role, bool)> = HashMap::new();
         let mut verified: HashSet<MacAddr> = HashSet::new();
+        let mut quarantined: HashSet<MacAddr> = HashSet::new();
         let mut survey_time_us = 0u64;
-        for outcome in outcomes {
+        for (i, outcome) in outcomes.into_iter().enumerate() {
             for (mac, role, pmf) in outcome.discovered {
                 let entry = discovered.entry(mac).or_insert((role, pmf));
                 entry.1 |= pmf;
             }
             verified.extend(outcome.verified);
+            quarantined.extend(outcome.quarantined);
             survey_time_us += outcome.survey_time_us;
+            obs.absorb(&outcome.obs, i as u64);
         }
 
-        self.aggregate(population, &discovered, &verified, survey_time_us)
+        self.aggregate(
+            population,
+            &discovered,
+            &verified,
+            quarantined.len(),
+            survey_time_us,
+        )
     }
 
     /// Plans the drive: radios only hear their tuned channel, so the
@@ -298,18 +342,28 @@ impl WardriveScanner {
             }
         }
 
+        // The segment runs under the scanner's fault profile. Installed
+        // after every node exists (stall schedules attach to the first
+        // monitor-mode node — the attacker's dongle); the clean profile
+        // is a no-op by construction.
+        sim.install_faults(&self.faults.plan());
+
         // Drive the paper's pipeline in 250 ms slices. Thread 2's
         // behaviour: keep injecting at every discovered target until it
-        // verifies (power-save targets doze and miss one-shot fakes).
-        // `pending` iterates in MAC order (BTreeSet) so injection times
-        // never depend on hash-map seeding.
+        // verifies (power-save targets doze and miss one-shot fakes),
+        // backing off per [`RetryPolicy`] once a target has soaked up
+        // its free retries, and quarantining it when the policy says the
+        // channel has wasted enough injection budget on it. `pending`
+        // iterates in MAC order (BTreeMap) so injection times never
+        // depend on hash-map seeding.
         let mut discovery = DiscoveryState::new();
         let mut verification = VerifierState::new();
         let mut discovered: Vec<Discovery> = Vec::new();
         let mut verified: Vec<MacAddr> = Vec::new();
         let mut verified_set: HashSet<MacAddr> = HashSet::new();
+        let mut quarantined: Vec<MacAddr> = Vec::new();
         let mut capture_offset = 0usize;
-        let mut pending: std::collections::BTreeSet<MacAddr> = std::collections::BTreeSet::new();
+        let mut pending: BTreeMap<MacAddr, TargetRetry> = BTreeMap::new();
         let slice_us = 250_000u64;
         let mut now = 0u64;
 
@@ -322,7 +376,7 @@ impl WardriveScanner {
                     discovered: &mut Vec<Discovery>,
                     verified: &mut Vec<MacAddr>,
                     verified_set: &mut HashSet<MacAddr>,
-                    pending: &mut std::collections::BTreeSet<MacAddr>| {
+                    pending: &mut BTreeMap<MacAddr, TargetRetry>| {
             let frames = sim.node(attacker).capture.frames();
             let mut fresh: Vec<Discovery> = Vec::new();
             let mut fresh_verified: Vec<MacAddr> = Vec::new();
@@ -333,7 +387,11 @@ impl WardriveScanner {
             *offset = frames.len();
             for (mac, role, pmf) in fresh {
                 if members.contains(&mac) && !verified_set.contains(&mac) {
-                    pending.insert(mac);
+                    pending.entry(mac).or_insert(TargetRetry {
+                        attempts: 0,
+                        next_due_us: 0,
+                        first_attempt_us: None,
+                    });
                 }
                 discovered.push((mac, role, pmf));
             }
@@ -357,18 +415,32 @@ impl WardriveScanner {
                 &mut verified_set,
                 &mut pending,
             );
-            self.inject_round(&mut sim, attacker, &pending, now);
+            self.inject_round(
+                &mut sim,
+                attacker,
+                &mut pending,
+                &mut quarantined,
+                now,
+                seed,
+            );
         }
         // Stragglers: power-save targets doze most of the time and only
         // hear fakes in their brief wake windows, and a device whose
         // every probe collided so far has not even been *heard* yet. The
         // paper's thread 2 keeps injecting while the car is in range —
         // extend the dwell (up to 4x) until every in-range device has
-        // been discovered and verified. (`verified` only ever contains
-        // segment members, so the count comparison is exact.)
+        // been discovered and either verified or quarantined. (Both sets
+        // only ever contain segment members, so the comparison is exact.)
         let max_extension = now + 4 * self.dwell_us;
-        while verified_set.len() < members.len() && now < max_extension {
-            self.inject_round(&mut sim, attacker, &pending, now);
+        while verified_set.len() + quarantined.len() < members.len() && now < max_extension {
+            self.inject_round(
+                &mut sim,
+                attacker,
+                &mut pending,
+                &mut quarantined,
+                now,
+                seed,
+            );
             now += slice_us;
             sim.run_until(now);
             pump(
@@ -396,34 +468,71 @@ impl WardriveScanner {
             &mut verified_set,
             &mut pending,
         );
+        // A quarantined target that verified anyway (a trailing ACK beat
+        // the verdict) counts as verified, not quarantined.
+        quarantined.retain(|mac| !verified_set.contains(mac));
 
         SegmentOutcome {
             discovered,
             verified,
+            quarantined,
             survey_time_us: tail,
+            obs: sim.take_obs(),
         }
     }
 
-    /// Injects one slice's worth of fakes at every pending target,
-    /// spread across the upcoming slice so the inter-fake gap stays under
-    /// a power-save victim's ~100 ms wake window.
+    /// Injects one slice's worth of fakes at every pending target whose
+    /// backoff has elapsed, spread across the upcoming slice so the
+    /// inter-fake gap stays under a power-save victim's ~100 ms wake
+    /// window — and retires targets the retry policy gives up on.
     fn inject_round(
         &self,
         sim: &mut Simulator,
         attacker: NodeId,
-        pending: &std::collections::BTreeSet<MacAddr>,
+        pending: &mut BTreeMap<MacAddr, TargetRetry>,
+        quarantined: &mut Vec<MacAddr>,
         slice_start_us: u64,
+        seed: u64,
     ) {
         let hop = 250_000 / self.fakes_per_target.max(1) as u64;
-        for (i, mac) in pending.iter().enumerate() {
+        let mut expired: Vec<MacAddr> = Vec::new();
+        let mut i = 0u64;
+        for (mac, state) in pending.iter_mut() {
+            let first = state.first_attempt_us.unwrap_or(slice_start_us);
+            if self
+                .retry
+                .should_quarantine(state.attempts, first, slice_start_us)
+            {
+                expired.push(*mac);
+                continue;
+            }
+            if slice_start_us < state.next_due_us {
+                continue; // still backing off
+            }
             for k in 0..self.fakes_per_target {
                 sim.inject(
-                    slice_start_us + 2_000 + i as u64 * 1_500 + k as u64 * hop,
+                    slice_start_us + 2_000 + i * 1_500 + k as u64 * hop,
                     attacker,
                     builder::fake_null_frame(*mac, MacAddr::FAKE),
                     BitRate::Mbps1,
                 );
             }
+            i += 1;
+            state.attempts += 1;
+            state.first_attempt_us.get_or_insert(slice_start_us);
+            if state.attempts > 1 {
+                sim.obs_mut().incr(names::RETRY_ATTEMPTS);
+            }
+            let delay = self.retry.delay_us(state.attempts, seed ^ mac.to_u64());
+            if delay > 0 {
+                sim.obs_mut().observe(names::RETRY_BACKOFF_US, delay);
+            }
+            state.next_due_us = slice_start_us + delay;
+        }
+        for mac in expired {
+            pending.remove(&mac);
+            quarantined.push(mac);
+            sim.obs_mut().incr(names::RETRY_QUARANTINED);
         }
     }
 
@@ -432,6 +541,7 @@ impl WardriveScanner {
         population: &CityPopulation,
         discovered: &HashMap<MacAddr, (Role, bool)>,
         verified: &HashSet<MacAddr>,
+        quarantined: usize,
         survey_time_us: u64,
     ) -> ScanReport {
         // Attribution works the way the paper's rig worked: vendor from
@@ -476,6 +586,7 @@ impl WardriveScanner {
         ScanReport {
             discovered: discovered.len(),
             verified: verified.len(),
+            quarantined,
             client_vendor_count: client_counts.len(),
             ap_vendor_count: ap_counts.len(),
             distinct_vendor_count: distinct.len(),
@@ -562,6 +673,65 @@ mod tests {
         let sequential = scanner.run_sharded(&pop, 1);
         assert_eq!(sequential, scanner.run_sharded(&pop, 4));
         assert_eq!(sequential, scanner.run(&pop));
+    }
+
+    #[test]
+    fn faulty_survey_is_worker_invariant_and_counts_retries() {
+        let pop = mini_population(8, 8);
+        let scanner = WardriveScanner {
+            segment_size: 8,
+            dwell_us: 1_500_000,
+            // One fake per round on a congested channel: roughly half
+            // the rounds fail end-to-end, so retries are certain.
+            fakes_per_target: 1,
+            faults: FaultProfile::Congested,
+            ..WardriveScanner::default()
+        };
+        let mut obs_seq = Obs::new();
+        let sequential = scanner.run_observed(&pop, 1, &mut obs_seq);
+        let mut obs_par = Obs::new();
+        let parallel = scanner.run_observed(&pop, 4, &mut obs_par);
+        assert_eq!(sequential, parallel);
+        assert_eq!(obs_seq.metrics_json(), obs_par.metrics_json());
+        // The impaired channel visibly injected faults and forced the
+        // pipeline past one injection round on at least one target.
+        assert!(obs_seq.counters.get(names::FAULT_MEDIUM_FRAMES_DROPPED) > 0);
+        assert!(obs_seq.counters.get(names::RETRY_ATTEMPTS) > 0);
+    }
+
+    #[test]
+    fn impatient_policy_quarantines_slow_targets() {
+        let pop = mini_population(10, 10);
+        let scanner = WardriveScanner {
+            segment_size: 10,
+            dwell_us: 2_000_000,
+            faults: FaultProfile::Congested,
+            retry: crate::retry::RetryPolicy {
+                free_retries: 0,
+                quarantine_after: 1,
+                ..crate::retry::RetryPolicy::default()
+            },
+            ..WardriveScanner::default()
+        };
+        let report = scanner.run(&pop);
+        assert!(report.quarantined > 0, "report: {report:?}");
+        assert!(report.verified + report.quarantined <= 20);
+        // Quarantine is a retry-budget decision, so it must also be
+        // reproducible run-to-run.
+        assert_eq!(report, scanner.run(&pop));
+    }
+
+    #[test]
+    fn clean_channel_never_quarantines() {
+        let pop = mini_population(10, 10);
+        let scanner = WardriveScanner {
+            segment_size: 10,
+            dwell_us: 2_000_000,
+            ..WardriveScanner::default()
+        };
+        let report = scanner.run(&pop);
+        assert_eq!(report.quarantined, 0, "report: {report:?}");
+        assert_eq!(report.verified, 20);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use polite_wifi_phy::csi::CsiChannel;
 use polite_wifi_phy::rate::BitRate;
 use polite_wifi_sensing::segment::{segment, Segment, SegmenterConfig};
 use polite_wifi_sensing::{filter, CsiSeries, MotionScript};
-use polite_wifi_sim::{SimConfig, Simulator};
+use polite_wifi_sim::{FaultProfile, SimConfig, Simulator};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the sensing hub.
@@ -25,6 +25,8 @@ pub struct SensingHub {
     pub subcarrier: usize,
     /// Simulation seed.
     pub seed: u64,
+    /// Channel/device fault profile the scenario runs under.
+    pub faults: FaultProfile,
 }
 
 impl Default for SensingHub {
@@ -33,6 +35,7 @@ impl Default for SensingHub {
             rate_pps_per_target: 150,
             subcarrier: 17,
             seed: 7,
+            faults: FaultProfile::Clean,
         }
     }
 }
@@ -69,6 +72,7 @@ impl SensingHub {
         let mut sim = Simulator::new(SimConfig::default(), self.seed);
         let hub = sim.add_node(StationConfig::client(hub_mac), (0.0, 0.0));
         sim.set_monitor(hub, true);
+        sim.install_faults(&self.faults.plan());
 
         let mut targets = Vec::new();
         for i in 0..scripts.len() {

@@ -10,7 +10,7 @@ use polite_wifi_phy::csi::CsiChannel;
 use polite_wifi_phy::rate::BitRate;
 use polite_wifi_sensing::breathing::{estimate_breathing_rate, BreathingEstimate};
 use polite_wifi_sensing::{CsiSeries, MotionScript};
-use polite_wifi_sim::{SimConfig, Simulator};
+use polite_wifi_sim::{FaultProfile, SimConfig, Simulator};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the breathing-sensing attack.
@@ -26,6 +26,8 @@ pub struct VitalSignsAttack {
     pub subcarrier: usize,
     /// Simulation seed.
     pub seed: u64,
+    /// Chaos profile installed on the medium.
+    pub faults: FaultProfile,
 }
 
 impl Default for VitalSignsAttack {
@@ -36,6 +38,7 @@ impl Default for VitalSignsAttack {
             true_bpm: 15.0,
             subcarrier: 17,
             seed: 31,
+            faults: FaultProfile::Clean,
         }
     }
 }
@@ -61,6 +64,7 @@ impl VitalSignsAttack {
         let _victim = sim.add_node(StationConfig::client(victim_mac), (0.0, 0.0));
         let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (7.0, 0.0));
         sim.set_monitor(attacker, true);
+        sim.install_faults(&self.faults.plan());
 
         let plan = InjectionPlan {
             victim: victim_mac,

@@ -37,13 +37,14 @@ pub mod scenario;
 
 pub use ledger::{MetricSummary, MetricsLedger};
 pub use report::{results_dir, write_json, Experiment};
-pub use runner::{derive_trial_seed, RunArgs, Runner, TrialCtx};
+pub use runner::{derive_trial_seed, RunArgs, Runner, TrialCtx, TrialFailure};
 pub use scenario::{Scenario, ScenarioBuilder};
 
 /// The common imports experiment binaries need.
 pub mod prelude {
     pub use crate::ledger::{MetricSummary, MetricsLedger};
     pub use crate::report::{results_dir, write_json, Experiment};
-    pub use crate::runner::{derive_trial_seed, RunArgs, Runner, TrialCtx};
+    pub use crate::runner::{derive_trial_seed, RunArgs, Runner, TrialCtx, TrialFailure};
     pub use crate::scenario::{Scenario, ScenarioBuilder};
+    pub use polite_wifi_sim::FaultProfile;
 }

@@ -16,8 +16,8 @@
 //! envelope without knowing any experiment's payload shape.
 
 use crate::ledger::{MetricSummary, MetricsLedger};
-use crate::runner::{RunArgs, Runner};
-use polite_wifi_obs::{Obs, ObsConfig};
+use crate::runner::{RunArgs, Runner, TrialCtx, TrialFailure};
+use polite_wifi_obs::{names, Obs, ObsConfig};
 use serde::Serialize;
 use serde_json::Value;
 use std::io;
@@ -34,13 +34,24 @@ pub fn results_dir() -> PathBuf {
 
 /// Serialises a value to `results/<name>.json`, creating the directory
 /// if needed. Returns the path written.
+///
+/// The write is atomic (temp file in the same directory, then rename):
+/// a run killed mid-write — or two runs racing on the same slug — never
+/// leaves a truncated half-document where consumers expect JSON.
 pub fn write_json<T: Serialize + ?Sized>(name: &str, value: &T) -> io::Result<PathBuf> {
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value).map_err(io::Error::other)?;
-    std::fs::write(&path, json)?;
-    Ok(path)
+    let tmp = dir.join(format!(".{name}.{}.tmp", std::process::id()));
+    std::fs::write(&tmp, json)?;
+    match std::fs::rename(&tmp, &path) {
+        Ok(()) => Ok(path),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
 }
 
 /// The fixed envelope every experiment result is written in.
@@ -52,7 +63,9 @@ struct ReportEnvelope {
     trials: u64,
     workers: u64,
     quick: bool,
+    faults: String,
     metrics: Vec<MetricSummary>,
+    trial_failures: Vec<TrialFailure>,
     obs: Value,
     payload: Value,
 }
@@ -118,6 +131,8 @@ pub struct Experiment {
     pub obs: Obs,
     absorbed: u64,
     started: Instant,
+    trial_failures: Vec<TrialFailure>,
+    quarantined: u64,
 }
 
 impl Experiment {
@@ -147,10 +162,11 @@ impl Experiment {
         println!("{name}");
         println!("reproduces: {paper_ref}");
         println!(
-            "seed {}   trials {}   workers {}{}",
+            "seed {}   trials {}   workers {}   faults {}{}",
             args.seed,
             args.trials,
             args.workers,
+            args.faults,
             if args.quick { "   (quick)" } else { "" }
         );
         println!("{}", "=".repeat(72));
@@ -162,6 +178,8 @@ impl Experiment {
             obs: Obs::new(),
             absorbed: 0,
             started: Instant::now(),
+            trial_failures: Vec::new(),
+            quarantined: 0,
         }
     }
 
@@ -191,9 +209,80 @@ impl Experiment {
         self.args.runner()
     }
 
-    /// Finishes the experiment: merges the payload into the unified
-    /// envelope, writes `results/<slug>.json`, and prints where.
+    /// Runs this experiment's `--trials` trials across its `--workers`
+    /// pool with graceful degradation: a panicking trial yields `None`
+    /// in its slot and a recorded [`TrialFailure`] instead of killing
+    /// the run. Honours `--inject-trial-panic` (the deterministic chaos
+    /// hook the degradation tests drive).
+    pub fn run_trials<T, F>(&mut self, trial: F) -> Vec<Option<T>>
+    where
+        T: Send,
+        F: Fn(TrialCtx) -> T + Sync,
+    {
+        let inject = self.args.inject_trial_panic;
+        let (results, failures) =
+            self.runner()
+                .run_trials_checked(self.args.seed, self.args.trials, |ctx| {
+                    if Some(ctx.index) == inject {
+                        panic!("injected trial panic (--inject-trial-panic {})", ctx.index);
+                    }
+                    trial(ctx)
+                });
+        self.note_trial_failures(failures);
+        results
+    }
+
+    /// Records trials that degraded gracefully (for experiments driving
+    /// [`Runner::run_trials_checked`] themselves). Counted into the obs
+    /// scope and listed in the envelope's `trial_failures`.
+    pub fn note_trial_failures(&mut self, failures: Vec<TrialFailure>) {
+        if failures.is_empty() {
+            return;
+        }
+        self.obs
+            .add(names::HARNESS_TRIAL_FAILURES, failures.len() as u64);
+        for failure in &failures {
+            eprintln!(
+                "[trial {} (seed {}) degraded: {}]",
+                failure.trial, failure.seed, failure.detail
+            );
+        }
+        self.trial_failures.extend(failures);
+    }
+
+    /// Records quarantined targets (e.g. [`ScanReport::quarantined`]
+    /// from the wardrive pipeline — the scanner counts them, the
+    /// harness owns the exit policy).
+    ///
+    /// [`ScanReport::quarantined`]: https://docs.rs/polite-wifi-core
+    pub fn note_quarantined(&mut self, count: u64) {
+        self.quarantined += count;
+    }
+
+    /// The trial failures recorded so far.
+    pub fn trial_failures(&self) -> &[TrialFailure] {
+        &self.trial_failures
+    }
+
+    /// Finishes the experiment and exits the process non-zero when the
+    /// run degraded beyond what the flags allow (see
+    /// [`finish_with_status`](Self::finish_with_status)).
     pub fn finish<T: Serialize>(self, slug: &str, payload: &T) -> io::Result<()> {
+        let status = self.finish_with_status(slug, payload)?;
+        if status != 0 {
+            std::process::exit(status);
+        }
+        Ok(())
+    }
+
+    /// Finishes the experiment: merges the payload into the unified
+    /// envelope, writes `results/<slug>.json`, prints where, and
+    /// returns the process exit status the degradation contract calls
+    /// for — `0` for a full result, `1` when trial failures exceed the
+    /// `--max-trial-failures` budget (always fatal), or when anything
+    /// degraded (failed trials, quarantined targets) without
+    /// `--allow-partial`.
+    pub fn finish_with_status<T: Serialize>(self, slug: &str, payload: &T) -> io::Result<i32> {
         let envelope = ReportEnvelope {
             experiment: self.name,
             paper_ref: self.paper_ref,
@@ -201,7 +290,9 @@ impl Experiment {
             trials: self.args.trials as u64,
             workers: self.args.workers as u64,
             quick: self.args.quick,
+            faults: self.args.faults.name().to_string(),
             metrics: self.metrics.summaries(),
+            trial_failures: self.trial_failures.clone(),
             obs: obs_value(&self.obs),
             payload: serde_json::to_value(payload).map_err(io::Error::other)?,
         };
@@ -221,13 +312,43 @@ impl Experiment {
             path.display(),
             self.started.elapsed().as_secs_f64()
         );
-        Ok(())
+
+        let failures = self.trial_failures.len();
+        let over_budget = self
+            .args
+            .max_trial_failures
+            .is_some_and(|budget| failures > budget);
+        let degraded = failures > 0 || self.quarantined > 0;
+        if over_budget {
+            eprintln!(
+                "[{failures} trial failure(s) exceed --max-trial-failures {}]",
+                self.args.max_trial_failures.unwrap_or(0)
+            );
+            return Ok(1);
+        }
+        if degraded {
+            eprintln!(
+                "[partial result: {failures} trial failure(s), {} quarantined target(s){}]",
+                self.quarantined,
+                if self.args.allow_partial {
+                    " — accepted by --allow-partial"
+                } else {
+                    " — pass --allow-partial to accept"
+                }
+            );
+            if !self.args.allow_partial {
+                return Ok(1);
+            }
+        }
+        Ok(0)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::derive_trial_seed;
+    use polite_wifi_sim::FaultProfile;
 
     struct ResultsDirGuard(Option<String>);
 
@@ -264,7 +385,7 @@ mod tests {
             workers: 2,
             seed: 11,
             quick: true,
-            trace_out: None,
+            ..RunArgs::default()
         };
         let mut exp = Experiment::start_with("E0: smoke", "none", args);
         exp.metrics.record("acks", 5.0);
@@ -279,6 +400,8 @@ mod tests {
             "\"trials\": 3",
             "\"workers\": 2",
             "\"quick\": true",
+            "\"faults\": \"clean\"",
+            "\"trial_failures\": []",
             "\"name\": \"acks\"",
             "\"obs\": {",
             "\"sim.frames_injected\": 9",
@@ -288,6 +411,95 @@ mod tests {
         ] {
             assert!(written.contains(needle), "missing {needle} in:\n{written}");
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_panic_degrades_into_the_envelope_and_exit_status() {
+        let dir = std::env::temp_dir().join("polite-wifi-harness-degrade-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _guard = ResultsDirGuard::set(&dir);
+
+        let run = |allow_partial: bool, max_trial_failures: Option<usize>| {
+            let args = RunArgs {
+                trials: 4,
+                workers: 2,
+                seed: 77,
+                faults: FaultProfile::UrbanDrive,
+                inject_trial_panic: Some(2),
+                allow_partial,
+                max_trial_failures,
+                ..RunArgs::default()
+            };
+            let mut exp = Experiment::start_with("E0: degrade", "none", args);
+            let results = exp.run_trials(|ctx| ctx.index as u64);
+            assert_eq!(results, vec![Some(0), Some(1), None, Some(3)]);
+            assert_eq!(exp.trial_failures().len(), 1);
+            assert_eq!(exp.trial_failures()[0].trial, 2);
+            assert_eq!(exp.trial_failures()[0].seed, derive_trial_seed(77, 2));
+            assert!(exp.trial_failures()[0]
+                .detail
+                .contains("injected trial panic (--inject-trial-panic 2)"));
+            assert_eq!(exp.obs.counters.get(names::HARNESS_TRIAL_FAILURES), 1);
+            exp.finish_with_status("degrade", &Payload { acks: 0 })
+                .unwrap()
+        };
+
+        // A failed trial without --allow-partial is an error exit...
+        assert_eq!(run(false, None), 1);
+        // ...accepted with --allow-partial while within budget...
+        assert_eq!(run(true, None), 0);
+        assert_eq!(run(true, Some(1)), 0);
+        // ...but a blown --max-trial-failures budget is always fatal.
+        assert_eq!(run(true, Some(0)), 1);
+
+        // The failure is recorded in the envelope, not just the status.
+        let written = std::fs::read_to_string(dir.join("degrade.json")).unwrap();
+        for needle in [
+            "\"faults\": \"urban-drive\"",
+            "\"trial\": 2",
+            "\"kind\": \"panic\"",
+            "injected trial panic (--inject-trial-panic 2)",
+        ] {
+            assert!(written.contains(needle), "missing {needle} in:\n{written}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantined_targets_fail_the_run_unless_partial_is_allowed() {
+        let dir = std::env::temp_dir().join("polite-wifi-harness-quarantine-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _guard = ResultsDirGuard::set(&dir);
+
+        let run = |allow_partial: bool, quarantined: u64| {
+            let args = RunArgs {
+                allow_partial,
+                ..RunArgs::default()
+            };
+            let mut exp = Experiment::start_with("E0: quarantine", "none", args);
+            exp.note_quarantined(quarantined);
+            exp.finish_with_status("quarantine", &Payload { acks: 0 })
+                .unwrap()
+        };
+        assert_eq!(run(false, 0), 0);
+        assert_eq!(run(false, 3), 1);
+        assert_eq!(run(true, 3), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_json_leaves_no_tmp_files_behind() {
+        let dir = std::env::temp_dir().join("polite-wifi-harness-atomic-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _guard = ResultsDirGuard::set(&dir);
+
+        write_json("atomic", &Payload { acks: 1 }).unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["atomic.json".to_string()]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

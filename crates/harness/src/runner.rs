@@ -10,8 +10,10 @@
 //! so a 1-worker run and an N-worker run of the same base seed produce
 //! byte-identical reports.
 
+use polite_wifi_sim::FaultProfile;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -20,6 +22,32 @@ use std::sync::Mutex;
 /// trials of a run ever share a seed.
 pub fn derive_trial_seed(base_seed: u64, index: u64) -> u64 {
     base_seed ^ index
+}
+
+/// One trial that panicked (or was otherwise lost) and degraded
+/// gracefully: the run continued, and this record landed in the result
+/// envelope instead of a process abort.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialFailure {
+    /// Trial index in `0..trials`.
+    pub trial: u64,
+    /// The derived seed the trial ran under — enough to replay it alone.
+    pub seed: u64,
+    /// Failure class (currently always `"panic"`).
+    pub kind: String,
+    /// The panic payload, when it was a string.
+    pub detail: String,
+}
+
+/// Renders a panic payload as text for a [`TrialFailure`].
+fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = err.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = err.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Per-trial context handed to the trial closure.
@@ -111,14 +139,82 @@ impl Runner {
             })
         })
     }
+
+    /// [`run_indexed`](Self::run_indexed) with graceful degradation:
+    /// each unit runs under `catch_unwind`, a panicking unit yields
+    /// `None` in its slot plus an `(index, message)` record, and every
+    /// other unit still completes. Both vectors are in index order, so
+    /// the worker-invariance guarantee extends to failures.
+    pub fn run_indexed_checked<T, F>(
+        &self,
+        count: usize,
+        work: F,
+    ) -> (Vec<Option<T>>, Vec<(usize, String)>)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let raw: Vec<Result<T, String>> = self.run_indexed(count, |index| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(index)))
+                .map_err(panic_message)
+        });
+        let mut results = Vec::with_capacity(count);
+        let mut failures = Vec::new();
+        for (index, outcome) in raw.into_iter().enumerate() {
+            match outcome {
+                Ok(value) => results.push(Some(value)),
+                Err(message) => {
+                    results.push(None);
+                    failures.push((index, message));
+                }
+            }
+        }
+        (results, failures)
+    }
+
+    /// [`run_trials`](Self::run_trials) with graceful degradation: a
+    /// panicking trial becomes a structured [`TrialFailure`] (carrying
+    /// its derived seed for solo replay) instead of killing the run.
+    pub fn run_trials_checked<T, F>(
+        &self,
+        base_seed: u64,
+        trials: usize,
+        trial: F,
+    ) -> (Vec<Option<T>>, Vec<TrialFailure>)
+    where
+        T: Send,
+        F: Fn(TrialCtx) -> T + Sync,
+    {
+        let (results, raw) = self.run_indexed_checked(trials, |index| {
+            let seed = derive_trial_seed(base_seed, index as u64);
+            trial(TrialCtx {
+                index,
+                seed,
+                rng: ChaCha8Rng::seed_from_u64(seed),
+            })
+        });
+        let failures = raw
+            .into_iter()
+            .map(|(index, detail)| TrialFailure {
+                trial: index as u64,
+                seed: derive_trial_seed(base_seed, index as u64),
+                kind: "panic".to_string(),
+                detail,
+            })
+            .collect();
+        (results, failures)
+    }
 }
 
 /// Command-line arguments shared by every experiment binary.
 ///
 /// Recognised flags: `--trials N`, `--workers M`, `--seed S`, `--quick`,
-/// `--trace-out FILE`. Unrecognised flags abort with a usage message
-/// rather than being silently ignored — and *all* of them are reported
-/// at once, so a typo'd invocation is fixed in one round trip.
+/// `--faults PROFILE`, `--max-trial-failures N`, `--allow-partial`,
+/// `--trace-out FILE`, `--inject-trial-panic N`. Malformed invocations
+/// abort with a usage message rather than being silently accepted — and
+/// *all* problems (unknown flags, duplicates, bad values, out-of-range
+/// numbers) are reported in one aggregated message, so a typo'd
+/// invocation is fixed in one round trip.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunArgs {
     pub trials: usize,
@@ -128,6 +224,18 @@ pub struct RunArgs {
     /// Where to write the Chrome-trace span dump, if anywhere. Setting
     /// this also turns span recording on for the whole run.
     pub trace_out: Option<std::path::PathBuf>,
+    /// Fault profile every scenario of the run is simulated under.
+    pub faults: FaultProfile,
+    /// Hard budget on gracefully-degraded trials: exceeding it fails the
+    /// run even under `--allow-partial`. `None` = unbounded.
+    pub max_trial_failures: Option<usize>,
+    /// Exit 0 despite degraded trials or quarantined targets (as long
+    /// as the `--max-trial-failures` budget holds).
+    pub allow_partial: bool,
+    /// Test hook: panic inside trial N to exercise graceful degradation
+    /// end-to-end. The panic message is deterministic, so envelopes
+    /// containing the failure stay byte-identical across worker counts.
+    pub inject_trial_panic: Option<usize>,
 }
 
 impl Default for RunArgs {
@@ -138,55 +246,133 @@ impl Default for RunArgs {
             seed: 7,
             quick: false,
             trace_out: None,
+            faults: FaultProfile::Clean,
+            max_trial_failures: None,
+            allow_partial: false,
+            inject_trial_panic: None,
         }
     }
 }
 
+const USAGE: &str = "usage: [--trials N] [--workers M] [--seed S] [--quick] \
+[--faults clean|urban-drive|congested|flaky-dongle] [--max-trial-failures N] \
+[--allow-partial] [--trace-out FILE] [--inject-trial-panic N]";
+
 impl RunArgs {
     /// Parses flags from an iterator (first element must already be
-    /// stripped of the program name). Returns an error message on
-    /// malformed input.
+    /// stripped of the program name). Returns one aggregated error
+    /// message covering every problem on malformed input.
     pub fn parse<I: Iterator<Item = String>>(
         mut args: I,
         defaults: RunArgs,
     ) -> Result<RunArgs, String> {
         let mut out = defaults;
         let mut unknown: Vec<String> = Vec::new();
+        let mut problems: Vec<String> = Vec::new();
+        let mut seen: Vec<&'static str> = Vec::new();
         while let Some(arg) = args.next() {
+            // Flags are single-occurrence: a duplicate almost always
+            // means a mangled command line, so it is an error, not a
+            // silent last-one-wins.
+            let mut once = |flag: &'static str, problems: &mut Vec<String>| {
+                if seen.contains(&flag) {
+                    problems.push(format!("duplicate flag {flag}"));
+                } else {
+                    seen.push(flag);
+                }
+            };
             match arg.as_str() {
-                "--trials" => out.trials = next_value(&mut args, "--trials")?,
-                "--workers" => out.workers = next_value(&mut args, "--workers")?,
-                "--seed" => out.seed = next_value(&mut args, "--seed")?,
-                "--quick" => out.quick = true,
+                "--trials" => {
+                    once("--trials", &mut problems);
+                    match next_value(&mut args, "--trials") {
+                        Ok(v) => out.trials = v,
+                        Err(e) => problems.push(e),
+                    }
+                }
+                "--workers" => {
+                    once("--workers", &mut problems);
+                    match next_value(&mut args, "--workers") {
+                        Ok(v) => out.workers = v,
+                        Err(e) => problems.push(e),
+                    }
+                }
+                "--seed" => {
+                    once("--seed", &mut problems);
+                    match next_value(&mut args, "--seed") {
+                        Ok(v) => out.seed = v,
+                        Err(e) => problems.push(e),
+                    }
+                }
+                "--quick" => {
+                    once("--quick", &mut problems);
+                    out.quick = true;
+                }
+                "--allow-partial" => {
+                    once("--allow-partial", &mut problems);
+                    out.allow_partial = true;
+                }
+                "--faults" => {
+                    once("--faults", &mut problems);
+                    match next_value::<FaultProfile, _>(&mut args, "--faults") {
+                        Ok(v) => out.faults = v,
+                        Err(e) => problems.push(e),
+                    }
+                }
+                "--max-trial-failures" => {
+                    once("--max-trial-failures", &mut problems);
+                    match next_value(&mut args, "--max-trial-failures") {
+                        Ok(v) => out.max_trial_failures = Some(v),
+                        Err(e) => problems.push(e),
+                    }
+                }
+                "--inject-trial-panic" => {
+                    once("--inject-trial-panic", &mut problems);
+                    match next_value(&mut args, "--inject-trial-panic") {
+                        Ok(v) => out.inject_trial_panic = Some(v),
+                        Err(e) => problems.push(e),
+                    }
+                }
                 "--trace-out" => {
-                    let raw = args
-                        .next()
-                        .ok_or_else(|| "--trace-out needs a value".to_string())?;
-                    out.trace_out = Some(std::path::PathBuf::from(raw));
+                    once("--trace-out", &mut problems);
+                    match args.next() {
+                        Some(raw) => out.trace_out = Some(std::path::PathBuf::from(raw)),
+                        None => problems.push("--trace-out needs a value".to_string()),
+                    }
                 }
-                "--help" | "-h" => {
-                    return Err(
-                        "usage: [--trials N] [--workers M] [--seed S] [--quick] [--trace-out FILE]"
-                            .to_string(),
-                    )
-                }
+                "--help" | "-h" => return Err(USAGE.to_string()),
                 other => unknown.push(format!("`{other}`")),
             }
         }
-        if !unknown.is_empty() {
-            let plural = if unknown.len() == 1 { "" } else { "s" };
-            return Err(format!(
-                "unknown flag{plural} {} (try --help)",
-                unknown.join(", ")
-            ));
-        }
         if out.trials == 0 {
-            return Err("--trials must be at least 1".to_string());
+            problems.push("--trials must be at least 1".to_string());
         }
         if out.workers == 0 {
-            return Err("--workers must be at least 1".to_string());
+            problems.push("--workers must be at least 1".to_string());
         }
-        Ok(out)
+        if let Some(n) = out.inject_trial_panic {
+            if n >= out.trials {
+                problems.push(format!(
+                    "--inject-trial-panic {n} is outside the run's 0..{} trial range",
+                    out.trials
+                ));
+            }
+        }
+        if unknown.is_empty() && problems.is_empty() {
+            return Ok(out);
+        }
+        let mut message = String::new();
+        if !unknown.is_empty() {
+            let plural = if unknown.len() == 1 { "" } else { "s" };
+            message = format!("unknown flag{plural} {}", unknown.join(", "));
+        }
+        for problem in problems {
+            if !message.is_empty() {
+                message.push_str("; ");
+            }
+            message.push_str(&problem);
+        }
+        message.push_str(" (try --help)");
+        Err(message)
     }
 
     /// Parses the process's own arguments, exiting with a message on
@@ -262,7 +448,7 @@ mod tests {
                 workers: 4,
                 seed: 3,
                 quick: true,
-                trace_out: None,
+                ..RunArgs::default()
             }
         );
         assert_eq!(parse(&[]).unwrap(), RunArgs::default());
@@ -275,6 +461,81 @@ mod tests {
             Some(std::path::PathBuf::from("/tmp/t.json"))
         );
         assert!(parse(&["--trace-out"]).is_err());
+    }
+
+    #[test]
+    fn parse_fault_and_degradation_flags() {
+        let parse =
+            |argv: &[&str]| RunArgs::parse(argv.iter().map(|s| s.to_string()), RunArgs::default());
+        let args = parse(&[
+            "--faults",
+            "urban-drive",
+            "--trials",
+            "4",
+            "--max-trial-failures",
+            "2",
+            "--allow-partial",
+            "--inject-trial-panic",
+            "1",
+        ])
+        .unwrap();
+        assert_eq!(args.faults, FaultProfile::UrbanDrive);
+        assert_eq!(args.max_trial_failures, Some(2));
+        assert!(args.allow_partial);
+        assert_eq!(args.inject_trial_panic, Some(1));
+        assert!(parse(&["--faults", "warp-drive"]).is_err());
+        assert!(parse(&["--faults"]).is_err());
+        // An injected panic must land inside the run.
+        let err = parse(&["--inject-trial-panic", "3"]).unwrap_err();
+        assert!(err.contains("--inject-trial-panic 3"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_duplicates_and_bad_ranges_in_one_message() {
+        let parse =
+            |argv: &[&str]| RunArgs::parse(argv.iter().map(|s| s.to_string()), RunArgs::default());
+        let err = parse(&[
+            "--frobnicate",
+            "--seed",
+            "1",
+            "--seed",
+            "2",
+            "--workers",
+            "0",
+        ])
+        .unwrap_err();
+        // One aggregated message, unknown flags first (matching the
+        // existing unknown-flag contract), then the rest.
+        assert!(err.starts_with("unknown flag `--frobnicate`"), "{err}");
+        assert!(err.contains("duplicate flag --seed"), "{err}");
+        assert!(err.contains("--workers must be at least 1"), "{err}");
+        assert!(err.ends_with("(try --help)"), "{err}");
+        // Duplicates alone are also fatal.
+        let err = parse(&["--quick", "--quick"]).unwrap_err();
+        assert!(err.starts_with("duplicate flag --quick"), "{err}");
+    }
+
+    #[test]
+    fn checked_trials_degrade_gracefully_and_stay_ordered() {
+        for workers in [1, 3] {
+            let (results, failures) = Runner::new(workers).run_trials_checked(7, 8, |trial| {
+                if trial.index == 2 || trial.index == 5 {
+                    panic!("boom at {}", trial.index);
+                }
+                trial.index * 10
+            });
+            assert_eq!(results.len(), 8);
+            assert_eq!(results[2], None);
+            assert_eq!(results[5], None);
+            assert_eq!(results[0], Some(0));
+            assert_eq!(results[7], Some(70));
+            assert_eq!(failures.len(), 2);
+            assert_eq!(failures[0].trial, 2);
+            assert_eq!(failures[0].seed, derive_trial_seed(7, 2));
+            assert_eq!(failures[0].kind, "panic");
+            assert_eq!(failures[0].detail, "boom at 2");
+            assert_eq!(failures[1].trial, 5);
+        }
     }
 
     #[test]

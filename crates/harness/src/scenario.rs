@@ -9,7 +9,7 @@
 
 use polite_wifi_frame::MacAddr;
 use polite_wifi_mac::StationConfig;
-use polite_wifi_sim::{NodeId, SimConfig, Simulator};
+use polite_wifi_sim::{FaultProfile, NodeId, SimConfig, Simulator};
 
 /// Topology operations applied after node creation.
 #[derive(Debug, Clone)]
@@ -26,6 +26,7 @@ pub struct ScenarioBuilder {
     config: SimConfig,
     seed: u64,
     duration_us: u64,
+    faults: FaultProfile,
     nodes: Vec<(StationConfig, (f64, f64))>,
     ops: Vec<PostOp>,
 }
@@ -42,6 +43,7 @@ impl ScenarioBuilder {
             config: SimConfig::default(),
             seed: 7,
             duration_us: 1_000_000,
+            faults: FaultProfile::Clean,
             nodes: Vec::new(),
             ops: Vec::new(),
         }
@@ -62,6 +64,14 @@ impl ScenarioBuilder {
     /// Sets how long [`Scenario::run`] advances virtual time.
     pub fn duration_us(mut self, duration_us: u64) -> Self {
         self.duration_us = duration_us;
+        self
+    }
+
+    /// Applies a chaos profile to every simulator this builder stamps
+    /// out. [`FaultProfile::Clean`] (the default) installs nothing, so
+    /// fault-free recipes stay byte-identical to pre-fault builds.
+    pub fn faults(mut self, faults: FaultProfile) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -150,6 +160,7 @@ impl ScenarioBuilder {
                 PostOp::Retries(id, enabled) => sim.set_retries(id, enabled),
             }
         }
+        sim.install_faults(&self.faults.plan());
         Scenario {
             sim,
             seed,

@@ -217,6 +217,18 @@ impl Station {
         self.awake
     }
 
+    /// Sequence numbers remembered by the duplicate-detection cache.
+    /// Only FCS-valid data frames may populate it.
+    pub fn dedup_entries(&self) -> usize {
+        self.dedup.len()
+    }
+
+    /// Partial payloads held by the fragment reassembler. Only FCS-valid
+    /// fragments may populate it.
+    pub fn fragments_pending(&self) -> usize {
+        self.reassembler.pending()
+    }
+
     /// Marks `peer` as associated/trusted directly, skipping the on-air
     /// handshake (test/bootstrap shortcut; [`Station::start_join`] runs
     /// the real sequence).

@@ -99,6 +99,46 @@ proptest! {
         prop_assert!(!any_response);
     }
 
+    /// FCS-failing frames stop at the low MAC: beyond never being ACKed,
+    /// they must never touch the dedup cache or the fragment
+    /// reassembler — corrupt garbage cannot pollute receive state that
+    /// later decides which *valid* frames get dropped as duplicates or
+    /// reassembled together.
+    #[test]
+    fn fcs_fail_frames_never_reach_dedup_or_reassembly(
+        payload in proptest::collection::vec(any::<u8>(), 1..2000),
+        threshold in 64usize..1500,
+        seq in 0u16..4096,
+        behavior in arb_behavior(),
+        rate in arb_rate(),
+        now in 0u64..1_000_000_000,
+    ) {
+        use polite_wifi_mac::fragment::fragment;
+        let peer = MacAddr::new([2, 0, 0, 0, 0, 9]);
+        let mut cfg = StationConfig::client(victim_mac());
+        cfg.behavior = behavior;
+        let mut sta = Station::new(cfg);
+        sta.associate(peer);
+
+        let whole = DataFrame::new(victim_mac(), peer, peer, seq, payload.clone());
+        let frags = fragment(&whole, threshold);
+        for (i, f) in frags.iter().enumerate() {
+            let actions = sta.on_receive(now + i as u64, &Frame::Data(f.clone()), false, rate);
+            prop_assert!(!has_ack(&actions));
+            prop_assert!(actions.iter().all(|a| !matches!(a, MacAction::Respond { .. })));
+            prop_assert!(actions.iter().all(|a| !matches!(a, MacAction::Deliver(_))));
+        }
+        prop_assert_eq!(sta.dedup_entries(), 0, "corrupt frame entered dedup");
+        prop_assert_eq!(sta.fragments_pending(), 0, "corrupt fragment buffered");
+
+        // Contrast: the same frames with a valid FCS do populate the
+        // receive path (so the accessors above measure the right thing).
+        for (i, f) in frags.iter().enumerate() {
+            sta.on_receive(now + 1_000 + i as u64, &Frame::Data(f.clone()), true, rate);
+        }
+        prop_assert!(sta.dedup_entries() > 0, "valid frame missed dedup");
+    }
+
     /// Frames for other addresses are ignored regardless of contents.
     #[test]
     fn frames_for_others_never_answered(

@@ -37,6 +37,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod names;
 pub mod ring;
 pub mod span;
 pub mod trace;

@@ -1,0 +1,67 @@
+//! Canonical metric names for the fault-injection and retry layers.
+//!
+//! The fault subsystem spans three crates — the simulator injects the
+//! faults, the attack pipeline retries through them, and the harness
+//! reports both in every envelope. These constants pin the shared
+//! vocabulary so a counter incremented in `crates/sim` is the same
+//! string a CI assertion greps for in a result envelope.
+//!
+//! Naming scheme: `fault.medium.*` for impairments of the shared
+//! radio medium, `fault.device.*` for injected device misbehaviour,
+//! `retry.*` for the attacker-side recovery loop, and
+//! `harness.trial_failures` for trials that degraded gracefully.
+
+/// Counter: frames that would have decoded but were corrupted by
+/// injected burst loss (Gilbert–Elliott).
+pub const FAULT_MEDIUM_FRAMES_DROPPED: &str = "fault.medium.frames_dropped";
+
+/// Counter: fault-injected device stalls that fired.
+pub const FAULT_DEVICE_STALLS: &str = "fault.device.stalls";
+
+/// Histogram: duration of each injected stall, µs.
+pub const FAULT_DEVICE_STALL_US: &str = "fault.device.stall_us";
+
+/// Counter: stalls that ended in a cold boot.
+pub const FAULT_DEVICE_REBOOTS: &str = "fault.device.reboots";
+
+/// Counter: SIFS-timed responses (ACK/CTS) a stalled device never sent.
+pub const FAULT_DEVICE_RESPONSES_SUPPRESSED: &str = "fault.device.responses_suppressed";
+
+/// Counter: frames that arrived while the receiver was stalled.
+pub const FAULT_DEVICE_RX_DROPPED_STALLED: &str = "fault.device.rx_dropped_stalled";
+
+/// Counter: attacker-side retry injections beyond the first attempt.
+pub const RETRY_ATTEMPTS: &str = "retry.attempts";
+
+/// Histogram: deterministic jittered backoff delays applied between
+/// retries, µs.
+pub const RETRY_BACKOFF_US: &str = "retry.backoff_us";
+
+/// Counter: targets quarantined after exhausting the retry budget or
+/// the per-target verify timeout.
+pub const RETRY_QUARANTINED: &str = "retry.quarantined";
+
+/// Counter: trials that panicked or aborted and were recorded as
+/// structured failures instead of killing the run.
+pub const HARNESS_TRIAL_FAILURES: &str = "harness.trial_failures";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn names_are_distinct() {
+        let all = [
+            super::FAULT_MEDIUM_FRAMES_DROPPED,
+            super::FAULT_DEVICE_STALLS,
+            super::FAULT_DEVICE_STALL_US,
+            super::FAULT_DEVICE_REBOOTS,
+            super::FAULT_DEVICE_RESPONSES_SUPPRESSED,
+            super::FAULT_DEVICE_RX_DROPPED_STALLED,
+            super::RETRY_ATTEMPTS,
+            super::RETRY_BACKOFF_US,
+            super::RETRY_QUARANTINED,
+            super::HARNESS_TRIAL_FAILURES,
+        ];
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

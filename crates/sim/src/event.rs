@@ -55,6 +55,18 @@ pub enum Event {
         /// Token matching the transmission being timed.
         token: u64,
     },
+    /// Fault injection: a device stall begins (the node freezes).
+    StallStart {
+        /// The stalling node.
+        node: NodeId,
+    },
+    /// Fault injection: a device stall ends, optionally via cold boot.
+    StallEnd {
+        /// The recovering node.
+        node: NodeId,
+        /// Whether recovery is a cold boot (station state rebuilt).
+        reboot: bool,
+    },
     /// External injection: hand a frame to a node's transmit queue.
     Inject {
         /// The transmitting node.

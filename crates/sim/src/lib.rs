@@ -39,11 +39,13 @@
 //! ```
 
 pub mod event;
+pub mod faults;
 pub mod ledger;
 pub mod medium;
 pub mod node;
 pub mod sim;
 
+pub use faults::{FaultPlan, FaultProfile, GilbertElliott, SnrDegradation, StallSchedule};
 pub use ledger::{ActivityLedger, StateTotals};
 pub use medium::MediumConfig;
 pub use node::NodeId;

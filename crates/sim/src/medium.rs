@@ -1,5 +1,6 @@
 //! The shared radio medium: propagation, link quality, and collisions.
 
+use crate::faults::{GilbertElliott, SnrDegradation, FAULT_STREAM};
 use crate::node::NodeId;
 use polite_wifi_phy::fading::Fading;
 use polite_wifi_phy::link;
@@ -67,6 +68,13 @@ pub struct Medium {
     rng: ChaCha8Rng,
     active: Vec<Transmission>,
     noise_dbm: f64,
+    /// Fault decisions draw from this dedicated stream (`seed ^
+    /// FAULT_STREAM`), never from `rng`, so a clean plan leaves the
+    /// propagation draws — and therefore every result — untouched.
+    fault_rng: ChaCha8Rng,
+    burst: Option<GilbertElliott>,
+    burst_bad: bool,
+    snr_faults: SnrDegradation,
 }
 
 /// Outcome of receiving one frame at one receiver.
@@ -82,6 +90,9 @@ pub struct RxOutcome {
     pub fcs_ok: bool,
     /// Whether an overlapping transmission corrupted this frame.
     pub collided: bool,
+    /// Whether injected burst loss corrupted a frame that would
+    /// otherwise have decoded (always `false` under a clean plan).
+    pub fault_dropped: bool,
 }
 
 impl Medium {
@@ -93,7 +104,20 @@ impl Medium {
             rng: ChaCha8Rng::seed_from_u64(seed ^ 0x4d45_4449_554d), // "MEDIUM"
             noise_dbm: noise_floor_dbm(config.bandwidth_mhz, config.noise_figure_db),
             active: Vec::new(),
+            fault_rng: ChaCha8Rng::seed_from_u64(seed ^ FAULT_STREAM),
+            burst: None,
+            burst_bad: false,
+            snr_faults: SnrDegradation::default(),
         }
+    }
+
+    /// Installs medium-level faults: burst loss and per-direction SNR
+    /// penalties. Passing `None` / a zero degradation restores the clean
+    /// medium.
+    pub fn set_faults(&mut self, burst: Option<GilbertElliott>, snr: SnrDegradation) {
+        self.burst = burst;
+        self.burst_bad = false;
+        self.snr_faults = snr;
     }
 
     /// The noise floor in dBm.
@@ -148,15 +172,16 @@ impl Medium {
     }
 
     /// Evaluates the reception of a frame that occupied
-    /// `[start_us, end_us]` on the air, at a receiver `d_m` metres from
-    /// the transmitter. `interferer_distance` maps other nodes to their
-    /// distance from this receiver.
+    /// `[start_us, end_us]` on the air, at receiver `to`, `d_m` metres
+    /// from the transmitter. `interferer_distance` maps other nodes to
+    /// their distance from this receiver.
     /// `tune` is the band/channel the frame rode on; only co-channel
     /// interferers corrupt it.
     #[allow(clippy::too_many_arguments)]
     pub fn evaluate_rx(
         &mut self,
         from: NodeId,
+        to: NodeId,
         start_us: u64,
         end_us: u64,
         tx_power_dbm: f64,
@@ -167,7 +192,12 @@ impl Medium {
         interferer_distance: impl Fn(NodeId) -> f64,
     ) -> RxOutcome {
         let rx_power = self.rx_power_dbm(tx_power_dbm, d_m);
-        let faded = self.config.fading.faded_power_dbm(rx_power, &mut self.rng);
+        let mut faded = self.config.fading.faded_power_dbm(rx_power, &mut self.rng);
+        // Injected asymmetric link-budget penalty (0 under a clean plan).
+        let penalty = self.snr_faults.penalty_db(from.0, to.0);
+        if penalty != 0.0 {
+            faded -= penalty;
+        }
         let snr_db = faded - self.noise_dbm;
         let detectable = faded >= self.config.cs_threshold_dbm && link::detectable(snr_db);
 
@@ -191,13 +221,25 @@ impl Medium {
         }
 
         let fer = link::fer(psdu_len, rate, snr_db);
-        let fcs_ok = detectable && !collided && self.rng.gen::<f64>() >= fer;
+        let fer_pass = self.rng.gen::<f64>() >= fer;
+
+        // Burst loss steps its Markov chain on the dedicated fault
+        // stream — one step per reception — and only *counts* as a
+        // fault drop when it corrupted a frame that would otherwise
+        // have decoded.
+        let burst_hit = match self.burst {
+            Some(ge) => ge.step(&mut self.burst_bad, &mut self.fault_rng),
+            None => false,
+        };
+        let clean_ok = detectable && !collided && fer_pass;
+        let fcs_ok = clean_ok && !burst_hit;
         RxOutcome {
             rx_power_dbm: rx_power,
             snr_db,
             detectable,
             fcs_ok,
             collided,
+            fault_dropped: clean_ok && burst_hit,
         }
     }
 }
@@ -220,6 +262,7 @@ mod tests {
         for i in 0..200 {
             let out = m.evaluate_rx(
                 NodeId(0),
+                NodeId(1),
                 i * 1000,
                 i * 1000 + 400,
                 20.0,
@@ -241,6 +284,7 @@ mod tests {
         let mut m = medium();
         let out = m.evaluate_rx(
             NodeId(0),
+            NodeId(1),
             0,
             400,
             20.0,
@@ -267,6 +311,7 @@ mod tests {
         // Victim frame overlaps [100,500]; interferer at the same distance.
         let out = m.evaluate_rx(
             NodeId(0),
+            NodeId(1),
             200,
             600,
             20.0,
@@ -293,6 +338,7 @@ mod tests {
         // Interferer is 100 m away (≫ capture threshold below our 2 m frame).
         let out = m.evaluate_rx(
             NodeId(0),
+            NodeId(1),
             200,
             600,
             20.0,
@@ -317,6 +363,7 @@ mod tests {
         });
         let out = m.evaluate_rx(
             NodeId(0),
+            NodeId(1),
             200,
             600,
             20.0,
@@ -356,6 +403,7 @@ mod tests {
         });
         let out = m.evaluate_rx(
             NodeId(0),
+            NodeId(1),
             100,
             500,
             20.0,
@@ -412,6 +460,7 @@ mod tests {
                 .map(|i| {
                     m.evaluate_rx(
                         NodeId(0),
+                        NodeId(1),
                         i * 1000,
                         i * 1000 + 100,
                         20.0,

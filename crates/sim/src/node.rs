@@ -83,6 +83,9 @@ pub struct Node {
     /// When the radio last changed base state (doze/wake), for dwell
     /// histograms.
     pub last_base_change_us: u64,
+    /// Fault injection: the device is frozen (deaf and mute) until this
+    /// time. Zero means never stalled.
+    pub stalled_until: u64,
 }
 
 impl Node {
@@ -111,6 +114,7 @@ impl Node {
             acks_received: 0,
             cts_received: 0,
             last_base_change_us: 0,
+            stalled_until: 0,
         }
     }
 

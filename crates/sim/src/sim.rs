@@ -1,6 +1,7 @@
 //! The simulator: event loop, transmissions, receptions, retries.
 
 use crate::event::{Event, EventQueue};
+use crate::faults::{FaultPlan, StallSchedule};
 use crate::medium::{Medium, MediumConfig, Transmission, Tune};
 use crate::node::{Node, NodeId, QueuedFrame};
 use polite_wifi_frame::{ControlFrame, Frame};
@@ -29,6 +30,15 @@ struct CurrentTx {
     start_us: u64,
 }
 
+/// Runtime state of a scheduled stall fault: the resolved target plus
+/// how many stalls have fired (for the reboot cadence).
+#[derive(Debug, Clone, Copy)]
+struct StallState {
+    node: NodeId,
+    schedule: StallSchedule,
+    count: u32,
+}
+
 /// The discrete-event radio simulator. See the crate docs for an example.
 pub struct Simulator {
     now_us: u64,
@@ -41,6 +51,10 @@ pub struct Simulator {
     next_token: u64,
     last_prune_us: u64,
     obs: Obs,
+    seed: u64,
+    fault_plan: FaultPlan,
+    clock_drift_ppm: f64,
+    stall: Option<StallState>,
 }
 
 impl Simulator {
@@ -57,7 +71,56 @@ impl Simulator {
             next_token: 0,
             last_prune_us: 0,
             obs: Obs::new(),
+            seed,
+            fault_plan: FaultPlan::clean(),
+            clock_drift_ppm: 0.0,
+            stall: None,
         }
+    }
+
+    /// The seed this simulator was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault plan this simulator runs under (clean by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Installs a fault plan. Call *after* the scenario's nodes exist:
+    /// the stall schedule targets the first monitor-mode node (the
+    /// attacker's dongle) and is silently dropped when there is none.
+    /// A clean plan is a no-op, leaving the run byte-identical to a
+    /// simulator without the fault layer. [`reset`](Self::reset)
+    /// re-installs the plan for the new trial.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        self.fault_plan = *plan;
+        self.medium.set_faults(plan.burst_loss, plan.snr);
+        self.clock_drift_ppm = plan.clock_drift_ppm;
+        self.stall = None;
+        if let Some(schedule) = plan.stall {
+            if let Some(target) = self.nodes.iter().position(|n| n.monitor) {
+                let node = NodeId(target);
+                self.stall = Some(StallState {
+                    node,
+                    schedule,
+                    count: 0,
+                });
+                self.queue
+                    .push(self.now_us + schedule.period_us, Event::StallStart { node });
+            }
+        }
+    }
+
+    /// Applies the configured clock drift to a timer interval: a
+    /// drifting station's timers run slow by `clock_drift_ppm` parts per
+    /// million. Identity when drift is zero (the clean plan).
+    fn drifted(&self, interval_us: u64) -> u64 {
+        if self.clock_drift_ppm == 0.0 {
+            return interval_us;
+        }
+        interval_us + ((interval_us as f64 * self.clock_drift_ppm) / 1e6).round() as u64
     }
 
     /// Adds a node at a position (metres) and returns its id.
@@ -233,6 +296,7 @@ impl Simulator {
                 )
             })
             .collect();
+        let plan = self.fault_plan;
         *self = Simulator::new(
             SimConfig {
                 medium: *self.medium.config(),
@@ -245,6 +309,11 @@ impl Simulator {
             self.nodes[id.0].monitor = monitor;
             self.nodes[id.0].retries_enabled = retries;
             self.nodes[id.0].tx_power_dbm = tx_power_dbm;
+        }
+        // The fault plan is part of the scenario, not the trial: the
+        // fresh trial runs under the same plan with its new seed.
+        if !plan.is_clean() {
+            self.install_faults(&plan);
         }
     }
 
@@ -298,8 +367,17 @@ impl Simulator {
             Event::Poll { node } => self.do_poll(node),
             Event::TxAttempt { node } => self.do_tx_attempt(node),
             Event::ResponseTx { node, frame, rate } => {
+                // A stalled device's firmware schedules no responses —
+                // the SIFS-timed ACK/CTS silently never airs.
+                if self.is_stalled(node) {
+                    self.obs
+                        .incr(polite_wifi_obs::names::FAULT_DEVICE_RESPONSES_SUPPRESSED);
+                    return;
+                }
                 self.start_transmission(node, frame, rate, true);
             }
+            Event::StallStart { node } => self.do_stall_start(node),
+            Event::StallEnd { node, reboot } => self.do_stall_end(node, reboot),
             Event::TxEnd { node } => self.do_tx_end(node),
             Event::Arrival {
                 node,
@@ -314,19 +392,76 @@ impl Simulator {
     }
 
     fn do_poll(&mut self, id: NodeId) {
+        if self.is_stalled(id) {
+            // Frozen firmware runs no timers; catch up when it recovers.
+            let at = self.nodes[id.0].stalled_until;
+            self.queue.push(at, Event::Poll { node: id });
+            return;
+        }
         let now = self.now_us;
         let actions = self.nodes[id.0].station.poll(now);
         self.apply_actions(id, actions);
         self.reschedule_poll(id);
     }
 
+    /// True while a fault-injected stall freezes the node.
+    fn is_stalled(&self, id: NodeId) -> bool {
+        self.now_us < self.nodes[id.0].stalled_until
+    }
+
     fn reschedule_poll(&mut self, id: NodeId) {
         if let Some(at) = self.nodes[id.0].station.next_poll_at(self.now_us) {
             // Never schedule a poll at the current instant again, or a
-            // timer that stays due would spin forever.
-            self.queue
-                .push(at.max(self.now_us + 1), Event::Poll { node: id });
+            // timer that stays due would spin forever. Clock drift
+            // stretches the interval (identity under a clean plan).
+            let at = at.max(self.now_us + 1);
+            let at = self.now_us + self.drifted(at - self.now_us);
+            self.queue.push(at, Event::Poll { node: id });
         }
+    }
+
+    fn do_stall_start(&mut self, id: NodeId) {
+        let Some(state) = &mut self.stall else { return };
+        if state.node != id {
+            return;
+        }
+        state.count += 1;
+        let schedule = state.schedule;
+        let reboot = schedule.reboot_every > 0 && state.count % schedule.reboot_every == 0;
+        let now = self.now_us;
+        self.nodes[id.0].stalled_until = now + schedule.duration_us;
+        self.obs.incr(polite_wifi_obs::names::FAULT_DEVICE_STALLS);
+        self.obs.observe(
+            polite_wifi_obs::names::FAULT_DEVICE_STALL_US,
+            schedule.duration_us,
+        );
+        self.obs.event(now, id.0 as u64, "fault.stall");
+        self.queue.push(
+            now + schedule.duration_us,
+            Event::StallEnd { node: id, reboot },
+        );
+        self.queue
+            .push(now + schedule.period_us, Event::StallStart { node: id });
+    }
+
+    fn do_stall_end(&mut self, id: NodeId, reboot: bool) {
+        let now = self.now_us;
+        if reboot {
+            // Cold boot: the station state machine restarts from its
+            // declared config; queued frames and pending waits are lost.
+            let cfg = self.nodes[id.0].station.config().clone();
+            let band = cfg.band;
+            let node = &mut self.nodes[id.0];
+            node.station = Station::new(cfg);
+            node.tx_queue.clear();
+            node.tx_attempt_pending = false;
+            node.ack_wait = None;
+            node.csma = polite_wifi_mac::csma::Csma::new(band);
+            self.obs.incr(polite_wifi_obs::names::FAULT_DEVICE_REBOOTS);
+            self.obs.event(now, id.0 as u64, "fault.reboot");
+        }
+        self.reschedule_poll(id);
+        self.schedule_tx_attempt(id);
     }
 
     fn schedule_tx_attempt(&mut self, id: NodeId) {
@@ -345,6 +480,13 @@ impl Simulator {
     fn do_tx_attempt(&mut self, id: NodeId) {
         self.nodes[id.0].tx_attempt_pending = false;
         if self.nodes[id.0].tx_queue.is_empty() {
+            return;
+        }
+        // A stalled device transmits nothing; try again on recovery.
+        if self.is_stalled(id) {
+            let at = self.nodes[id.0].stalled_until;
+            self.nodes[id.0].tx_attempt_pending = true;
+            self.queue.push(at, Event::TxAttempt { node: id });
             return;
         }
         // Half-duplex: if mid-transmission, try again after it ends.
@@ -556,6 +698,12 @@ impl Simulator {
         if self.tune_of(id) != tune {
             return;
         }
+        // A stalled device's radio is deaf until recovery.
+        if self.is_stalled(id) {
+            self.obs
+                .incr(polite_wifi_obs::names::FAULT_DEVICE_RX_DROPPED_STALLED);
+            return;
+        }
         // Half-duplex: a radio that was transmitting during any part of
         // the frame cannot have received it.
         if self.nodes[id.0].tx_busy_until > start_us && id != from {
@@ -582,6 +730,7 @@ impl Simulator {
                 let my_pos = positions[id.0];
                 let outcome = self.medium.evaluate_rx(
                     from,
+                    id,
                     start_us,
                     now,
                     tx_power,
@@ -596,6 +745,10 @@ impl Simulator {
                         dx.hypot(dy).max(0.1)
                     },
                 );
+                if outcome.fault_dropped {
+                    self.obs
+                        .incr(polite_wifi_obs::names::FAULT_MEDIUM_FRAMES_DROPPED);
+                }
                 if outcome.fcs_ok {
                     let mut completed_at = None;
                     let node = &mut self.nodes[id.0];
@@ -627,6 +780,7 @@ impl Simulator {
         let my_pos = positions[id.0];
         let outcome = self.medium.evaluate_rx(
             from,
+            id,
             start_us,
             now,
             tx_power,
@@ -641,6 +795,10 @@ impl Simulator {
                 dx.hypot(dy).max(0.1)
             },
         );
+        if outcome.fault_dropped {
+            self.obs
+                .incr(polite_wifi_obs::names::FAULT_MEDIUM_FRAMES_DROPPED);
+        }
 
         if !outcome.detectable {
             return;
@@ -776,7 +934,7 @@ impl Simulator {
                     rate,
                 } => {
                     self.queue.push(
-                        self.now_us + delay_us as u64,
+                        self.now_us + self.drifted(delay_us as u64),
                         Event::ResponseTx {
                             node: id,
                             frame,
@@ -1316,6 +1474,126 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn clean_fault_plan_changes_nothing() {
+        use crate::faults::FaultProfile;
+        let run = |install_clean: bool| {
+            let mut sim = Simulator::new(SimConfig::default(), 7);
+            let _v = sim.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
+            let a = sim.add_node(StationConfig::client(MacAddr::FAKE), (8.0, 0.0));
+            sim.set_monitor(a, true);
+            if install_clean {
+                sim.install_faults(&FaultProfile::Clean.plan());
+            }
+            for i in 0..30u64 {
+                let fake = builder::fake_null_frame(victim_mac(), MacAddr::FAKE);
+                sim.inject(i * 10_000, a, fake, BitRate::Mbps1);
+            }
+            sim.run_until(500_000);
+            sim.global_capture()
+                .frames()
+                .iter()
+                .map(|cf| cf.ts_us)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn burst_loss_degrades_the_exchange_and_is_counted() {
+        use crate::faults::FaultProfile;
+        let run = |profile: FaultProfile| {
+            let mut sim = Simulator::new(SimConfig::default(), 7);
+            let victim = sim.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
+            let a = sim.add_node(StationConfig::client(MacAddr::FAKE), (8.0, 0.0));
+            sim.set_monitor(a, true);
+            sim.set_retries(a, false);
+            sim.install_faults(&profile.plan());
+            for i in 0..200u64 {
+                let fake = builder::fake_null_frame(victim_mac(), MacAddr::FAKE);
+                sim.inject(i * 5_000, a, fake, BitRate::Mbps1);
+            }
+            sim.run_until(2_000_000);
+            let dropped = sim.obs().counters.get("fault.medium.frames_dropped");
+            (sim.station(victim).stats.acks_sent, dropped)
+        };
+        let (clean_acks, clean_dropped) = run(FaultProfile::Clean);
+        let (faulty_acks, faulty_dropped) = run(FaultProfile::UrbanDrive);
+        assert_eq!(clean_dropped, 0);
+        assert!(faulty_dropped > 0, "no burst drops under urban-drive");
+        assert!(
+            faulty_acks < clean_acks,
+            "urban-drive {faulty_acks} acks vs clean {clean_acks}"
+        );
+        // Degraded, not dead: the attack still works through the noise.
+        assert!(faulty_acks > clean_acks / 4);
+    }
+
+    #[test]
+    fn faulty_runs_are_seed_deterministic() {
+        use crate::faults::FaultProfile;
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(SimConfig::default(), seed);
+            let _v = sim.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
+            let a = sim.add_node(StationConfig::client(MacAddr::FAKE), (8.0, 0.0));
+            sim.set_monitor(a, true);
+            sim.install_faults(&FaultProfile::UrbanDrive.plan());
+            for i in 0..50u64 {
+                let fake = builder::fake_null_frame(victim_mac(), MacAddr::FAKE);
+                sim.inject(i * 10_000, a, fake, BitRate::Mbps1);
+            }
+            sim.run_until(1_000_000);
+            sim.global_capture()
+                .frames()
+                .iter()
+                .map(|cf| cf.ts_us)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn flaky_dongle_stalls_and_reboots_the_monitor() {
+        use crate::faults::FaultProfile;
+        let mut sim = Simulator::new(SimConfig::default(), 7);
+        let victim = sim.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
+        let a = sim.add_node(StationConfig::client(MacAddr::FAKE), (5.0, 0.0));
+        sim.set_monitor(a, true);
+        sim.install_faults(&FaultProfile::FlakyDongle.plan());
+        for i in 0..300u64 {
+            let fake = builder::fake_null_frame(victim_mac(), MacAddr::FAKE);
+            sim.inject(i * 100_000, a, fake, BitRate::Mbps1);
+        }
+        sim.run_until(30_000_000);
+        let obs = sim.obs();
+        // 30 s at one stall per 2 s: ~14 stalls, ~2 reboots (every 5th).
+        assert!(obs.counters.get("fault.device.stalls") >= 10);
+        assert!(obs.counters.get("fault.device.reboots") >= 2);
+        // The run degrades but completes.
+        assert!(sim.station(victim).stats.acks_sent > 100);
+    }
+
+    #[test]
+    fn stall_schedule_without_a_monitor_is_ignored() {
+        use crate::faults::FaultProfile;
+        let mut sim = Simulator::new(SimConfig::default(), 7);
+        let _v = sim.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
+        sim.install_faults(&FaultProfile::FlakyDongle.plan());
+        sim.run_until(10_000_000);
+        assert_eq!(sim.obs().counters.get("fault.device.stalls"), 0);
+    }
+
+    #[test]
+    fn reset_preserves_the_fault_plan() {
+        use crate::faults::FaultProfile;
+        let (mut sim, _victim, _attacker) = two_node_sim();
+        sim.install_faults(&FaultProfile::UrbanDrive.plan());
+        sim.reset(99);
+        assert_eq!(sim.seed(), 99);
+        assert_eq!(*sim.fault_plan(), FaultProfile::UrbanDrive.plan());
     }
 
     #[test]

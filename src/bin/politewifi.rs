@@ -165,6 +165,7 @@ fn cmd_drain(args: &Args) -> Result<(), String> {
         warmup_us: 3_000_000,
         measure_us: seconds * 1_000_000,
         seed: args.u64_flag("seed", 42)?,
+        ..BatteryDrainAttack::default()
     };
     let m = attack.run();
     println!(

@@ -5,7 +5,9 @@
 
 use polite_wifi::core::{BatteryDrainAttack, KeystrokeAttack, SensingHub, WardriveScanner};
 use polite_wifi::devices::{CityPopulation, DeviceSpec};
+use polite_wifi::harness::{Experiment, RunArgs};
 use polite_wifi::sensing::MotionScript;
+use polite_wifi::sim::FaultProfile;
 
 #[test]
 fn drain_attack_is_deterministic() {
@@ -60,8 +62,74 @@ fn sensing_hub_is_deterministic() {
         rate_pps_per_target: 150,
         subcarrier: 17,
         seed: 21,
+        ..SensingHub::default()
     };
     assert_eq!(hub.run(&scripts), hub.run(&scripts));
+}
+
+/// The fault layer must not cost determinism: a degraded run under
+/// `--faults urban-drive` — retries, fault counters, an injected trial
+/// panic and all — writes a byte-identical envelope at every worker
+/// count, `TrialFailure` list included.
+#[test]
+fn faulty_degraded_envelope_is_worker_invariant() {
+    let dir = std::env::temp_dir().join("polite-wifi-determinism-faults");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("POLITE_WIFI_RESULTS", &dir);
+
+    let run = |workers: usize| {
+        let args = RunArgs {
+            trials: 4,
+            workers,
+            seed: 2026,
+            faults: FaultProfile::UrbanDrive,
+            inject_trial_panic: Some(1),
+            allow_partial: true,
+            ..RunArgs::default()
+        };
+        let mut exp = Experiment::start_with("determinism: faulty envelope", "none", args);
+        let reports: Vec<_> = exp
+            .run_trials(|t| {
+                BatteryDrainAttack {
+                    rate_pps: 120,
+                    warmup_us: 500_000,
+                    measure_us: 1_500_000,
+                    seed: t.seed,
+                    faults: FaultProfile::UrbanDrive,
+                    ..BatteryDrainAttack::default()
+                }
+                .run()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(reports.len(), 3, "exactly the injected trial degrades");
+        for m in &reports {
+            exp.metrics.record("acks_sent", m.acks_sent as f64);
+        }
+        let status = exp
+            .finish_with_status("faulty_envelope", &reports)
+            .expect("envelope written");
+        assert_eq!(status, 0, "--allow-partial accepts the injected failure");
+        let raw = std::fs::read_to_string(dir.join("faulty_envelope.json")).unwrap();
+        // The envelope self-describes its run config, so the recorded
+        // worker count (and nothing else) legitimately differs.
+        assert!(raw.contains(&format!("\"workers\": {workers}")));
+        raw.replace(
+            &format!("\"workers\": {workers}"),
+            "\"workers\": <normalised>",
+        )
+    };
+
+    let w1 = run(1);
+    let w4 = run(4);
+    let w8 = run(8);
+    assert!(w1.contains("\"trial_failures\""));
+    assert!(w1.contains("injected trial panic (--inject-trial-panic 1)"));
+    assert!(w1.contains("\"faults\": \"urban-drive\""));
+    assert_eq!(w1, w4, "1-worker and 4-worker envelopes differ");
+    assert_eq!(w1, w8, "1-worker and 8-worker envelopes differ");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -153,6 +153,7 @@ fn sensing_hub_localises_motion_in_time_and_target() {
         rate_pps_per_target: 150,
         subcarrier: 17,
         seed: 5,
+        ..SensingHub::default()
     }
     .run(&scripts);
 
@@ -179,6 +180,7 @@ fn sensing_is_not_subcarrier_17_specific() {
             rate_pps_per_target: 150,
             subcarrier,
             seed: 6,
+            ..SensingHub::default()
         }
         .run(&scripts);
         assert_eq!(
