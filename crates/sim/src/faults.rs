@@ -12,8 +12,10 @@
 //! * **per-direction SNR degradation** — asymmetric link budgets
 //!   (forward = lower node id → higher, reverse = the other way), so an
 //!   attacker can hear a victim that cannot hear it back;
-//! * **clock drift** — stretches a station's timer intervals by a ppm
-//!   factor (observable at beacon-interval timescales);
+//! * **clock drift** — stretches the monitor-mode dongle's timer
+//!   intervals by a ppm factor (observable at beacon-interval
+//!   timescales); other nodes' clocks — in particular a victim's SIFS
+//!   response timing, the fingerprinting signal — are never perturbed;
 //! * **device stalls/reboots** — the monitor-mode dongle periodically
 //!   freezes (drops everything in flight) and occasionally cold-boots.
 //!
@@ -123,7 +125,9 @@ pub struct FaultPlan {
     pub burst_loss: Option<GilbertElliott>,
     /// Asymmetric SNR penalties.
     pub snr: SnrDegradation,
-    /// Clock drift applied to station timer intervals, parts-per-million.
+    /// Clock drift applied to the first monitor-mode node's timer
+    /// intervals (the attacker's dongle has the cheap oscillator),
+    /// parts-per-million. Scenarios without a monitor node ignore this.
     pub clock_drift_ppm: f64,
     /// Scheduled stalls of the first monitor-mode node (the attacker's
     /// dongle), if any. Scenarios without a monitor node ignore this.

@@ -221,7 +221,12 @@ impl Medium {
         }
 
         let fer = link::fer(psdu_len, rate, snr_db);
-        let fer_pass = self.rng.gen::<f64>() >= fer;
+        // Lazy FER draw: only a frame that passed detection and
+        // collision checks consumes a propagation draw. Undetectable or
+        // collided receptions must leave `rng` exactly where the
+        // pre-fault simulator left it, or clean runs stop being
+        // byte-identical to pinned results.
+        let clean_ok = detectable && !collided && self.rng.gen::<f64>() >= fer;
 
         // Burst loss steps its Markov chain on the dedicated fault
         // stream — one step per reception — and only *counts* as a
@@ -231,7 +236,6 @@ impl Medium {
             Some(ge) => ge.step(&mut self.burst_bad, &mut self.fault_rng),
             None => false,
         };
-        let clean_ok = detectable && !collided && fer_pass;
         let fcs_ok = clean_ok && !burst_hit;
         RxOutcome {
             rx_power_dbm: rx_power,
@@ -450,6 +454,57 @@ mod tests {
         assert_eq!(m.active.len(), 1, "grace window keeps it");
         m.prune(10_000);
         assert!(m.active.is_empty());
+    }
+
+    #[test]
+    fn undetectable_rx_consumes_no_fer_draw() {
+        // Regression: an undetectable reception must leave the
+        // propagation RNG exactly where the pre-fault simulator left it
+        // — one fading draw, no FER draw — or every clean result pinned
+        // before the fault layer existed silently drifts.
+        use rand::SeedableRng;
+        let cfg = MediumConfig::default();
+        let mut m = Medium::new(cfg, 42);
+        let far = m.evaluate_rx(
+            NodeId(0),
+            NodeId(1),
+            0,
+            400,
+            20.0,
+            5_000.0,
+            28,
+            BitRate::Mbps1,
+            CH6,
+            |_| f64::INFINITY,
+        );
+        assert!(!far.detectable);
+        let near = m.evaluate_rx(
+            NodeId(0),
+            NodeId(1),
+            1_000,
+            1_400,
+            20.0,
+            5.0,
+            28,
+            BitRate::Mbps1,
+            CH6,
+            |_| f64::INFINITY,
+        );
+
+        // Replay the expected draw sequence on a parallel RNG: the far
+        // frame fades but never reaches the FER draw.
+        let mut rng = ChaCha8Rng::seed_from_u64(42 ^ 0x4d45_4449_554d);
+        let far_power = cfg.path_loss.rx_power_dbm(20.0, 5_000.0);
+        let _ = cfg.fading.faded_power_dbm(far_power, &mut rng);
+        let near_power = cfg.path_loss.rx_power_dbm(20.0, 5.0);
+        let faded = cfg.fading.faded_power_dbm(near_power, &mut rng);
+        let noise = noise_floor_dbm(cfg.bandwidth_mhz, cfg.noise_figure_db);
+        assert!(
+            (near.snr_db - (faded - noise)).abs() < 1e-9,
+            "far reception shifted the propagation stream: {} vs {}",
+            near.snr_db,
+            faded - noise
+        );
     }
 
     #[test]

@@ -54,6 +54,9 @@ pub struct Simulator {
     seed: u64,
     fault_plan: FaultPlan,
     clock_drift_ppm: f64,
+    /// The node whose clock drifts (the attacker's dongle); `None`
+    /// disables drift entirely.
+    drift_node: Option<NodeId>,
     stall: Option<StallState>,
 }
 
@@ -74,6 +77,7 @@ impl Simulator {
             seed,
             fault_plan: FaultPlan::clean(),
             clock_drift_ppm: 0.0,
+            drift_node: None,
             stall: None,
         }
     }
@@ -89,19 +93,25 @@ impl Simulator {
     }
 
     /// Installs a fault plan. Call *after* the scenario's nodes exist:
-    /// the stall schedule targets the first monitor-mode node (the
-    /// attacker's dongle) and is silently dropped when there is none.
-    /// A clean plan is a no-op, leaving the run byte-identical to a
-    /// simulator without the fault layer. [`reset`](Self::reset)
-    /// re-installs the plan for the new trial.
+    /// the device-level faults (stall schedule and clock drift) target
+    /// the first monitor-mode node (the attacker's dongle) and are
+    /// silently dropped when there is none. A clean plan is a no-op,
+    /// leaving the run byte-identical to a simulator without the fault
+    /// layer. [`reset`](Self::reset) re-installs the plan for the new
+    /// trial.
     pub fn install_faults(&mut self, plan: &FaultPlan) {
         self.fault_plan = *plan;
         self.medium.set_faults(plan.burst_loss, plan.snr);
         self.clock_drift_ppm = plan.clock_drift_ppm;
         self.stall = None;
+        let dongle = self.nodes.iter().position(|n| n.monitor).map(NodeId);
+        self.drift_node = if plan.clock_drift_ppm != 0.0 {
+            dongle
+        } else {
+            None
+        };
         if let Some(schedule) = plan.stall {
-            if let Some(target) = self.nodes.iter().position(|n| n.monitor) {
-                let node = NodeId(target);
+            if let Some(node) = dongle {
                 self.stall = Some(StallState {
                     node,
                     schedule,
@@ -113,11 +123,14 @@ impl Simulator {
         }
     }
 
-    /// Applies the configured clock drift to a timer interval: a
-    /// drifting station's timers run slow by `clock_drift_ppm` parts per
-    /// million. Identity when drift is zero (the clean plan).
-    fn drifted(&self, interval_us: u64) -> u64 {
-        if self.clock_drift_ppm == 0.0 {
+    /// Applies the configured clock drift to one of `id`'s timer
+    /// intervals: the drifting node's timers run slow by
+    /// `clock_drift_ppm` parts per million. Identity for every other
+    /// node and under a clean plan — drift models the *dongle's* cheap
+    /// oscillator, so a victim's SIFS response latency (the
+    /// fingerprinting signal) is never perturbed.
+    fn drifted(&self, id: NodeId, interval_us: u64) -> u64 {
+        if self.drift_node != Some(id) || self.clock_drift_ppm == 0.0 {
             return interval_us;
         }
         interval_us + ((interval_us as f64 * self.clock_drift_ppm) / 1e6).round() as u64
@@ -140,6 +153,13 @@ impl Simulator {
     /// Current simulation time in microseconds.
     pub fn now_us(&self) -> u64 {
         self.now_us
+    }
+
+    /// Number of pending events in the queue — a regression guard
+    /// against event-chain leaks (a healthy simulation keeps this small
+    /// and bounded regardless of how long it has run).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
     }
 
     /// Immutable access to a node's station.
@@ -393,9 +413,9 @@ impl Simulator {
 
     fn do_poll(&mut self, id: NodeId) {
         if self.is_stalled(id) {
-            // Frozen firmware runs no timers; catch up when it recovers.
-            let at = self.nodes[id.0].stalled_until;
-            self.queue.push(at, Event::Poll { node: id });
+            // Frozen firmware runs no timers: this poll chain dies here
+            // and do_stall_end starts a fresh one on recovery.
+            // (Re-queueing it as well would leak one chain per stall.)
             return;
         }
         let now = self.now_us;
@@ -415,7 +435,7 @@ impl Simulator {
             // timer that stays due would spin forever. Clock drift
             // stretches the interval (identity under a clean plan).
             let at = at.max(self.now_us + 1);
-            let at = self.now_us + self.drifted(at - self.now_us);
+            let at = self.now_us + self.drifted(id, at - self.now_us);
             self.queue.push(at, Event::Poll { node: id });
         }
     }
@@ -934,7 +954,7 @@ impl Simulator {
                     rate,
                 } => {
                     self.queue.push(
-                        self.now_us + self.drifted(delay_us as u64),
+                        self.now_us + self.drifted(id, delay_us as u64),
                         Event::ResponseTx {
                             node: id,
                             frame,
@@ -1574,6 +1594,76 @@ mod tests {
         assert!(obs.counters.get("fault.device.reboots") >= 2);
         // The run degrades but completes.
         assert!(sim.station(victim).stats.acks_sent > 100);
+    }
+
+    #[test]
+    fn stalls_do_not_leak_poll_chains() {
+        use crate::faults::FaultProfile;
+        // A beaconing monitor dongle under flaky-dongle stalls ~30
+        // times in 60 s. A regression once re-queued the stalled poll
+        // *and* restarted the chain on recovery, leaking one redundant
+        // poll chain (and one pending event) per stall.
+        let mut sim = Simulator::new(SimConfig::default(), 7);
+        let cfg = StationConfig::access_point("68:02:b8:00:00:07".parse().unwrap(), "Rig");
+        let dongle = sim.add_node(cfg, (0.0, 0.0));
+        sim.set_monitor(dongle, true);
+        sim.install_faults(&FaultProfile::FlakyDongle.plan());
+        sim.run_until(60_000_000);
+        assert!(
+            sim.queue_len() < 12,
+            "event queue grew to {} — poll chains leak per stall",
+            sim.queue_len()
+        );
+    }
+
+    #[test]
+    fn clock_drift_applies_only_to_the_dongle() {
+        use crate::faults::FaultPlan;
+        let plan = FaultPlan {
+            clock_drift_ppm: 100_000.0, // exaggerated 10% for visibility
+            ..FaultPlan::clean()
+        };
+        let (mut sim, victim, attacker) = two_node_sim();
+        sim.install_faults(&plan);
+        // The monitor dongle's timers stretch; the victim's do not.
+        assert_eq!(sim.drifted(attacker, 1_000), 1_100);
+        assert_eq!(sim.drifted(victim, 1_000), 1_000);
+
+        // Without a monitor node, drift has no target and is inert.
+        let mut bare = Simulator::new(SimConfig::default(), 7);
+        let v = bare.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
+        bare.install_faults(&plan);
+        assert_eq!(bare.drifted(v, 1_000), 1_000);
+    }
+
+    #[test]
+    fn clock_drift_never_perturbs_victim_sifs_timing() {
+        use crate::faults::FaultPlan;
+        // The SIFS-timing fingerprint treats victim response latency as
+        // a device signature, so a drifting dongle clock must leave the
+        // exchange timeline byte-identical to a clean run.
+        let run = |plan: Option<FaultPlan>| {
+            let (mut sim, _victim, attacker) = two_node_sim();
+            if let Some(p) = plan {
+                sim.install_faults(&p);
+            }
+            let fake = builder::fake_null_frame(victim_mac(), MacAddr::FAKE);
+            sim.inject(0, attacker, fake, BitRate::Mbps1);
+            sim.run_until(50_000);
+            sim.global_capture()
+                .frames()
+                .iter()
+                .map(|cf| cf.ts_us)
+                .collect::<Vec<_>>()
+        };
+        let clean = run(None);
+        let drifted = run(Some(FaultPlan {
+            clock_drift_ppm: 100_000.0,
+            ..FaultPlan::clean()
+        }));
+        assert_eq!(clean, drifted);
+        // The ACK still lands exactly SIFS + ACK airtime after the fake.
+        assert_eq!(drifted[1] - drifted[0], 10 + 304);
     }
 
     #[test]
