@@ -24,6 +24,9 @@
 //!                                   #   exit 1 on drift beyond --tolerance (%)
 //! bench_report --quick             # shrink timing loops (CI); work metrics
 //!                                   #   are unchanged, so --check still holds
+//! bench_report --out FILE          # also write the rendered report to FILE
+//!                                   #   (a committed snapshot); --label TEXT
+//!                                   #   embeds a label in the JSON
 //! ```
 //!
 //! The baseline is parsed with `polite_wifi_obs::json::parse` (the
@@ -98,15 +101,17 @@ impl Report {
         });
     }
 
-    fn to_json(&self, quick: bool) -> String {
+    fn to_json(&self, quick: bool, label: Option<&str>) -> String {
         let mut w = JsonWriter::new();
         w.begin_object()
             .key("schema")
             .string("polite-wifi-bench-report-v1")
             .key("quick")
-            .bool(quick)
-            .key("metrics")
-            .begin_object();
+            .bool(quick);
+        if let Some(label) = label {
+            w.key("label").string(label);
+        }
+        w.key("metrics").begin_object();
         for m in &self.metrics {
             w.key(&m.name)
                 .begin_object()
@@ -433,6 +438,11 @@ struct Args {
     tolerance: f64,
     quick: bool,
     gate_timing: bool,
+    /// Extra copy of the rendered report (e.g. a committed labelled
+    /// snapshot like `BENCH_pr5.json`).
+    out: Option<PathBuf>,
+    /// Free-form label embedded in the report JSON (`"label"` key).
+    label: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -443,6 +453,8 @@ fn parse_args() -> Result<Args, String> {
         tolerance: 15.0,
         quick: false,
         gate_timing: false,
+        out: None,
+        label: None,
     };
     let mut args = std::env::args().skip(1);
     let mut unknown: Vec<String> = Vec::new();
@@ -471,10 +483,22 @@ fn parse_args() -> Result<Args, String> {
                     ));
                 }
             }
+            "--out" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| "--out needs a value".to_string())?;
+                out.out = Some(PathBuf::from(raw));
+            }
+            "--label" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| "--label needs a value".to_string())?;
+                out.label = Some(raw);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: bench_report [--check] [--write-baseline] [--baseline FILE] \
-                     [--tolerance PCT] [--quick] [--gate-timing]"
+                     [--tolerance PCT] [--quick] [--gate-timing] [--out FILE] [--label TEXT]"
                         .to_string(),
                 )
             }
@@ -535,7 +559,7 @@ fn main() {
         );
     }
 
-    let json = report.to_json(args.quick);
+    let json = report.to_json(args.quick, args.label.as_deref());
     let report_path = match polite_wifi_harness::write_json(REPORT_SLUG, &RawJson(&json)) {
         Ok(path) => path,
         Err(err) => {
@@ -544,6 +568,14 @@ fn main() {
         }
     };
     println!("\n[bench report written to {}]", report_path.display());
+
+    if let Some(out_path) = &args.out {
+        if let Err(err) = std::fs::write(out_path, &json) {
+            eprintln!("failed to write {}: {err}", out_path.display());
+            std::process::exit(1);
+        }
+        println!("[labelled snapshot written to {}]", out_path.display());
+    }
 
     if args.write_baseline {
         if let Err(err) = std::fs::write(&args.baseline, &json) {

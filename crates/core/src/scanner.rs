@@ -533,6 +533,9 @@ impl WardriveScanner {
             pending.remove(&mac);
             quarantined.push(mac);
             sim.obs_mut().incr(names::RETRY_QUARANTINED);
+            // Ring-buffer breadcrumb: when in the drive this target fell
+            // out of the retry budget (trace_query's timeline view).
+            sim.obs_mut().event(slice_start_us, 0, "retry.quarantine");
         }
     }
 

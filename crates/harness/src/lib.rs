@@ -34,11 +34,13 @@ pub mod ledger;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod sink;
 
 pub use ledger::{MetricSummary, MetricsLedger};
 pub use report::{results_dir, write_json, Experiment};
 pub use runner::{derive_trial_seed, RunArgs, Runner, TrialCtx, TrialFailure};
 pub use scenario::{Scenario, ScenarioBuilder};
+pub use sink::Heartbeat;
 
 /// The common imports experiment binaries need.
 pub mod prelude {

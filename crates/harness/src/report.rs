@@ -17,11 +17,13 @@
 
 use crate::ledger::{MetricSummary, MetricsLedger};
 use crate::runner::{RunArgs, Runner, TrialCtx, TrialFailure};
+use crate::sink::{self, Heartbeat};
 use polite_wifi_obs::{names, Obs, ObsConfig};
 use serde::Serialize;
 use serde_json::Value;
 use std::io;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Directory experiment JSON results are written to. Honours the
@@ -108,11 +110,67 @@ fn obs_value(obs: &Obs) -> Value {
             )
         })
         .collect();
+    // Scheduler self-profiler attribution: count and *virtual-time*
+    // totals only. Wall-clock stats are machine-dependent and stay out
+    // of the envelope (they surface on stderr; see `finish_with_status`),
+    // so the byte-identical-across-workers guarantee holds.
+    let profiler: Vec<(String, Value)> = obs
+        .profiler
+        .sorted()
+        .into_iter()
+        .map(|(kind, stat)| {
+            (
+                kind.to_string(),
+                Value::Object(vec![
+                    ("count".to_string(), Value::UInt(stat.count)),
+                    ("virt_total_us".to_string(), Value::UInt(stat.virt_total_us)),
+                    ("virt_max_us".to_string(), Value::UInt(stat.virt_max_us)),
+                ]),
+            )
+        })
+        .collect();
+    // Sampled causal frame timelines (inject → tx → medium fate → SIFS
+    // response → verify), already deterministic: trace IDs are injection
+    // ordinals and sampling is a pure function of (seed, id).
+    let frame_traces: Vec<Value> = obs
+        .traces
+        .traces()
+        .iter()
+        .map(|t| {
+            let hops: Vec<Value> = t
+                .hops
+                .iter()
+                .map(|h| {
+                    Value::Object(vec![
+                        ("ts_us".to_string(), Value::UInt(h.ts_us)),
+                        ("node".to_string(), Value::UInt(h.node)),
+                        ("kind".to_string(), Value::String(h.kind.clone())),
+                        ("arg".to_string(), Value::UInt(h.arg)),
+                    ])
+                })
+                .collect();
+            Value::Object(vec![
+                ("trace_id".to_string(), Value::UInt(t.trace_id)),
+                ("group".to_string(), Value::UInt(t.group)),
+                ("hops".to_string(), Value::Array(hops)),
+            ])
+        })
+        .collect();
     Value::Object(vec![
         ("counters".to_string(), Value::Object(counters)),
         ("histograms".to_string(), Value::Object(histograms)),
+        ("profiler".to_string(), Value::Object(profiler)),
+        ("frame_traces".to_string(), Value::Array(frame_traces)),
         ("spans_dropped".to_string(), Value::UInt(obs.spans.dropped)),
         ("events_evicted".to_string(), Value::UInt(obs.ring.evicted)),
+        (
+            "traces_dropped".to_string(),
+            Value::UInt(obs.traces.dropped_traces),
+        ),
+        (
+            "hops_dropped".to_string(),
+            Value::UInt(obs.traces.dropped_hops),
+        ),
     ])
 }
 
@@ -131,6 +189,7 @@ pub struct Experiment {
     pub obs: Obs,
     absorbed: u64,
     started: Instant,
+    heartbeat: Heartbeat,
     trial_failures: Vec<TrialFailure>,
     quarantined: u64,
 }
@@ -151,6 +210,7 @@ impl Experiment {
 
     /// Starts an experiment with fully explicit arguments (for tests).
     pub fn start_with(name: &str, paper_ref: &str, args: RunArgs) -> Experiment {
+        sink::set_quiet(args.quiet);
         // Span recording costs memory; only turn it on when the run will
         // actually export a trace. First install wins process-wide (so a
         // test driving several experiments keeps one consistent config).
@@ -170,6 +230,7 @@ impl Experiment {
             if args.quick { "   (quick)" } else { "" }
         );
         println!("{}", "=".repeat(72));
+        let heartbeat = Heartbeat::new(args.progress);
         Experiment {
             name: name.to_string(),
             paper_ref: paper_ref.to_string(),
@@ -178,6 +239,7 @@ impl Experiment {
             obs: Obs::new(),
             absorbed: 0,
             started: Instant::now(),
+            heartbeat,
             trial_failures: Vec::new(),
             quarantined: 0,
         }
@@ -197,6 +259,24 @@ impl Experiment {
     pub fn absorb_obs(&mut self, snapshot: Obs) {
         self.obs.absorb(&snapshot, self.absorbed);
         self.absorbed += 1;
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let (obs, absorbed) = (&self.obs, self.absorbed);
+        self.heartbeat.tick(|| {
+            let txed = obs.counters.get("sim.frames_txed");
+            let fps = if elapsed > 0.0 {
+                txed as f64 / elapsed
+            } else {
+                0.0
+            };
+            format!(
+                "[progress] {absorbed} trial scope(s) absorbed — {fps:.0} frames/s; \
+                 fates: delivered {}, fer_dropped {}, collided {}, stalled {}",
+                obs.counters.get(names::FRAME_FATE_DELIVERED),
+                obs.counters.get(names::FRAME_FATE_FER_DROPPED),
+                obs.counters.get(names::FRAME_FATE_COLLIDED),
+                obs.counters.get(names::FRAME_FATE_STALL_SWALLOWED),
+            )
+        });
     }
 
     /// Base seed for this run.
@@ -220,13 +300,19 @@ impl Experiment {
         F: Fn(TrialCtx) -> T + Sync,
     {
         let inject = self.args.inject_trial_panic;
+        let total = self.args.trials;
+        let done = AtomicUsize::new(0);
+        let heartbeat = &self.heartbeat;
         let (results, failures) =
             self.runner()
                 .run_trials_checked(self.args.seed, self.args.trials, |ctx| {
                     if Some(ctx.index) == inject {
                         panic!("injected trial panic (--inject-trial-panic {})", ctx.index);
                     }
-                    trial(ctx)
+                    let out = trial(ctx);
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    heartbeat.tick(|| format!("[progress] {finished}/{total} trials done"));
+                    out
                 });
         self.note_trial_failures(failures);
         results
@@ -242,10 +328,10 @@ impl Experiment {
         self.obs
             .add(names::HARNESS_TRIAL_FAILURES, failures.len() as u64);
         for failure in &failures {
-            eprintln!(
+            sink::diag(&format!(
                 "[trial {} (seed {}) degraded: {}]",
                 failure.trial, failure.seed, failure.detail
-            );
+            ));
         }
         self.trial_failures.extend(failures);
     }
@@ -313,6 +399,23 @@ impl Experiment {
             self.started.elapsed().as_secs_f64()
         );
 
+        // End-of-run self-profile: where the scheduler's *wall* time went.
+        // Stderr-only by design — wall numbers are machine-dependent and
+        // must never leak into the canonical envelope above.
+        if !self.obs.profiler.is_empty() {
+            let mut entries: Vec<_> = self.obs.profiler.sorted();
+            entries.sort_by_key(|e| std::cmp::Reverse(e.1.wall_total_ns));
+            let mut line = String::from("[self-profile, wall]");
+            for (kind, stat) in entries.iter().take(5) {
+                line.push_str(&format!(
+                    " {kind} {:.1}ms/{}ev",
+                    stat.wall_total_ns as f64 / 1e6,
+                    stat.count
+                ));
+            }
+            sink::diag(&line);
+        }
+
         let failures = self.trial_failures.len();
         let over_budget = self
             .args
@@ -320,14 +423,16 @@ impl Experiment {
             .is_some_and(|budget| failures > budget);
         let degraded = failures > 0 || self.quarantined > 0;
         if over_budget {
-            eprintln!(
+            // A budget violation fails the run; it must print even
+            // under --quiet.
+            sink::alert(&format!(
                 "[{failures} trial failure(s) exceed --max-trial-failures {}]",
                 self.args.max_trial_failures.unwrap_or(0)
-            );
+            ));
             return Ok(1);
         }
         if degraded {
-            eprintln!(
+            let msg = format!(
                 "[partial result: {failures} trial failure(s), {} quarantined target(s){}]",
                 self.quarantined,
                 if self.args.allow_partial {
@@ -336,7 +441,10 @@ impl Experiment {
                     " — pass --allow-partial to accept"
                 }
             );
-            if !self.args.allow_partial {
+            if self.args.allow_partial {
+                sink::diag(&msg);
+            } else {
+                sink::alert(&msg);
                 return Ok(1);
             }
         }

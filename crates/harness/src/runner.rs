@@ -210,7 +210,8 @@ impl Runner {
 ///
 /// Recognised flags: `--trials N`, `--workers M`, `--seed S`, `--quick`,
 /// `--faults PROFILE`, `--max-trial-failures N`, `--allow-partial`,
-/// `--trace-out FILE`, `--inject-trial-panic N`. Malformed invocations
+/// `--trace-out FILE`, `--inject-trial-panic N`, `--progress`,
+/// `--quiet`. Malformed invocations
 /// abort with a usage message rather than being silently accepted — and
 /// *all* problems (unknown flags, duplicates, bad values, out-of-range
 /// numbers) are reported in one aggregated message, so a typo'd
@@ -236,6 +237,11 @@ pub struct RunArgs {
     /// end-to-end. The panic message is deterministic, so envelopes
     /// containing the failure stay byte-identical across worker counts.
     pub inject_trial_panic: Option<usize>,
+    /// Emit a rate-limited progress heartbeat on stderr (trials done,
+    /// frames/s, frame-fate counters).
+    pub progress: bool,
+    /// Silence advisory stderr diagnostics (see [`crate::sink`]).
+    pub quiet: bool,
 }
 
 impl Default for RunArgs {
@@ -250,13 +256,16 @@ impl Default for RunArgs {
             max_trial_failures: None,
             allow_partial: false,
             inject_trial_panic: None,
+            progress: false,
+            quiet: false,
         }
     }
 }
 
 const USAGE: &str = "usage: [--trials N] [--workers M] [--seed S] [--quick] \
 [--faults clean|urban-drive|congested|flaky-dongle] [--max-trial-failures N] \
-[--allow-partial] [--trace-out FILE] [--inject-trial-panic N]";
+[--allow-partial] [--trace-out FILE] [--inject-trial-panic N] [--progress] \
+[--quiet]";
 
 impl RunArgs {
     /// Parses flags from an iterator (first element must already be
@@ -310,6 +319,14 @@ impl RunArgs {
                 "--allow-partial" => {
                     once("--allow-partial", &mut problems);
                     out.allow_partial = true;
+                }
+                "--progress" => {
+                    once("--progress", &mut problems);
+                    out.progress = true;
+                }
+                "--quiet" => {
+                    once("--quiet", &mut problems);
+                    out.quiet = true;
                 }
                 "--faults" => {
                     once("--faults", &mut problems);
@@ -381,7 +398,9 @@ impl RunArgs {
         match Self::parse(std::env::args().skip(1), defaults) {
             Ok(args) => args,
             Err(msg) => {
-                eprintln!("{msg}");
+                // Usage errors must print even under --quiet (the flag
+                // may not even have parsed), so this is an alert.
+                crate::sink::alert(&msg);
                 std::process::exit(2);
             }
         }
@@ -485,6 +504,10 @@ mod tests {
         assert_eq!(args.inject_trial_panic, Some(1));
         assert!(parse(&["--faults", "warp-drive"]).is_err());
         assert!(parse(&["--faults"]).is_err());
+        let args = parse(&["--progress", "--quiet"]).unwrap();
+        assert!(args.progress);
+        assert!(args.quiet);
+        assert!(parse(&["--quiet", "--quiet"]).is_err());
         // An injected panic must land inside the run.
         let err = parse(&["--inject-trial-panic", "3"]).unwrap_err();
         assert!(err.contains("--inject-trial-panic 3"), "{err}");

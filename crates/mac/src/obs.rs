@@ -24,7 +24,17 @@ use polite_wifi_obs::Obs;
 /// * `mac.delivered`, `mac.enqueued` — higher-layer outcomes;
 /// * `mac.discard.<reason>` — per-[`DiscardReason`](crate::DiscardReason)
 ///   discard counts.
+///
+/// Turnaround histograms are recorded twice: once globally and once under
+/// a `.<class>` suffix keyed by the responder's device class (its band,
+/// inferred from `sifs_us`: 10 µs → `ghz2`, 16 µs → `ghz5`), so
+/// `trace_query` can report SIFS-turnaround percentiles per class.
 pub fn observe_actions(obs: &mut Obs, sifs_us: u32, actions: &[MacAction]) {
+    let class = match sifs_us {
+        10 => "ghz2",
+        16 => "ghz5",
+        _ => "other",
+    };
     for action in actions {
         match action {
             MacAction::Respond { delay_us, .. } => {
@@ -37,6 +47,7 @@ pub fn observe_actions(obs: &mut Obs, sifs_us: u32, actions: &[MacAction]) {
                 };
                 obs.incr(sched);
                 obs.observe(turnaround, *delay_us as u64);
+                obs.observe(&format!("{turnaround}.{class}"), *delay_us as u64);
                 if *delay_us <= sifs_us {
                     obs.incr("mac.sifs_deadline_met");
                 } else {
@@ -81,6 +92,21 @@ mod tests {
         assert_eq!(obs.counters.get("mac.discard.not_associated"), 1);
         let h = obs.histograms.get("mac.ack_turnaround_us").unwrap();
         assert_eq!((h.count, h.min, h.max), (1, 10, 10));
+        let per_class = obs.histograms.get("mac.ack_turnaround_us.ghz2").unwrap();
+        assert_eq!((per_class.count, per_class.min, per_class.max), (1, 10, 10));
+    }
+
+    #[test]
+    fn turnaround_class_follows_sifs() {
+        let mut obs = Obs::with_config(ObsConfig::default());
+        let actions = vec![MacAction::Respond {
+            frame: builder::ack(MacAddr::FAKE),
+            delay_us: 16,
+            rate: BitRate::Mbps1,
+        }];
+        observe_actions(&mut obs, 16, &actions);
+        assert!(obs.histograms.get("mac.ack_turnaround_us.ghz5").is_some());
+        assert!(obs.histograms.get("mac.ack_turnaround_us.ghz2").is_none());
     }
 
     #[test]

@@ -35,14 +35,18 @@
 //! assert!(merged.chrome_trace_json().contains("\"ph\":\"X\""));
 //! ```
 
+pub mod frametrace;
 pub mod json;
 pub mod metrics;
 pub mod names;
+pub mod profiler;
 pub mod ring;
 pub mod span;
 pub mod trace;
 
+pub use frametrace::{FrameTrace, HopRecord, TraceLog};
 pub use metrics::{Counters, Histogram, Histograms, HISTOGRAM_BUCKETS};
+pub use profiler::{ProfStat, Profiler};
 pub use ring::{EventRecord, RingLog};
 pub use span::{SpanLog, SpanRecord};
 
@@ -52,12 +56,21 @@ use std::sync::OnceLock;
 /// are the cheap, always-useful part); spans and ring events are opt-in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ObsConfig {
-    /// Record spans (and ring events). Enabled by `--trace-out`.
+    /// Record spans (and ring events + frame traces). Enabled by
+    /// `--trace-out`.
     pub spans: bool,
     /// Span-log bound; spans past it are counted, not stored.
     pub max_spans: usize,
     /// Ring-buffer capacity for point events when `spans` is on.
     pub ring_capacity: usize,
+    /// Frame-trace sampling rate, per mille of injected frames (1000 =
+    /// every frame, subject to `max_traces`). The decision is the pure
+    /// function [`frametrace::sampled`] of `(trial seed, trace id)`.
+    pub trace_sample_permille: u32,
+    /// Frame-trace store bound; traces past it are counted, not stored.
+    pub max_traces: usize,
+    /// Per-trace hop bound; hops past it are counted, not stored.
+    pub max_hops: usize,
 }
 
 impl Default for ObsConfig {
@@ -66,6 +79,9 @@ impl Default for ObsConfig {
             spans: false,
             max_spans: 200_000,
             ring_capacity: 4096,
+            trace_sample_permille: 1000,
+            max_traces: 2048,
+            max_hops: 32,
         }
     }
 }
@@ -112,7 +128,14 @@ pub struct Obs {
     pub spans: SpanLog,
     /// Most recent point events (bounded).
     pub ring: RingLog,
+    /// Sampled causal frame timelines (bounded).
+    pub traces: TraceLog,
+    /// Per-event-kind scheduler self-profile (always on; the
+    /// deterministic half is exported, wall-clock stays out of
+    /// canonical documents).
+    pub profiler: Profiler,
     enabled: bool,
+    trace_sample_permille: u32,
 }
 
 impl Default for Obs {
@@ -134,7 +157,10 @@ impl Obs {
             histograms: Histograms::new(),
             spans: SpanLog::new(if cfg.spans { cfg.max_spans } else { 0 }),
             ring: RingLog::new(if cfg.spans { cfg.ring_capacity } else { 0 }),
+            traces: TraceLog::new(if cfg.spans { cfg.max_traces } else { 0 }, cfg.max_hops),
+            profiler: Profiler::new(),
             enabled: cfg.spans,
+            trace_sample_permille: cfg.trace_sample_permille,
         }
     }
 
@@ -179,18 +205,47 @@ impl Obs {
         }
     }
 
+    /// The deterministic frame-trace sampling decision for this scope:
+    /// false unless tracing is enabled, otherwise the pure function
+    /// [`frametrace::sampled`] of `(seed, trace_id)` at the configured
+    /// per-mille rate.
+    pub fn trace_sampled(&self, seed: u64, trace_id: u64) -> bool {
+        self.enabled && frametrace::sampled(seed, trace_id, self.trace_sample_permille)
+    }
+
+    /// Opens a frame trace (no-op unless tracing is enabled).
+    pub fn trace_begin(&mut self, trace_id: u64) {
+        if self.enabled {
+            self.traces.begin(trace_id);
+        }
+    }
+
+    /// Appends a hop to a frame trace (no-op unless tracing is enabled).
+    pub fn trace_hop(&mut self, trace_id: u64, ts_us: u64, node: u64, kind: &str, arg: u64) {
+        if self.enabled {
+            self.traces.hop(trace_id, ts_us, node, kind, arg);
+        }
+    }
+
+    /// Attributes one handled scheduler event to the self-profiler.
+    pub fn prof(&mut self, kind: &str, virt_us: u64, wall_ns: u64) {
+        self.profiler.record(kind, virt_us, wall_ns);
+    }
+
     /// Folds another scope into this one, tagging its spans with
     /// `group` (the absorbing side's trial index). Must be called in
     /// trial-index order for deterministic exports.
     pub fn absorb(&mut self, other: &Obs, group: u64) {
         self.counters.merge(&other.counters);
         self.histograms.merge(&other.histograms);
+        self.profiler.merge(&other.profiler);
         if self.enabled {
             self.spans.absorb(&other.spans, group);
             for event in other.ring.events() {
                 self.ring.record(event.ts_us, event.track, &event.label);
             }
             self.ring.evicted += other.ring.evicted;
+            self.traces.absorb(&other.traces, group);
         }
     }
 
@@ -200,6 +255,8 @@ impl Obs {
             && self.histograms.is_empty()
             && self.spans.is_empty()
             && self.ring.is_empty()
+            && self.traces.is_empty()
+            && self.profiler.is_empty()
     }
 
     /// The canonical JSON metrics snapshot: counters and histograms in
@@ -234,12 +291,24 @@ impl Obs {
             w.end_object().end_object();
         }
         w.end_object()
+            .key("profiler")
+            .raw(&self.profiler.to_json())
             .key("spans_dropped")
             .u64(self.spans.dropped)
             .key("events_evicted")
             .u64(self.ring.evicted)
+            .key("traces_dropped")
+            .u64(self.traces.dropped_traces)
+            .key("hops_dropped")
+            .u64(self.traces.dropped_hops)
             .end_object();
         w.finish()
+    }
+
+    /// Canonical JSON array of the sampled frame timelines (see
+    /// [`TraceLog::to_json`]).
+    pub fn frame_traces_json(&self) -> String {
+        self.traces.to_json()
     }
 
     /// Renders the span log and event ring as a Chrome-trace document

@@ -1,15 +1,20 @@
-//! Canonical metric names for the fault-injection and retry layers.
+//! Canonical metric names — the registry every runtime-emitted counter
+//! and histogram name must appear in.
 //!
-//! The fault subsystem spans three crates — the simulator injects the
-//! faults, the attack pipeline retries through them, and the harness
-//! reports both in every envelope. These constants pin the shared
-//! vocabulary so a counter incremented in `crates/sim` is the same
-//! string a CI assertion greps for in a result envelope.
+//! The observability vocabulary spans five crates — the simulator, the
+//! MAC layer, the attack pipeline, the experiment binaries and the
+//! harness — so names are pinned here once and asserted at runtime by
+//! `tests/metric_names.rs`: any counter or histogram a scenario emits
+//! must satisfy [`is_registered`], or the test names the stray. That
+//! keeps `trace_query`, the Prometheus exporter and CI greps working
+//! against a closed vocabulary instead of ad-hoc strings.
 //!
-//! Naming scheme: `fault.medium.*` for impairments of the shared
-//! radio medium, `fault.device.*` for injected device misbehaviour,
-//! `retry.*` for the attacker-side recovery loop, and
-//! `harness.trial_failures` for trials that degraded gracefully.
+//! Naming scheme: `sim.*` for event-loop outcomes, `mac.*` for MAC
+//! decisions, `power.*` for radio power accounting, `frame.fate.*` for
+//! the per-frame medium-fate taxonomy (DESIGN.md §10), `fault.*` for
+//! injected impairments, `retry.*` for the attacker-side recovery loop,
+//! `wardrive.*`/`sensing.*` for experiment-level tallies and
+//! `harness.*` for trial bookkeeping.
 
 /// Counter: frames that would have decoded but were corrupted by
 /// injected burst loss (Gilbert–Elliott).
@@ -45,23 +50,129 @@ pub const RETRY_QUARANTINED: &str = "retry.quarantined";
 /// structured failures instead of killing the run.
 pub const HARNESS_TRIAL_FAILURES: &str = "harness.trial_failures";
 
+/// Counter: addressed frames that decoded cleanly at their receiver.
+pub const FRAME_FATE_DELIVERED: &str = "frame.fate.delivered";
+
+/// Counter: addressed frames lost to a frame-error drop — the channel's
+/// intrinsic FER draw or the injected burst-loss fault.
+pub const FRAME_FATE_FER_DROPPED: &str = "frame.fate.fer_dropped";
+
+/// Counter: addressed frames corrupted by an overlapping transmission
+/// (including the receiver's own half-duplex transmission).
+pub const FRAME_FATE_COLLIDED: &str = "frame.fate.collided";
+
+/// Counter: addressed frames that arrived while the receiver's firmware
+/// was stalled (deaf).
+pub const FRAME_FATE_STALL_SWALLOWED: &str = "frame.fate.stall_swallowed";
+
+/// Counter: SIFS responses a stall swallowed before they aired.
+pub const FRAME_FATE_FAULT_SUPPRESSED: &str = "frame.fate.fault_suppressed";
+
+/// Counter: addressed frames below the receiver's detection threshold.
+pub const FRAME_FATE_UNDETECTED: &str = "frame.fate.undetected";
+
+/// Counter: addressed frames missed because the receiver's power-save
+/// radio was dozing.
+pub const FRAME_FATE_DOZING: &str = "frame.fate.dozing";
+
+/// Histogram: MAC-level retries a frame needed before its exchange
+/// completed or it was dropped (0 = first attempt succeeded).
+pub const SIM_RETRY_CHAIN_DEPTH: &str = "sim.retry_chain_depth";
+
+/// Every exact runtime-emitted counter/histogram name.
+pub const REGISTERED: &[&str] = &[
+    // sim.* — event-loop outcomes.
+    "sim.frames_injected",
+    "sim.frames_txed",
+    "sim.ack_timeouts",
+    "sim.tx_retries",
+    "sim.tx_drops",
+    "sim.acks_received",
+    "sim.cts_received",
+    "sim.exchange_rtt_us",
+    SIM_RETRY_CHAIN_DEPTH,
+    // mac.* — MAC decisions.
+    "mac.csma_defer_us",
+    "mac.csma_busy_backoffs",
+    "mac.csma_backoff_us",
+    "mac.acks_scheduled",
+    "mac.cts_scheduled",
+    "mac.responses_scheduled",
+    "mac.ack_turnaround_us",
+    "mac.cts_turnaround_us",
+    "mac.response_turnaround_us",
+    "mac.sifs_deadline_met",
+    "mac.sifs_deadline_missed",
+    "mac.enqueued",
+    "mac.delivered",
+    // power.* — radio power accounting.
+    "power.dwell_sleep_us",
+    "power.dwell_awake_us",
+    "power.transitions",
+    // frame.fate.* — per-frame medium-fate taxonomy.
+    FRAME_FATE_DELIVERED,
+    FRAME_FATE_FER_DROPPED,
+    FRAME_FATE_COLLIDED,
+    FRAME_FATE_STALL_SWALLOWED,
+    FRAME_FATE_FAULT_SUPPRESSED,
+    FRAME_FATE_UNDETECTED,
+    FRAME_FATE_DOZING,
+    // fault.* / retry.* / harness.* — fault layer and bookkeeping.
+    FAULT_MEDIUM_FRAMES_DROPPED,
+    FAULT_DEVICE_STALLS,
+    FAULT_DEVICE_STALL_US,
+    FAULT_DEVICE_REBOOTS,
+    FAULT_DEVICE_RESPONSES_SUPPRESSED,
+    FAULT_DEVICE_RX_DROPPED_STALLED,
+    RETRY_ATTEMPTS,
+    RETRY_BACKOFF_US,
+    RETRY_QUARANTINED,
+    HARNESS_TRIAL_FAILURES,
+    // wardrive.* / sensing.* — experiment-level tallies.
+    "wardrive.discovered",
+    "wardrive.verified",
+    "wardrive.clients",
+    "wardrive.aps",
+    "sensing.csi_samples",
+    "sensing.motion_windows",
+    "sensing.windows_scored",
+];
+
+/// Registered name families with a dynamic final segment: per-reason
+/// discard counters and per-device-class turnaround histograms.
+pub const REGISTERED_PREFIXES: &[&str] = &[
+    "mac.discard.",
+    "mac.ack_turnaround_us.",
+    "mac.cts_turnaround_us.",
+    "mac.response_turnaround_us.",
+];
+
+/// True when a runtime-emitted metric name is part of the registry —
+/// either an exact [`REGISTERED`] entry or a member of a
+/// [`REGISTERED_PREFIXES`] family.
+pub fn is_registered(name: &str) -> bool {
+    REGISTERED.contains(&name)
+        || REGISTERED_PREFIXES
+            .iter()
+            .any(|p| name.len() > p.len() && name.starts_with(p))
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn names_are_distinct() {
-        let all = [
-            super::FAULT_MEDIUM_FRAMES_DROPPED,
-            super::FAULT_DEVICE_STALLS,
-            super::FAULT_DEVICE_STALL_US,
-            super::FAULT_DEVICE_REBOOTS,
-            super::FAULT_DEVICE_RESPONSES_SUPPRESSED,
-            super::FAULT_DEVICE_RX_DROPPED_STALLED,
-            super::RETRY_ATTEMPTS,
-            super::RETRY_BACKOFF_US,
-            super::RETRY_QUARANTINED,
-            super::HARNESS_TRIAL_FAILURES,
-        ];
-        let set: std::collections::HashSet<_> = all.iter().collect();
-        assert_eq!(set.len(), all.len());
+        let set: std::collections::HashSet<_> = super::REGISTERED.iter().collect();
+        assert_eq!(set.len(), super::REGISTERED.len());
+    }
+
+    #[test]
+    fn registry_lookup_covers_exact_and_prefixed_names() {
+        assert!(super::is_registered("sim.frames_injected"));
+        assert!(super::is_registered(super::RETRY_BACKOFF_US));
+        assert!(super::is_registered("mac.discard.not_associated"));
+        assert!(super::is_registered("mac.ack_turnaround_us.ghz2"));
+        assert!(!super::is_registered("mac.discard."));
+        assert!(!super::is_registered("sim.made_up"));
+        assert!(!super::is_registered("totally.unknown"));
     }
 }

@@ -1,0 +1,120 @@
+//! Property tests for the bounded observability stores.
+//!
+//! `RingLog` wraparound and `SpanLog` overflow carry an accounting
+//! contract the envelope's `events_evicted` / `spans_dropped` fields
+//! rest on: capacity is never exceeded, every record past the bound is
+//! counted exactly once (`stored + dropped == recorded`), and splitting
+//! a record stream across trial logs never changes the totals a merge
+//! reports — the worker-invariance property in miniature.
+
+use polite_wifi_obs::{RingLog, SpanLog, SpanRecord};
+use proptest::prelude::*;
+
+fn span(name: u8, start_us: u64) -> SpanRecord {
+    SpanRecord {
+        name: format!("span.{name}"),
+        track: u64::from(name) % 4,
+        group: 0,
+        start_us,
+        dur_us: 5,
+    }
+}
+
+proptest! {
+    #[test]
+    fn ring_capacity_never_exceeded_and_evictions_exact(
+        capacity in 0usize..32,
+        stamps in proptest::collection::vec(0u64..10_000, 0..200),
+    ) {
+        let mut ring = RingLog::new(capacity);
+        for &ts in &stamps {
+            ring.record(ts, 0, "tick");
+        }
+        prop_assert!(ring.len() <= capacity);
+        prop_assert_eq!(ring.len() as u64 + ring.evicted, stamps.len() as u64);
+        // The ring keeps exactly the most recent `len()` records, in order.
+        let kept: Vec<u64> = ring.events().map(|e| e.ts_us).collect();
+        let tail: Vec<u64> = stamps[stamps.len() - kept.len()..].to_vec();
+        prop_assert_eq!(kept, tail);
+    }
+
+    #[test]
+    fn span_log_overflow_is_counted_exactly(
+        max_spans in 0usize..32,
+        names in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mut log = SpanLog::new(max_spans);
+        for (i, &n) in names.iter().enumerate() {
+            log.push(span(n, i as u64));
+        }
+        prop_assert!(log.len() <= max_spans);
+        prop_assert_eq!(log.len() as u64 + log.dropped, names.len() as u64);
+        // Overflow drops the newest records; the stored prefix is exact.
+        for (i, s) in log.spans().iter().enumerate() {
+            prop_assert_eq!(s.start_us, i as u64);
+        }
+    }
+
+    #[test]
+    fn span_absorb_totals_are_split_invariant(
+        names in proptest::collection::vec(any::<u8>(), 0..120),
+        split in 0usize..121,
+        max_spans in 0usize..48,
+    ) {
+        let split = split.min(names.len());
+        // One trial recording everything vs. the same stream split
+        // across two trials: the merged stored+dropped totals agree.
+        let mut whole = SpanLog::new(max_spans);
+        for (i, &n) in names.iter().enumerate() {
+            whole.push(span(n, i as u64));
+        }
+
+        let mut t0 = SpanLog::new(max_spans);
+        for (i, &n) in names[..split].iter().enumerate() {
+            t0.push(span(n, i as u64));
+        }
+        let mut t1 = SpanLog::new(max_spans);
+        for (i, &n) in names[split..].iter().enumerate() {
+            t1.push(span(n, (split + i) as u64));
+        }
+        let mut merged = SpanLog::new(max_spans);
+        merged.absorb(&t0, 0);
+        merged.absorb(&t1, 1);
+
+        prop_assert!(merged.len() <= max_spans);
+        prop_assert_eq!(
+            merged.len() as u64 + merged.dropped,
+            whole.len() as u64 + whole.dropped
+        );
+    }
+
+    #[test]
+    fn ring_merge_totals_are_split_invariant(
+        stamps in proptest::collection::vec(0u64..10_000, 0..120),
+        split in 0usize..121,
+        capacity in 0usize..48,
+    ) {
+        let split = split.min(stamps.len());
+        // Absorb-style merge (the Obs::absorb loop): replay the second
+        // ring into the first and add its eviction count.
+        let mut merged = RingLog::new(capacity);
+        for &ts in &stamps[..split] {
+            merged.record(ts, 0, "tick");
+        }
+        let mut t1 = RingLog::new(capacity);
+        for &ts in &stamps[split..] {
+            t1.record(ts, 0, "tick");
+        }
+        let t1_events: Vec<_> = t1.events().cloned().collect();
+        for e in &t1_events {
+            merged.record(e.ts_us, e.track, &e.label);
+        }
+        merged.evicted += t1.evicted;
+
+        prop_assert!(merged.len() <= capacity);
+        prop_assert_eq!(
+            merged.len() as u64 + merged.evicted,
+            stamps.len() as u64
+        );
+    }
+}

@@ -27,6 +27,8 @@ pub enum Event {
         frame: Frame,
         /// Transmit rate.
         rate: BitRate,
+        /// Causal trace of the frame this responds to, if sampled.
+        trace: Option<u64>,
     },
     /// A transmission ends at its transmitter.
     TxEnd {
@@ -47,6 +49,8 @@ pub enum Event {
         start_us: u64,
         /// Band/channel the frame rode on.
         tune: crate::medium::Tune,
+        /// Causal trace riding the transmission, if sampled.
+        trace: Option<u64>,
     },
     /// The transmitter gave up waiting for an ACK.
     AckTimeout {
@@ -76,6 +80,24 @@ pub enum Event {
         /// Rate to send at.
         rate: BitRate,
     },
+}
+
+impl Event {
+    /// Stable event-kind name, the scheduler self-profiler's attribution
+    /// key (and the leaf frame in collapsed-stack exports).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Event::Poll { .. } => "poll",
+            Event::TxAttempt { .. } => "tx_attempt",
+            Event::ResponseTx { .. } => "response_tx",
+            Event::TxEnd { .. } => "tx_end",
+            Event::Arrival { .. } => "arrival",
+            Event::AckTimeout { .. } => "ack_timeout",
+            Event::StallStart { .. } => "stall_start",
+            Event::StallEnd { .. } => "stall_end",
+            Event::Inject { .. } => "inject",
+        }
+    }
 }
 
 /// An event bound to a time, ordered for the queue (earliest first; FIFO

@@ -22,6 +22,10 @@ pub struct QueuedFrame {
     pub rate: BitRate,
     /// How many times it has been (re)transmitted already.
     pub attempts: u8,
+    /// Causal trace the frame belongs to, when sampled: injected frames
+    /// open their own trace, MAC-enqueued reactions inherit the trace of
+    /// the frame that provoked them.
+    pub trace: Option<u64>,
 }
 
 /// A pending ACK wait at a transmitter.

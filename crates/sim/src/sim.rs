@@ -2,11 +2,12 @@
 
 use crate::event::{Event, EventQueue};
 use crate::faults::{FaultPlan, StallSchedule};
-use crate::medium::{Medium, MediumConfig, Transmission, Tune};
+use crate::medium::{Medium, MediumConfig, RxOutcome, Transmission, Tune};
 use crate::node::{Node, NodeId, QueuedFrame};
 use polite_wifi_frame::{ControlFrame, Frame};
 use polite_wifi_mac::{MacAction, RadioState, Station, StationConfig};
-use polite_wifi_obs::Obs;
+use polite_wifi_obs::frametrace::hop;
+use polite_wifi_obs::{names, Obs};
 use polite_wifi_pcap::capture::Capture;
 use polite_wifi_phy::airtime;
 use polite_wifi_phy::rate::BitRate;
@@ -58,6 +59,8 @@ pub struct Simulator {
     /// disables drift entirely.
     drift_node: Option<NodeId>,
     stall: Option<StallState>,
+    /// Next causal trace ID: the injection ordinal within this trial.
+    next_trace_id: u64,
 }
 
 impl Simulator {
@@ -79,6 +82,7 @@ impl Simulator {
             clock_drift_ppm: 0.0,
             drift_node: None,
             stall: None,
+            next_trace_id: 0,
         }
     }
 
@@ -234,7 +238,7 @@ impl Simulator {
     /// association) with the AP at `ap_mac`.
     pub fn start_join(&mut self, client: NodeId, ap_mac: polite_wifi_frame::MacAddr) {
         let actions = self.nodes[client.0].station.start_join(ap_mac);
-        self.apply_actions(client, actions);
+        self.apply_actions(client, actions, None);
     }
 
     /// Schedules a frame to be handed to `node`'s transmit queue at
@@ -273,14 +277,24 @@ impl Simulator {
     }
 
     /// Runs the event loop until simulated time reaches `t_us`.
+    ///
+    /// Every handled event feeds the scheduler self-profiler: the event
+    /// kind is attributed the virtual time it advanced the clock by
+    /// (deterministic — part of canonical exports) and the wall-clock
+    /// time its handler took (machine-dependent — kept out of them).
     pub fn run_until(&mut self, t_us: u64) {
         while let Some(at) = self.queue.peek_time() {
             if at > t_us {
                 break;
             }
             let ev = self.queue.pop().expect("peeked");
+            let virt_us = ev.at_us.saturating_sub(self.now_us);
+            let kind = ev.event.kind_name();
             self.now_us = ev.at_us;
+            let t0 = std::time::Instant::now();
             self.handle(ev.event);
+            let wall_ns = t0.elapsed().as_nanos() as u64;
+            self.obs.prof(kind, virt_us, wall_ns);
             if self.now_us.saturating_sub(self.last_prune_us) > 1_000_000 {
                 self.medium.prune(self.now_us);
                 self.last_prune_us = self.now_us;
@@ -364,37 +378,80 @@ impl Simulator {
     }
 
     /// Records the time since the soliciting frame began transmitting as
-    /// a completed `frame.exchange` and bumps `counter`.
-    fn note_exchange_done(&mut self, id: NodeId, started_us: u64, counter: &str) {
+    /// a completed `frame.exchange` and bumps `counter`. On a traced
+    /// exchange this is the injector's "verify" hop: the response came
+    /// back, `arg` carries the round-trip.
+    fn note_exchange_done(
+        &mut self,
+        id: NodeId,
+        started_us: u64,
+        counter: &str,
+        trace: Option<u64>,
+    ) {
         let dur = self.now_us.saturating_sub(started_us);
         self.obs.incr(counter);
         self.obs.observe("sim.exchange_rtt_us", dur);
         self.obs
             .span("frame.exchange", id.0 as u64, started_us, dur);
+        if let Some(tid) = trace {
+            self.obs
+                .trace_hop(tid, self.now_us, id.0 as u64, hop::ACK_RX, dur);
+        }
+    }
+
+    /// Assigns the next trace ID to a frame injected at `node` and, when
+    /// the deterministic `(seed, id)` sampling keeps it, opens the trace
+    /// with its `inject` hop. Unsampled frames cost one branch.
+    fn begin_frame_trace(&mut self, node: NodeId) -> Option<u64> {
+        let tid = self.next_trace_id;
+        self.next_trace_id += 1;
+        if !self.obs.trace_sampled(self.seed, tid) {
+            return None;
+        }
+        self.obs.trace_begin(tid);
+        self.obs
+            .trace_hop(tid, self.now_us, node.0 as u64, hop::INJECT, 0);
+        Some(tid)
     }
 
     fn handle(&mut self, event: Event) {
         match event {
             Event::Inject { node, frame, rate } => {
                 self.obs.incr("sim.frames_injected");
+                let trace = self.begin_frame_trace(node);
                 self.nodes[node.0].tx_queue.push_back(QueuedFrame {
                     frame,
                     rate,
                     attempts: 0,
+                    trace,
                 });
                 self.schedule_tx_attempt(node);
             }
             Event::Poll { node } => self.do_poll(node),
             Event::TxAttempt { node } => self.do_tx_attempt(node),
-            Event::ResponseTx { node, frame, rate } => {
+            Event::ResponseTx {
+                node,
+                frame,
+                rate,
+                trace,
+            } => {
                 // A stalled device's firmware schedules no responses —
                 // the SIFS-timed ACK/CTS silently never airs.
                 if self.is_stalled(node) {
-                    self.obs
-                        .incr(polite_wifi_obs::names::FAULT_DEVICE_RESPONSES_SUPPRESSED);
+                    self.obs.incr(names::FAULT_DEVICE_RESPONSES_SUPPRESSED);
+                    self.obs.incr(names::FRAME_FATE_FAULT_SUPPRESSED);
+                    if let Some(tid) = trace {
+                        self.obs.trace_hop(
+                            tid,
+                            self.now_us,
+                            node.0 as u64,
+                            hop::FATE_FAULT_SUPPRESSED,
+                            0,
+                        );
+                    }
                     return;
                 }
-                self.start_transmission(node, frame, rate, true);
+                self.start_transmission(node, frame, rate, true, trace);
             }
             Event::StallStart { node } => self.do_stall_start(node),
             Event::StallEnd { node, reboot } => self.do_stall_end(node, reboot),
@@ -406,7 +463,8 @@ impl Simulator {
                 rate,
                 start_us,
                 tune,
-            } => self.do_arrival(node, from, frame, rate, start_us, tune),
+                trace,
+            } => self.do_arrival(node, from, frame, rate, start_us, tune, trace),
             Event::AckTimeout { node, token } => self.do_ack_timeout(node, token),
         }
     }
@@ -420,7 +478,7 @@ impl Simulator {
         }
         let now = self.now_us;
         let actions = self.nodes[id.0].station.poll(now);
-        self.apply_actions(id, actions);
+        self.apply_actions(id, actions, None);
         self.reschedule_poll(id);
     }
 
@@ -450,11 +508,9 @@ impl Simulator {
         let reboot = schedule.reboot_every > 0 && state.count % schedule.reboot_every == 0;
         let now = self.now_us;
         self.nodes[id.0].stalled_until = now + schedule.duration_us;
-        self.obs.incr(polite_wifi_obs::names::FAULT_DEVICE_STALLS);
-        self.obs.observe(
-            polite_wifi_obs::names::FAULT_DEVICE_STALL_US,
-            schedule.duration_us,
-        );
+        self.obs.incr(names::FAULT_DEVICE_STALLS);
+        self.obs
+            .observe(names::FAULT_DEVICE_STALL_US, schedule.duration_us);
         self.obs.event(now, id.0 as u64, "fault.stall");
         self.queue.push(
             now + schedule.duration_us,
@@ -477,7 +533,7 @@ impl Simulator {
             node.tx_attempt_pending = false;
             node.ack_wait = None;
             node.csma = polite_wifi_mac::csma::Csma::new(band);
-            self.obs.incr(polite_wifi_obs::names::FAULT_DEVICE_REBOOTS);
+            self.obs.incr(names::FAULT_DEVICE_REBOOTS);
             self.obs.event(now, id.0 as u64, "fault.reboot");
         }
         self.reschedule_poll(id);
@@ -566,15 +622,29 @@ impl Simulator {
                 Frame::Ctrl(_) => {}
             }
         }
-        self.start_transmission(id, frame, rate, false);
+        if let Some(tid) = head.trace {
+            self.obs
+                .trace_hop(tid, self.now_us, id.0 as u64, hop::TX, head.attempts as u64);
+        }
+        self.start_transmission(id, frame, rate, false, head.trace);
     }
 
-    fn start_transmission(&mut self, id: NodeId, frame: Frame, rate: BitRate, is_response: bool) {
+    fn start_transmission(
+        &mut self,
+        id: NodeId,
+        frame: Frame,
+        rate: BitRate,
+        is_response: bool,
+        trace: Option<u64>,
+    ) {
         if !is_response {
             // Initiating a transmission wakes (and keeps awake) a
             // power-save radio; answering with an ACK does not.
             let actions = self.nodes[id.0].station.on_transmit(self.now_us, &frame);
-            self.apply_actions(id, actions);
+            self.apply_actions(id, actions, trace);
+        } else if let Some(tid) = trace {
+            self.obs
+                .trace_hop(tid, self.now_us, id.0 as u64, hop::RESPONSE_TX, 0);
         }
         let duration = airtime::frame_duration_us(frame.air_len(), rate, false) as u64;
         let end = self.now_us + duration;
@@ -613,6 +683,7 @@ impl Simulator {
                     rate,
                     start_us: self.now_us,
                     tune,
+                    trace,
                 },
             );
         }
@@ -682,6 +753,7 @@ impl Simulator {
         if let Some(arf) = &mut node.rate_ctrl {
             arf.on_failure();
         }
+        let head_info = node.tx_queue.front().map(|f| (f.trace, f.attempts));
         let keep = node.csma.on_failure();
         if keep {
             if let Some(head) = node.tx_queue.front_mut() {
@@ -696,11 +768,46 @@ impl Simulator {
         if keep {
             self.obs.incr("sim.tx_retries");
             self.obs.event(now, id.0 as u64, "ack.timeout");
+            if let Some((Some(tid), attempts)) = head_info {
+                self.obs
+                    .trace_hop(tid, now, id.0 as u64, hop::RETRY, attempts as u64 + 1);
+            }
         } else {
             self.obs.incr("sim.tx_drops");
             self.obs.event(now, id.0 as u64, "frame.dropped");
+            if let Some((trace, attempts)) = head_info {
+                self.obs
+                    .observe(names::SIM_RETRY_CHAIN_DEPTH, attempts as u64);
+                if let Some(tid) = trace {
+                    self.obs
+                        .trace_hop(tid, now, id.0 as u64, hop::DROP, attempts as u64);
+                }
+            }
         }
         self.schedule_tx_attempt(id);
+    }
+
+    /// Classifies an addressed reception's medium fate — the
+    /// `frame.fate.*` taxonomy DESIGN.md §10 documents — bumping the
+    /// always-on fate counter and, for a traced frame, recording the
+    /// fate hop (`arg` 1 on `fate.fer_dropped` marks the injected
+    /// burst-loss fault rather than the channel's intrinsic FER draw).
+    fn note_arrival_fate(&mut self, id: NodeId, outcome: &RxOutcome, trace: Option<u64>) {
+        let (counter, kind, arg) = if outcome.collided {
+            (names::FRAME_FATE_COLLIDED, hop::FATE_COLLIDED, 0)
+        } else if outcome.fault_dropped {
+            (names::FRAME_FATE_FER_DROPPED, hop::FATE_FER_DROPPED, 1)
+        } else if !outcome.detectable {
+            (names::FRAME_FATE_UNDETECTED, hop::FATE_UNDETECTED, 0)
+        } else if !outcome.fcs_ok {
+            (names::FRAME_FATE_FER_DROPPED, hop::FATE_FER_DROPPED, 0)
+        } else {
+            (names::FRAME_FATE_DELIVERED, hop::FATE_DELIVERED, 0)
+        };
+        self.obs.incr(counter);
+        if let Some(tid) = trace {
+            self.obs.trace_hop(tid, self.now_us, id.0 as u64, kind, arg);
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -712,16 +819,27 @@ impl Simulator {
         rate: BitRate,
         start_us: u64,
         tune: Tune,
+        trace: Option<u64>,
     ) {
         let now = self.now_us;
         // A radio tuned elsewhere hears nothing of this frame.
         if self.tune_of(id) != tune {
             return;
         }
+        // Fate hops and counters describe what happened at the frame's
+        // *addressed* receiver; bystander copies stay untraced.
+        let for_me = frame.receiver() == Some(self.nodes[id.0].station.mac());
+        let ftrace = if for_me { trace } else { None };
         // A stalled device's radio is deaf until recovery.
         if self.is_stalled(id) {
-            self.obs
-                .incr(polite_wifi_obs::names::FAULT_DEVICE_RX_DROPPED_STALLED);
+            self.obs.incr(names::FAULT_DEVICE_RX_DROPPED_STALLED);
+            if for_me {
+                self.obs.incr(names::FRAME_FATE_STALL_SWALLOWED);
+                if let Some(tid) = ftrace {
+                    self.obs
+                        .trace_hop(tid, now, id.0 as u64, hop::FATE_STALL_SWALLOWED, 0);
+                }
+            }
             return;
         }
         // Half-duplex: a radio that was transmitting during any part of
@@ -729,6 +847,13 @@ impl Simulator {
         if self.nodes[id.0].tx_busy_until > start_us && id != from {
             let own_tx_overlaps = self.nodes[id.0].tx_busy_until > start_us;
             if own_tx_overlaps && self.current_or_recent_tx_overlap(id, start_us) {
+                if for_me {
+                    self.obs.incr(names::FRAME_FATE_COLLIDED);
+                    if let Some(tid) = ftrace {
+                        self.obs
+                            .trace_hop(tid, now, id.0 as u64, hop::FATE_COLLIDED, 1);
+                    }
+                }
                 return;
             }
         }
@@ -766,12 +891,13 @@ impl Simulator {
                     },
                 );
                 if outcome.fault_dropped {
-                    self.obs
-                        .incr(polite_wifi_obs::names::FAULT_MEDIUM_FRAMES_DROPPED);
+                    self.obs.incr(names::FAULT_MEDIUM_FRAMES_DROPPED);
                 }
+                self.note_arrival_fate(id, &outcome, ftrace);
                 if outcome.fcs_ok {
                     let mut completed_at = None;
                     let node = &mut self.nodes[id.0];
+                    let depth = node.tx_queue.front().map(|f| f.attempts).unwrap_or(0);
                     if let Some(wait) = &mut node.ack_wait {
                         if !wait.satisfied {
                             wait.satisfied = true;
@@ -786,9 +912,16 @@ impl Simulator {
                         }
                     }
                     if let Some(started_us) = completed_at {
-                        self.note_exchange_done(id, started_us, "sim.acks_received");
+                        self.obs.observe(names::SIM_RETRY_CHAIN_DEPTH, depth as u64);
+                        self.note_exchange_done(id, started_us, "sim.acks_received", ftrace);
                         self.schedule_tx_attempt(id);
                     }
+                }
+            } else if for_me {
+                self.obs.incr(names::FRAME_FATE_DOZING);
+                if let Some(tid) = ftrace {
+                    self.obs
+                        .trace_hop(tid, now, id.0 as u64, hop::FATE_DOZING, 0);
                 }
             }
             return;
@@ -816,8 +949,10 @@ impl Simulator {
             },
         );
         if outcome.fault_dropped {
-            self.obs
-                .incr(polite_wifi_obs::names::FAULT_MEDIUM_FRAMES_DROPPED);
+            self.obs.incr(names::FAULT_MEDIUM_FRAMES_DROPPED);
+        }
+        if for_me {
+            self.note_arrival_fate(id, &outcome, ftrace);
         }
 
         if !outcome.detectable {
@@ -833,7 +968,6 @@ impl Simulator {
         }
 
         // Capture taps: monitor nodes record everything that decodes.
-        let for_me = frame.receiver() == Some(self.nodes[id.0].station.mac());
         if outcome.fcs_ok && (self.nodes[id.0].monitor || for_me) {
             let cfg = self.nodes[id.0].station.config();
             let chan = match cfg.band {
@@ -886,6 +1020,7 @@ impl Simulator {
             if is_response_to_me {
                 let mut completed_at = None;
                 let node = &mut self.nodes[id.0];
+                let depth = node.tx_queue.front().map(|f| f.attempts).unwrap_or(0);
                 if let Some(wait) = &mut node.ack_wait {
                     if !wait.satisfied {
                         wait.satisfied = true;
@@ -916,23 +1051,31 @@ impl Simulator {
                         }
                         _ => {}
                     }
+                    // The attacker-verify hop: the injector saw its
+                    // forged frame answered (no wait, so no RTT arg).
+                    if let Some(tid) = ftrace {
+                        self.obs.trace_hop(tid, now, id.0 as u64, hop::ACK_RX, 0);
+                    }
                 }
                 if let Some(started_us) = completed_at {
                     let counter = match &frame {
                         Frame::Ctrl(ControlFrame::Cts { .. }) => "sim.cts_received",
                         _ => "sim.acks_received",
                     };
-                    self.note_exchange_done(id, started_us, counter);
+                    self.obs.observe(names::SIM_RETRY_CHAIN_DEPTH, depth as u64);
+                    self.note_exchange_done(id, started_us, counter, ftrace);
                     self.schedule_tx_attempt(id);
                 }
             }
         }
 
-        // Hand the frame to the MAC state machine.
+        // Hand the frame to the MAC state machine. Reactions (SIFS
+        // responses, enqueued deauth bursts) inherit the causal trace of
+        // the frame that provoked them.
         let actions = self.nodes[id.0]
             .station
             .on_receive(now, &frame, outcome.fcs_ok, rate);
-        self.apply_actions(id, actions);
+        self.apply_actions(id, actions, ftrace);
         self.reschedule_poll(id);
     }
 
@@ -943,7 +1086,7 @@ impl Simulator {
         self.nodes[id.0].tx_busy_until > start_us
     }
 
-    fn apply_actions(&mut self, id: NodeId, actions: Vec<MacAction>) {
+    fn apply_actions(&mut self, id: NodeId, actions: Vec<MacAction>, trace: Option<u64>) {
         let sifs_us = self.nodes[id.0].station.config().band.sifs_us();
         polite_wifi_mac::obs::observe_actions(&mut self.obs, sifs_us, &actions);
         for action in actions {
@@ -953,12 +1096,22 @@ impl Simulator {
                     delay_us,
                     rate,
                 } => {
+                    if let Some(tid) = trace {
+                        self.obs.trace_hop(
+                            tid,
+                            self.now_us,
+                            id.0 as u64,
+                            hop::SIFS_ACK,
+                            delay_us as u64,
+                        );
+                    }
                     self.queue.push(
                         self.now_us + self.drifted(id, delay_us as u64),
                         Event::ResponseTx {
                             node: id,
                             frame,
                             rate,
+                            trace,
                         },
                     );
                 }
@@ -967,6 +1120,7 @@ impl Simulator {
                         frame,
                         rate,
                         attempts: 0,
+                        trace,
                     });
                     self.schedule_tx_attempt(id);
                 }

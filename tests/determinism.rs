@@ -5,7 +5,8 @@
 
 use polite_wifi::core::{BatteryDrainAttack, KeystrokeAttack, SensingHub, WardriveScanner};
 use polite_wifi::devices::{CityPopulation, DeviceSpec};
-use polite_wifi::harness::{Experiment, RunArgs};
+use polite_wifi::harness::{Experiment, RunArgs, Runner};
+use polite_wifi::obs::{Obs, ObsConfig};
 use polite_wifi::sensing::MotionScript;
 use polite_wifi::sim::FaultProfile;
 
@@ -130,6 +131,116 @@ fn faulty_degraded_envelope_is_worker_invariant() {
     assert_eq!(w1, w4, "1-worker and 4-worker envelopes differ");
     assert_eq!(w1, w8, "1-worker and 8-worker envelopes differ");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One trial of the traced urban-drive scenario: a victim, a retrying
+/// attacker, the urban-drive fault plan, and a per-trial tracing scope
+/// (installed directly on the simulator, independent of the process-wide
+/// obs config other tests in this binary may have installed first).
+fn traced_urban_trial(seed: u64) -> Obs {
+    use polite_wifi::frame::{builder, MacAddr};
+    use polite_wifi::mac::StationConfig;
+    use polite_wifi::phy::rate::BitRate;
+    use polite_wifi::sim::{SimConfig, Simulator};
+
+    let victim_mac: MacAddr = "f2:6e:0b:11:22:33".parse().unwrap();
+    let mut sim = Simulator::new(SimConfig::default(), seed);
+    *sim.obs_mut() = Obs::with_config(ObsConfig::tracing());
+    let _victim = sim.add_node(StationConfig::client(victim_mac), (0.0, 0.0));
+    let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (5.0, 0.0));
+    sim.set_monitor(attacker, true);
+    // Retries stay enabled: a burst-loss drop must grow a causal chain
+    // (fault-drop → retry → delivered), not end the exchange.
+    sim.install_faults(&FaultProfile::UrbanDrive.plan());
+    for i in 0..150u64 {
+        sim.inject(
+            1_000 + i * 6_000,
+            attacker,
+            builder::fake_null_frame(victim_mac, MacAddr::FAKE),
+            BitRate::Mbps1,
+        );
+    }
+    sim.run_until(1_200_000);
+    sim.take_obs()
+}
+
+/// Runs the traced scenario at a worker count and merges the per-trial
+/// scopes in trial order into one tracing root.
+fn traced_urban_run(workers: usize) -> Obs {
+    let snapshots = Runner::new(workers).run_trials(4242, 6, |t| traced_urban_trial(t.seed));
+    let mut root = Obs::with_config(ObsConfig::tracing());
+    for (i, snap) in snapshots.iter().enumerate() {
+        root.absorb(snap, i as u64);
+    }
+    root
+}
+
+/// True when some sampled frame timeline shows the full causal chain of
+/// a fault-dropped-then-retried exchange: inject → tx → burst-loss drop
+/// (`fate.fer_dropped` arg 1 marks the injected fault) → retry → tx →
+/// delivered → ACK scheduled exactly at SIFS → response tx → verify.
+fn has_fault_retry_chain(obs: &Obs, sifs_us: u64) -> bool {
+    let want: &[(&str, Option<u64>)] = &[
+        ("inject", None),
+        ("tx", None),
+        ("fate.fer_dropped", Some(1)),
+        ("retry", None),
+        ("tx", None),
+        ("fate.delivered", None),
+        ("sifs_ack", Some(sifs_us)),
+        ("response_tx", None),
+        ("ack_rx", None),
+    ];
+    obs.traces.traces().iter().any(|t| {
+        let mut hops = t.hops.iter();
+        want.iter().all(|(kind, arg)| {
+            hops.by_ref()
+                .any(|h| h.kind == *kind && arg.map_or(true, |a| h.arg == a))
+        })
+    })
+}
+
+/// Observability v2's pinned contract: causal frame tracing and the
+/// scheduler self-profiler cost nothing in determinism. The merged
+/// canonical exports — counters, histograms, the profiler's
+/// count/virtual-time attribution, and every sampled frame timeline —
+/// are byte-identical at 1, 4 and 8 workers, and at least one timeline
+/// shows the full fault-drop → retry → delivered → SIFS-ACK causal
+/// chain the tracing layer exists to explain.
+#[test]
+fn traced_urban_drive_run_is_worker_invariant_with_causal_chains() {
+    let w1 = traced_urban_run(1);
+    let (metrics1, traces1) = (w1.metrics_json(), w1.frame_traces_json());
+    for workers in [4, 8] {
+        let w = traced_urban_run(workers);
+        assert_eq!(
+            metrics1,
+            w.metrics_json(),
+            "metrics drift at {workers} workers"
+        );
+        assert_eq!(
+            traces1,
+            w.frame_traces_json(),
+            "frame timelines drift at {workers} workers"
+        );
+    }
+
+    // The exports actually carry the new subsystems (not vacuously
+    // identical): profiler attribution and sampled timelines.
+    assert!(metrics1.contains("\"profiler\":{"), "{metrics1}");
+    assert!(metrics1.contains("\"arrival\""), "{metrics1}");
+    assert!(metrics1.contains("\"frame.fate.delivered\""), "{metrics1}");
+    assert!(!w1.traces.traces().is_empty());
+
+    // The paper's SIFS constant, straight from the band tables.
+    let sifs_us = polite_wifi::phy::band::Band::Ghz2.sifs_us() as u64;
+    assert_eq!(sifs_us, 10);
+    assert!(
+        has_fault_retry_chain(&w1, sifs_us),
+        "no trace shows inject → tx → fault-drop → retry → delivered → \
+         SIFS ACK → verify; fates seen: {}",
+        w1.frame_traces_json()
+    );
 }
 
 #[test]

@@ -1,0 +1,94 @@
+//! Metric-name hygiene: every counter and histogram the runtime emits
+//! must be declared in `polite_wifi_obs::names::REGISTERED` (or match a
+//! registered dynamic-suffix prefix like `mac.discard.<reason>`).
+//!
+//! Ad-hoc string literals are how dashboards silently go dark: a typo'd
+//! or renamed metric keeps compiling and keeps emitting, while every
+//! consumer (trace_query, the bench gate, EXPERIMENTS.md tooling) reads
+//! zeros. This test drives representative scenarios through every layer
+//! that records metrics — exchange + faults + retries + tracing, the
+//! wardrive pipeline, power save — and asserts the union of emitted
+//! names is covered by the registry.
+
+use polite_wifi::core::WardriveScanner;
+use polite_wifi::devices::CityPopulation;
+use polite_wifi::frame::{builder, MacAddr};
+use polite_wifi::mac::StationConfig;
+use polite_wifi::obs::{names, Obs, ObsConfig};
+use polite_wifi::phy::rate::BitRate;
+use polite_wifi::sim::{FaultProfile, SimConfig, Simulator};
+
+fn assert_registered(obs: &Obs, scenario: &str) {
+    let mut rogue: Vec<String> = Vec::new();
+    for (name, _) in obs.counters.sorted() {
+        if !names::is_registered(name) {
+            rogue.push(format!("counter `{name}`"));
+        }
+    }
+    for (name, _) in obs.histograms.sorted() {
+        if !names::is_registered(name) {
+            rogue.push(format!("histogram `{name}`"));
+        }
+    }
+    assert!(
+        rogue.is_empty(),
+        "{scenario} emitted metrics missing from obs::names::REGISTERED \
+         (register them or fix the emitting site): {rogue:?}"
+    );
+}
+
+/// Exchange traffic under the harshest fault profile, with retries,
+/// tracing and a monitor dongle: covers `sim.*`, `mac.*` (including the
+/// per-class turnaround histograms), `frame.fate.*` and `fault.*`.
+#[test]
+fn faulty_exchange_metrics_are_registered() {
+    let victim_mac: MacAddr = "f2:6e:0b:11:22:33".parse().unwrap();
+    let mut sim = Simulator::new(SimConfig::default(), 9);
+    *sim.obs_mut() = Obs::with_config(ObsConfig::tracing());
+    let _victim = sim.add_node(StationConfig::client(victim_mac), (0.0, 0.0));
+    let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (5.0, 0.0));
+    sim.set_monitor(attacker, true);
+    sim.install_faults(&FaultProfile::FlakyDongle.plan());
+    for i in 0..120u64 {
+        sim.inject(
+            1_000 + i * 7_000,
+            attacker,
+            builder::fake_null_frame(victim_mac, MacAddr::FAKE),
+            BitRate::Mbps1,
+        );
+    }
+    sim.run_until(1_000_000);
+    let obs = sim.take_obs();
+    // The scenario exercised the families the registry must cover.
+    assert!(obs.counters.get("sim.frames_injected") > 0);
+    assert!(obs.counters.get(names::FRAME_FATE_DELIVERED) > 0);
+    assert_registered(&obs, "faulty exchange");
+}
+
+/// A wardrive shard under urban-drive faults: covers `wardrive.*`,
+/// `retry.*`, power-save dwell metrics and everything the scanner's
+/// simulators emit along the way.
+#[test]
+fn wardrive_pipeline_metrics_are_registered() {
+    let full = CityPopulation::table2(5);
+    let slice = CityPopulation {
+        devices: full.devices.iter().step_by(120).cloned().collect(),
+        registry: full.registry.clone(),
+    };
+    let scanner = WardriveScanner {
+        seed: 5,
+        faults: FaultProfile::UrbanDrive,
+        ..WardriveScanner::default()
+    };
+    let mut obs = Obs::new();
+    let report = scanner.run_observed(&slice, 2, &mut obs);
+    // Mirror the experiment binaries' envelope tallies so the
+    // `wardrive.*` family is covered here too.
+    obs.add("wardrive.discovered", report.discovered as u64);
+    obs.add("wardrive.verified", report.verified as u64);
+    obs.add("wardrive.clients", report.total_clients as u64);
+    obs.add("wardrive.aps", report.total_aps as u64);
+    assert!(obs.counters.get("sim.frames_injected") > 0);
+    assert!(obs.counters.get("wardrive.discovered") > 0);
+    assert_registered(&obs, "wardrive pipeline");
+}
