@@ -209,7 +209,9 @@ fn run_codec(report: &mut Report, quick: bool) {
     );
 }
 
-fn run_exchange_sim(report: &mut Report) {
+/// Returns the measured per-event wall cost in ms — the city macro uses
+/// it to price its extrapolated all-pairs baseline.
+fn run_exchange_sim(report: &mut Report) -> f64 {
     let start = Instant::now();
     let mut sim = exchange_sim(1000);
     sim.run_until(2_000_000);
@@ -239,7 +241,18 @@ fn run_exchange_sim(report: &mut Report) {
         turnaround.and_then(|h| h.mean()).unwrap_or(0.0),
         "us",
     );
+    report.work(
+        "work.sim.events_dispatched",
+        obs.counters.get("sim.events_dispatched") as f64,
+        "events",
+    );
     report.timing("time.sim.1000_exchanges", wall_ms, "ms");
+    report.timing(
+        "time.sim.events_per_sec",
+        obs.counters.get("sim.events_dispatched") as f64 / (wall_ms / 1e3),
+        "events/s",
+    );
+    wall_ms / (obs.counters.get("sim.events_dispatched") as f64).max(1.0)
 }
 
 fn run_csi_pipeline(report: &mut Report, quick: bool) {
@@ -294,6 +307,74 @@ fn run_wardrive_shard(report: &mut Report) {
         "devices",
     );
     report.work("work.wardrive.verified", scan.verified as f64, "devices");
+}
+
+fn run_city_macro(report: &mut Report, per_event_ms: f64) {
+    use polite_wifi_core::CityWardrive;
+    use polite_wifi_obs::Obs;
+
+    // The full 100k-device city in quick and full mode alike (the city
+    // work metrics must be mode-invariant for --check to hold in CI),
+    // at a 500 ms dwell so the macro stays a bench, not a soak test.
+    // The envelope is worker-invariant, so fanning over the pool only
+    // changes wall time — throughput is reported per core.
+    let drive = CityWardrive {
+        dwell_us: 500_000,
+        ..CityWardrive::default()
+    };
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(8);
+    let mut obs = Obs::new();
+    let start = Instant::now();
+    let scan = drive.run_observed(workers, &mut obs);
+    let core_s = (start.elapsed().as_secs_f64() * workers as f64).max(1e-9);
+    report.timing(
+        "time.macro.city_wardrive_100k",
+        start.elapsed().as_secs_f64() * 1e3,
+        "ms",
+    );
+    report.timing(
+        "time.macro.city_events_per_sec_core",
+        scan.events_dispatched as f64 / core_s,
+        "events/s",
+    );
+
+    // The all-pairs comparison is structural: the legacy mode schedules
+    // one arrival per (transmission, other node) — `segment_size - 1`
+    // of them — where the grid schedules one per in-range receiver.
+    // Pricing every extrapolated event at the 2-node exchange bench's
+    // per-event cost *underestimates* the baseline (its active-list
+    // scans are tiny), so the reported speedup is a lower bound.
+    let arrivals = obs
+        .profiler
+        .sorted()
+        .iter()
+        .find(|(n, _)| *n == "arrival")
+        .map_or(0, |(_, s)| s.count);
+    let txed = obs.counters.get("sim.frames_txed");
+    let allpairs_events =
+        scan.events_dispatched - arrivals + txed * (drive.segment_size as u64 - 1);
+    let allpairs_ms = allpairs_events as f64 * per_event_ms;
+    report.timing("time.macro.city_allpairs_extrapolated", allpairs_ms, "ms");
+    report.timing(
+        "time.macro.city_speedup_vs_allpairs",
+        allpairs_ms / (core_s * 1e3),
+        "x",
+    );
+    report.work(
+        "work.city.events_dispatched",
+        scan.events_dispatched as f64,
+        "events",
+    );
+    report.work("work.city.segments", scan.segments as f64, "segments");
+    report.work("work.city.discovered", scan.discovered as f64, "devices");
+    report.work("work.city.verified", scan.verified as f64, "devices");
+    report.work(
+        "work.city.occupied_cells",
+        scan.occupied_cells as f64,
+        "cells",
+    );
 }
 
 fn run_keystroke_macro(report: &mut Report) {
@@ -536,12 +617,14 @@ fn main() {
     let total = Instant::now();
     run_codec(&mut report, args.quick);
     println!("  codec workloads done");
-    run_exchange_sim(&mut report);
+    let per_event_ms = run_exchange_sim(&mut report);
     println!("  exchange simulator done");
     run_csi_pipeline(&mut report, args.quick);
     println!("  CSI pipeline done");
     run_wardrive_shard(&mut report);
     println!("  wardrive shard done");
+    run_city_macro(&mut report, per_event_ms);
+    println!("  city wardrive macro done");
     run_keystroke_macro(&mut report);
     println!("  keystroke macro done");
     run_power_macro(&mut report);

@@ -41,7 +41,7 @@ pub use injector::{FakeFrameInjector, InjectionKind, InjectionPlan};
 pub use keystroke::{KeystrokeAttack, KeystrokeAttackResult};
 pub use ranging::{estimate_range, RangeEstimate};
 pub use retry::RetryPolicy;
-pub use scanner::{ScanReport, WardriveScanner};
+pub use scanner::{CityReport, CityWardrive, ScanReport, WardriveScanner};
 pub use sensing_hub::{SensingHub, SensingReport};
 pub use verifier::{AckVerifier, VerifiedExchange};
 pub use vitals::{VitalSignsAttack, VitalSignsResult};

@@ -24,7 +24,9 @@ use polite_wifi_harness::{derive_trial_seed, Runner};
 use polite_wifi_mac::{Role, StationConfig};
 use polite_wifi_obs::{names, Obs};
 use polite_wifi_phy::rate::BitRate;
-use polite_wifi_sim::{FaultProfile, NodeId, SimConfig, Simulator};
+use polite_wifi_sim::{
+    FaultProfile, MediumConfig, NodeId, PropagationMode, SchedulerKind, SimConfig, Simulator,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -269,28 +271,7 @@ impl WardriveScanner {
     /// dongle retunes at each segment boundary, like a real wardriving
     /// rig's hop plan.
     fn plan_segments<'p>(&self, population: &'p CityPopulation) -> Vec<Vec<&'p DeviceSpec>> {
-        let mut by_tune: Vec<&DeviceSpec> = population.devices.iter().collect();
-        by_tune.sort_by_key(|d| {
-            (
-                matches!(d.band, polite_wifi_phy::band::Band::Ghz5),
-                d.channel,
-                d.mac,
-            )
-        });
-        let mut out: Vec<Vec<&DeviceSpec>> = Vec::new();
-        for d in by_tune {
-            let fits = out.last().is_some_and(|seg: &Vec<&DeviceSpec>| {
-                seg.len() < self.segment_size.max(1)
-                    && seg[0].band == d.band
-                    && seg[0].channel == d.channel
-            });
-            if fits {
-                out.last_mut().expect("checked").push(d);
-            } else {
-                out.push(vec![d]);
-            }
-        }
-        out
+        plan_channel_segments(population, self.segment_size)
     }
 
     /// Scans one neighbourhood (all devices share one band/channel; the
@@ -603,6 +584,316 @@ impl WardriveScanner {
     }
 }
 
+/// Groups a population by (band, channel) and chunks each group into
+/// neighbourhood segments of at most `segment_size` devices — the hop
+/// plan both the Table 2 survey and the city-scale drive share.
+fn plan_channel_segments(
+    population: &CityPopulation,
+    segment_size: usize,
+) -> Vec<Vec<&DeviceSpec>> {
+    let mut by_tune: Vec<&DeviceSpec> = population.devices.iter().collect();
+    by_tune.sort_by_key(|d| {
+        (
+            matches!(d.band, polite_wifi_phy::band::Band::Ghz5),
+            d.channel,
+            d.mac,
+        )
+    });
+    let mut out: Vec<Vec<&DeviceSpec>> = Vec::new();
+    for d in by_tune {
+        let fits = out.last().is_some_and(|seg: &Vec<&DeviceSpec>| {
+            seg.len() < segment_size.max(1) && seg[0].band == d.band && seg[0].channel == d.channel
+        });
+        if fits {
+            out.last_mut().expect("checked").push(d);
+        } else {
+            out.push(vec![d]);
+        }
+    }
+    out
+}
+
+/// The city-scale wardrive (DESIGN.md §11): a synthetic population of up
+/// to a million devices, driven through on the spatial-cell simulator
+/// core.
+///
+/// Where [`WardriveScanner`] reproduces the paper's Table 2 census on its
+/// exact 5,328-device population, this drive answers the scale question —
+/// what the survey costs at city volume. Devices are scattered uniformly
+/// over an `area_m`-sided square; the attacker's car starts at its centre
+/// and drives at 13.9 m/s (~50 km/h), discovering whatever transmits
+/// within the 150 m propagation cutoff, injecting up to
+/// `max_attempts × fakes_per_target` fakes per discovered target, and
+/// verifying the ACKs with the same temporal pairing as the census rig.
+///
+/// Every segment is a pure function of `seed ^ segment_index`, so
+/// reports and envelopes are byte-identical at any worker count, and the
+/// `propagation`/`scheduler` knobs let the determinism suite hold the
+/// cell grid and calendar queue against their oracle counterparts on the
+/// very same drive.
+#[derive(Debug, Clone, Copy)]
+pub struct CityWardrive {
+    /// Simulation seed.
+    pub seed: u64,
+    /// Synthetic population size.
+    pub devices: usize,
+    /// Devices per neighbourhood segment.
+    pub segment_size: usize,
+    /// Simulated dwell time per segment, µs.
+    pub dwell_us: u64,
+    /// Side of the square each segment's devices scatter over, metres.
+    pub area_m: f64,
+    /// Fake frames injected per pending target per 250 ms slice.
+    pub fakes_per_target: u32,
+    /// Injection rounds before the rig gives up on a target.
+    pub max_attempts: u32,
+    /// Channel/device fault profile each segment runs under.
+    pub faults: FaultProfile,
+    /// Propagation backend — [`PropagationMode::CellGrid`] for the real
+    /// drive, [`PropagationMode::OracleAllPairs`] when a test wants the
+    /// brute-force oracle on the same keyed draws.
+    pub propagation: PropagationMode,
+    /// Scheduler backend — calendar queue by default.
+    pub scheduler: SchedulerKind,
+}
+
+impl Default for CityWardrive {
+    fn default() -> Self {
+        CityWardrive {
+            seed: 2026,
+            devices: 100_000,
+            segment_size: 2048,
+            dwell_us: 1_000_000,
+            area_m: 3_000.0,
+            fakes_per_target: 3,
+            max_attempts: 3,
+            faults: FaultProfile::Clean,
+            propagation: PropagationMode::CellGrid,
+            scheduler: SchedulerKind::Calendar,
+        }
+    }
+}
+
+/// What the city drive measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CityReport {
+    /// Population size the drive covered.
+    pub devices: usize,
+    /// Neighbourhood segments the drive was partitioned into.
+    pub segments: usize,
+    /// Distinct devices the sniffer heard across all segments.
+    pub discovered: usize,
+    /// Devices that verifiably ACKed a fake frame.
+    pub verified: usize,
+    /// Scheduler events dispatched across all segments — the numerator
+    /// of the events/s throughput figure.
+    pub events_dispatched: u64,
+    /// Occupied interference-grid cells summed over segments (0 under
+    /// all-pairs propagation).
+    pub occupied_cells: u64,
+    /// Simulated survey time, µs, summed over segments.
+    pub survey_time_us: u64,
+}
+
+/// One city segment's outcome, in emission order.
+struct CitySegmentOutcome {
+    discovered: usize,
+    verified: usize,
+    events_dispatched: u64,
+    occupied_cells: u64,
+    survey_time_us: u64,
+    obs: Obs,
+}
+
+impl CityWardrive {
+    /// The simulator configuration every city segment runs under: the
+    /// 150 m urban propagation cutoff with the configured propagation
+    /// and scheduler backends.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            medium: MediumConfig {
+                max_range_m: 150.0,
+                ..MediumConfig::default()
+            },
+            scheduler: self.scheduler,
+            propagation: self.propagation,
+        }
+    }
+
+    /// Runs the drive on one worker.
+    pub fn run(&self) -> CityReport {
+        self.run_sharded(1)
+    }
+
+    /// Runs the drive with segments fanned across a worker pool; the
+    /// report is byte-identical at any worker count.
+    pub fn run_sharded(&self, workers: usize) -> CityReport {
+        self.run_observed(workers, &mut Obs::new())
+    }
+
+    /// [`run_sharded`](Self::run_sharded), folding every segment's
+    /// observability snapshot into `obs` in segment order.
+    pub fn run_observed(&self, workers: usize, obs: &mut Obs) -> CityReport {
+        let population = CityPopulation::synthetic_city(self.devices, self.seed);
+        let segments = plan_channel_segments(&population, self.segment_size);
+        let runner = Runner::new(workers);
+        let outcomes = runner.run_indexed(segments.len(), |i| {
+            self.scan_segment(&segments[i], derive_trial_seed(self.seed, i as u64))
+        });
+
+        let mut report = CityReport {
+            devices: self.devices,
+            segments: segments.len(),
+            discovered: 0,
+            verified: 0,
+            events_dispatched: 0,
+            occupied_cells: 0,
+            survey_time_us: 0,
+        };
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            report.discovered += outcome.discovered;
+            report.verified += outcome.verified;
+            report.events_dispatched += outcome.events_dispatched;
+            report.occupied_cells += outcome.occupied_cells;
+            report.survey_time_us += outcome.survey_time_us;
+            obs.absorb(&outcome.obs, i as u64);
+        }
+        report
+    }
+
+    /// Scans one neighbourhood segment: all devices share one
+    /// band/channel, scattered over the full city square; the attacker
+    /// drives through the middle. Self-contained — everything derives
+    /// from the config and `seed`.
+    fn scan_segment(&self, segment: &[&DeviceSpec], seed: u64) -> CitySegmentOutcome {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let rng = &mut rng;
+        let mut sim = Simulator::new(self.sim_config(), rng.gen());
+        let mut attacker_cfg = StationConfig::client(MacAddr::FAKE);
+        if let Some(first) = segment.first() {
+            attacker_cfg.band = first.band;
+            attacker_cfg.channel = first.channel;
+        }
+        let attacker = sim.add_node(attacker_cfg, (0.0, 0.0));
+        sim.set_monitor(attacker, true);
+        sim.set_retries(attacker, false);
+        sim.set_velocity(attacker, (13.9, 0.0)); // ~50 km/h, eastbound
+
+        let half = self.area_m / 2.0;
+        let mut members: HashSet<MacAddr> = HashSet::new();
+        for spec in segment {
+            let pos = (rng.gen_range(-half..half), rng.gen_range(-half..half));
+            let mut cfg = StationConfig::client(spec.mac);
+            cfg.role = spec.role;
+            cfg.band = spec.band;
+            cfg.channel = spec.channel;
+            cfg.behavior = spec.behavior;
+            cfg.ssid = spec.ssid.clone();
+            cfg.beacon_interval_us = match spec.role {
+                Role::AccessPoint => Some(102_400),
+                Role::Client => None,
+            };
+            let id = sim.add_node(cfg, pos);
+            members.insert(spec.mac);
+            if spec.role == Role::Client {
+                let mut t = rng.gen_range(0..500_000u64);
+                let mut seq = 0u16;
+                while t < self.dwell_us + 300_000 {
+                    sim.inject(t, id, builder::probe_request(spec.mac, seq), BitRate::Mbps1);
+                    seq = seq.wrapping_add(1);
+                    t += rng.gen_range(400_000..700_000u64);
+                }
+            }
+        }
+        sim.install_faults(&self.faults.plan());
+
+        let mut discovery = DiscoveryState::new();
+        let mut verification = VerifierState::new();
+        let mut discovered: HashSet<MacAddr> = HashSet::new();
+        let mut verified: HashSet<MacAddr> = HashSet::new();
+        // MAC-ordered so injection times never depend on hash seeding.
+        let mut pending: BTreeMap<MacAddr, u32> = BTreeMap::new();
+        let mut capture_offset = 0usize;
+        let slice_us = 250_000u64;
+        let hop = slice_us / self.fakes_per_target.max(1) as u64;
+        let mut now = 0u64;
+        let mut pump = |sim: &Simulator,
+                        offset: &mut usize,
+                        discovered: &mut HashSet<MacAddr>,
+                        verified: &mut HashSet<MacAddr>,
+                        pending: &mut BTreeMap<MacAddr, u32>| {
+            let frames = sim.node(attacker).capture.frames();
+            let mut fresh: Vec<Discovery> = Vec::new();
+            let mut fresh_verified: Vec<MacAddr> = Vec::new();
+            for cf in &frames[*offset..] {
+                discovery.observe(&cf.frame, &mut fresh);
+                verification.observe(cf.ts_us, &cf.frame, &mut fresh_verified);
+            }
+            *offset = frames.len();
+            for (mac, _, _) in fresh {
+                if members.contains(&mac) && discovered.insert(mac) && !verified.contains(&mac) {
+                    pending.insert(mac, 0);
+                }
+            }
+            for mac in fresh_verified {
+                verified.insert(mac);
+                pending.remove(&mac);
+            }
+        };
+
+        while now < self.dwell_us {
+            now += slice_us;
+            sim.run_until(now);
+            pump(
+                &sim,
+                &mut capture_offset,
+                &mut discovered,
+                &mut verified,
+                &mut pending,
+            );
+            let mut i = 0u64;
+            for (mac, attempts) in pending.iter_mut() {
+                if *attempts >= self.max_attempts {
+                    continue;
+                }
+                for k in 0..self.fakes_per_target {
+                    sim.inject(
+                        now + 2_000 + i * 1_500 + u64::from(k) * hop,
+                        attacker,
+                        builder::fake_null_frame(*mac, MacAddr::FAKE),
+                        BitRate::Mbps1,
+                    );
+                }
+                *attempts += 1;
+                i += 1;
+            }
+        }
+        // Let trailing injections and their ACKs land, then flush.
+        let tail = now + 300_000;
+        sim.run_until(tail);
+        pump(
+            &sim,
+            &mut capture_offset,
+            &mut discovered,
+            &mut verified,
+            &mut pending,
+        );
+
+        let occupied_cells = sim.occupied_cells() as u64;
+        if occupied_cells > 0 {
+            sim.obs_mut().add(names::SIM_CELLS_OCCUPIED, occupied_cells);
+        }
+        CitySegmentOutcome {
+            discovered: discovered.len(),
+            verified: verified.len(),
+            events_dispatched: sim.events_dispatched(),
+            occupied_cells,
+            survey_time_us: tail,
+            obs: sim.take_obs(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -735,6 +1026,73 @@ mod tests {
         let report = scanner.run(&pop);
         assert_eq!(report.quarantined, 0, "report: {report:?}");
         assert_eq!(report.verified, 20);
+    }
+
+    /// A fast city config for tests: a small population on a dense
+    /// square so segments still discover and verify someone.
+    fn mini_city() -> CityWardrive {
+        CityWardrive {
+            devices: 600,
+            segment_size: 200,
+            dwell_us: 500_000,
+            area_m: 400.0,
+            ..CityWardrive::default()
+        }
+    }
+
+    #[test]
+    fn city_drive_discovers_and_verifies_devices() {
+        let report = mini_city().run();
+        assert!(report.segments >= 3, "report: {report:?}");
+        assert!(report.discovered > 0, "report: {report:?}");
+        assert!(report.verified > 0, "report: {report:?}");
+        assert!(report.verified <= report.discovered);
+        assert!(report.events_dispatched > 0);
+        assert!(report.occupied_cells > 0);
+    }
+
+    #[test]
+    fn city_drive_is_worker_invariant() {
+        let drive = mini_city();
+        let mut obs_seq = Obs::new();
+        let sequential = drive.run_observed(1, &mut obs_seq);
+        let mut obs_par = Obs::new();
+        let parallel = drive.run_observed(4, &mut obs_par);
+        assert_eq!(sequential, parallel);
+        assert_eq!(obs_seq.metrics_json(), obs_par.metrics_json());
+    }
+
+    #[test]
+    fn city_grid_matches_the_all_pairs_oracle() {
+        // The cell grid only prunes candidates past the propagation
+        // cutoff; reception fates — and therefore the whole report —
+        // must match the brute-force oracle on the same keyed draws.
+        let grid = mini_city().run();
+        let oracle = CityWardrive {
+            propagation: PropagationMode::OracleAllPairs,
+            ..mini_city()
+        }
+        .run();
+        assert_eq!(grid.discovered, oracle.discovered);
+        assert_eq!(grid.verified, oracle.verified);
+        assert_eq!(grid.events_dispatched, oracle.events_dispatched);
+        // Only the grid tracks occupied cells.
+        assert!(grid.occupied_cells > 0);
+        assert_eq!(oracle.occupied_cells, 0);
+    }
+
+    #[test]
+    fn city_calendar_queue_matches_the_heap() {
+        let mut obs_cal = Obs::new();
+        let calendar = mini_city().run_observed(1, &mut obs_cal);
+        let mut obs_heap = Obs::new();
+        let heap = CityWardrive {
+            scheduler: SchedulerKind::Heap,
+            ..mini_city()
+        }
+        .run_observed(1, &mut obs_heap);
+        assert_eq!(calendar, heap);
+        assert_eq!(obs_cal.metrics_json(), obs_heap.metrics_json());
     }
 
     #[test]

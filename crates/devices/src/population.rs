@@ -205,6 +205,67 @@ impl CityPopulation {
         set.len()
     }
 
+    /// Generates an `n`-device synthetic city for the scale benchmarks —
+    /// the population the 100k/1M wardrive drives through.
+    ///
+    /// Unlike [`table2`](Self::table2), which pins the paper's exact
+    /// 5,328-device vendor marginals, this generator trades census
+    /// fidelity for volume: every 10th-block of devices is 30% clients /
+    /// 70% APs (the paper's city skewed the same way), vendors cycle
+    /// through the Table 2 top-20 lists, every 20th client is an IoT
+    /// power-save device, and APs are quiet (no deauth reflex) so the
+    /// event load is dominated by beacons, probes and the attacker's
+    /// fakes. MAC addresses stay globally unique via one suffix counter,
+    /// so `n` may go up to 2^24 − 1 (16.7M) devices.
+    ///
+    /// Bands and channels are sampled from `seed` with the same
+    /// marginals as the census generator, which is what spreads the city
+    /// across co-channel interference cells.
+    pub fn synthetic_city(n: usize, seed: u64) -> CityPopulation {
+        assert!(n < (1 << 24), "suffix counter is 24-bit");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x43495459); // "CITY"
+        let registry = OuiRegistry::with_known_vendors();
+        let client_ouis: Vec<([u8; 3], &str)> = TABLE2_CLIENTS
+            .iter()
+            .map(|(v, _)| (registry.oui_of(v).expect("known vendor"), *v))
+            .collect();
+        let ap_ouis: Vec<([u8; 3], &str)> = TABLE2_APS
+            .iter()
+            .map(|(v, _)| (registry.oui_of(v).expect("known vendor"), *v))
+            .collect();
+
+        let mut devices = Vec::with_capacity(n);
+        let mut clients = 0usize;
+        let mut aps = 0usize;
+        for i in 0..n {
+            let suffix = (i + 1) as u32;
+            if i % 10 < 3 {
+                let (oui, vendor) = client_ouis[clients % client_ouis.len()];
+                let mac = MacAddr::from_oui(oui, suffix);
+                let mut spec = client_spec(vendor, mac, &mut rng);
+                // Behavior is fixed by position, not vendor: exactly every
+                // 20th client dozes, so the power-save share stays at 5%
+                // however the vendor cycle lines up with IOT_VENDORS.
+                spec.behavior = if clients % 20 == 0 {
+                    Behavior::iot_power_save()
+                } else {
+                    Behavior::client()
+                };
+                clients += 1;
+                devices.push(spec);
+            } else {
+                let (oui, vendor) = ap_ouis[aps % ap_ouis.len()];
+                let mac = MacAddr::from_oui(oui, suffix);
+                let mut spec = ap_spec(vendor, mac, aps as u32, &mut rng);
+                spec.behavior = Behavior::quiet_ap();
+                aps += 1;
+                devices.push(spec);
+            }
+        }
+
+        CityPopulation { devices, registry }
+    }
+
     /// Derives a population where a `fraction` of phone-vendor clients
     /// use locally-administered *randomised* MAC addresses — the privacy
     /// feature modern mobile OSes apply to probe requests and
@@ -455,6 +516,32 @@ mod tests {
         let a = CityPopulation::table2(4);
         let b = CityPopulation::table2(4).with_randomized_client_macs(0.0, 9);
         assert_eq!(a.devices, b.devices);
+    }
+
+    #[test]
+    fn synthetic_city_mixes_roles_and_keeps_macs_unique() {
+        let pop = CityPopulation::synthetic_city(1000, 7);
+        assert_eq!(pop.devices.len(), 1000);
+        assert_eq!(pop.clients().count(), 300);
+        assert_eq!(pop.aps().count(), 700);
+        let mut seen = std::collections::HashSet::new();
+        for d in &pop.devices {
+            assert!(seen.insert(d.mac), "duplicate MAC {}", d.mac);
+            assert_eq!(pop.registry.vendor_of(d.mac), Some(d.vendor.as_str()));
+        }
+        // ~5% of clients run IoT power save; APs are all quiet.
+        let ps = pop.clients().filter(|d| d.behavior.power_save.is_some());
+        assert_eq!(ps.count(), 15);
+        assert!(pop.aps().all(|d| !d.behavior.deauth_on_fake));
+    }
+
+    #[test]
+    fn synthetic_city_is_deterministic_and_seed_sensitive() {
+        let a = CityPopulation::synthetic_city(500, 3);
+        let b = CityPopulation::synthetic_city(500, 3);
+        assert_eq!(a.devices, b.devices);
+        let c = CityPopulation::synthetic_city(500, 4);
+        assert_ne!(a.devices, c.devices);
     }
 
     #[test]

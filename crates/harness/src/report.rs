@@ -263,13 +263,24 @@ impl Experiment {
         let (obs, absorbed) = (&self.obs, self.absorbed);
         self.heartbeat.tick(|| {
             let txed = obs.counters.get("sim.frames_txed");
-            let fps = if elapsed > 0.0 {
-                txed as f64 / elapsed
+            let per_sec = |n: u64| {
+                if elapsed > 0.0 {
+                    n as f64 / elapsed
+                } else {
+                    0.0
+                }
+            };
+            let fps = per_sec(txed);
+            let eps = per_sec(obs.counters.get(names::SIM_EVENTS_DISPATCHED));
+            let cells = obs.counters.get(names::SIM_CELLS_OCCUPIED);
+            let cells = if cells > 0 {
+                format!(", {cells} cells occupied")
             } else {
-                0.0
+                String::new()
             };
             format!(
-                "[progress] {absorbed} trial scope(s) absorbed — {fps:.0} frames/s; \
+                "[progress] {absorbed} trial scope(s) absorbed — {fps:.0} frames/s, \
+                 {eps:.0} events/s{cells}; \
                  fates: delivered {}, fer_dropped {}, collided {}, stalled {}",
                 obs.counters.get(names::FRAME_FATE_DELIVERED),
                 obs.counters.get(names::FRAME_FATE_FER_DROPPED),

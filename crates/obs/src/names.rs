@@ -79,6 +79,15 @@ pub const FRAME_FATE_DOZING: &str = "frame.fate.dozing";
 /// completed or it was dropped (0 = first attempt succeeded).
 pub const SIM_RETRY_CHAIN_DEPTH: &str = "sim.retry_chain_depth";
 
+/// Counter: events popped and dispatched by the simulator's scheduler —
+/// the denominator of the events/s throughput figure the city-scale
+/// benchmarks report.
+pub const SIM_EVENTS_DISPATCHED: &str = "sim.events_dispatched";
+
+/// Counter: interference-grid cells holding at least one static node,
+/// sampled once per wardrive segment (0 under all-pairs propagation).
+pub const SIM_CELLS_OCCUPIED: &str = "sim.cells_occupied";
+
 /// Every exact runtime-emitted counter/histogram name.
 pub const REGISTERED: &[&str] = &[
     // sim.* — event-loop outcomes.
@@ -91,6 +100,8 @@ pub const REGISTERED: &[&str] = &[
     "sim.cts_received",
     "sim.exchange_rtt_us",
     SIM_RETRY_CHAIN_DEPTH,
+    SIM_EVENTS_DISPATCHED,
+    SIM_CELLS_OCCUPIED,
     // mac.* — MAC decisions.
     "mac.csma_defer_us",
     "mac.csma_busy_backoffs",

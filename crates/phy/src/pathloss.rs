@@ -61,6 +61,34 @@ impl PathLoss {
     pub fn rx_power_dbm(&self, tx_power_dbm: f64, distance_m: f64) -> f64 {
         tx_power_dbm - self.loss_db(distance_m)
     }
+
+    /// Inverse of [`loss_db`](Self::loss_db): the distance at which the
+    /// loss reaches `loss_db` (at least 0.1 m, mirroring the forward
+    /// clamp). Monotonicity makes `d <= distance_for_loss_db(L)`
+    /// equivalent to `loss_db(d) <= L` — which is what lets hot scans
+    /// compare squared distances against one precomputed radius instead
+    /// of running a `log10` per candidate.
+    pub fn distance_for_loss_db(&self, loss_db: f64) -> f64 {
+        let fspl_inverse = |loss: f64, freq_mhz: f64| {
+            1000.0 * 10f64.powf((loss - 20.0 * freq_mhz.log10() - 32.44) / 20.0)
+        };
+        let d = match *self {
+            PathLoss::FreeSpace { freq_mhz } => fspl_inverse(loss_db, freq_mhz),
+            PathLoss::LogDistance {
+                freq_mhz,
+                d0_m,
+                exponent,
+            } => {
+                let at_d0 = fspl_db(d0_m, freq_mhz);
+                if loss_db <= at_d0 {
+                    fspl_inverse(loss_db, freq_mhz).min(d0_m)
+                } else {
+                    d0_m * 10f64.powf((loss_db - at_d0) / (10.0 * exponent))
+                }
+            }
+        };
+        d.max(0.1)
+    }
 }
 
 /// Friis free-space path loss in dB.
@@ -126,6 +154,22 @@ mod tests {
         let noise = noise_floor_dbm(20.0, 7.0);
         let snr = snr_db(20.0, &PathLoss::indoor_2ghz4(), 10.0, noise);
         assert!(snr > 20.0, "snr {snr}");
+    }
+
+    #[test]
+    fn distance_for_loss_round_trips() {
+        for model in [PathLoss::free_space_2ghz4(), PathLoss::indoor_2ghz4()] {
+            for d in [0.5, 1.0, 5.0, 50.0, 115.0, 400.0] {
+                let loss = model.loss_db(d);
+                let back = model.distance_for_loss_db(loss);
+                assert!(
+                    (back - d).abs() / d < 1e-9,
+                    "{model:?}: {d} m -> {loss} dB -> {back} m"
+                );
+            }
+            // Below the forward clamp, the inverse clamps too.
+            assert_eq!(model.distance_for_loss_db(0.0), 0.1);
+        }
     }
 
     #[test]

@@ -1,0 +1,368 @@
+//! Hot per-node state in SoA layout, plus the spatial interference
+//! cell grid.
+//!
+//! The simulator's inner loops (carrier sense, arrival fan-out,
+//! collision scans) touch a handful of per-node fields — position,
+//! velocity, tune, transmit power, the radio's timing guards and the
+//! pending ACK wait — millions of times per second at city scale.
+//! [`NodeArena`] keeps those in parallel `Vec`s indexed by
+//! [`NodeId`] so the scans are cache-linear; everything cold (the MAC
+//! state machine, queues, captures, ledgers) stays on
+//! [`Node`](crate::node::Node).
+//!
+//! [`CellGrid`] shards space into uniform cells of the medium's
+//! `max_range_m` keyed by `(tune, cell_x, cell_y)`: a transmission only
+//! consults co-channel receivers in the 3×3 cell neighbourhood around
+//! the transmitter, which covers every point within one cell edge of
+//! it. Moving nodes live on a separate always-scanned list so the
+//! static buckets never go stale.
+
+use crate::medium::Tune;
+use crate::node::{AckWait, NodeId};
+use std::collections::HashMap;
+
+/// Hot per-node state, structure-of-arrays.
+#[derive(Debug, Default)]
+pub struct NodeArena {
+    /// Position at t = 0, in metres.
+    position: Vec<(f64, f64)>,
+    /// Velocity in metres/second (wardriving cars move; houses do not).
+    velocity: Vec<(f64, f64)>,
+    /// Transmit power in dBm.
+    tx_power_dbm: Vec<f64>,
+    /// Band/channel the radio is tuned to (mirrors the station config).
+    tune: Vec<Tune>,
+    /// The radio is mid-transmission until this time.
+    pub tx_busy_until: Vec<u64>,
+    /// Virtual carrier sense: the NAV set by overheard Duration fields.
+    pub nav_until: Vec<u64>,
+    /// Fault injection: frozen (deaf and mute) until this time.
+    pub stalled_until: Vec<u64>,
+    /// Outstanding ACK wait, if any.
+    pub ack_wait: Vec<Option<AckWait>>,
+    /// Earliest pending `Poll` event for this node, `u64::MAX` when none
+    /// — the keyed modes' poll dedup (one timer chain per node instead
+    /// of one per overheard frame).
+    pub poll_at: Vec<u64>,
+}
+
+impl NodeArena {
+    /// An empty arena.
+    pub fn new() -> NodeArena {
+        NodeArena::default()
+    }
+
+    /// Appends a node's hot state; its index is the new `NodeId`.
+    pub fn push(&mut self, position: (f64, f64), tune: Tune) {
+        self.position.push(position);
+        self.velocity.push((0.0, 0.0));
+        self.tx_power_dbm.push(20.0);
+        self.tune.push(tune);
+        self.tx_busy_until.push(0);
+        self.nav_until.push(0);
+        self.stalled_until.push(0);
+        self.ack_wait.push(None);
+        self.poll_at.push(u64::MAX);
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.position.len()
+    }
+
+    /// True when no nodes exist.
+    pub fn is_empty(&self) -> bool {
+        self.position.is_empty()
+    }
+
+    /// A node's t = 0 position in metres.
+    pub fn base_position(&self, id: NodeId) -> (f64, f64) {
+        self.position[id.0]
+    }
+
+    /// A node's velocity in m/s.
+    pub fn velocity(&self, id: NodeId) -> (f64, f64) {
+        self.velocity[id.0]
+    }
+
+    /// Sets a node's velocity in m/s.
+    pub fn set_velocity(&mut self, id: NodeId, velocity: (f64, f64)) {
+        self.velocity[id.0] = velocity;
+    }
+
+    /// A node's transmit power in dBm.
+    pub fn tx_power_dbm(&self, id: NodeId) -> f64 {
+        self.tx_power_dbm[id.0]
+    }
+
+    /// Sets a node's transmit power in dBm.
+    pub fn set_tx_power_dbm(&mut self, id: NodeId, dbm: f64) {
+        self.tx_power_dbm[id.0] = dbm;
+    }
+
+    /// The band/channel a node's radio is tuned to.
+    pub fn tune(&self, id: NodeId) -> Tune {
+        self.tune[id.0]
+    }
+
+    /// Records a retune (the caller keeps the station config in sync).
+    pub fn set_tune(&mut self, id: NodeId, tune: Tune) {
+        self.tune[id.0] = tune;
+    }
+
+    /// Position at `now_us`, following the (constant) velocity.
+    pub fn position_at(&self, id: NodeId, now_us: u64) -> (f64, f64) {
+        let t = now_us as f64 / 1e6;
+        let p = self.position[id.0];
+        let v = self.velocity[id.0];
+        (p.0 + v.0 * t, p.1 + v.1 * t)
+    }
+
+    /// Euclidean distance between two nodes at `now_us`, clamped to the
+    /// propagation model's 0.1 m near-field floor.
+    pub fn distance_between(&self, a: NodeId, b: NodeId, now_us: u64) -> f64 {
+        let pa = self.position_at(a, now_us);
+        distance_from(pa, self.position_at(b, now_us))
+    }
+
+    /// Distance from an arbitrary point to a node at `now_us`, with the
+    /// same 0.1 m clamp.
+    pub fn distance_to_point(&self, point: (f64, f64), id: NodeId, now_us: u64) -> f64 {
+        distance_from(point, self.position_at(id, now_us))
+    }
+
+    /// Squared distance from a point to a node at `now_us`, unclamped
+    /// and `sqrt`-free — for hot scans that compare against a squared
+    /// radius (the radius side applies the 0.1 m near-field floor).
+    pub fn distance_sq_to_point(&self, point: (f64, f64), id: NodeId, now_us: u64) -> f64 {
+        let p = self.position_at(id, now_us);
+        let dx = point.0 - p.0;
+        let dy = point.1 - p.1;
+        dx * dx + dy * dy
+    }
+}
+
+/// Clamped Euclidean distance between two points in metres.
+fn distance_from(a: (f64, f64), b: (f64, f64)) -> f64 {
+    (a.0 - b.0).hypot(a.1 - b.1).max(0.1)
+}
+
+/// The spatial interference cell grid over static nodes, plus the
+/// always-scanned list of moving nodes.
+#[derive(Debug, Default)]
+pub struct CellGrid {
+    /// Cell edge length in metres (= the medium's `max_range_m`).
+    cell_m: f64,
+    /// Static nodes bucketed by (tune, cell) — lookups only, never
+    /// iterated, so the `HashMap` costs nothing in determinism.
+    cells: HashMap<(Tune, i64, i64), Vec<NodeId>>,
+    /// Nodes with nonzero velocity: checked exactly on every query.
+    mobile: Vec<NodeId>,
+}
+
+impl CellGrid {
+    /// An empty grid with the given cell edge length.
+    pub fn new(cell_m: f64) -> CellGrid {
+        CellGrid {
+            cell_m: cell_m.max(1.0),
+            cells: HashMap::new(),
+            mobile: Vec::new(),
+        }
+    }
+
+    fn cell_of(&self, p: (f64, f64)) -> (i64, i64) {
+        (
+            (p.0 / self.cell_m).floor() as i64,
+            (p.1 / self.cell_m).floor() as i64,
+        )
+    }
+
+    /// Registers a node at its t = 0 position.
+    pub fn insert(&mut self, id: NodeId, tune: Tune, position: (f64, f64), moving: bool) {
+        if moving {
+            self.mobile.push(id);
+            return;
+        }
+        let (cx, cy) = self.cell_of(position);
+        self.cells.entry((tune, cx, cy)).or_default().push(id);
+    }
+
+    /// Moves a static node between tune buckets on retune; moving nodes
+    /// need nothing (their tune is checked per query).
+    pub fn retune(&mut self, id: NodeId, old: Tune, new: Tune, position: (f64, f64)) {
+        if old == new || self.mobile.contains(&id) {
+            return;
+        }
+        let (cx, cy) = self.cell_of(position);
+        if let Some(bucket) = self.cells.get_mut(&(old, cx, cy)) {
+            bucket.retain(|&n| n != id);
+        }
+        let bucket = self.cells.entry((new, cx, cy)).or_default();
+        let pos = bucket.partition_point(|&n| n < id);
+        bucket.insert(pos, id);
+    }
+
+    /// Promotes a node to the mobile list when it starts moving (a
+    /// moving node's cell changes continuously, so it is scanned
+    /// exactly rather than bucketed).
+    pub fn set_moving(&mut self, id: NodeId, tune: Tune, position: (f64, f64), moving: bool) {
+        let on_mobile = self.mobile.contains(&id);
+        if moving && !on_mobile {
+            let (cx, cy) = self.cell_of(position);
+            if let Some(bucket) = self.cells.get_mut(&(tune, cx, cy)) {
+                bucket.retain(|&n| n != id);
+            }
+            self.mobile.push(id);
+        } else if !moving && on_mobile {
+            self.mobile.retain(|&n| n != id);
+            let (cx, cy) = self.cell_of(position);
+            let bucket = self.cells.entry((tune, cx, cy)).or_default();
+            let pos = bucket.partition_point(|&n| n < id);
+            bucket.insert(pos, id);
+        }
+    }
+
+    /// Number of non-empty static cells (an occupancy figure for the
+    /// progress heartbeat and city metrics).
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.values().filter(|v| !v.is_empty()).count()
+    }
+
+    /// Collects every co-tune node within `max_range` of `center` into
+    /// `out`, ascending by `NodeId` — the same effectful order the
+    /// all-pairs oracle enumerates receivers in, which is what keeps
+    /// the two modes draw-for-draw identical. `exclude` (the
+    /// transmitter) is skipped.
+    #[allow(clippy::too_many_arguments)]
+    pub fn candidates(
+        &self,
+        center: (f64, f64),
+        tune: Tune,
+        exclude: NodeId,
+        max_range: f64,
+        now_us: u64,
+        arena: &NodeArena,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        let (cx, cy) = self.cell_of(center);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let Some(bucket) = self.cells.get(&(tune, cx + dx, cy + dy)) else {
+                    continue;
+                };
+                for &id in bucket {
+                    if id != exclude && arena.distance_to_point(center, id, now_us) <= max_range {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        for &id in &self.mobile {
+            if id != exclude
+                && arena.tune(id) == tune
+                && arena.distance_to_point(center, id, now_us) <= max_range
+            {
+                out.push(id);
+            }
+        }
+        out.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polite_wifi_phy::band::Band;
+
+    const CH6: Tune = (Band::Ghz2, 6);
+    const CH11: Tune = (Band::Ghz2, 11);
+
+    fn arena_with(positions: &[(f64, f64)]) -> NodeArena {
+        let mut a = NodeArena::new();
+        for &p in positions {
+            a.push(p, CH6);
+        }
+        a
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_clamped() {
+        let a = arena_with(&[(0.0, 0.0), (3.0, 4.0)]);
+        assert!((a.distance_between(NodeId(0), NodeId(1), 0) - 5.0).abs() < 1e-12);
+        assert!((a.distance_between(NodeId(1), NodeId(0), 0) - 5.0).abs() < 1e-12);
+        assert!(a.distance_between(NodeId(0), NodeId(0), 0) >= 0.1);
+    }
+
+    #[test]
+    fn position_follows_velocity() {
+        let mut a = arena_with(&[(10.0, 0.0)]);
+        a.set_velocity(NodeId(0), (2.0, -1.0));
+        let p = a.position_at(NodeId(0), 3_000_000);
+        assert!((p.0 - 16.0).abs() < 1e-9);
+        assert!((p.1 + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_finds_exactly_the_in_range_co_tune_nodes() {
+        let mut arena = NodeArena::new();
+        let mut grid = CellGrid::new(100.0);
+        // 0: transmitter at origin; 1: in range; 2: out of range;
+        // 3: in range but other channel; 4: mobile, in range.
+        let spots = [
+            (0.0, 0.0),
+            (40.0, 0.0),
+            (250.0, 0.0),
+            (10.0, 10.0),
+            (60.0, 0.0),
+        ];
+        let tunes = [CH6, CH6, CH6, CH11, CH6];
+        for (i, (&p, &t)) in spots.iter().zip(&tunes).enumerate() {
+            arena.push(p, t);
+            grid.insert(NodeId(i), t, p, i == 4);
+        }
+        let mut out = Vec::new();
+        grid.candidates((0.0, 0.0), CH6, NodeId(0), 100.0, 0, &arena, &mut out);
+        assert_eq!(out, vec![NodeId(1), NodeId(4)]);
+        assert_eq!(grid.occupied_cells(), 3);
+    }
+
+    #[test]
+    fn grid_neighbourhood_covers_cell_boundaries() {
+        let mut arena = NodeArena::new();
+        let mut grid = CellGrid::new(100.0);
+        // Receiver just across a cell boundary from the transmitter,
+        // and another a cell-diagonal away but still in range.
+        let spots = [(99.0, 99.0), (101.0, 99.0), (160.0, 160.0)];
+        for (i, &p) in spots.iter().enumerate() {
+            arena.push(p, CH6);
+            grid.insert(NodeId(i), CH6, p, false);
+        }
+        let mut out = Vec::new();
+        grid.candidates((99.0, 99.0), CH6, NodeId(0), 100.0, 0, &arena, &mut out);
+        assert_eq!(out, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn retune_and_set_moving_keep_buckets_consistent() {
+        let mut arena = NodeArena::new();
+        let mut grid = CellGrid::new(100.0);
+        arena.push((5.0, 5.0), CH6);
+        arena.push((6.0, 5.0), CH6);
+        grid.insert(NodeId(0), CH6, (5.0, 5.0), false);
+        grid.insert(NodeId(1), CH6, (6.0, 5.0), false);
+
+        let mut out = Vec::new();
+        grid.retune(NodeId(1), CH6, CH11, (6.0, 5.0));
+        arena.set_tune(NodeId(1), CH11);
+        grid.candidates((5.0, 5.0), CH6, NodeId(0), 100.0, 0, &arena, &mut out);
+        assert!(out.is_empty());
+        grid.candidates((6.0, 5.0), CH11, NodeId(1), 100.0, 0, &arena, &mut out);
+        assert!(out.is_empty(), "node 0 stayed on CH6");
+
+        grid.set_moving(NodeId(1), CH11, (6.0, 5.0), true);
+        arena.set_velocity(NodeId(1), (1.0, 0.0));
+        grid.candidates((5.0, 5.0), CH11, NodeId(0), 100.0, 0, &arena, &mut out);
+        assert_eq!(out, vec![NodeId(1)]);
+    }
+}

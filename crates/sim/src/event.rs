@@ -136,44 +136,232 @@ impl Ord for ScheduledEvent {
     }
 }
 
-/// A deterministic time-ordered event queue.
-#[derive(Debug, Default)]
+/// Which scheduler backend the simulator's event queue runs on. Both
+/// dispatch in the identical (time, seq) total order; the calendar
+/// queue is O(1) amortised per operation at city scale, the binary
+/// heap is kept as the pre-refactor reference path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Calendar queue with a sorted overflow level (the default).
+    #[default]
+    Calendar,
+    /// The original global binary heap.
+    Heap,
+}
+
+/// Width of one calendar bucket in microseconds. Most MAC timescales
+/// (SIFS, slot times, CSMA defers, ACK timeouts) land within a few
+/// buckets of `now`.
+const BUCKET_WIDTH_US: u64 = 256;
+/// Number of rotating buckets: the calendar's horizon is
+/// `BUCKET_WIDTH_US * BUCKET_COUNT` ≈ 262 ms; anything scheduled
+/// further out waits in the sorted overflow level.
+const BUCKET_COUNT: usize = 1024;
+
+/// The calendar level: rotating unsorted buckets over absolute time,
+/// a sorted drain buffer for the window currently being dispatched,
+/// and a heap-ordered overflow level beyond the calendar horizon.
+#[derive(Debug)]
+struct Calendar {
+    /// Rotating buckets; index for `at_us` is
+    /// `(at_us / BUCKET_WIDTH_US) % BUCKET_COUNT`. Unsorted.
+    buckets: Vec<Vec<ScheduledEvent>>,
+    /// Events in `buckets` (not counting `drain` or `overflow`).
+    in_buckets: usize,
+    /// Start of the bucket window currently being drained. Invariant:
+    /// every pending event with `at_us < window_start + BUCKET_WIDTH_US`
+    /// sits in `drain`.
+    window_start: u64,
+    /// Current window's events, sorted descending by (at_us, seq) so
+    /// the earliest pops from the back.
+    drain: Vec<ScheduledEvent>,
+    /// Events beyond the calendar horizon at push time.
+    overflow: BinaryHeap<ScheduledEvent>,
+}
+
+impl Calendar {
+    fn new() -> Calendar {
+        Calendar {
+            buckets: (0..BUCKET_COUNT).map(|_| Vec::new()).collect(),
+            in_buckets: 0,
+            window_start: 0,
+            drain: Vec::new(),
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    fn horizon(&self) -> u64 {
+        self.window_start + BUCKET_WIDTH_US * BUCKET_COUNT as u64
+    }
+
+    fn push(&mut self, ev: ScheduledEvent) {
+        if ev.at_us < self.window_start + BUCKET_WIDTH_US {
+            // Due within the current window (including pushes at `now`
+            // mid-dispatch): insert into the sorted drain directly.
+            let key = (ev.at_us, ev.seq);
+            let pos = self.drain.partition_point(|e| (e.at_us, e.seq) > key);
+            self.drain.insert(pos, ev);
+        } else if ev.at_us < self.horizon() {
+            let b = ((ev.at_us / BUCKET_WIDTH_US) as usize) % BUCKET_COUNT;
+            self.buckets[b].push(ev);
+            self.in_buckets += 1;
+        } else {
+            self.overflow.push(ev);
+        }
+    }
+
+    /// Refills `drain` from the next non-empty window. Caller
+    /// guarantees at least one event is pending somewhere.
+    fn advance(&mut self) {
+        debug_assert!(self.drain.is_empty());
+        let mut scanned = 0usize;
+        loop {
+            self.window_start += BUCKET_WIDTH_US;
+            if self.in_buckets == 0 {
+                // Everything pending waits in the overflow: jump
+                // straight to its head's window.
+                let head_at = self.overflow.peek().expect("queue is non-empty").at_us;
+                self.window_start = self
+                    .window_start
+                    .max(head_at / BUCKET_WIDTH_US * BUCKET_WIDTH_US);
+            } else if scanned >= BUCKET_COUNT {
+                // A full rotation of empty windows: every bucketed
+                // event is at least one horizon out (it aliased into a
+                // bucket ahead of its window). Jump to the earliest
+                // pending time instead of scanning years of silence.
+                let mut min_at = self.overflow.peek().map_or(u64::MAX, |e| e.at_us);
+                for bucket in &self.buckets {
+                    for e in bucket {
+                        min_at = min_at.min(e.at_us);
+                    }
+                }
+                self.window_start = self
+                    .window_start
+                    .max(min_at / BUCKET_WIDTH_US * BUCKET_WIDTH_US);
+                scanned = 0;
+            }
+            let end = self.window_start + BUCKET_WIDTH_US;
+            let b = ((self.window_start / BUCKET_WIDTH_US) as usize) % BUCKET_COUNT;
+            let bucket = &mut self.buckets[b];
+            let mut i = 0;
+            while i < bucket.len() {
+                if bucket[i].at_us < end {
+                    self.drain.push(bucket.swap_remove(i));
+                    self.in_buckets -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+            while self.overflow.peek().is_some_and(|e| e.at_us < end) {
+                self.drain.push(self.overflow.pop().expect("peeked"));
+            }
+            if !self.drain.is_empty() {
+                self.drain
+                    .sort_unstable_by_key(|e| std::cmp::Reverse((e.at_us, e.seq)));
+                return;
+            }
+            scanned += 1;
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Backend {
+    Heap(BinaryHeap<ScheduledEvent>),
+    Calendar(Calendar),
+}
+
+/// A deterministic time-ordered event queue: earliest first, FIFO among
+/// equal times via the monotonic sequence number — the total order both
+/// backends dispatch in.
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<ScheduledEvent>,
+    backend: Backend,
     next_seq: u64,
+    len: usize,
+}
+
+impl Default for EventQueue {
+    fn default() -> EventQueue {
+        EventQueue::new()
+    }
 }
 
 impl EventQueue {
-    /// An empty queue.
+    /// An empty calendar-queue-backed queue (the default backend).
     pub fn new() -> EventQueue {
-        EventQueue::default()
+        EventQueue::with_scheduler(SchedulerKind::Calendar)
     }
 
-    /// Schedules `event` at `at_us`.
+    /// An empty queue on the chosen backend.
+    pub fn with_scheduler(kind: SchedulerKind) -> EventQueue {
+        let backend = match kind {
+            SchedulerKind::Calendar => Backend::Calendar(Calendar::new()),
+            SchedulerKind::Heap => Backend::Heap(BinaryHeap::new()),
+        };
+        EventQueue {
+            backend,
+            next_seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Schedules `event` at `at_us`. Sequence numbers are assigned at
+    /// push regardless of backend, so the dispatch order — and every
+    /// RNG draw downstream of it — is backend-invariant.
     pub fn push(&mut self, at_us: u64, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent { at_us, seq, event });
+        self.len += 1;
+        let ev = ScheduledEvent { at_us, seq, event };
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.push(ev),
+            Backend::Calendar(cal) => cal.push(ev),
+        }
     }
 
     /// Pops the earliest event, FIFO among ties.
     pub fn pop(&mut self) -> Option<ScheduledEvent> {
-        self.heap.pop()
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.pop(),
+            Backend::Calendar(cal) => {
+                if cal.drain.is_empty() {
+                    cal.advance();
+                }
+                cal.drain.pop()
+            }
+        }
     }
 
-    /// Time of the next event without removing it.
-    pub fn peek_time(&self) -> Option<u64> {
-        self.heap.peek().map(|e| e.at_us)
+    /// Time of the next event without removing it. `&mut` because the
+    /// calendar backend may need to roll its window forward to find it.
+    pub fn peek_time(&mut self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.peek().map(|e| e.at_us),
+            Backend::Calendar(cal) => {
+                if cal.drain.is_empty() {
+                    cal.advance();
+                }
+                cal.drain.last().map(|e| e.at_us)
+            }
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True when nothing is scheduled.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -219,5 +407,87 @@ mod tests {
         assert_eq!(q.peek_time(), Some(5));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_ride_the_overflow_level() {
+        let mut q = EventQueue::new();
+        // Well beyond the calendar horizon (~262 ms), plus a near event.
+        q.push(10_000_000_000, poll(0));
+        q.push(3_600_000_000, poll(1));
+        q.push(100, poll(2));
+        assert_eq!(q.pop().unwrap().at_us, 100);
+        assert_eq!(q.pop().unwrap().at_us, 3_600_000_000);
+        assert_eq!(q.pop().unwrap().at_us, 10_000_000_000);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn push_into_current_window_mid_drain_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(10, poll(0));
+        q.push(20, poll(1));
+        assert_eq!(q.pop().unwrap().at_us, 10);
+        // The drain now holds {20}; a push due sooner must cut the line.
+        q.push(15, poll(2));
+        q.push(20, poll(3));
+        assert_eq!(q.pop().unwrap().at_us, 15);
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        // FIFO among the two t=20 events.
+        assert!((a.at_us, a.seq) < (b.at_us, b.seq));
+        assert!(matches!(a.event, Event::Poll { node } if node.0 == 1));
+        assert!(matches!(b.event, Event::Poll { node } if node.0 == 3));
+    }
+
+    /// The contract the whole determinism story rests on: both backends
+    /// dispatch any interleaving of pushes and pops in the identical
+    /// (time, seq) total order.
+    #[test]
+    fn calendar_matches_heap_on_random_interleavings() {
+        // Deterministic LCG so the test needs no external RNG.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut cal = EventQueue::with_scheduler(SchedulerKind::Calendar);
+        let mut heap = EventQueue::with_scheduler(SchedulerKind::Heap);
+        let mut now = 0u64;
+        for round in 0..5_000u64 {
+            let r = next();
+            if r % 3 != 0 || cal.is_empty() {
+                // Push: mostly near-future, occasionally far beyond the
+                // horizon, with plenty of exact ties.
+                let dt = match r % 7 {
+                    0 => 0,
+                    1..=4 => next() % 2_000,
+                    5 => next() % 50_000,
+                    _ => 300_000 + next() % 2_000_000_000,
+                };
+                cal.push(now + dt, poll(round as usize));
+                heap.push(now + dt, poll(round as usize));
+            } else {
+                let (a, b) = (cal.pop(), heap.pop());
+                match (&a, &b) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!((x.at_us, x.seq), (y.at_us, y.seq), "round {round}");
+                        assert!(x.at_us >= now, "time went backwards");
+                        now = x.at_us;
+                    }
+                    (None, None) => {}
+                    _ => panic!("one backend drained before the other"),
+                }
+            }
+            assert_eq!(cal.len(), heap.len());
+            assert_eq!(cal.peek_time(), heap.peek_time(), "round {round}");
+        }
+        while let Some(x) = cal.pop() {
+            let y = heap.pop().expect("same length");
+            assert_eq!((x.at_us, x.seq), (y.at_us, y.seq));
+        }
+        assert!(heap.pop().is_none());
     }
 }

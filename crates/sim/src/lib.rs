@@ -5,7 +5,11 @@
 //! `polite-wifi-mac` [`Station`](polite_wifi_mac::Station) state machines
 //! through a shared [`medium::Medium`] with:
 //!
-//! * microsecond-resolution virtual time and a binary-heap event queue,
+//! * microsecond-resolution virtual time and a calendar-queue scheduler
+//!   (binary-heap backend still available via [`SchedulerKind::Heap`]),
+//! * spatial interference cells that shard propagation by channel and
+//!   position ([`PropagationMode::CellGrid`]), with the all-pairs oracle
+//!   behind a config flag,
 //! * log-distance path loss + Rician fading + the SNR→FER link model
 //!   deciding every FCS check,
 //! * half-duplex radios, carrier sensing, DCF backoff and a
@@ -38,6 +42,7 @@
 //! assert_eq!(sim.station(victim).stats.acks_sent, 1);
 //! ```
 
+pub mod arena;
 pub mod event;
 pub mod faults;
 pub mod ledger;
@@ -45,11 +50,13 @@ pub mod medium;
 pub mod node;
 pub mod sim;
 
+pub use arena::{CellGrid, NodeArena};
+pub use event::SchedulerKind;
 pub use faults::{FaultPlan, FaultProfile, GilbertElliott, SnrDegradation, StallSchedule};
 pub use ledger::{ActivityLedger, StateTotals};
 pub use medium::MediumConfig;
 pub use node::NodeId;
-pub use sim::{SimConfig, Simulator};
+pub use sim::{PropagationMode, SimConfig, Simulator};
 
 // The parallel trial runner moves whole simulators across worker
 // threads; fail the build if any future field (an Rc, a raw pointer)

@@ -25,6 +25,12 @@ pub struct MediumConfig {
     /// Minimum power ratio (dB) for the stronger of two overlapping frames
     /// to survive (physical-layer capture).
     pub capture_threshold_db: f64,
+    /// Hard propagation cutoff in metres, used by the spatially-sharded
+    /// propagation modes: receivers beyond this range are not evaluated
+    /// at all (their mean rx power sits tens of dB below the
+    /// energy-detect floor). Ignored by the legacy all-pairs mode, and
+    /// it is the interference-cell edge length of the grid mode.
+    pub max_range_m: f64,
 }
 
 impl Default for MediumConfig {
@@ -36,6 +42,7 @@ impl Default for MediumConfig {
             bandwidth_mhz: 20.0,
             cs_threshold_dbm: -82.0,
             capture_threshold_db: 10.0,
+            max_range_m: 400.0,
         }
     }
 }
@@ -75,6 +82,22 @@ pub struct Medium {
     burst: Option<GilbertElliott>,
     burst_bad: bool,
     snr_faults: SnrDegradation,
+    /// Seed for the keyed (per-reception) draw mode: fading and FER
+    /// draws come from a ChaCha8 stream keyed on (seed, from, to,
+    /// start_us) instead of the shared sequential stream, making each
+    /// reception's randomness independent of evaluation *order* — the
+    /// property that lets the cell grid skip out-of-range receivers
+    /// without perturbing anyone else's draws.
+    keyed_seed: u64,
+}
+
+/// Mixes one word into a splitmix64 hash state — the keyed-draw mode's
+/// per-reception seed derivation.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Outcome of receiving one frame at one receiver.
@@ -108,6 +131,7 @@ impl Medium {
             burst: None,
             burst_bad: false,
             snr_faults: SnrDegradation::default(),
+            keyed_seed: seed ^ 0x004b_4559_4544, // "KEYED"
         }
     }
 
@@ -141,34 +165,82 @@ impl Medium {
         self.active.retain(|t| t.end_us + 1_000 >= now_us);
     }
 
+    /// Number of transmissions still held on the active list — the
+    /// collision and carrier-sense scans are linear in this.
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
     /// Mean received power at distance `d_m` from a transmitter.
     pub fn rx_power_dbm(&self, tx_power_dbm: f64, d_m: f64) -> f64 {
         self.config.path_loss.rx_power_dbm(tx_power_dbm, d_m)
     }
 
-    /// Whether a node tuned to `tune` at the given distances from all
-    /// active transmitters senses the channel busy at `now_us`. `exclude`
-    /// skips the node's own transmission.
+    /// Whether a node tuned to `tune` senses the channel busy at
+    /// `now_us`. `exclude` skips the node's own transmission;
+    /// `distance_to` maps an active transmitter to its distance from
+    /// the sensing node — evaluated only for transmissions actually on
+    /// the air, so the scan is O(active), not O(nodes).
     pub fn channel_busy(
         &self,
         now_us: u64,
-        distances: impl Iterator<Item = (NodeId, f64)>,
         exclude: NodeId,
         tune: Tune,
+        distance_to: impl Fn(NodeId) -> f64,
     ) -> bool {
-        let mut dist: std::collections::HashMap<NodeId, f64> = std::collections::HashMap::new();
-        for (id, d) in distances {
-            dist.insert(id, d);
-        }
         self.active.iter().any(|t| {
             t.from != exclude
                 && t.tune == tune
                 && t.start_us <= now_us
                 && now_us < t.end_us
-                && dist.get(&t.from).is_some_and(|&d| {
-                    self.rx_power_dbm(t.tx_power_dbm, d) >= self.config.cs_threshold_dbm
-                })
+                && self.rx_power_dbm(t.tx_power_dbm, distance_to(t.from))
+                    >= self.config.cs_threshold_dbm
         })
+    }
+
+    /// Like [`channel_busy`](Self::channel_busy), but built for the hot
+    /// path of the keyed (spatially-sharded) modes: the caller supplies
+    /// **squared** distances and the threshold comparison happens in the
+    /// distance domain against a precomputed carrier-sense radius
+    /// (inverse path loss), so the scan runs zero `log10`/`sqrt` calls
+    /// per active entry. Equivalent to `channel_busy` up to the
+    /// round-trip error of [`PathLoss::distance_for_loss_db`] (~1e-15
+    /// relative); the legacy all-pairs mode keeps the exact power-domain
+    /// scan so pinned results cannot drift.
+    pub fn channel_busy_ranged(
+        &self,
+        now_us: u64,
+        exclude: NodeId,
+        tune: Tune,
+        distance_sq_to: impl Fn(NodeId) -> f64,
+    ) -> bool {
+        // One inverse per distinct tx power per call — in practice every
+        // transmitter runs the same power, so the transcendentals run once.
+        let mut memo = (f64::NAN, 0.0); // (tx_power_dbm, cs_range²)
+        for t in &self.active {
+            if t.from == exclude || t.tune != tune || t.start_us > now_us || now_us >= t.end_us {
+                continue;
+            }
+            if t.tx_power_dbm != memo.0 {
+                let r = self.cs_range_m(t.tx_power_dbm);
+                memo = (t.tx_power_dbm, r * r);
+            }
+            // The forward model clamps distances below at 0.1 m; mirror it.
+            if distance_sq_to(t.from).max(0.01) <= memo.1 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Distance within which a transmission at `tx_power_dbm` is sensed
+    /// at or above the carrier-sense threshold (0 when it never is).
+    fn cs_range_m(&self, tx_power_dbm: f64) -> f64 {
+        let budget = tx_power_dbm - self.config.cs_threshold_dbm;
+        if budget < self.config.path_loss.loss_db(0.1) {
+            return 0.0;
+        }
+        self.config.path_loss.distance_for_loss_db(budget)
     }
 
     /// Evaluates the reception of a frame that occupied
@@ -177,6 +249,11 @@ impl Medium {
     /// their distance from this receiver.
     /// `tune` is the band/channel the frame rode on; only co-channel
     /// interferers corrupt it.
+    ///
+    /// Draws ride the shared sequential propagation stream: every call
+    /// consumes exactly one fading draw (plus, lazily, one FER draw),
+    /// so results depend on the global evaluation order. This is the
+    /// legacy all-pairs contract every pinned result rests on.
     #[allow(clippy::too_many_arguments)]
     pub fn evaluate_rx(
         &mut self,
@@ -191,8 +268,93 @@ impl Medium {
         tune: Tune,
         interferer_distance: impl Fn(NodeId) -> f64,
     ) -> RxOutcome {
+        let mut rng = self.rng.clone();
+        let out = self.evaluate_rx_with(
+            &mut rng,
+            from,
+            to,
+            start_us,
+            end_us,
+            tx_power_dbm,
+            d_m,
+            psdu_len,
+            rate,
+            tune,
+            f64::INFINITY,
+            interferer_distance,
+        );
+        self.rng = rng;
+        out
+    }
+
+    /// Like [`evaluate_rx`](Self::evaluate_rx), but fading and FER
+    /// draws come from a per-reception stream keyed on
+    /// `(seed, from, to, start_us)` — half-duplex radios start at most
+    /// one transmission per microsecond, so the key is collision-free.
+    /// Reception outcomes become independent of evaluation order, which
+    /// is what lets the cell-sharded propagation mode skip out-of-range
+    /// receivers while staying draw-for-draw identical to the all-pairs
+    /// oracle on the receptions both evaluate. The burst-loss fault
+    /// chain still steps sequentially on the dedicated fault stream.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_rx_keyed(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        start_us: u64,
+        end_us: u64,
+        tx_power_dbm: f64,
+        d_m: f64,
+        psdu_len: usize,
+        rate: BitRate,
+        tune: Tune,
+        interferer_distance: impl Fn(NodeId) -> f64,
+    ) -> RxOutcome {
+        use rand::SeedableRng;
+        let mut key = splitmix64(self.keyed_seed ^ from.0 as u64);
+        key = splitmix64(key ^ to.0 as u64);
+        key = splitmix64(key ^ start_us);
+        let mut rng = ChaCha8Rng::seed_from_u64(key);
+        // In the spatially-sharded modes the medium simply does not
+        // exist beyond `max_range_m`, for interferers as for receivers:
+        // an interferer out there delivers mean power tens of dB under
+        // the energy-detect floor, and cutting it off lets the collision
+        // scan skip the path-loss `log10` for distant co-channel frames.
+        let cutoff = self.config.max_range_m;
+        self.evaluate_rx_with(
+            &mut rng,
+            from,
+            to,
+            start_us,
+            end_us,
+            tx_power_dbm,
+            d_m,
+            psdu_len,
+            rate,
+            tune,
+            cutoff,
+            interferer_distance,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_rx_with(
+        &mut self,
+        rng: &mut ChaCha8Rng,
+        from: NodeId,
+        to: NodeId,
+        start_us: u64,
+        end_us: u64,
+        tx_power_dbm: f64,
+        d_m: f64,
+        psdu_len: usize,
+        rate: BitRate,
+        tune: Tune,
+        interference_cutoff_m: f64,
+        interferer_distance: impl Fn(NodeId) -> f64,
+    ) -> RxOutcome {
         let rx_power = self.rx_power_dbm(tx_power_dbm, d_m);
-        let mut faded = self.config.fading.faded_power_dbm(rx_power, &mut self.rng);
+        let mut faded = self.config.fading.faded_power_dbm(rx_power, rng);
         // Injected asymmetric link-budget penalty (0 under a clean plan).
         let penalty = self.snr_faults.penalty_db(from.0, to.0);
         if penalty != 0.0 {
@@ -213,7 +375,11 @@ impl Medium {
             if !overlaps {
                 continue;
             }
-            let interferer_power = self.rx_power_dbm(t.tx_power_dbm, interferer_distance(t.from));
+            let d_i = interferer_distance(t.from);
+            if d_i > interference_cutoff_m {
+                continue;
+            }
+            let interferer_power = self.rx_power_dbm(t.tx_power_dbm, d_i);
             if faded - interferer_power < self.config.capture_threshold_db {
                 collided = true;
                 break;
@@ -226,7 +392,7 @@ impl Medium {
         // collided receptions must leave `rng` exactly where the
         // pre-fault simulator left it, or clean runs stop being
         // byte-identical to pinned results.
-        let clean_ok = detectable && !collided && self.rng.gen::<f64>() >= fer;
+        let clean_ok = detectable && !collided && rng.gen::<f64>() >= fer;
 
         // Burst loss steps its Markov chain on the dedicated fault
         // stream — one step per reception — and only *counts* as a
@@ -390,9 +556,8 @@ mod tests {
             tx_power_dbm: 20.0,
             tune: CH6,
         });
-        let near = [(NodeId(3), 5.0)];
-        assert!(m.channel_busy(500, near.iter().copied(), NodeId(0), CH6));
-        assert!(!m.channel_busy(500, near.iter().copied(), NodeId(0), CH36));
+        assert!(m.channel_busy(500, NodeId(0), CH6, |_| 5.0));
+        assert!(!m.channel_busy(500, NodeId(0), CH36, |_| 5.0));
     }
 
     #[test]
@@ -430,14 +595,38 @@ mod tests {
             tx_power_dbm: 20.0,
             tune: CH6,
         });
-        let near = [(NodeId(3), 5.0)];
-        let far = [(NodeId(3), 10_000.0)];
-        assert!(m.channel_busy(500, near.iter().copied(), NodeId(0), CH6));
-        assert!(!m.channel_busy(500, far.iter().copied(), NodeId(0), CH6));
+        assert!(m.channel_busy(500, NodeId(0), CH6, |_| 5.0));
+        assert!(!m.channel_busy(500, NodeId(0), CH6, |_| 10_000.0));
         // After the transmission ends the channel is free.
-        assert!(!m.channel_busy(1_500, near.iter().copied(), NodeId(0), CH6));
+        assert!(!m.channel_busy(1_500, NodeId(0), CH6, |_| 5.0));
         // A node never senses its own transmission as busy.
-        assert!(!m.channel_busy(500, near.iter().copied(), NodeId(3), CH6));
+        assert!(!m.channel_busy(500, NodeId(3), CH6, |_| 5.0));
+    }
+
+    /// The distance-domain carrier-sense scan must agree with the exact
+    /// power-domain one across the sensing range (it exists so the hot
+    /// path can drop the per-entry `log10`, not to change physics).
+    #[test]
+    fn ranged_carrier_sense_matches_exact_scan() {
+        let mut m = medium();
+        m.begin_transmission(Transmission {
+            from: NodeId(3),
+            start_us: 0,
+            end_us: 1_000,
+            tx_power_dbm: 20.0,
+            tune: CH6,
+        });
+        for d in [0.05, 0.5, 5.0, 50.0, 114.0, 116.0, 150.0, 1_000.0] {
+            assert_eq!(
+                m.channel_busy(500, NodeId(0), CH6, |_| d),
+                m.channel_busy_ranged(500, NodeId(0), CH6, |_| d * d),
+                "disagree at {d} m"
+            );
+        }
+        // Same tune/time/exclusion filters as the exact scan.
+        assert!(!m.channel_busy_ranged(500, NodeId(3), CH6, |_| 25.0));
+        assert!(!m.channel_busy_ranged(500, NodeId(0), CH36, |_| 25.0));
+        assert!(!m.channel_busy_ranged(1_500, NodeId(0), CH6, |_| 25.0));
     }
 
     #[test]
@@ -505,6 +694,43 @@ mod tests {
             near.snr_db,
             faded - noise
         );
+    }
+
+    /// The keyed-draw mode's defining property: a reception's outcome
+    /// depends only on its (from, to, start_us) key, not on how many
+    /// other receptions were evaluated before it — so skipping
+    /// out-of-range receivers cannot perturb anyone else's draws.
+    #[test]
+    fn keyed_draws_are_order_independent() {
+        let eval = |m: &mut Medium, start: u64| {
+            m.evaluate_rx_keyed(
+                NodeId(0),
+                NodeId(1),
+                start,
+                start + 100,
+                20.0,
+                30.0,
+                1500,
+                BitRate::Mbps54,
+                CH6,
+                |_| f64::INFINITY,
+            )
+        };
+        // Run A: evaluate receptions 0..20. Run B: only the even ones.
+        let mut a = Medium::new(MediumConfig::default(), 9);
+        let full: Vec<RxOutcome> = (0..20).map(|i| eval(&mut a, i * 1_000)).collect();
+        let mut b = Medium::new(MediumConfig::default(), 9);
+        let sparse: Vec<RxOutcome> = (0..20)
+            .step_by(2)
+            .map(|i| eval(&mut b, i * 1_000))
+            .collect();
+        for (k, out) in sparse.iter().enumerate() {
+            assert_eq!(*out, full[2 * k], "reception {k} drifted");
+        }
+        // ...and a different medium seed gives different realisations.
+        let mut c = Medium::new(MediumConfig::default(), 10);
+        let other: Vec<RxOutcome> = (0..20).map(|i| eval(&mut c, i * 1_000)).collect();
+        assert_ne!(full, other);
     }
 
     #[test]

@@ -1,4 +1,8 @@
 //! A node: a station plus its radio, queue and bookkeeping.
+//!
+//! Only *cold* state lives here — fields the hot paths (carrier sense,
+//! arrival fan-out, collision scans) touch per event are in the SoA
+//! [`NodeArena`](crate::arena::NodeArena), indexed by [`NodeId`].
 
 use crate::ledger::ActivityLedger;
 use polite_wifi_frame::Frame;
@@ -40,17 +44,11 @@ pub struct AckWait {
     pub started_us: u64,
 }
 
-/// One radio node in the simulation.
+/// One radio node in the simulation (cold state).
 #[derive(Debug)]
 pub struct Node {
     /// The MAC state machine.
     pub station: Station,
-    /// Position at t = 0, in metres.
-    pub position: (f64, f64),
-    /// Velocity in metres/second (wardriving cars move; houses do not).
-    pub velocity: (f64, f64),
-    /// Transmit power in dBm.
-    pub tx_power_dbm: f64,
     /// Frames awaiting CSMA transmission.
     pub tx_queue: VecDeque<QueuedFrame>,
     /// DCF backoff state.
@@ -60,13 +58,6 @@ pub struct Node {
     pub rate_ctrl: Option<Arf>,
     /// Whether a TxAttempt event is already scheduled.
     pub tx_attempt_pending: bool,
-    /// The radio is mid-transmission until this time.
-    pub tx_busy_until: u64,
-    /// Virtual carrier sense: the NAV set by overheard Duration fields.
-    /// The node defers transmissions until this time.
-    pub nav_until: u64,
-    /// Outstanding ACK wait, if any.
-    pub ack_wait: Option<AckWait>,
     /// Monitor mode: capture *all* detectable frames, not just own.
     pub monitor: bool,
     /// Whether transmitter-side retries are enabled (the paper's Scapy
@@ -87,28 +78,19 @@ pub struct Node {
     /// When the radio last changed base state (doze/wake), for dwell
     /// histograms.
     pub last_base_change_us: u64,
-    /// Fault injection: the device is frozen (deaf and mute) until this
-    /// time. Zero means never stalled.
-    pub stalled_until: u64,
 }
 
 impl Node {
     /// Builds a node around a station.
-    pub fn new(station: Station, position: (f64, f64)) -> Node {
+    pub fn new(station: Station) -> Node {
         let band = station.config().band;
         let awake = station.is_awake();
         Node {
             station,
-            position,
-            velocity: (0.0, 0.0),
-            tx_power_dbm: 20.0,
             tx_queue: VecDeque::new(),
             csma: Csma::new(band),
             rate_ctrl: None,
             tx_attempt_pending: false,
-            tx_busy_until: 0,
-            nav_until: 0,
-            ack_wait: None,
             monitor: false,
             retries_enabled: true,
             capture: Capture::new(),
@@ -118,49 +100,6 @@ impl Node {
             acks_received: 0,
             cts_received: 0,
             last_base_change_us: 0,
-            stalled_until: 0,
         }
-    }
-
-    /// Position at time `now_us`, following the (constant) velocity.
-    pub fn position_at(&self, now_us: u64) -> (f64, f64) {
-        let t = now_us as f64 / 1e6;
-        (
-            self.position.0 + self.velocity.0 * t,
-            self.position.1 + self.velocity.1 * t,
-        )
-    }
-
-    /// Euclidean distance to another node at time zero, in metres.
-    pub fn distance_to(&self, other: &Node) -> f64 {
-        self.distance_to_at(other, 0)
-    }
-
-    /// Euclidean distance to another node at `now_us`, in metres.
-    pub fn distance_to_at(&self, other: &Node, now_us: u64) -> f64 {
-        let a = self.position_at(now_us);
-        let b = other.position_at(now_us);
-        (a.0 - b.0).hypot(a.1 - b.1).max(0.1)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use polite_wifi_mac::StationConfig;
-
-    #[test]
-    fn distance_is_symmetric_and_clamped() {
-        let a = Node::new(
-            Station::new(StationConfig::client("02:00:00:00:00:01".parse().unwrap())),
-            (0.0, 0.0),
-        );
-        let b = Node::new(
-            Station::new(StationConfig::client("02:00:00:00:00:02".parse().unwrap())),
-            (3.0, 4.0),
-        );
-        assert!((a.distance_to(&b) - 5.0).abs() < 1e-12);
-        assert!((b.distance_to(&a) - 5.0).abs() < 1e-12);
-        assert!(a.distance_to(&a) >= 0.1);
     }
 }

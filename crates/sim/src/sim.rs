@@ -1,9 +1,10 @@
 //! The simulator: event loop, transmissions, receptions, retries.
 
-use crate::event::{Event, EventQueue};
+use crate::arena::{CellGrid, NodeArena};
+use crate::event::{Event, EventQueue, SchedulerKind};
 use crate::faults::{FaultPlan, StallSchedule};
 use crate::medium::{Medium, MediumConfig, RxOutcome, Transmission, Tune};
-use crate::node::{Node, NodeId, QueuedFrame};
+use crate::node::{AckWait, Node, NodeId, QueuedFrame};
 use polite_wifi_frame::{ControlFrame, Frame};
 use polite_wifi_mac::{MacAction, RadioState, Station, StationConfig};
 use polite_wifi_obs::frametrace::hop;
@@ -15,11 +16,41 @@ use polite_wifi_radiotap::{ChannelInfo, Radiotap};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+/// How a transmission finds its receivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PropagationMode {
+    /// Every node evaluates every transmission, with fading/FER draws
+    /// on the shared sequential propagation stream — the mode every
+    /// pinned result was produced under. The default.
+    #[default]
+    AllPairs,
+    /// All-pairs enumeration with the per-reception keyed draw scheme
+    /// and the `max_range_m` cutoff — the brute-force oracle the cell
+    /// grid mode is tested against.
+    OracleAllPairs,
+    /// Spatial interference-cell enumeration with keyed draws: a
+    /// transmission only evaluates co-channel receivers in the 3×3
+    /// cell neighbourhood around the transmitter (city scale).
+    CellGrid,
+}
+
+impl PropagationMode {
+    /// Whether fading/FER draws are keyed per reception instead of
+    /// riding the shared sequential stream.
+    pub fn keyed_draws(self) -> bool {
+        self != PropagationMode::AllPairs
+    }
+}
+
 /// Simulator-wide configuration.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SimConfig {
     /// Radio environment.
     pub medium: MediumConfig,
+    /// Event-queue backend (identical dispatch order either way).
+    pub scheduler: SchedulerKind,
+    /// Receiver-enumeration strategy.
+    pub propagation: PropagationMode,
 }
 
 /// A frame mid-transmission at a node.
@@ -42,9 +73,17 @@ struct StallState {
 
 /// The discrete-event radio simulator. See the crate docs for an example.
 pub struct Simulator {
+    config: SimConfig,
     now_us: u64,
     queue: EventQueue,
     nodes: Vec<Node>,
+    /// Hot per-node state (positions, tunes, timing guards, ACK waits)
+    /// in SoA layout, indexed by `NodeId`.
+    hot: NodeArena,
+    /// The spatial cell grid, present only in `CellGrid` mode.
+    grid: Option<CellGrid>,
+    /// Reusable receiver-candidate buffer for the grid fan-out.
+    scratch: Vec<NodeId>,
     current_tx: Vec<Option<CurrentTx>>,
     medium: Medium,
     rng: ChaCha8Rng,
@@ -61,15 +100,22 @@ pub struct Simulator {
     stall: Option<StallState>,
     /// Next causal trace ID: the injection ordinal within this trial.
     next_trace_id: u64,
+    /// Events handled since construction (or the last reset).
+    events_dispatched: u64,
 }
 
 impl Simulator {
     /// Builds an empty simulator with a deterministic seed.
     pub fn new(config: SimConfig, seed: u64) -> Simulator {
         Simulator {
+            config,
             now_us: 0,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_scheduler(config.scheduler),
             nodes: Vec::new(),
+            hot: NodeArena::new(),
+            grid: (config.propagation == PropagationMode::CellGrid)
+                .then(|| CellGrid::new(config.medium.max_range_m)),
+            scratch: Vec::new(),
             current_tx: Vec::new(),
             medium: Medium::new(config.medium, seed),
             rng: ChaCha8Rng::seed_from_u64(seed ^ 0x5349_4d55_4c41_544f), // "SIMULATO"
@@ -83,7 +129,24 @@ impl Simulator {
             drift_node: None,
             stall: None,
             next_trace_id: 0,
+            events_dispatched: 0,
         }
+    }
+
+    /// The configuration this simulator was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Events handled since construction (or the last reset).
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
+    /// Non-empty interference cells on the spatial grid (0 outside
+    /// `CellGrid` mode).
+    pub fn occupied_cells(&self) -> usize {
+        self.grid.as_ref().map_or(0, |g| g.occupied_cells())
     }
 
     /// The seed this simulator was built with.
@@ -142,14 +205,24 @@ impl Simulator {
 
     /// Adds a node at a position (metres) and returns its id.
     pub fn add_node(&mut self, cfg: StationConfig, position: (f64, f64)) -> NodeId {
+        let tune = (cfg.band, cfg.channel);
         let station = Station::new(cfg);
         let id = NodeId(self.nodes.len());
-        let node = Node::new(station, position);
+        let node = Node::new(station);
         // Bootstrap the station's timers.
-        if let Some(at) = node.station.next_poll_at(self.now_us) {
+        let poll_at = node.station.next_poll_at(self.now_us);
+        if let Some(at) = poll_at {
             self.queue.push(at, Event::Poll { node: id });
         }
         self.nodes.push(node);
+        self.hot.push(position, tune);
+        if self.config.propagation.keyed_draws() {
+            // Register the bootstrap chain with the poll dedup.
+            self.hot.poll_at[id.0] = poll_at.unwrap_or(u64::MAX);
+        }
+        if let Some(grid) = &mut self.grid {
+            grid.insert(id, tune, position, false);
+        }
         self.current_tx.push(None);
         id
     }
@@ -205,7 +278,16 @@ impl Simulator {
     /// Sets a node's velocity in m/s (constant linear motion from its
     /// configured position).
     pub fn set_velocity(&mut self, id: NodeId, velocity: (f64, f64)) {
-        self.nodes[id.0].velocity = velocity;
+        self.hot.set_velocity(id, velocity);
+        if let Some(grid) = &mut self.grid {
+            let moving = velocity != (0.0, 0.0);
+            grid.set_moving(id, self.hot.tune(id), self.hot.base_position(id), moving);
+        }
+    }
+
+    /// Sets a node's transmit power in dBm.
+    pub fn set_tx_power(&mut self, id: NodeId, dbm: f64) {
+        self.hot.set_tx_power_dbm(id, dbm);
     }
 
     /// Enables ARF rate adaptation on a node's queued transmissions.
@@ -225,13 +307,18 @@ impl Simulator {
 
     /// The band/channel a node's radio is tuned to.
     pub fn tune_of(&self, id: NodeId) -> Tune {
-        let cfg = self.nodes[id.0].station.config();
-        (cfg.band, cfg.channel)
+        self.hot.tune(id)
     }
 
     /// Retunes a node's radio (the wardriving dongle hops channels).
     pub fn retune(&mut self, id: NodeId, band: polite_wifi_phy::band::Band, channel: u8) {
+        let old = self.hot.tune(id);
         self.nodes[id.0].station.retune(band, channel);
+        let new = (band, channel);
+        self.hot.set_tune(id, new);
+        if let Some(grid) = &mut self.grid {
+            grid.retune(id, old, new, self.hot.base_position(id));
+        }
     }
 
     /// Kicks off a client's on-air join sequence (authentication →
@@ -283,6 +370,7 @@ impl Simulator {
     /// (deterministic — part of canonical exports) and the wall-clock
     /// time its handler took (machine-dependent — kept out of them).
     pub fn run_until(&mut self, t_us: u64) {
+        let mut dispatched = 0u64;
         while let Some(at) = self.queue.peek_time() {
             if at > t_us {
                 break;
@@ -295,12 +383,32 @@ impl Simulator {
             self.handle(ev.event);
             let wall_ns = t0.elapsed().as_nanos() as u64;
             self.obs.prof(kind, virt_us, wall_ns);
+            dispatched += 1;
             if self.now_us.saturating_sub(self.last_prune_us) > 1_000_000 {
+                self.medium.prune(self.now_us);
+                self.last_prune_us = self.now_us;
+            } else if self.config.propagation.keyed_draws()
+                && self.medium.active_len() > 64
+                && self.now_us.saturating_sub(self.last_prune_us) > 1_000
+            {
+                // City scale: the collision and carrier-sense scans are
+                // linear in the active list, so the keyed modes prune
+                // aggressively (the grace window in `Medium::prune`
+                // keeps any transmission an arrival could still need).
+                // The legacy mode keeps its exact 1 s cadence — prune
+                // timing is observable through long-airtime overlaps,
+                // and pinned results depend on it. Purely a function of
+                // simulated time and the active list, so determinism is
+                // untouched.
                 self.medium.prune(self.now_us);
                 self.last_prune_us = self.now_us;
             }
         }
         self.now_us = self.now_us.max(t_us);
+        self.events_dispatched += dispatched;
+        if dispatched > 0 {
+            self.obs.add(names::SIM_EVENTS_DISPATCHED, dispatched);
+        }
     }
 
     /// Runs until the event queue drains completely (useful in tests).
@@ -319,30 +427,27 @@ impl Simulator {
         let specs: Vec<_> = self
             .nodes
             .iter()
-            .map(|n| {
+            .enumerate()
+            .map(|(i, n)| {
+                let id = NodeId(i);
                 (
                     n.station.config().clone(),
-                    n.position,
-                    n.velocity,
+                    self.hot.base_position(id),
+                    self.hot.velocity(id),
                     n.monitor,
                     n.retries_enabled,
-                    n.tx_power_dbm,
+                    self.hot.tx_power_dbm(id),
                 )
             })
             .collect();
         let plan = self.fault_plan;
-        *self = Simulator::new(
-            SimConfig {
-                medium: *self.medium.config(),
-            },
-            seed,
-        );
+        *self = Simulator::new(self.config, seed);
         for (cfg, position, velocity, monitor, retries, tx_power_dbm) in specs {
             let id = self.add_node(cfg, position);
-            self.nodes[id.0].velocity = velocity;
+            self.set_velocity(id, velocity);
             self.nodes[id.0].monitor = monitor;
             self.nodes[id.0].retries_enabled = retries;
-            self.nodes[id.0].tx_power_dbm = tx_power_dbm;
+            self.hot.set_tx_power_dbm(id, tx_power_dbm);
         }
         // The fault plan is part of the scenario, not the trial: the
         // fresh trial runs under the same plan with its new seed.
@@ -470,6 +575,9 @@ impl Simulator {
     }
 
     fn do_poll(&mut self, id: NodeId) {
+        // This chain is consumed (cleared even on the stall path below,
+        // so a stale marker can't block do_stall_end's fresh chain).
+        self.hot.poll_at[id.0] = u64::MAX;
         if self.is_stalled(id) {
             // Frozen firmware runs no timers: this poll chain dies here
             // and do_stall_end starts a fresh one on recovery.
@@ -484,7 +592,7 @@ impl Simulator {
 
     /// True while a fault-injected stall freezes the node.
     fn is_stalled(&self, id: NodeId) -> bool {
-        self.now_us < self.nodes[id.0].stalled_until
+        self.now_us < self.hot.stalled_until[id.0]
     }
 
     fn reschedule_poll(&mut self, id: NodeId) {
@@ -494,6 +602,21 @@ impl Simulator {
             // stretches the interval (identity under a clean plan).
             let at = at.max(self.now_us + 1);
             let at = self.now_us + self.drifted(id, at - self.now_us);
+            if self.config.propagation.keyed_draws() {
+                // Poll dedup: reschedule_poll also runs after every
+                // received frame, and without this guard each overheard
+                // frame would spawn another self-perpetuating poll chain
+                // — at city density, hundreds per node. A chain already
+                // pending at or before `at` will run and reschedule
+                // itself, so this push would be redundant. The legacy
+                // mode keeps the duplicate chains: dropping them shifts
+                // event sequence numbers, which reorders same-time
+                // events and would drift every pinned result.
+                if self.hot.poll_at[id.0] <= at {
+                    return;
+                }
+                self.hot.poll_at[id.0] = at;
+            }
             self.queue.push(at, Event::Poll { node: id });
         }
     }
@@ -507,7 +630,7 @@ impl Simulator {
         let schedule = state.schedule;
         let reboot = schedule.reboot_every > 0 && state.count % schedule.reboot_every == 0;
         let now = self.now_us;
-        self.nodes[id.0].stalled_until = now + schedule.duration_us;
+        self.hot.stalled_until[id.0] = now + schedule.duration_us;
         self.obs.incr(names::FAULT_DEVICE_STALLS);
         self.obs
             .observe(names::FAULT_DEVICE_STALL_US, schedule.duration_us);
@@ -531,8 +654,8 @@ impl Simulator {
             node.station = Station::new(cfg);
             node.tx_queue.clear();
             node.tx_attempt_pending = false;
-            node.ack_wait = None;
             node.csma = polite_wifi_mac::csma::Csma::new(band);
+            self.hot.ack_wait[id.0] = None;
             self.obs.incr(names::FAULT_DEVICE_REBOOTS);
             self.obs.event(now, id.0 as u64, "fault.reboot");
         }
@@ -560,44 +683,51 @@ impl Simulator {
         }
         // A stalled device transmits nothing; try again on recovery.
         if self.is_stalled(id) {
-            let at = self.nodes[id.0].stalled_until;
+            let at = self.hot.stalled_until[id.0];
             self.nodes[id.0].tx_attempt_pending = true;
             self.queue.push(at, Event::TxAttempt { node: id });
             return;
         }
         // Half-duplex: if mid-transmission, try again after it ends.
-        if self.nodes[id.0].tx_busy_until > self.now_us {
-            let at = self.nodes[id.0].tx_busy_until;
+        if self.hot.tx_busy_until[id.0] > self.now_us {
+            let at = self.hot.tx_busy_until[id.0];
             self.nodes[id.0].tx_attempt_pending = true;
             self.queue.push(at, Event::TxAttempt { node: id });
             return;
         }
         // An outstanding ACK wait means the head frame is in flight.
-        if self.nodes[id.0].ack_wait.is_some() {
+        if self.hot.ack_wait[id.0].is_some() {
             return;
         }
         // Virtual carrier sense: the NAV set by overheard Duration fields
         // defers contended transmissions (SIFS responses are exempt).
-        if self.nodes[id.0].nav_until > self.now_us {
-            let at = self.nodes[id.0].nav_until;
+        if self.hot.nav_until[id.0] > self.now_us {
+            let at = self.hot.nav_until[id.0];
             self.nodes[id.0].tx_attempt_pending = true;
             self.queue.push(at, Event::TxAttempt { node: id });
             return;
         }
-        // Carrier sense.
-        let distances: Vec<(NodeId, f64)> = (0..self.nodes.len())
-            .filter(|&i| i != id.0)
-            .map(|i| {
-                (
-                    NodeId(i),
-                    self.nodes[id.0].distance_to_at(&self.nodes[i], self.now_us),
-                )
-            })
-            .collect();
-        if self
-            .medium
-            .channel_busy(self.now_us, distances.iter().copied(), id, self.tune_of(id))
-        {
+        // Carrier sense: O(active transmissions), distances on demand.
+        // The keyed modes take the distance-domain scan (no `log10` or
+        // `sqrt` per active entry); the legacy mode keeps the exact
+        // power-domain scan its pinned results were produced with.
+        let busy = {
+            let now = self.now_us;
+            let my_pos = self.hot.position_at(id, now);
+            let hot = &self.hot;
+            if self.config.propagation.keyed_draws() {
+                self.medium
+                    .channel_busy_ranged(now, id, self.hot.tune(id), |other| {
+                        hot.distance_sq_to_point(my_pos, other, now)
+                    })
+            } else {
+                self.medium
+                    .channel_busy(now, id, self.hot.tune(id), |other| {
+                        hot.distance_to_point(my_pos, other, now)
+                    })
+            }
+        };
+        if busy {
             // Busy: back off and retry.
             let draw: u16 = self.rng.gen();
             let defer = self.nodes[id.0].csma.defer_us(draw) as u64;
@@ -648,10 +778,10 @@ impl Simulator {
         }
         let duration = airtime::frame_duration_us(frame.air_len(), rate, false) as u64;
         let end = self.now_us + duration;
-        let tx_power = self.nodes[id.0].tx_power_dbm;
+        let tx_power = self.hot.tx_power_dbm(id);
+        self.hot.tx_busy_until[id.0] = end;
         {
             let node = &mut self.nodes[id.0];
-            node.tx_busy_until = end;
             node.tx_count += 1;
             node.ledger.begin_busy(self.now_us, RadioState::Tx);
         }
@@ -661,7 +791,7 @@ impl Simulator {
             is_response,
             start_us: self.now_us,
         });
-        let tune = self.tune_of(id);
+        let tune = self.hot.tune(id);
         self.medium.begin_transmission(Transmission {
             from: id,
             start_us: self.now_us,
@@ -670,22 +800,57 @@ impl Simulator {
             tune,
         });
         self.queue.push(end, Event::TxEnd { node: id });
-        for i in 0..self.nodes.len() {
-            if i == id.0 {
-                continue;
-            }
-            self.queue.push(
+        // Receiver fan-out. All modes enumerate effectful receivers in
+        // ascending NodeId order; the spatial modes drop receivers past
+        // the hard `max_range_m` cutoff (evaluated at arrival time,
+        // like the oracle), which in keyed-draw mode cannot perturb
+        // anyone else's randomness.
+        let start_us = self.now_us;
+        let push_arrival = |queue: &mut EventQueue, rx: NodeId| {
+            queue.push(
                 end,
                 Event::Arrival {
-                    node: NodeId(i),
+                    node: rx,
                     from: id,
                     frame: frame.clone(),
                     rate,
-                    start_us: self.now_us,
+                    start_us,
                     tune,
                     trace,
                 },
             );
+        };
+        match self.config.propagation {
+            PropagationMode::AllPairs => {
+                for i in 0..self.nodes.len() {
+                    if i != id.0 {
+                        push_arrival(&mut self.queue, NodeId(i));
+                    }
+                }
+            }
+            PropagationMode::OracleAllPairs => {
+                let max_range = self.config.medium.max_range_m;
+                let tx_pos = self.hot.position_at(id, end);
+                for i in 0..self.nodes.len() {
+                    if i != id.0 && self.hot.distance_to_point(tx_pos, NodeId(i), end) <= max_range
+                    {
+                        push_arrival(&mut self.queue, NodeId(i));
+                    }
+                }
+            }
+            PropagationMode::CellGrid => {
+                let max_range = self.config.medium.max_range_m;
+                let tx_pos = self.hot.position_at(id, end);
+                let mut cands = std::mem::take(&mut self.scratch);
+                self.grid
+                    .as_ref()
+                    .expect("grid mode")
+                    .candidates(tx_pos, tune, id, max_range, end, &self.hot, &mut cands);
+                for &rx in &cands {
+                    push_arrival(&mut self.queue, rx);
+                }
+                self.scratch = cands;
+            }
         }
     }
 
@@ -719,36 +884,35 @@ impl Simulator {
             return;
         }
         let solicits = tx.frame.solicits_ack() || tx.frame.solicits_cts();
-        let node = &mut self.nodes[id.0];
-        if solicits && node.retries_enabled {
+        if solicits && self.nodes[id.0].retries_enabled {
             let token = self.next_token;
             self.next_token += 1;
-            node.ack_wait = Some(crate::node::AckWait {
+            self.hot.ack_wait[id.0] = Some(AckWait {
                 token,
                 satisfied: false,
                 started_us: tx.start_us,
             });
-            let band = node.station.config().band;
+            let band = self.nodes[id.0].station.config().band;
             let timeout = airtime::ack_timeout_us(band, tx.rate) as u64;
             self.queue
                 .push(now + timeout, Event::AckTimeout { node: id, token });
         } else {
             // Fire-and-forget: the frame is done, move on.
-            node.tx_queue.pop_front();
+            self.nodes[id.0].tx_queue.pop_front();
             self.schedule_tx_attempt(id);
         }
     }
 
     fn do_ack_timeout(&mut self, id: NodeId, token: u64) {
-        let node = &mut self.nodes[id.0];
-        let wait = match &node.ack_wait {
+        let wait = match &self.hot.ack_wait[id.0] {
             Some(w) if w.token == token => w.clone(),
             _ => return, // stale timeout
         };
-        node.ack_wait = None;
+        self.hot.ack_wait[id.0] = None;
         if wait.satisfied {
             return;
         }
+        let node = &mut self.nodes[id.0];
         // No response: binary exponential backoff, retry or drop.
         if let Some(arf) = &mut node.rate_ctrl {
             arf.on_failure();
@@ -810,6 +974,35 @@ impl Simulator {
         }
     }
 
+    /// Evaluates one reception on the medium, with distances computed
+    /// on demand from the arena (no per-arrival allocation). Dispatches
+    /// to sequential-stream or keyed draws per the propagation mode.
+    fn eval_rx(
+        &mut self,
+        from: NodeId,
+        id: NodeId,
+        start_us: u64,
+        psdu_len: usize,
+        rate: BitRate,
+        tune: Tune,
+    ) -> RxOutcome {
+        let now = self.now_us;
+        let my_pos = self.hot.position_at(id, now);
+        let d = self.hot.distance_between(id, from, now);
+        let tx_power = self.hot.tx_power_dbm(from);
+        let hot = &self.hot;
+        let dist = |other: NodeId| hot.distance_to_point(my_pos, other, now);
+        if self.config.propagation.keyed_draws() {
+            self.medium.evaluate_rx_keyed(
+                from, id, start_us, now, tx_power, d, psdu_len, rate, tune, dist,
+            )
+        } else {
+            self.medium.evaluate_rx(
+                from, id, start_us, now, tx_power, d, psdu_len, rate, tune, dist,
+            )
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn do_arrival(
         &mut self,
@@ -822,8 +1015,11 @@ impl Simulator {
         trace: Option<u64>,
     ) {
         let now = self.now_us;
-        // A radio tuned elsewhere hears nothing of this frame.
-        if self.tune_of(id) != tune {
+        // A radio tuned elsewhere hears nothing of this frame. This
+        // check precedes every draw and fault-chain step, so the
+        // all-pairs oracle delivering arrivals to off-tune nodes stays
+        // draw-for-draw identical to the grid never scheduling them.
+        if self.hot.tune(id) != tune {
             return;
         }
         // Fate hops and counters describe what happened at the frame's
@@ -844,8 +1040,8 @@ impl Simulator {
         }
         // Half-duplex: a radio that was transmitting during any part of
         // the frame cannot have received it.
-        if self.nodes[id.0].tx_busy_until > start_us && id != from {
-            let own_tx_overlaps = self.nodes[id.0].tx_busy_until > start_us;
+        if self.hot.tx_busy_until[id.0] > start_us && id != from {
+            let own_tx_overlaps = self.hot.tx_busy_until[id.0] > start_us;
             if own_tx_overlaps && self.current_or_recent_tx_overlap(id, start_us) {
                 if for_me {
                     self.obs.incr(names::FRAME_FATE_COLLIDED);
@@ -867,48 +1063,32 @@ impl Simulator {
                 &frame,
                 Frame::Ctrl(ControlFrame::Ack { ra }) if *ra == my_mac
             );
-            if is_my_ack && self.nodes[id.0].ack_wait.is_some() {
-                let d = self.nodes[id.0].distance_to_at(&self.nodes[from.0], now);
-                let tx_power = self.nodes[from.0].tx_power_dbm;
-                let positions: Vec<(f64, f64)> =
-                    self.nodes.iter().map(|n| n.position_at(now)).collect();
-                let my_pos = positions[id.0];
-                let outcome = self.medium.evaluate_rx(
-                    from,
-                    id,
-                    start_us,
-                    now,
-                    tx_power,
-                    d,
-                    frame.air_len(),
-                    rate,
-                    tune,
-                    |other: NodeId| {
-                        let p = positions[other.0];
-                        let dx = p.0 - my_pos.0;
-                        let dy = p.1 - my_pos.1;
-                        dx.hypot(dy).max(0.1)
-                    },
-                );
+            if is_my_ack && self.hot.ack_wait[id.0].is_some() {
+                let outcome = self.eval_rx(from, id, start_us, frame.air_len(), rate, tune);
                 if outcome.fault_dropped {
                     self.obs.incr(names::FAULT_MEDIUM_FRAMES_DROPPED);
                 }
                 self.note_arrival_fate(id, &outcome, ftrace);
                 if outcome.fcs_ok {
                     let mut completed_at = None;
-                    let node = &mut self.nodes[id.0];
-                    let depth = node.tx_queue.front().map(|f| f.attempts).unwrap_or(0);
-                    if let Some(wait) = &mut node.ack_wait {
+                    let depth = self.nodes[id.0]
+                        .tx_queue
+                        .front()
+                        .map(|f| f.attempts)
+                        .unwrap_or(0);
+                    if let Some(mut wait) = self.hot.ack_wait[id.0].take() {
                         if !wait.satisfied {
                             wait.satisfied = true;
                             completed_at = Some(wait.started_us);
-                            node.ack_wait = None;
+                            let node = &mut self.nodes[id.0];
                             node.acks_received += 1;
                             node.csma.on_success();
                             if let Some(arf) = &mut node.rate_ctrl {
                                 arf.on_success();
                             }
                             node.tx_queue.pop_front();
+                        } else {
+                            self.hot.ack_wait[id.0] = Some(wait);
                         }
                     }
                     if let Some(started_us) = completed_at {
@@ -927,27 +1107,7 @@ impl Simulator {
             return;
         }
 
-        let d = self.nodes[id.0].distance_to_at(&self.nodes[from.0], now);
-        let tx_power = self.nodes[from.0].tx_power_dbm;
-        let positions: Vec<(f64, f64)> = self.nodes.iter().map(|n| n.position_at(now)).collect();
-        let my_pos = positions[id.0];
-        let outcome = self.medium.evaluate_rx(
-            from,
-            id,
-            start_us,
-            now,
-            tx_power,
-            d,
-            frame.air_len(),
-            rate,
-            tune,
-            |other: NodeId| {
-                let p = positions[other.0];
-                let dx = p.0 - my_pos.0;
-                let dy = p.1 - my_pos.1;
-                dx.hypot(dy).max(0.1)
-            },
-        );
+        let outcome = self.eval_rx(from, id, start_us, frame.air_len(), rate, tune);
         if outcome.fault_dropped {
             self.obs.incr(names::FAULT_MEDIUM_FRAMES_DROPPED);
         }
@@ -1001,8 +1161,8 @@ impl Simulator {
                 Frame::Mgmt(m) => m.duration as u64,
             };
             if nav_us > 0 {
-                let node = &mut self.nodes[id.0];
-                node.nav_until = node.nav_until.max(now + nav_us);
+                let nav = &mut self.hot.nav_until[id.0];
+                *nav = (*nav).max(now + nav_us);
             }
         }
 
@@ -1019,13 +1179,16 @@ impl Simulator {
             );
             if is_response_to_me {
                 let mut completed_at = None;
-                let node = &mut self.nodes[id.0];
-                let depth = node.tx_queue.front().map(|f| f.attempts).unwrap_or(0);
-                if let Some(wait) = &mut node.ack_wait {
+                let depth = self.nodes[id.0]
+                    .tx_queue
+                    .front()
+                    .map(|f| f.attempts)
+                    .unwrap_or(0);
+                if let Some(mut wait) = self.hot.ack_wait[id.0].take() {
                     if !wait.satisfied {
                         wait.satisfied = true;
                         completed_at = Some(wait.started_us);
-                        node.ack_wait = None;
+                        let node = &mut self.nodes[id.0];
                         match &frame {
                             Frame::Ctrl(ControlFrame::Ack { .. }) => node.acks_received += 1,
                             Frame::Ctrl(ControlFrame::Cts { .. }) => node.cts_received += 1,
@@ -1036,6 +1199,8 @@ impl Simulator {
                             arf.on_success();
                         }
                         node.tx_queue.pop_front();
+                    } else {
+                        self.hot.ack_wait[id.0] = Some(wait);
                     }
                 } else {
                     // Fire-and-forget senders (retries off — the usual
@@ -1083,7 +1248,7 @@ impl Simulator {
     fn current_or_recent_tx_overlap(&self, id: NodeId, start_us: u64) -> bool {
         // tx_busy_until > start_us means some transmission of ours ended
         // after the incoming frame began.
-        self.nodes[id.0].tx_busy_until > start_us
+        self.hot.tx_busy_until[id.0] > start_us
     }
 
     fn apply_actions(&mut self, id: NodeId, actions: Vec<MacAction>, trace: Option<u64>) {

@@ -4,7 +4,7 @@
 use polite_wifi_frame::{builder, MacAddr};
 use polite_wifi_mac::StationConfig;
 use polite_wifi_phy::rate::BitRate;
-use polite_wifi_sim::{SimConfig, Simulator};
+use polite_wifi_sim::{FaultProfile, PropagationMode, SimConfig, Simulator};
 use proptest::prelude::*;
 
 fn victim_mac() -> MacAddr {
@@ -80,6 +80,60 @@ proptest! {
             )
         };
         prop_assert_eq!(run(&schedule), run(&schedule));
+    }
+
+    /// The city-core equivalence (DESIGN.md §11): for arbitrary
+    /// populations, the cell-sharded propagation mode produces exactly
+    /// the reception fates of the all-pairs oracle — under a clean
+    /// medium and under the urban-drive fault profile alike. The
+    /// attacker drives past the population so the grid's mobile list is
+    /// exercised, not just the static buckets.
+    #[test]
+    fn cell_grid_matches_all_pairs_oracle(
+        positions in proptest::collection::vec((-600.0f64..600.0, -600.0f64..600.0), 2..20),
+        schedule in arb_schedule(),
+        seed in 0u64..200,
+    ) {
+        for profile in [FaultProfile::Clean, FaultProfile::UrbanDrive] {
+            let run = |mode: PropagationMode| {
+                let cfg = SimConfig { propagation: mode, ..SimConfig::default() };
+                let mut sim = Simulator::new(cfg, seed);
+                // One AP for beacon/probe traffic, clients elsewhere.
+                let mut nodes = Vec::new();
+                for (i, &pos) in positions.iter().enumerate() {
+                    let mac = MacAddr::new([0xf2, 0x6e, 0x0b, 0, 0, i as u8]);
+                    let cfg = if i == 0 {
+                        StationConfig::access_point(mac, "GridNet")
+                    } else {
+                        StationConfig::client(mac)
+                    };
+                    nodes.push(sim.add_node(cfg, pos));
+                }
+                let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (-650.0, 0.0));
+                sim.set_retries(attacker, false);
+                sim.set_velocity(attacker, (13.9, 0.0));
+                sim.install_faults(&profile.plan());
+                for &(t, r) in &schedule {
+                    let mac = MacAddr::new(
+                        [0xf2, 0x6e, 0x0b, 0, 0, ((r as usize) % positions.len()) as u8],
+                    );
+                    let rate = BitRate::ALL[r as usize % 12];
+                    sim.inject(t, attacker, builder::fake_null_frame(mac, MacAddr::FAKE), rate);
+                }
+                sim.run_until(4_000_000);
+                let stats: Vec<_> = nodes.iter().map(|&id| sim.station(id).stats).collect();
+                (
+                    stats,
+                    sim.node(attacker).acks_received,
+                    sim.global_capture().len(),
+                    sim.events_dispatched(),
+                    sim.obs().metrics_json(),
+                )
+            };
+            let oracle = run(PropagationMode::OracleAllPairs);
+            let grid = run(PropagationMode::CellGrid);
+            prop_assert_eq!(&oracle, &grid, "fates diverged under {:?}", profile);
+        }
     }
 
     /// Simulated time never runs backwards and the run always terminates.

@@ -3,7 +3,9 @@
 //! This is a substrate-level guarantee the whole evaluation rests on —
 //! EXPERIMENTS.md quotes numbers that must regenerate bit-for-bit.
 
-use polite_wifi::core::{BatteryDrainAttack, KeystrokeAttack, SensingHub, WardriveScanner};
+use polite_wifi::core::{
+    BatteryDrainAttack, CityWardrive, KeystrokeAttack, SensingHub, WardriveScanner,
+};
 use polite_wifi::devices::{CityPopulation, DeviceSpec};
 use polite_wifi::harness::{Experiment, RunArgs, Runner};
 use polite_wifi::obs::{Obs, ObsConfig};
@@ -240,6 +242,104 @@ fn traced_urban_drive_run_is_worker_invariant_with_causal_chains() {
         "no trace shows inject → tx → fault-drop → retry → delivered → \
          SIFS ACK → verify; fates seen: {}",
         w1.frame_traces_json()
+    );
+}
+
+/// A city drive small enough for a tier-1 test but wide enough to fill
+/// many interference cells and both scheduler backends' overflow paths.
+fn mini_city() -> CityWardrive {
+    CityWardrive {
+        seed: 7,
+        devices: 1_500,
+        segment_size: 256,
+        dwell_us: 400_000,
+        area_m: 600.0,
+        ..CityWardrive::default()
+    }
+}
+
+/// The city-scale core's determinism contract (DESIGN.md §11): the
+/// 100k-device path — cell grid, calendar queue, SoA arena, per-segment
+/// seeds — produces a byte-identical merged envelope at 1, 4 and 8
+/// workers. Pinned here on a scaled-down city so tier-1 stays fast; the
+/// full-size run is `exp_city_wardrive` (CI's city-smoke job).
+#[test]
+fn city_wardrive_envelope_is_worker_invariant() {
+    let run = |workers: usize| {
+        let mut obs = Obs::new();
+        let report = mini_city().run_observed(workers, &mut obs);
+        (report, obs.metrics_json())
+    };
+    let (report1, metrics1) = run(1);
+    assert!(report1.discovered > 0, "silent mini city: {report1:?}");
+    assert!(report1.verified > 0, "{report1:?}");
+    for workers in [4, 8] {
+        let (report, metrics) = run(workers);
+        assert_eq!(report1, report, "city report drifts at {workers} workers");
+        assert_eq!(metrics1, metrics, "city metrics drift at {workers} workers");
+    }
+}
+
+/// The calendar queue is a drop-in for the legacy binary heap: same
+/// (time, seq) total order, so byte-identical results — on the new city
+/// path and on the pre-refactor seed scenario (legacy all-pairs
+/// propagation, sequential draws) alike.
+#[test]
+fn calendar_queue_matches_legacy_heap() {
+    use polite_wifi::frame::{builder, MacAddr};
+    use polite_wifi::mac::StationConfig;
+    use polite_wifi::phy::rate::BitRate;
+    use polite_wifi::sim::{SchedulerKind, SimConfig, Simulator};
+
+    // City path: calendar (the default) vs heap, everything else equal.
+    let city = |scheduler: SchedulerKind| {
+        let mut obs = Obs::new();
+        let drive = CityWardrive {
+            scheduler,
+            ..mini_city()
+        };
+        (drive.run_observed(2, &mut obs), obs.metrics_json())
+    };
+    assert_eq!(
+        city(SchedulerKind::Calendar),
+        city(SchedulerKind::Heap),
+        "calendar and heap city drives diverge"
+    );
+
+    // Pre-refactor seed scenario: a close-range fake-null exchange on
+    // the legacy all-pairs medium. The heap run reproduces exactly what
+    // the pinned results were generated with, so equality here pins the
+    // calendar queue to the pre-refactor event order.
+    let exchange = |scheduler: SchedulerKind| {
+        let victim_mac: MacAddr = "f2:6e:0b:11:22:33".parse().unwrap();
+        let cfg = SimConfig {
+            scheduler,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(cfg, 2020);
+        let victim = sim.add_node(StationConfig::client(victim_mac), (0.0, 0.0));
+        let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (5.0, 0.0));
+        sim.set_monitor(attacker, true);
+        for i in 0..200u64 {
+            sim.inject(
+                1_000 + i * 4_000,
+                attacker,
+                builder::fake_null_frame(victim_mac, MacAddr::FAKE),
+                BitRate::Mbps1,
+            );
+        }
+        sim.run_until(2_000_000);
+        (
+            sim.station(victim).stats,
+            sim.node(attacker).acks_received,
+            sim.events_dispatched(),
+            sim.take_obs().metrics_json(),
+        )
+    };
+    assert_eq!(
+        exchange(SchedulerKind::Calendar),
+        exchange(SchedulerKind::Heap),
+        "calendar and heap diverge on the legacy exchange scenario"
     );
 }
 
