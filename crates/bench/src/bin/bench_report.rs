@@ -27,6 +27,20 @@
 //! bench_report --out FILE          # also write the rendered report to FILE
 //!                                   #   (a committed snapshot); --label TEXT
 //!                                   #   embeds a label in the JSON
+//! bench_report --only csi,hub      # run a subset of sections (codec, sim,
+//!                                   #   csi, wardrive, city, keystroke,
+//!                                   #   power, hub); --check then compares
+//!                                   #   only the measured metrics
+//! bench_report --from FILE --check # re-check a previously written report
+//!                                   #   without re-running the workloads
+//!                                   #   (the CI trend job gates one run
+//!                                   #   against two baselines this way)
+//! bench_report --gate-only PREFIXES # gate only metrics whose name starts
+//!                                   #   with one of the comma-separated
+//!                                   #   prefixes; everything else is
+//!                                   #   skipped. CI uses this to timing-gate
+//!                                   #   the ms-scale sensing stages without
+//!                                   #   tripping on ns-scale codec noise
 //! ```
 //!
 //! The baseline is parsed with `polite_wifi_obs::json::parse` (the
@@ -68,7 +82,7 @@ struct Metric {
     name: String,
     kind: Kind,
     value: f64,
-    unit: &'static str,
+    unit: String,
 }
 
 #[derive(Debug)]
@@ -88,7 +102,7 @@ impl Report {
             name: name.to_string(),
             kind: Kind::Work,
             value,
-            unit,
+            unit: unit.to_string(),
         });
     }
 
@@ -97,8 +111,42 @@ impl Report {
             name: name.to_string(),
             kind: Kind::Timing,
             value,
-            unit,
+            unit: unit.to_string(),
         });
+    }
+
+    /// Rehydrates a report previously written by `to_json` — the `--from`
+    /// path, which re-checks a committed snapshot without re-running the
+    /// workloads (the CI trend job gates the same run against two
+    /// baselines this way).
+    fn from_json(doc: &JsonValue) -> Result<Report, String> {
+        let metrics = doc
+            .get("metrics")
+            .and_then(|m| m.as_object())
+            .ok_or("report has no `metrics` object")?;
+        let mut report = Report::new();
+        for (name, entry) in metrics {
+            let kind = match entry.get("kind").and_then(|k| k.as_str()) {
+                Some("timing") => Kind::Timing,
+                _ => Kind::Work,
+            };
+            let value = entry
+                .get("value")
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("metric `{name}` has no numeric value"))?;
+            let unit = entry
+                .get("unit")
+                .and_then(|u| u.as_str())
+                .unwrap_or("")
+                .to_string();
+            report.metrics.push(Metric {
+                name: name.clone(),
+                kind,
+                value,
+                unit,
+            });
+        }
+        Ok(report)
     }
 
     fn to_json(&self, quick: bool, label: Option<&str>) -> String {
@@ -120,7 +168,7 @@ impl Report {
                 .key("value")
                 .f64(m.value)
                 .key("unit")
-                .string(m.unit)
+                .string(&m.unit)
                 .end_object();
         }
         w.end_object().end_object();
@@ -256,11 +304,17 @@ fn run_exchange_sim(report: &mut Report) -> f64 {
 }
 
 fn run_csi_pipeline(report: &mut Report, quick: bool) {
+    use polite_wifi_sensing::batch::{self, BatchPolicy};
+    use polite_wifi_sensing::features;
+    use polite_wifi_sensing::segment::{segment, SegmenterConfig};
+
     let iters = if quick { 3 } else { 20 };
     let s = csi_series(6750);
     let conditioned = filter::condition(&s);
     let cfg = KeystrokeDetectorConfig::default();
     let keystrokes = detect_keystrokes(&conditioned, &cfg);
+    let seg_cfg = SegmenterConfig::default();
+    let segments = segment(&conditioned, &seg_cfg);
 
     report.work(
         "work.csi.conditioned_mean_x1e6",
@@ -272,15 +326,85 @@ fn run_csi_pipeline(report: &mut Report, quick: bool) {
         keystrokes.len() as f64,
         "events",
     );
+    report.work("work.csi.segments_45s", segments.len() as f64, "segments");
     report.timing(
         "time.csi.condition_45s",
         time_ns(iters, || filter::condition(&s)) / 1e6,
+        "ms",
+    );
+
+    // Per-stage breakdown of the conditioning chain, timed through the
+    // same kernels the active `BatchPolicy` dispatches to — so the trend
+    // job can see *which* stage regressed, not just the chain total.
+    let policy = BatchPolicy::active();
+    let hampel_ns = if policy == BatchPolicy::Scalar {
+        time_ns(iters, || filter::hampel(&s, 5, 3.0))
+    } else {
+        time_ns(iters, || batch::hampel_exact(&s, 5, 3.0))
+    };
+    report.timing("time.csi.hampel_45s", hampel_ns / 1e6, "ms");
+    let despiked = if policy == BatchPolicy::Scalar {
+        filter::hampel(&s, 5, 3.0)
+    } else {
+        batch::hampel_exact(&s, 5, 3.0)
+    };
+    let ma_ns = if policy == BatchPolicy::Reassociated {
+        time_ns(iters, || batch::moving_average_reassoc(&despiked, 2))
+    } else {
+        time_ns(iters, || filter::moving_average(&despiked, 2))
+    };
+    report.timing("time.csi.moving_average_45s", ma_ns / 1e6, "ms");
+    report.timing(
+        "time.csi.features_45s",
+        time_ns(iters, || {
+            features::sliding_features(&conditioned, seg_cfg.window_len, seg_cfg.hop)
+        }) / 1e6,
+        "ms",
+    );
+    report.timing(
+        "time.csi.segment_45s",
+        time_ns(iters, || segment(&conditioned, &seg_cfg)) / 1e6,
         "ms",
     );
     report.timing(
         "time.csi.keystroke_detect_45s",
         time_ns(iters, || detect_keystrokes(&conditioned, &cfg)) / 1e6,
         "ms",
+    );
+}
+
+/// The 1k-link sensing hub macro: renders, conditions and segments a
+/// thousand links' CSI through the batched kernels. Work metrics are
+/// mode-invariant (the hub always runs at full scale); the wall time is
+/// the headline `time.macro.sensing_hub_1k` trend metric.
+fn run_sensing_hub_macro(report: &mut Report) {
+    use polite_wifi_core::BatchSensingHub;
+    use polite_wifi_obs::{names, Obs};
+
+    let hub = BatchSensingHub::default();
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(8);
+    let mut obs = Obs::new();
+    let start = Instant::now();
+    let scan = hub.run_observed(workers, &mut obs);
+    report.timing(
+        "time.macro.sensing_hub_1k",
+        start.elapsed().as_secs_f64() * 1e3,
+        "ms",
+    );
+    report.work("work.hub.links", scan.links as f64, "links");
+    report.work("work.hub.batches", scan.batches as f64, "batches");
+    report.work("work.hub.motion_links", scan.motion_links as f64, "links");
+    report.work(
+        "work.hub.motion_windows",
+        scan.motion_windows as f64,
+        "windows",
+    );
+    report.work(
+        "work.hub.csi_samples",
+        obs.counters.get(names::SENSING_CSI_SAMPLES) as f64,
+        "samples",
     );
 }
 
@@ -430,6 +554,8 @@ fn check(
     report: &Report,
     tolerance: f64,
     gate_timing: bool,
+    partial: bool,
+    gate_only: Option<&[String]>,
 ) -> Result<usize, Vec<String>> {
     let mut failures: Vec<String> = Vec::new();
     let mut drifts: Vec<Drift> = Vec::new();
@@ -444,6 +570,11 @@ fn check(
         if kind == "timing" && !gate_timing {
             continue;
         }
+        if let Some(prefixes) = gate_only {
+            if !prefixes.iter().any(|p| name.starts_with(p.as_str())) {
+                continue;
+            }
+        }
         let base_value = match entry.get("value").and_then(|v| v.as_f64()) {
             Some(v) => v,
             None => {
@@ -453,6 +584,7 @@ fn check(
         };
         let current = match report.metrics.iter().find(|m| &m.name == name) {
             Some(m) => m.value,
+            None if partial => continue, // --only ran a subset; skip the rest
             None => {
                 failures.push(format!(
                     "metric `{name}` is in the baseline but was not measured \
@@ -524,6 +656,18 @@ struct Args {
     out: Option<PathBuf>,
     /// Free-form label embedded in the report JSON (`"label"` key).
     label: Option<String>,
+    /// Run only these comma-separated sections (codec, sim, csi,
+    /// wardrive, city, keystroke, power, hub). In `--check` mode the
+    /// comparison is restricted to the metrics actually measured.
+    only: Option<Vec<String>>,
+    /// Re-check a previously written report instead of running the
+    /// workloads (no report/baseline files are written in this mode).
+    from: Option<PathBuf>,
+    /// Gate only metrics whose name starts with one of these prefixes
+    /// (after the work/timing kind filter). Lets CI timing-gate the
+    /// stable ms-scale sensing stages without tripping on ns-scale
+    /// codec timings, which are pure scheduler noise on shared runners.
+    gate_only: Option<Vec<String>>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -536,6 +680,9 @@ fn parse_args() -> Result<Args, String> {
         gate_timing: false,
         out: None,
         label: None,
+        only: None,
+        from: None,
+        gate_only: None,
     };
     let mut args = std::env::args().skip(1);
     let mut unknown: Vec<String> = Vec::new();
@@ -576,10 +723,63 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| "--label needs a value".to_string())?;
                 out.label = Some(raw);
             }
+            "--only" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| "--only needs a value".to_string())?;
+                let sections: Vec<String> = raw
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                const KNOWN: [&str; 8] = [
+                    "codec",
+                    "sim",
+                    "csi",
+                    "wardrive",
+                    "city",
+                    "keystroke",
+                    "power",
+                    "hub",
+                ];
+                for s in &sections {
+                    if !KNOWN.contains(&s.as_str()) {
+                        return Err(format!(
+                            "--only: unknown section `{s}` (known: {})",
+                            KNOWN.join(", ")
+                        ));
+                    }
+                }
+                if sections.is_empty() {
+                    return Err("--only needs at least one section".to_string());
+                }
+                out.only = Some(sections);
+            }
+            "--from" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| "--from needs a value".to_string())?;
+                out.from = Some(PathBuf::from(raw));
+            }
+            "--gate-only" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| "--gate-only needs a value".to_string())?;
+                let prefixes: Vec<String> = raw
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if prefixes.is_empty() {
+                    return Err("--gate-only needs at least one prefix".to_string());
+                }
+                out.gate_only = Some(prefixes);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: bench_report [--check] [--write-baseline] [--baseline FILE] \
-                     [--tolerance PCT] [--quick] [--gate-timing] [--out FILE] [--label TEXT]"
+                     [--tolerance PCT] [--quick] [--gate-timing] [--out FILE] [--label TEXT] \
+                     [--only SECTIONS] [--from FILE] [--gate-only PREFIXES]"
                         .to_string(),
                 )
             }
@@ -613,23 +813,82 @@ fn main() {
         args.tolerance
     );
 
-    let mut report = Report::new();
-    let total = Instant::now();
-    run_codec(&mut report, args.quick);
-    println!("  codec workloads done");
-    let per_event_ms = run_exchange_sim(&mut report);
-    println!("  exchange simulator done");
-    run_csi_pipeline(&mut report, args.quick);
-    println!("  CSI pipeline done");
-    run_wardrive_shard(&mut report);
-    println!("  wardrive shard done");
-    run_city_macro(&mut report, per_event_ms);
-    println!("  city wardrive macro done");
-    run_keystroke_macro(&mut report);
-    println!("  keystroke macro done");
-    run_power_macro(&mut report);
-    println!("  power sweep done");
-    println!("all workloads in {:.1}s", total.elapsed().as_secs_f64());
+    let report = if let Some(from_path) = &args.from {
+        // Re-check a committed snapshot — no workloads, no new files.
+        let raw = match std::fs::read_to_string(from_path) {
+            Ok(raw) => raw,
+            Err(err) => {
+                eprintln!("cannot read report {}: {err}", from_path.display());
+                std::process::exit(1);
+            }
+        };
+        let doc = match parse(&raw) {
+            Ok(v) => v,
+            Err(err) => {
+                eprintln!("report {} is not valid JSON: {err}", from_path.display());
+                std::process::exit(1);
+            }
+        };
+        match Report::from_json(&doc) {
+            Ok(report) => {
+                println!(
+                    "loaded {} metrics from {} (workloads skipped)",
+                    report.metrics.len(),
+                    from_path.display()
+                );
+                report
+            }
+            Err(err) => {
+                eprintln!("report {}: {err}", from_path.display());
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let enabled = |section: &str| {
+            args.only
+                .as_ref()
+                .map_or(true, |s| s.iter().any(|o| o == section))
+        };
+        let mut report = Report::new();
+        let total = Instant::now();
+        if enabled("codec") {
+            run_codec(&mut report, args.quick);
+            println!("  codec workloads done");
+        }
+        // The city macro prices its all-pairs extrapolation with the
+        // exchange sim's per-event cost, so `city` implies `sim`.
+        let mut per_event_ms = 0.0;
+        if enabled("sim") || enabled("city") {
+            per_event_ms = run_exchange_sim(&mut report);
+            println!("  exchange simulator done");
+        }
+        if enabled("csi") {
+            run_csi_pipeline(&mut report, args.quick);
+            println!("  CSI pipeline done");
+        }
+        if enabled("wardrive") {
+            run_wardrive_shard(&mut report);
+            println!("  wardrive shard done");
+        }
+        if enabled("city") {
+            run_city_macro(&mut report, per_event_ms);
+            println!("  city wardrive macro done");
+        }
+        if enabled("keystroke") {
+            run_keystroke_macro(&mut report);
+            println!("  keystroke macro done");
+        }
+        if enabled("power") {
+            run_power_macro(&mut report);
+            println!("  power sweep done");
+        }
+        if enabled("hub") {
+            run_sensing_hub_macro(&mut report);
+            println!("  sensing hub macro done");
+        }
+        println!("all workloads in {:.1}s", total.elapsed().as_secs_f64());
+        report
+    };
 
     println!("\n{:<34} {:>14}  unit", "metric", "value");
     for m in &report.metrics {
@@ -642,33 +901,35 @@ fn main() {
         );
     }
 
-    let json = report.to_json(args.quick, args.label.as_deref());
-    let report_path = match polite_wifi_harness::write_json(REPORT_SLUG, &RawJson(&json)) {
-        Ok(path) => path,
-        Err(err) => {
-            eprintln!("failed to write report: {err}");
-            std::process::exit(1);
-        }
-    };
-    println!("\n[bench report written to {}]", report_path.display());
+    if args.from.is_none() {
+        let json = report.to_json(args.quick, args.label.as_deref());
+        let report_path = match polite_wifi_harness::write_json(REPORT_SLUG, &RawJson(&json)) {
+            Ok(path) => path,
+            Err(err) => {
+                eprintln!("failed to write report: {err}");
+                std::process::exit(1);
+            }
+        };
+        println!("\n[bench report written to {}]", report_path.display());
 
-    if let Some(out_path) = &args.out {
-        if let Err(err) = std::fs::write(out_path, &json) {
-            eprintln!("failed to write {}: {err}", out_path.display());
-            std::process::exit(1);
+        if let Some(out_path) = &args.out {
+            if let Err(err) = std::fs::write(out_path, &json) {
+                eprintln!("failed to write {}: {err}", out_path.display());
+                std::process::exit(1);
+            }
+            println!("[labelled snapshot written to {}]", out_path.display());
         }
-        println!("[labelled snapshot written to {}]", out_path.display());
-    }
 
-    if args.write_baseline {
-        if let Err(err) = std::fs::write(&args.baseline, &json) {
-            eprintln!("failed to write baseline: {err}");
-            std::process::exit(1);
+        if args.write_baseline {
+            if let Err(err) = std::fs::write(&args.baseline, &json) {
+                eprintln!("failed to write baseline: {err}");
+                std::process::exit(1);
+            }
+            println!(
+                "[baseline written to {} — commit it]",
+                args.baseline.display()
+            );
         }
-        println!(
-            "[baseline written to {} — commit it]",
-            args.baseline.display()
-        );
     }
 
     if args.check {
@@ -692,7 +953,14 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        match check(&baseline, &report, args.tolerance, args.gate_timing) {
+        match check(
+            &baseline,
+            &report,
+            args.tolerance,
+            args.gate_timing,
+            args.only.is_some(),
+            args.gate_only.as_deref(),
+        ) {
             Ok(gated) => {
                 println!(
                     "\nbench gate PASSED: {gated} metrics within {}%",

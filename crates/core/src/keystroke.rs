@@ -127,15 +127,20 @@ impl KeystrokeAttack {
 
         // Sample the CSI channel at each ACK, driven by the ground-truth
         // motion. The channel's AR(1) memory is calibrated near 150 Hz —
-        // the rate this attack produces.
+        // the rate this attack produces. All ACKs render in one batched
+        // pass (bit-identical to the per-ACK loop).
+        let intensities: Vec<f64> = ack_times
+            .iter()
+            .map(|&t| self.script.intensity_at(t))
+            .collect();
         let mut channel = CsiChannel::with_config(self.seed, CsiConfig::default());
+        let csi = channel.sample_batch(&intensities);
         let mut series = CsiSeries::new();
-        for &t in &ack_times {
-            let snap = channel.sample(self.script.intensity_at(t));
-            series.push(t, snap);
+        for (j, &t) in ack_times.iter().enumerate() {
+            series.push(t, csi.snapshot(j));
         }
 
-        let raw = series.subcarrier_amplitudes(self.subcarrier);
+        let raw = csi.subcarrier_amplitudes(self.subcarrier);
         let amplitudes = filter::condition(&raw);
 
         // Per-phase stats.

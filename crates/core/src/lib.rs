@@ -42,6 +42,6 @@ pub use keystroke::{KeystrokeAttack, KeystrokeAttackResult};
 pub use ranging::{estimate_range, RangeEstimate};
 pub use retry::RetryPolicy;
 pub use scanner::{CityReport, CityWardrive, ScanReport, WardriveScanner};
-pub use sensing_hub::{SensingHub, SensingReport};
+pub use sensing_hub::{BatchHubReport, BatchSensingHub, SensingHub, SensingReport};
 pub use verifier::{AckVerifier, VerifiedExchange};
 pub use vitals::{VitalSignsAttack, VitalSignsResult};

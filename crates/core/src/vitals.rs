@@ -79,20 +79,24 @@ impl VitalSignsAttack {
         sim.run_until(self.duration_us + 100_000);
 
         let script = MotionScript::breathing(self.duration_us, self.true_bpm);
-        let mut channel = CsiChannel::new(self.seed);
         let mut series = CsiSeries::new();
+        let mut intensities = Vec::new();
         for cf in sim.node(attacker).capture.frames() {
             if matches!(&cf.frame, Frame::Ctrl(ControlFrame::Ack { ra }) if *ra == MacAddr::FAKE) {
-                let snap = channel.sample(script.intensity_at(cf.ts_us));
-                series.push(cf.ts_us, snap);
+                series.times_us.push(cf.ts_us);
+                intensities.push(script.intensity_at(cf.ts_us));
             }
         }
+        // One batched render of the whole ACK stream (bit-identical to
+        // the per-ACK sampling loop it replaced).
+        let mut channel = CsiChannel::new(self.seed);
+        let csi = channel.sample_batch(&intensities);
 
-        let amplitudes = series.subcarrier_amplitudes(self.subcarrier);
+        let amplitudes = csi.subcarrier_amplitudes(self.subcarrier);
         let sample_rate_hz = series.sample_rate_hz();
         VitalSignsResult {
             true_bpm: self.true_bpm,
-            samples: series.len(),
+            samples: csi.len(),
             sample_rate_hz,
             estimate: estimate_breathing_rate(&amplitudes, sample_rate_hz),
         }

@@ -13,8 +13,9 @@
 //! decisions, `power.*` for radio power accounting, `frame.fate.*` for
 //! the per-frame medium-fate taxonomy (DESIGN.md §10), `fault.*` for
 //! injected impairments, `retry.*` for the attacker-side recovery loop,
-//! `wardrive.*`/`sensing.*` for experiment-level tallies and
-//! `harness.*` for trial bookkeeping.
+//! `wardrive.*`/`sensing.*` for experiment-level tallies, `hub.*` for
+//! the batched sensing hub's link/batch accounting, and `harness.*` for
+//! trial bookkeeping.
 
 /// Counter: frames that would have decoded but were corrupted by
 /// injected burst loss (Gilbert–Elliott).
@@ -88,6 +89,19 @@ pub const SIM_EVENTS_DISPATCHED: &str = "sim.events_dispatched";
 /// sampled once per wardrive segment (0 under all-pairs propagation).
 pub const SIM_CELLS_OCCUPIED: &str = "sim.cells_occupied";
 
+/// Counter: CSI samples rendered by a sensing scenario.
+pub const SENSING_CSI_SAMPLES: &str = "sensing.csi_samples";
+
+/// Counter: motion windows a sensing scenario detected.
+pub const SENSING_MOTION_WINDOWS: &str = "sensing.motion_windows";
+
+/// Counter: links the batched sensing hub multiplexed.
+pub const HUB_LINKS: &str = "hub.links";
+
+/// Counter: kernel batches (one `SeriesBatch` pass each) the batched
+/// sensing hub processed.
+pub const HUB_BATCHES: &str = "hub.batches";
+
 /// Every exact runtime-emitted counter/histogram name.
 pub const REGISTERED: &[&str] = &[
     // sim.* — event-loop outcomes.
@@ -139,14 +153,16 @@ pub const REGISTERED: &[&str] = &[
     RETRY_BACKOFF_US,
     RETRY_QUARANTINED,
     HARNESS_TRIAL_FAILURES,
-    // wardrive.* / sensing.* — experiment-level tallies.
+    // wardrive.* / sensing.* / hub.* — experiment-level tallies.
     "wardrive.discovered",
     "wardrive.verified",
     "wardrive.clients",
     "wardrive.aps",
-    "sensing.csi_samples",
-    "sensing.motion_windows",
+    SENSING_CSI_SAMPLES,
+    SENSING_MOTION_WINDOWS,
     "sensing.windows_scored",
+    HUB_LINKS,
+    HUB_BATCHES,
 ];
 
 /// Registered name families with a dynamic final segment: per-reason

@@ -48,6 +48,80 @@ impl CsiSnapshot {
     }
 }
 
+/// A flat structure-of-arrays batch of CSI snapshots — the batched
+/// sensing pipeline's native representation (DESIGN.md §12).
+///
+/// Layout is sample-major: element `s * subcarriers + k` is subcarrier
+/// `k` of sample `s`, matching the order the channel generates values
+/// in, so [`CsiChannel::sample_batch`] writes it with no scatter.
+/// Values are bit-for-bit the ones the equivalent sequence of
+/// [`CsiChannel::sample`] calls would have produced.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CsiBatch {
+    /// Subcarriers per sample.
+    pub subcarriers: usize,
+    /// Per-subcarrier amplitudes, sample-major.
+    pub amplitudes: Vec<f64>,
+    /// Per-subcarrier phases, sample-major.
+    pub phases: Vec<f64>,
+}
+
+impl CsiBatch {
+    /// An empty batch with capacity for `samples` snapshots.
+    pub fn with_capacity(subcarriers: usize, samples: usize) -> CsiBatch {
+        CsiBatch {
+            subcarriers,
+            amplitudes: Vec::with_capacity(subcarriers * samples),
+            phases: Vec::with_capacity(subcarriers * samples),
+        }
+    }
+
+    /// Number of snapshots in the batch.
+    pub fn len(&self) -> usize {
+        self.amplitudes
+            .len()
+            .checked_div(self.subcarriers)
+            .unwrap_or(0)
+    }
+
+    /// True when the batch holds no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.amplitudes.is_empty()
+    }
+
+    /// Amplitude of one (sample, subcarrier) cell.
+    pub fn amplitude(&self, sample: usize, subcarrier: usize) -> f64 {
+        self.amplitudes[sample * self.subcarriers + subcarrier]
+    }
+
+    /// Copies one sample out as an AoS [`CsiSnapshot`].
+    pub fn snapshot(&self, sample: usize) -> CsiSnapshot {
+        let lo = sample * self.subcarriers;
+        let hi = lo + self.subcarriers;
+        CsiSnapshot {
+            amplitudes: self.amplitudes[lo..hi].to_vec(),
+            phases: self.phases[lo..hi].to_vec(),
+        }
+    }
+
+    /// Gathers the amplitude time series of one subcarrier (a strided
+    /// column of the batch) into a contiguous row.
+    pub fn subcarrier_amplitudes(&self, subcarrier: usize) -> Vec<f64> {
+        assert!(subcarrier < self.subcarriers, "subcarrier out of range");
+        self.amplitudes
+            .chunks_exact(self.subcarriers)
+            .map(|row| row[subcarrier])
+            .collect()
+    }
+
+    /// Appends another batch (same subcarrier count) to this one.
+    pub fn extend(&mut self, other: &CsiBatch) {
+        assert_eq!(self.subcarriers, other.subcarriers, "subcarrier mismatch");
+        self.amplitudes.extend_from_slice(&other.amplitudes);
+        self.phases.extend_from_slice(&other.phases);
+    }
+}
+
 /// Configuration of the synthetic CSI channel.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CsiConfig {
@@ -91,6 +165,14 @@ pub struct CsiChannel {
     scatter: Vec<Complex>,
     /// Tap delays in units of the sample period (fractional allowed).
     delays: Vec<f64>,
+    /// Precomputed subcarrier rotations `e^(−j2π·fₖ·τᵢ)`, row-major
+    /// `[subcarrier][tap]`. Delays and the subcarrier grid are fixed at
+    /// construction, so the per-sample sin/cos of the original scalar
+    /// loop folds into this table — values are bit-identical.
+    rot: Vec<Complex>,
+    /// Per-tap gain scratch (static + scatter), refreshed each sample so
+    /// the subcarrier loop reads a flat array instead of re-adding.
+    gains: Vec<Complex>,
 }
 
 impl CsiChannel {
@@ -117,12 +199,27 @@ impl CsiChannel {
             *t = t.scale(scale);
         }
         let scatter = vec![Complex::ZERO; config.taps];
+        let n = config.subcarriers;
+        let mut rot = Vec::with_capacity(n * config.taps);
+        for k in 0..n {
+            // Normalised subcarrier frequency in [-0.5, 0.5) — the same
+            // expression the per-sample loop used before the table.
+            let fk = (k as f64 - n as f64 / 2.0) / n as f64;
+            for &delay in &delays {
+                rot.push(Complex::from_polar(
+                    1.0,
+                    -2.0 * std::f64::consts::PI * fk * delay,
+                ));
+            }
+        }
         CsiChannel {
             config,
             rng,
             static_taps,
             scatter,
             delays,
+            rot,
+            gains: vec![Complex::ZERO; config.taps],
         }
     }
 
@@ -131,39 +228,86 @@ impl CsiChannel {
         &self.config
     }
 
-    /// Advances the channel by one sample interval under `motion_intensity`
-    /// in `[0, 1]` and returns the CSI the receiver would measure.
-    pub fn sample(&mut self, motion_intensity: f64) -> CsiSnapshot {
+    /// The multipath tap delays, in sample periods.
+    pub fn tap_delays(&self) -> &[f64] {
+        &self.delays
+    }
+
+    /// Evolves the scattered components by one sample interval: decay
+    /// toward zero, excited by motion-scaled innovations.
+    fn advance(&mut self, motion_intensity: f64) {
         let m = motion_intensity.clamp(0.0, 1.0);
         let cfg = self.config;
-        // Evolve the scattered components: decay toward zero, excited by
-        // motion-scaled innovations.
         let innovation_sigma = cfg.scatter_scale * (1.0 - cfg.rho * cfg.rho).sqrt();
         for (i, s) in self.scatter.iter_mut().enumerate() {
             let tap_weight = self.static_taps[i].abs().max(0.05);
             let drive = cn(&mut self.rng, innovation_sigma * tap_weight * m);
             *s = s.scale(cfg.rho) + drive;
         }
-
-        let n = cfg.subcarriers;
-        let mut amplitudes = Vec::with_capacity(n);
-        let mut phases = Vec::with_capacity(n);
-        for k in 0..n {
-            // Normalised subcarrier frequency in [-0.5, 0.5).
-            let fk = (k as f64 - n as f64 / 2.0) / n as f64;
-            let mut h = Complex::ZERO;
-            for i in 0..cfg.taps {
-                let gain = self.static_taps[i] + self.scatter[i];
-                let rot =
-                    Complex::from_polar(1.0, -2.0 * std::f64::consts::PI * fk * self.delays[i]);
-                h += gain * rot;
-            }
-            let noise = cn(&mut self.rng, cfg.noise_std);
-            let observed = h + noise;
-            amplitudes.push(observed.abs());
-            phases.push(observed.arg());
+        for (g, (st, sc)) in self
+            .gains
+            .iter_mut()
+            .zip(self.static_taps.iter().zip(&self.scatter))
+        {
+            *g = *st + *sc;
         }
+    }
+
+    /// Renders the current channel state (plus fresh measurement noise)
+    /// into per-subcarrier amplitude/phase slices of length
+    /// `config.subcarriers`.
+    fn render_into(&mut self, amplitudes: &mut [f64], phases: &mut [f64]) {
+        let n = self.config.subcarriers;
+        let taps = self.config.taps;
+        let noise_std = self.config.noise_std;
+        debug_assert_eq!(amplitudes.len(), n);
+        for k in 0..n {
+            let rot_row = &self.rot[k * taps..(k + 1) * taps];
+            let mut h = Complex::ZERO;
+            for (gain, rot) in self.gains.iter().zip(rot_row) {
+                h += *gain * *rot;
+            }
+            let noise = cn(&mut self.rng, noise_std);
+            let observed = h + noise;
+            amplitudes[k] = observed.abs();
+            phases[k] = observed.arg();
+        }
+    }
+
+    /// Advances the channel by one sample interval under `motion_intensity`
+    /// in `[0, 1]` and returns the CSI the receiver would measure.
+    pub fn sample(&mut self, motion_intensity: f64) -> CsiSnapshot {
+        let n = self.config.subcarriers;
+        let mut amplitudes = vec![0.0; n];
+        let mut phases = vec![0.0; n];
+        self.advance(motion_intensity);
+        self.render_into(&mut amplitudes, &mut phases);
         CsiSnapshot { amplitudes, phases }
+    }
+
+    /// Advances the channel once per entry of `intensities` and returns
+    /// all snapshots as one flat SoA [`CsiBatch`].
+    ///
+    /// RNG draws, evolution, and float operations happen in exactly the
+    /// order the equivalent [`CsiChannel::sample`] loop would perform
+    /// them, so the batch is bit-for-bit the AoS sequence — pinned by
+    /// the `sample_batch_matches_sample_loop` proptest.
+    pub fn sample_batch(&mut self, intensities: &[f64]) -> CsiBatch {
+        let n = self.config.subcarriers;
+        let mut batch = CsiBatch {
+            subcarriers: n,
+            amplitudes: vec![0.0; n * intensities.len()],
+            phases: vec![0.0; n * intensities.len()],
+        };
+        for (s, &m) in intensities.iter().enumerate() {
+            self.advance(m);
+            let lo = s * n;
+            self.render_into(
+                &mut batch.amplitudes[lo..lo + n],
+                &mut batch.phases[lo..lo + n],
+            );
+        }
+        batch
     }
 
     /// Convenience: samples `n` snapshots at a constant motion intensity
@@ -305,6 +449,45 @@ mod tests {
         assert!(s.amplitudes.iter().all(|a| a.is_finite()));
         let s = ch.sample(-3.0);
         assert!(s.amplitudes.iter().all(|a| a.is_finite()));
+    }
+
+    #[test]
+    fn sample_batch_is_bit_identical_to_sample_loop() {
+        let intensities: Vec<f64> = (0..120).map(|i| (i % 7) as f64 / 6.0).collect();
+        let mut aos = CsiChannel::new(11);
+        let mut soa = CsiChannel::new(11);
+        let batch = soa.sample_batch(&intensities);
+        assert_eq!(batch.len(), intensities.len());
+        for (s, &m) in intensities.iter().enumerate() {
+            let snap = aos.sample(m);
+            assert_eq!(batch.snapshot(s), snap, "sample {s}");
+        }
+    }
+
+    #[test]
+    fn csi_batch_accessors_agree() {
+        let mut ch = CsiChannel::new(12);
+        let batch = ch.sample_batch(&[0.0, 0.5, 1.0]);
+        let col = batch.subcarrier_amplitudes(17);
+        assert_eq!(col.len(), 3);
+        for (s, v) in col.iter().enumerate() {
+            assert_eq!(*v, batch.amplitude(s, 17));
+        }
+        let mut tail = CsiBatch::with_capacity(batch.subcarriers, 1);
+        tail.extend(&ch.sample_batch(&[0.25]));
+        assert_eq!(tail.len(), 1);
+        let mut all = batch.clone();
+        all.extend(&tail);
+        assert_eq!(all.len(), 4);
+        assert_eq!(all.snapshot(3), tail.snapshot(0));
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let mut ch = CsiChannel::new(13);
+        let batch = ch.sample_batch(&[]);
+        assert!(batch.is_empty());
+        assert_eq!(batch.len(), 0);
     }
 
     #[test]

@@ -107,6 +107,24 @@ proptest! {
     }
 
     #[test]
+    fn sample_batch_matches_sample_loop(seed in any::<u64>(),
+                                        intensities in proptest::collection::vec(-0.5f64..1.5, 1..80)) {
+        // The batched SoA path must be bit-for-bit the AoS sequence: same
+        // RNG draw order, same float op order (out-of-range intensities
+        // included, which exercise the clamp).
+        let mut aos = CsiChannel::new(seed);
+        let mut soa = CsiChannel::new(seed);
+        let batch = soa.sample_batch(&intensities);
+        prop_assert_eq!(batch.len(), intensities.len());
+        for (s, m) in intensities.iter().enumerate() {
+            let snap = aos.sample(*m);
+            prop_assert_eq!(&batch.snapshot(s), &snap, "sample {}", s);
+        }
+        // And the channels end in identical states.
+        prop_assert_eq!(aos.sample(0.3), soa.sample(0.3));
+    }
+
+    #[test]
     fn erfc_bounds(x in -6.0f64..6.0) {
         let v = link::erfc(x);
         prop_assert!((0.0..=2.0).contains(&v));

@@ -74,8 +74,22 @@ pub fn extract(window: &[f64]) -> FeatureVector {
 
 /// Splits `series` into consecutive windows of `window_len` samples
 /// (hopping by `hop`) and extracts features from each. Returns
-/// `(window_start_index, features)` pairs.
+/// `(window_start_index, features)` pairs. Dispatches to the one-sort
+/// batched extractor unless the active [`crate::batch::BatchPolicy`] is
+/// `Scalar`; both paths are bit-identical.
 pub fn sliding_features(
+    series: &[f64],
+    window_len: usize,
+    hop: usize,
+) -> Vec<(usize, FeatureVector)> {
+    match crate::batch::BatchPolicy::active() {
+        crate::batch::BatchPolicy::Scalar => sliding_features_scalar(series, window_len, hop),
+        _ => crate::batch::sliding_features_fast(series, window_len, hop),
+    }
+}
+
+/// The scalar reference sliding-window extractor.
+pub fn sliding_features_scalar(
     series: &[f64],
     window_len: usize,
     hop: usize,

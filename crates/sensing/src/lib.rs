@@ -15,12 +15,16 @@
 //! * [`classify`] — threshold and 1-NN activity classifiers,
 //! * [`keystroke`] — typing-burst detection on the filtered series,
 //!
+//! * [`batch`] — batched SoA kernels behind a [`batch::BatchPolicy`]
+//!   knob (the scalar modules above stay the reference semantics),
+//!
 //! plus two of the paper's explicitly-posed open questions, answered on
 //! the synthetic channel:
 //!
 //! * [`breathing`] — vital-sign (breathing-rate) estimation, and
 //! * [`occupancy`] — room-occupancy detection.
 
+pub mod batch;
 pub mod breathing;
 pub mod classify;
 pub mod dataset;
@@ -32,6 +36,7 @@ pub mod script;
 pub mod segment;
 pub mod series;
 
+pub use batch::{BatchPolicy, SeriesBatch};
 pub use breathing::{estimate_breathing_rate, BreathingEstimate};
 pub use classify::{ActivityClass, KnnClassifier, ThresholdClassifier};
 pub use occupancy::{detect_occupancy, OccupancyConfig, OccupancyInterval};

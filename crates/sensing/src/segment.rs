@@ -47,6 +47,17 @@ impl Default for SegmenterConfig {
 /// Finds active segments in an amplitude series.
 pub fn segment(series: &[f64], config: &SegmenterConfig) -> Vec<Segment> {
     let feats = sliding_features(series, config.window_len, config.hop);
+    segment_from_features(&feats, series.len(), config)
+}
+
+/// Segments from already-extracted sliding features — the shared back
+/// half of [`segment`], reused by the batched pipeline so features
+/// computed over a [`crate::batch::SeriesBatch`] need not be recomputed.
+pub fn segment_from_features(
+    feats: &[(usize, crate::features::FeatureVector)],
+    series_len: usize,
+    config: &SegmenterConfig,
+) -> Vec<Segment> {
     if feats.is_empty() {
         return Vec::new();
     }
@@ -60,7 +71,7 @@ pub fn segment(series: &[f64], config: &SegmenterConfig) -> Vec<Segment> {
 
     let mut segments = Vec::new();
     let mut active_start: Option<usize> = None;
-    for &(start, ref f) in &feats {
+    for &(start, ref f) in feats {
         match active_start {
             None if f.std_dev >= on => active_start = Some(start),
             Some(s) if f.std_dev < off => {
@@ -74,7 +85,7 @@ pub fn segment(series: &[f64], config: &SegmenterConfig) -> Vec<Segment> {
         }
     }
     if let Some(s) = active_start {
-        let end = series.len();
+        let end = series_len;
         if end - s >= config.min_len {
             segments.push(Segment { start: s, end });
         }

@@ -4,7 +4,7 @@
 //! EXPERIMENTS.md quotes numbers that must regenerate bit-for-bit.
 
 use polite_wifi::core::{
-    BatteryDrainAttack, CityWardrive, KeystrokeAttack, SensingHub, WardriveScanner,
+    BatchSensingHub, BatteryDrainAttack, CityWardrive, KeystrokeAttack, SensingHub, WardriveScanner,
 };
 use polite_wifi::devices::{CityPopulation, DeviceSpec};
 use polite_wifi::harness::{Experiment, RunArgs, Runner};
@@ -341,6 +341,42 @@ fn calendar_queue_matches_legacy_heap() {
         exchange(SchedulerKind::Heap),
         "calendar and heap diverge on the legacy exchange scenario"
     );
+}
+
+/// The batched sensing pipeline's determinism contract: a 1k-link hub
+/// run over the batched kernels — per-link `sample_batch` rendering,
+/// `SeriesBatch` conditioning/segmentation, `hub.*` counters — produces
+/// a byte-identical envelope at 1, 4 and 8 workers. A lean CSI channel
+/// keeps the debug-mode run fast; the full-width channel is the
+/// `time.macro.sensing_hub_1k` bench.
+#[test]
+fn batch_sensing_hub_1k_envelope_is_worker_invariant() {
+    let hub = BatchSensingHub {
+        links: 1000,
+        samples_per_link: 240,
+        links_per_batch: 64,
+        csi: polite_wifi::phy::csi::CsiConfig {
+            subcarriers: 4,
+            taps: 3,
+            ..Default::default()
+        },
+        subcarrier: 1,
+        ..BatchSensingHub::default()
+    };
+    let run = |workers: usize| {
+        let mut obs = Obs::new();
+        let report = hub.run_observed(workers, &mut obs);
+        (serde_json::to_string(&report).unwrap(), obs.metrics_json())
+    };
+    let (report1, metrics1) = run(1);
+    assert!(report1.contains("\"links\":1000"), "{report1}");
+    assert!(metrics1.contains("\"hub.links\":1000"), "{metrics1}");
+    assert!(metrics1.contains("\"hub.batches\":16"), "{metrics1}");
+    for workers in [4, 8] {
+        let (report, metrics) = run(workers);
+        assert_eq!(report1, report, "hub report drifts at {workers} workers");
+        assert_eq!(metrics1, metrics, "hub metrics drift at {workers} workers");
+    }
 }
 
 #[test]

@@ -10,7 +10,7 @@
 //! wardrive pipeline, power save — and asserts the union of emitted
 //! names is covered by the registry.
 
-use polite_wifi::core::WardriveScanner;
+use polite_wifi::core::{BatchSensingHub, WardriveScanner};
 use polite_wifi::devices::CityPopulation;
 use polite_wifi::frame::{builder, MacAddr};
 use polite_wifi::mac::StationConfig;
@@ -91,4 +91,29 @@ fn wardrive_pipeline_metrics_are_registered() {
     assert!(obs.counters.get("sim.frames_injected") > 0);
     assert!(obs.counters.get("wardrive.discovered") > 0);
     assert_registered(&obs, "wardrive pipeline");
+}
+
+/// The batched sensing hub: covers the `hub.*` family and the
+/// `sensing.*` tallies its batches emit.
+#[test]
+fn batch_sensing_hub_metrics_are_registered() {
+    let hub = BatchSensingHub {
+        links: 12,
+        samples_per_link: 300,
+        links_per_batch: 5,
+        csi: polite_wifi::phy::csi::CsiConfig {
+            subcarriers: 8,
+            taps: 4,
+            ..Default::default()
+        },
+        subcarrier: 3,
+        ..BatchSensingHub::default()
+    };
+    let mut obs = Obs::new();
+    let report = hub.run_observed(2, &mut obs);
+    assert_eq!(obs.counters.get(names::HUB_LINKS), 12);
+    assert_eq!(obs.counters.get(names::HUB_BATCHES), 3);
+    assert!(obs.counters.get(names::SENSING_CSI_SAMPLES) > 0);
+    assert!(report.motion_links > 0);
+    assert_registered(&obs, "batch sensing hub");
 }
