@@ -1,97 +1,18 @@
-//! E8 — §4.2's battery-life projections: the Logitech Circle 2 and
-//! Amazon Blink XT2 under a 900 pps attack. With `--trials N` the
-//! measurement repeats on N derived seeds and the projections use the
-//! Monte-Carlo mean power.
+//! Thin wrapper: runs the committed `scenarios/battery_life.json` spec
+//! through the scenario runner. The experiment logic lives in
+//! `polite-wifi-scenario`; `exp_run scenarios/battery_life.json` is the
+//! equivalent invocation.
 
-use polite_wifi_bench::{compare, Experiment, RunArgs};
-use polite_wifi_core::BatteryDrainAttack;
+use polite_wifi_harness::RunArgs;
+use polite_wifi_scenario::{run_spec, ScenarioSpec};
 
 fn main() -> std::io::Result<()> {
-    let mut exp = Experiment::start_defaults(
-        "E8: battery-life projections under the 900 pps attack",
-        "§4.2 of the paper (Circle 2 → ~6.7 h, Blink XT2 → ~16.7 h)",
-        RunArgs {
-            seed: 42,
-            ..RunArgs::default()
-        },
-    );
-    let args = exp.args();
-
-    let measurements: Vec<_> = exp
-        .run_trials(|t| {
-            BatteryDrainAttack {
-                rate_pps: 900,
-                seed: t.seed,
-                faults: args.faults,
-                ..BatteryDrainAttack::default()
-            }
-            .run()
-        })
-        .into_iter()
-        .flatten()
-        .collect();
-    if measurements.is_empty() {
-        println!("\n(every trial degraded — writing a failure-only envelope)");
-        return exp.finish(
-            "battery_life",
-            &Vec::<polite_wifi_power::DrainProjection>::new(),
-        );
+    let spec = ScenarioSpec::parse(include_str!("../../../../scenarios/battery_life.json"))
+        .expect("committed scenario file is valid");
+    let args = RunArgs::from_env(spec.run_args());
+    let status = run_spec(&spec, args)?;
+    if status != 0 {
+        std::process::exit(status);
     }
-    for m in &measurements {
-        exp.obs.add("sim.acks_received", m.acks_sent);
-        polite_wifi_power::observe::record_state_durations(
-            &mut exp.obs,
-            "power.victim",
-            &m.durations,
-        );
-        polite_wifi_power::observe::record_power(
-            &mut exp.obs,
-            "power.victim",
-            &polite_wifi_power::PowerProfile::esp8266(),
-            &m.durations,
-        );
-    }
-    let mean_mw =
-        measurements.iter().map(|m| m.average_power_mw).sum::<f64>() / measurements.len() as f64;
-    println!(
-        "\nmeasured victim power at 900 pps: {:.1} mW over {} trial(s) (paper: ~360 mW)\n",
-        mean_mw,
-        measurements.len()
-    );
-    exp.metrics.record("power_mw_at_900pps", mean_mw);
-
-    let m = &measurements[0];
-    let projections = BatteryDrainAttack::project_batteries(m);
-    println!(
-        "{:<20} {:>9} {:>14} {:>13} {:>9}",
-        "device", "mWh", "advertised", "under attack", "speedup"
-    );
-    for p in &projections {
-        println!(
-            "{:<20} {:>9.0} {:>12.0} h {:>11.1} h {:>8.0}x",
-            p.battery.name,
-            p.battery.capacity_mwh,
-            p.battery.advertised_life_hours,
-            p.attacked_life_hours,
-            p.speedup
-        );
-    }
-
-    println!();
-    compare(
-        "Logitech Circle 2 drains in",
-        "~6.7 h",
-        &format!("{:.1} h", projections[0].attacked_life_hours),
-    );
-    compare(
-        "Amazon Blink XT2 drains in",
-        "~16.7 h",
-        &format!("{:.1} h", projections[1].attacked_life_hours),
-    );
-
-    if args.faults.is_clean() {
-        assert!((5.5..8.0).contains(&projections[0].attacked_life_hours));
-        assert!((14.0..19.5).contains(&projections[1].attacked_life_hours));
-    }
-    exp.finish("battery_life", &projections)
+    Ok(())
 }

@@ -1,121 +1,18 @@
-//! E10 — the city-scale wardrive: 100k (or 1M) synthetic devices on the
-//! spatial-cell simulator core.
-//!
-//! Where E5 reproduces Table 2's exact 5,328-device census, this
-//! experiment answers the scale question the paper's §5 gestures at:
-//! what does the survey cost at city volume? A synthetic population is
-//! scattered over a 3 km × 3 km square, partitioned into per-channel
-//! neighbourhood segments, and driven through with the interference-cell
-//! grid and calendar-queue scheduler (DESIGN.md §11).
-//!
-//! Scale knobs:
-//!
-//! - `POLITE_WIFI_CITY_DEVICES=1000000` overrides the 100,000-device
-//!   default (the million-device run).
-//! - `--quick` shrinks the per-segment dwell, **not** the device count —
-//!   the city stays city-sized, each neighbourhood is just visited more
-//!   briefly.
-//! - `--workers N` fans segments over the worker pool; the result
-//!   envelope is byte-identical at every worker count (nothing
-//!   wall-clock-dependent is recorded in it).
+//! Thin wrapper: runs the committed `scenarios/city_wardrive.json` spec
+//! through the scenario runner. The experiment logic lives in
+//! `polite-wifi-scenario`; `exp_run scenarios/city_wardrive.json` is the
+//! equivalent invocation.
 
-use polite_wifi_bench::{compare, Experiment, RunArgs};
-use polite_wifi_core::CityWardrive;
-use polite_wifi_obs::Obs;
+use polite_wifi_harness::RunArgs;
+use polite_wifi_scenario::{run_spec, ScenarioSpec};
 
 fn main() -> std::io::Result<()> {
-    let mut exp = Experiment::start_defaults(
-        "E10: city-scale wardrive — spatial cells at 100k+ devices",
-        "§3 at city scale (synthetic population; DESIGN.md §11)",
-        RunArgs {
-            seed: 2026,
-            ..RunArgs::default()
-        },
-    );
-    let args = exp.args();
-
-    let devices = match std::env::var("POLITE_WIFI_CITY_DEVICES") {
-        Ok(raw) => raw
-            .parse::<usize>()
-            .unwrap_or_else(|_| panic!("POLITE_WIFI_CITY_DEVICES: invalid value `{raw}`")),
-        Err(_) => 100_000,
-    };
-    let drive = CityWardrive {
-        seed: exp.seed(),
-        devices,
-        dwell_us: if args.quick { 500_000 } else { 1_000_000 },
-        faults: args.faults,
-        ..CityWardrive::default()
-    };
-    println!(
-        "\ncity: {} devices over {:.1} km², segments of {}, {} ms dwell, {} worker(s)",
-        drive.devices,
-        (drive.area_m / 1000.0) * (drive.area_m / 1000.0),
-        drive.segment_size,
-        drive.dwell_us / 1000,
-        args.workers
-    );
-
-    let start = std::time::Instant::now();
-    let mut obs = Obs::new();
-    let report = drive.run_observed(args.workers, &mut obs);
-    let wall_s = start.elapsed().as_secs_f64();
-    exp.absorb_obs(obs);
-
-    let events_per_sec = report.events_dispatched as f64 / wall_s.max(1e-9);
-    println!(
-        "drive done in {:.1} s wall / {:.0} s simulated — {} events at {:.2} M events/s \
-         across {} worker(s)",
-        wall_s,
-        report.survey_time_us as f64 / 1e6,
-        report.events_dispatched,
-        events_per_sec / 1e6,
-        args.workers
-    );
-
-    // Only deterministic quantities go into the envelope (wall time and
-    // events/s are printed above instead), so the result JSON stays
-    // byte-identical at workers 1, 4 and 8.
-    exp.metrics.record("devices", report.devices as f64);
-    exp.metrics.record("segments", report.segments as f64);
-    exp.metrics.record("discovered", report.discovered as f64);
-    exp.metrics.record("verified", report.verified as f64);
-    exp.metrics
-        .record("events_dispatched", report.events_dispatched as f64);
-    exp.metrics
-        .record("occupied_cells", report.occupied_cells as f64);
-    exp.metrics
-        .record("survey_time_s", report.survey_time_us as f64 / 1e6);
-    exp.obs.add("wardrive.discovered", report.discovered as u64);
-    exp.obs.add("wardrive.verified", report.verified as u64);
-
-    compare(
-        "devices in range that ACKed our fakes",
-        "all discovered (100%)",
-        &format!(
-            "{}/{} ({:.1}%)",
-            report.verified,
-            report.discovered,
-            100.0 * report.verified as f64 / report.discovered.max(1) as f64
-        ),
-    );
-
-    // The drive only hears what transmits within the 150 m cutoff of its
-    // path, so discovery is sparse by design — but a silent city means
-    // the propagation plumbing broke.
-    assert!(report.discovered > 0, "the whole city stayed silent");
-    assert!(
-        report.verified > 0,
-        "no discovered device ACKed: {report:?}"
-    );
-    assert!(report.occupied_cells > 0, "cell grid never populated");
-
-    exp.finish(
-        if args.quick {
-            "city_wardrive_quick"
-        } else {
-            "city_wardrive"
-        },
-        &report,
-    )
+    let spec = ScenarioSpec::parse(include_str!("../../../../scenarios/city_wardrive.json"))
+        .expect("committed scenario file is valid");
+    let args = RunArgs::from_env(spec.run_args());
+    let status = run_spec(&spec, args)?;
+    if status != 0 {
+        std::process::exit(status);
+    }
+    Ok(())
 }

@@ -1,134 +1,18 @@
-//! E1 — Figure 2: the frames exchanged between attacker and victim.
-//!
-//! One fake null-function frame from `aa:bb:bb:bb:bb:bb` to the victim;
-//! the victim answers with an ACK addressed back to the forged MAC.
-//! Prints the Wireshark-style rows and writes the pcap.
+//! Thin wrapper: runs the committed `scenarios/fig2_trace.json` spec
+//! through the scenario runner. The experiment logic lives in
+//! `polite-wifi-scenario`; `exp_run scenarios/fig2_trace.json` is the
+//! equivalent invocation.
 
-use polite_wifi_bench::{compare, ensure_results_dir, Experiment, RunArgs, ScenarioBuilder};
-use polite_wifi_core::{AckVerifier, FakeFrameInjector, InjectionKind, InjectionPlan};
-use polite_wifi_frame::MacAddr;
-use polite_wifi_pcap::{trace, LinkType};
-use polite_wifi_phy::rate::BitRate;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Fig2Result {
-    fakes_sent: u64,
-    acks_elicited: usize,
-    ack_latency_us: Vec<u64>,
-    trace_rows: Vec<[String; 4]>,
-}
+use polite_wifi_harness::RunArgs;
+use polite_wifi_scenario::{run_spec, ScenarioSpec};
 
 fn main() -> std::io::Result<()> {
-    let mut exp = Experiment::start_defaults(
-        "E1: attacker/victim trace (fake null frame → ACK)",
-        "Figure 2 of 'WiFi Says Hi! Back to Strangers!' (HotNets '20)",
-        RunArgs {
-            seed: 2,
-            ..RunArgs::default()
-        },
-    );
-
-    let victim_mac: MacAddr = "f2:6e:0b:11:22:33".parse().unwrap();
-    let ap_mac: MacAddr = "68:02:b8:00:00:01".parse().unwrap();
-
-    let mut sb = ScenarioBuilder::new()
-        .duration_us(1_500_000)
-        .faults(exp.args().faults);
-    let ap = sb.access_point(ap_mac, "PrivateNet", (2.0, 0.0));
-    let victim = sb.client(victim_mac, (0.0, 0.0));
-    let attacker = sb.monitor(MacAddr::FAKE, (6.0, 0.0));
-    sb.link(victim, ap);
-    let mut scenario = sb.build_with_seed(exp.seed());
-
-    let plan = InjectionPlan {
-        victim: victim_mac,
-        forged_ta: MacAddr::FAKE,
-        kind: InjectionKind::NullData,
-        rate_pps: 5,
-        start_us: 20_000,
-        duration_us: 1_000_000,
-        bitrate: BitRate::Mbps1,
-    };
-    let fakes = FakeFrameInjector::new(attacker).execute(&mut scenario.sim, &plan);
-    let sim = scenario.run();
-
-    // Print the attack exchange only (beacons elided, like the figure).
-    let rows: Vec<_> = trace::rows(&sim.node(attacker).capture)
-        .into_iter()
-        .filter(|r| !r.info.starts_with("Beacon"))
-        .collect();
-    println!("\nSource             Destination        Info");
-    for r in &rows {
-        println!("{:<18} {:<18} {}", r.source, r.destination, r.info);
+    let spec = ScenarioSpec::parse(include_str!("../../../../scenarios/fig2_trace.json"))
+        .expect("committed scenario file is valid");
+    let args = RunArgs::from_env(spec.run_args());
+    let status = run_spec(&spec, args)?;
+    if status != 0 {
+        std::process::exit(status);
     }
-
-    let exchanges = AckVerifier::new(MacAddr::FAKE).verify(&sim.node(attacker).capture);
-    let latencies: Vec<u64> = exchanges
-        .iter()
-        .map(|e| e.ack_ts_us - e.fake_ts_us)
-        .collect();
-    exp.metrics.record("fakes_sent", fakes as f64);
-    exp.metrics.record("acks_elicited", exchanges.len() as f64);
-    for l in &latencies {
-        exp.metrics.record("ack_latency_us", *l as f64);
-    }
-
-    println!();
-    compare(
-        "victim ACKs every fake frame",
-        "yes",
-        if exchanges.len() as u64 == fakes {
-            "yes"
-        } else {
-            "NO"
-        },
-    );
-    compare(
-        "ACK destination is the forged MAC",
-        "aa:bb:bb:bb:bb:bb",
-        &rows
-            .iter()
-            .find(|r| r.info.starts_with("Acknowledgement"))
-            .map(|r| r.destination.clone())
-            .unwrap_or_default(),
-    );
-    compare(
-        "ACK latency after frame end (SIFS + ACK airtime)",
-        "10 µs SIFS",
-        &format!("{} µs total", latencies.first().copied().unwrap_or(0)),
-    );
-
-    let path = ensure_results_dir()?.join("fig2_trace.pcap");
-    sim.node(attacker)
-        .capture
-        .write_pcap_file(&path, LinkType::Ieee80211Radiotap)?;
-    println!("\npcap written to {}", path.display());
-
-    scenario.observe_activity(victim, "power.victim");
-    let snapshot = scenario.sim.take_obs();
-    exp.absorb_obs(snapshot);
-
-    if exp.args().faults.is_clean() {
-        assert_eq!(exchanges.len() as u64, fakes, "every fake must be ACKed");
-    }
-    exp.finish(
-        "fig2_trace",
-        &Fig2Result {
-            fakes_sent: fakes,
-            acks_elicited: exchanges.len(),
-            ack_latency_us: latencies,
-            trace_rows: rows
-                .iter()
-                .map(|r| {
-                    [
-                        r.time.clone(),
-                        r.source.clone(),
-                        r.destination.clone(),
-                        r.info.clone(),
-                    ]
-                })
-                .collect(),
-        },
-    )
+    Ok(())
 }

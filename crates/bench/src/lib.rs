@@ -1,73 +1,28 @@
 //! Shared plumbing for the experiment regenerators.
 //!
 //! Each paper table/figure has a binary under `src/bin/` (see DESIGN.md
-//! §4 for the index). Binaries run their trials through the experiment
-//! harness ([`polite_wifi_harness`]): `Experiment::start…` prints the
-//! standard header and parses the shared `--trials/--workers/--seed/
-//! --quick` flags, and `Experiment::finish` writes the unified result
-//! JSON under `results/`, which EXPERIMENTS.md references. This crate
-//! keeps only the bench-side display helpers and re-exports the harness
-//! entry points so binaries have one import surface.
-
-use serde::Serialize;
-use std::io;
-use std::path::PathBuf;
+//! §4 for the index). Since the Scenario DSL landed, every `exp_*`
+//! binary is a thin wrapper embedding its `scenarios/<slug>.json` spec
+//! and dispatching through [`polite_wifi_scenario`]; the experiment
+//! logic lives in that crate's `experiments` modules and
+//! `exp_run SCENARIO.json` is the equivalent invocation. This crate
+//! keeps the analysis binaries (`bench_report`, `trace_query`), the
+//! Criterion micro-benchmarks, and re-exports the harness entry points
+//! plus the display helpers (now in `polite_wifi_scenario::support`)
+//! so existing imports keep working.
 
 pub use polite_wifi_harness::{
     derive_trial_seed, Experiment, MetricsLedger, RunArgs, Runner, ScenarioBuilder, TrialCtx,
     TrialFailure,
 };
+pub use polite_wifi_scenario::support::{
+    bar, compare, ensure_results_dir, results_dir, write_json,
+};
 pub use polite_wifi_sim::FaultProfile;
-
-/// Directory experiment JSON results are written to (workspace-relative,
-/// `POLITE_WIFI_RESULTS` overrides). Not created by this call — use
-/// [`ensure_results_dir`] before writing into it directly.
-pub fn results_dir() -> PathBuf {
-    polite_wifi_harness::results_dir()
-}
-
-/// Creates the results directory (and parents) if missing and returns
-/// its path. For artifacts written next to the JSON (pcaps, CSVs).
-pub fn ensure_results_dir() -> io::Result<PathBuf> {
-    let dir = results_dir();
-    std::fs::create_dir_all(&dir)?;
-    Ok(dir)
-}
-
-/// Serialises an experiment result to `results/<name>.json`, creating
-/// the directory if needed. Prefer `Experiment::finish`, which wraps the
-/// payload in the unified envelope; this remains for bare payloads.
-pub fn write_json<T: Serialize>(name: &str, value: &T) -> io::Result<PathBuf> {
-    let path = polite_wifi_harness::write_json(name, value)?;
-    println!("\n[result JSON written to {}]", path.display());
-    Ok(path)
-}
-
-/// Prints a paper-vs-measured comparison row.
-pub fn compare(metric: &str, paper: &str, measured: &str) {
-    println!("  {metric:<44} paper: {paper:<12} measured: {measured}");
-}
-
-/// An ASCII bar for quick figure-shaped output.
-pub fn bar(value: f64, max: f64, width: usize) -> String {
-    let filled = ((value / max).clamp(0.0, 1.0) * width as f64).round() as usize;
-    let mut s = "█".repeat(filled);
-    s.push_str(&"·".repeat(width - filled));
-    s
-}
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn bar_scales() {
-        assert_eq!(bar(0.0, 10.0, 10), "··········");
-        assert_eq!(bar(10.0, 10.0, 10), "██████████");
-        assert_eq!(bar(5.0, 10.0, 10).chars().filter(|&c| c == '█').count(), 5);
-        // Overflow clamps.
-        assert_eq!(bar(20.0, 10.0, 4), "████");
-    }
 
     #[test]
     fn write_json_creates_the_directory() {

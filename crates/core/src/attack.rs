@@ -1,0 +1,556 @@
+//! The common attack / probe / assertion trait layer.
+//!
+//! Every experiment used to wire its attacker, its measurements and its
+//! pass/fail checks straight into its `main` — the deauth, NAV-DoS,
+//! ranging, keystroke and wardrive structs each talked to the harness
+//! ad hoc. This module gives the three roles names so a declarative
+//! scenario (see `polite-wifi-scenario`) can compose them from data:
+//!
+//! * an [`Attack`] schedules forged traffic into a prepared
+//!   [`Simulator`] and reports how many frames it committed to the air;
+//! * a [`Probe`] reads measurements out of a *finished* simulation into
+//!   the experiment's [`MetricsLedger`];
+//! * an [`Assertion`] checks recorded metrics against a pass/fail
+//!   predicate, aggregating every violation into one error message
+//!   (the same contract as the harness flag parser).
+//!
+//! The paper's own fake-frame stream ([`InjectionPlan`]) implements
+//! [`Attack`] directly, and the temporal ACK pairer ([`AckVerifier`])
+//! implements [`Probe`]; the related-work attacks (deauth floods per
+//! arXiv 2602.23513, NAV reservations, Bl0ck's forged BlockAckReq per
+//! arXiv 2302.05899) live here as small standalone structs.
+
+use crate::injector::{FakeFrameInjector, InjectionPlan};
+use crate::verifier::AckVerifier;
+use polite_wifi_frame::{builder, ControlFrame, Frame, MacAddr};
+use polite_wifi_harness::MetricsLedger;
+use polite_wifi_phy::rate::BitRate;
+use polite_wifi_sim::{NodeId, Simulator};
+
+/// Launch-time context: which node transmits the forged frames.
+#[derive(Debug, Clone, Copy)]
+pub struct AttackCtx {
+    /// The attacking node (usually a monitor-mode dongle).
+    pub attacker: NodeId,
+    /// The trial's derived seed, for attacks that need randomness.
+    pub seed: u64,
+}
+
+/// Something that schedules forged traffic into a prepared simulator.
+pub trait Attack: Send + Sync {
+    /// Stable kebab-case name (used in scenario files and logs).
+    fn name(&self) -> &'static str;
+    /// Schedule every frame of the attack. Returns frames committed.
+    fn launch(&self, sim: &mut Simulator, ctx: &AttackCtx) -> u64;
+}
+
+/// Something that reads measurements out of a finished simulation.
+pub trait Probe: Send + Sync {
+    /// Stable kebab-case name.
+    fn name(&self) -> &'static str;
+    /// Record this probe's measurements into the ledger.
+    fn observe(&self, sim: &Simulator, ledger: &mut MetricsLedger);
+}
+
+/// A pass/fail predicate over recorded metrics.
+pub trait Assertion {
+    /// Human-readable form, e.g. `throughput_fraction <= 0.2`.
+    fn describe(&self) -> String;
+    /// Check the predicate; `lookup` resolves a metric name to its mean.
+    fn check(&self, lookup: &dyn Fn(&str) -> Option<f64>) -> Result<(), String>;
+}
+
+/// Evaluates every assertion and aggregates all violations into one
+/// error, mirroring the harness flag parser's one-aggregated-error
+/// style.
+pub fn check_all(
+    assertions: &[Box<dyn Assertion>],
+    lookup: &dyn Fn(&str) -> Option<f64>,
+) -> Result<(), String> {
+    let problems: Vec<String> = assertions
+        .iter()
+        .filter_map(|a| a.check(lookup).err())
+        .collect();
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems.join("; "))
+    }
+}
+
+/// The paper's fake-frame stream is the canonical attack.
+impl Attack for InjectionPlan {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            crate::injector::InjectionKind::NullData => "null-flood",
+            crate::injector::InjectionKind::Rts => "rts-flood",
+        }
+    }
+
+    fn launch(&self, sim: &mut Simulator, ctx: &AttackCtx) -> u64 {
+        FakeFrameInjector::new(ctx.attacker).execute(sim, self)
+    }
+}
+
+/// A classic deauthentication flood: forged unprotected deauth frames
+/// claiming the AP's address, aimed at a client (arXiv 2602.23513's
+/// resilience-matrix attacker). PMF-enabled victims discard them — after
+/// ACKing — and stay associated; everyone else is kicked.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeauthFlood {
+    /// The client being kicked.
+    pub victim: MacAddr,
+    /// The AP address the attacker forges as transmitter/BSSID.
+    pub forged_ap: MacAddr,
+    /// Frames per second.
+    pub rate_pps: u32,
+    /// First injection time.
+    pub start_us: u64,
+    /// Stream duration.
+    pub duration_us: u64,
+    /// Transmit bit rate.
+    pub bitrate: BitRate,
+}
+
+impl Attack for DeauthFlood {
+    fn name(&self) -> &'static str {
+        "deauth-flood"
+    }
+
+    fn launch(&self, sim: &mut Simulator, ctx: &AttackCtx) -> u64 {
+        if self.rate_pps == 0 {
+            return 0;
+        }
+        let gap = 1_000_000 / self.rate_pps as u64;
+        let n = self.duration_us * self.rate_pps as u64 / 1_000_000;
+        for i in 0..n {
+            let frame = builder::deauth(
+                self.victim,
+                self.forged_ap,
+                self.forged_ap,
+                (i & 0x0fff) as u16,
+                polite_wifi_frame::ReasonCode::PrevAuthNotValid,
+            );
+            sim.inject(self.start_us + i * gap, ctx.attacker, frame, self.bitrate);
+        }
+        n
+    }
+}
+
+/// A NAV-stuffing RTS flood: oversized `duration_us` reservations that
+/// freeze every honest contender (the exp_ext_nav_dos attacker as a
+/// reusable struct).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NavRtsFlood {
+    /// The station whose CTS the attacker elicits.
+    pub target: MacAddr,
+    /// Forged transmitter address.
+    pub forged_ta: MacAddr,
+    /// The NAV reservation each RTS claims, in microseconds.
+    pub nav_us: u16,
+    /// Frames per second.
+    pub rate_pps: u32,
+    /// First injection time.
+    pub start_us: u64,
+    /// Stream duration.
+    pub duration_us: u64,
+    /// Transmit bit rate.
+    pub bitrate: BitRate,
+}
+
+impl Attack for NavRtsFlood {
+    fn name(&self) -> &'static str {
+        "nav-rts-flood"
+    }
+
+    fn launch(&self, sim: &mut Simulator, ctx: &AttackCtx) -> u64 {
+        if self.rate_pps == 0 {
+            return 0;
+        }
+        let gap = 1_000_000 / self.rate_pps as u64;
+        let n = self.duration_us * self.rate_pps as u64 / 1_000_000;
+        for i in 0..n {
+            let frame = builder::fake_rts(self.target, self.forged_ta, self.nav_us);
+            sim.inject(self.start_us + i * gap, ctx.attacker, frame, self.bitrate);
+        }
+        n
+    }
+}
+
+/// Bl0ck-style Block-Ack paralysis (arXiv 2302.05899): a forged
+/// BlockAckReq claiming an associated peer's address slides the victim's
+/// reordering-window floor to `jump_to_seq`, and the peer's legitimate
+/// traffic below the floor is dropped as stale from then on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockAckParalysis {
+    /// The receiver whose window is being jumped.
+    pub victim: MacAddr,
+    /// The associated peer the attacker impersonates.
+    pub spoofed_peer: MacAddr,
+    /// The sequence number the window floor jumps to.
+    pub jump_to_seq: u16,
+    /// Injection time.
+    pub at_us: u64,
+    /// Transmit bit rate.
+    pub bitrate: BitRate,
+}
+
+impl Attack for BlockAckParalysis {
+    fn name(&self) -> &'static str {
+        "blockack-paralysis"
+    }
+
+    fn launch(&self, sim: &mut Simulator, ctx: &AttackCtx) -> u64 {
+        let bar = Frame::Ctrl(ControlFrame::BlockAckReq {
+            duration_us: 0,
+            ra: self.victim,
+            ta: self.spoofed_peer,
+            control: 0x0004,
+            start_seq: self.jump_to_seq << 4,
+        });
+        sim.inject(self.at_us, ctx.attacker, bar, self.bitrate);
+        1
+    }
+}
+
+/// The temporal ACK pairer doubles as a probe: it records how many of
+/// the attacker's injections were verifiably acknowledged.
+impl Probe for AckVerifier {
+    fn name(&self) -> &'static str {
+        "ack-verifier"
+    }
+
+    fn observe(&self, sim: &Simulator, ledger: &mut MetricsLedger) {
+        let verified = self.verify(sim.global_capture());
+        ledger.record("acks_elicited", verified.len() as f64);
+    }
+}
+
+/// Which [`StationStats`](polite_wifi_mac::StationStats) counter a
+/// [`StationStatProbe`] reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatKind {
+    /// ACKs transmitted.
+    AcksSent,
+    /// CTS responses transmitted.
+    CtsSent,
+    /// Frames delivered to the higher layer.
+    Delivered,
+    /// Frames discarded after the ACK already left.
+    DiscardedAfterAck,
+    /// Duplicates suppressed.
+    Duplicates,
+    /// Deauthentication frames queued.
+    DeauthsSent,
+    /// Data frames dropped below the Block-Ack window floor.
+    BaStaleDropped,
+}
+
+impl StatKind {
+    /// Stable snake_case name used in scenario files.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StatKind::AcksSent => "acks_sent",
+            StatKind::CtsSent => "cts_sent",
+            StatKind::Delivered => "delivered",
+            StatKind::DiscardedAfterAck => "discarded_after_ack",
+            StatKind::Duplicates => "duplicates",
+            StatKind::DeauthsSent => "deauths_sent",
+            StatKind::BaStaleDropped => "ba_stale_dropped",
+        }
+    }
+
+    /// Parses the snake_case name back.
+    pub fn from_label(label: &str) -> Option<StatKind> {
+        Some(match label {
+            "acks_sent" => StatKind::AcksSent,
+            "cts_sent" => StatKind::CtsSent,
+            "delivered" => StatKind::Delivered,
+            "discarded_after_ack" => StatKind::DiscardedAfterAck,
+            "duplicates" => StatKind::Duplicates,
+            "deauths_sent" => StatKind::DeauthsSent,
+            "ba_stale_dropped" => StatKind::BaStaleDropped,
+            _ => return None,
+        })
+    }
+}
+
+/// Records one station counter under a metric name of the scenario's
+/// choosing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationStatProbe {
+    /// The station to read.
+    pub node: NodeId,
+    /// Which counter.
+    pub stat: StatKind,
+    /// The ledger metric name to record under.
+    pub metric: String,
+}
+
+impl Probe for StationStatProbe {
+    fn name(&self) -> &'static str {
+        "station-stat"
+    }
+
+    fn observe(&self, sim: &Simulator, ledger: &mut MetricsLedger) {
+        let stats = &sim.station(self.node).stats;
+        let value = match self.stat {
+            StatKind::AcksSent => stats.acks_sent,
+            StatKind::CtsSent => stats.cts_sent,
+            StatKind::Delivered => stats.delivered,
+            StatKind::DiscardedAfterAck => stats.discarded_after_ack,
+            StatKind::Duplicates => stats.duplicates,
+            StatKind::DeauthsSent => stats.deauths_sent,
+            StatKind::BaStaleDropped => stats.ba_stale_dropped,
+        };
+        ledger.record(&self.metric, value as f64);
+    }
+}
+
+/// Records whether a station is still associated with `peer` (1 or 0) —
+/// the deauth-resilience verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationProbe {
+    /// The station to inspect.
+    pub node: NodeId,
+    /// The peer whose association is checked.
+    pub peer: MacAddr,
+    /// The ledger metric name to record under.
+    pub metric: String,
+}
+
+impl Probe for AssociationProbe {
+    fn name(&self) -> &'static str {
+        "association"
+    }
+
+    fn observe(&self, sim: &Simulator, ledger: &mut MetricsLedger) {
+        let associated = sim.station(self.node).is_associated_with(self.peer);
+        ledger.record(&self.metric, if associated { 1.0 } else { 0.0 });
+    }
+}
+
+/// The comparison operator of a [`MetricAssertion`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// The operator's scenario-file spelling.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+            CmpOp::Le => "<=",
+            CmpOp::Lt => "<",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
+
+    /// Parses the scenario-file spelling.
+    pub fn from_symbol(sym: &str) -> Option<CmpOp> {
+        Some(match sym {
+            ">=" => CmpOp::Ge,
+            ">" => CmpOp::Gt,
+            "<=" => CmpOp::Le,
+            "<" => CmpOp::Lt,
+            "==" => CmpOp::Eq,
+            "!=" => CmpOp::Ne,
+            _ => return None,
+        })
+    }
+
+    /// Applies the comparison.
+    pub fn holds(&self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+        }
+    }
+}
+
+/// `metric <op> value` over a recorded metric's mean.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricAssertion {
+    /// The ledger metric to check.
+    pub metric: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub value: f64,
+}
+
+impl Assertion for MetricAssertion {
+    fn describe(&self) -> String {
+        format!("{} {} {}", self.metric, self.op.symbol(), self.value)
+    }
+
+    fn check(&self, lookup: &dyn Fn(&str) -> Option<f64>) -> Result<(), String> {
+        match lookup(&self.metric) {
+            None => Err(format!(
+                "assertion `{}` references unrecorded metric `{}`",
+                self.describe(),
+                self.metric
+            )),
+            Some(actual) if !self.op.holds(actual, self.value) => Err(format!(
+                "assertion `{}` failed: measured {actual}",
+                self.describe()
+            )),
+            Some(_) => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polite_wifi_mac::StationConfig;
+    use polite_wifi_sim::SimConfig;
+
+    fn victim_mac() -> MacAddr {
+        "f2:6e:0b:11:22:33".parse().unwrap()
+    }
+
+    #[test]
+    fn injection_plan_is_an_attack() {
+        let mut sim = Simulator::new(SimConfig::default(), 5);
+        let victim = sim.add_node(StationConfig::client(victim_mac()), (0.0, 0.0));
+        let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (5.0, 0.0));
+        let plan = InjectionPlan {
+            victim: victim_mac(),
+            forged_ta: MacAddr::FAKE,
+            kind: crate::injector::InjectionKind::NullData,
+            rate_pps: 50,
+            start_us: 0,
+            duration_us: 1_000_000,
+            bitrate: BitRate::Mbps1,
+        };
+        let attack: &dyn Attack = &plan;
+        let n = attack.launch(&mut sim, &AttackCtx { attacker, seed: 7 });
+        assert_eq!(n, 50);
+        sim.run_until(2_000_000);
+        assert_eq!(sim.station(victim).stats.acks_sent, 50);
+
+        let mut ledger = MetricsLedger::new();
+        StationStatProbe {
+            node: victim,
+            stat: StatKind::AcksSent,
+            metric: "acks".into(),
+        }
+        .observe(&sim, &mut ledger);
+        assert_eq!(ledger.mean("acks"), Some(50.0));
+    }
+
+    #[test]
+    fn deauth_flood_kicks_unprotected_client_only() {
+        for (pmf, expect_associated) in [(false, false), (true, true)] {
+            let ap_mac: MacAddr = "68:02:b8:00:00:01".parse().unwrap();
+            let mut sim = Simulator::new(SimConfig::default(), 7);
+            let mut cfg = StationConfig::client(victim_mac());
+            if pmf {
+                cfg.behavior = polite_wifi_mac::Behavior::pmf_client();
+            }
+            let victim = sim.add_node(cfg, (0.0, 0.0));
+            sim.station_mut(victim).associate(ap_mac);
+            let attacker = sim.add_node(StationConfig::client(MacAddr::FAKE), (5.0, 0.0));
+            let flood = DeauthFlood {
+                victim: victim_mac(),
+                forged_ap: ap_mac,
+                rate_pps: 10,
+                start_us: 0,
+                duration_us: 500_000,
+                bitrate: BitRate::Mbps1,
+            };
+            assert_eq!(flood.launch(&mut sim, &AttackCtx { attacker, seed: 1 }), 5);
+            sim.run_until(1_000_000);
+            let mut ledger = MetricsLedger::new();
+            AssociationProbe {
+                node: victim,
+                peer: ap_mac,
+                metric: "still_associated".into(),
+            }
+            .observe(&sim, &mut ledger);
+            let expected = if expect_associated { 1.0 } else { 0.0 };
+            assert_eq!(ledger.mean("still_associated"), Some(expected), "pmf={pmf}");
+        }
+    }
+
+    #[test]
+    fn metric_assertions_aggregate_failures() {
+        let assertions: Vec<Box<dyn Assertion>> = vec![
+            Box::new(MetricAssertion {
+                metric: "a".into(),
+                op: CmpOp::Ge,
+                value: 1.0,
+            }),
+            Box::new(MetricAssertion {
+                metric: "b".into(),
+                op: CmpOp::Lt,
+                value: 0.5,
+            }),
+            Box::new(MetricAssertion {
+                metric: "missing".into(),
+                op: CmpOp::Eq,
+                value: 0.0,
+            }),
+        ];
+        let lookup = |name: &str| match name {
+            "a" => Some(2.0),
+            "b" => Some(0.9),
+            _ => None,
+        };
+        let err = check_all(&assertions, &lookup).unwrap_err();
+        assert!(err.contains("assertion `b < 0.5` failed: measured 0.9"));
+        assert!(err.contains("unrecorded metric `missing`"));
+        assert!(!err.contains("`a >= 1`"));
+        assert_eq!(err.matches("; ").count(), 1);
+    }
+
+    #[test]
+    fn cmp_op_symbols_round_trip() {
+        for op in [
+            CmpOp::Ge,
+            CmpOp::Gt,
+            CmpOp::Le,
+            CmpOp::Lt,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
+            assert_eq!(CmpOp::from_symbol(op.symbol()), Some(op));
+        }
+        assert_eq!(CmpOp::from_symbol("=>"), None);
+    }
+
+    #[test]
+    fn stat_kind_labels_round_trip() {
+        for stat in [
+            StatKind::AcksSent,
+            StatKind::CtsSent,
+            StatKind::Delivered,
+            StatKind::DiscardedAfterAck,
+            StatKind::Duplicates,
+            StatKind::DeauthsSent,
+            StatKind::BaStaleDropped,
+        ] {
+            assert_eq!(StatKind::from_label(stat.label()), Some(stat));
+        }
+        assert_eq!(StatKind::from_label("nope"), None);
+    }
+}

@@ -18,6 +18,10 @@
 //!   Section 4.3, and
 //! * [`analysis`] — the SIFS-vs-decryption feasibility argument of
 //!   Section 2.2 in executable form,
+//! * [`attack`] — the [`Attack`](attack::Attack) /
+//!   [`Probe`](attack::Probe) / [`Assertion`](attack::Assertion) trait
+//!   layer that declarative scenarios compose attacks and pass/fail
+//!   checks from,
 //!
 //! and two extensions following the paper's future-work pointers:
 //!
@@ -26,6 +30,7 @@
 //!   victim (the Wi-Peep direction).
 
 pub mod analysis;
+pub mod attack;
 pub mod drain;
 pub mod injector;
 pub mod keystroke;
@@ -36,6 +41,10 @@ pub mod sensing_hub;
 pub mod verifier;
 pub mod vitals;
 
+pub use attack::{
+    check_all, Assertion, AssociationProbe, Attack, AttackCtx, BlockAckParalysis, CmpOp,
+    DeauthFlood, MetricAssertion, NavRtsFlood, Probe, StatKind, StationStatProbe,
+};
 pub use drain::{BatteryDrainAttack, DrainMeasurement};
 pub use injector::{FakeFrameInjector, InjectionKind, InjectionPlan};
 pub use keystroke::{KeystrokeAttack, KeystrokeAttackResult};

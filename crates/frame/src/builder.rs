@@ -1,7 +1,7 @@
 //! Convenience constructors for the frames the paper's experiments use.
 
 use crate::addr::MacAddr;
-use crate::ctrl::ControlFrame;
+use crate::control::ControlFrame;
 use crate::data::DataFrame;
 use crate::frame::Frame;
 use crate::ie::InformationElement;

@@ -1,5 +1,12 @@
-//! The 16-bit Frame Control field.
+//! The 16-bit Frame Control field and the control-frame codec.
+//!
+//! Control frames are the paper's trump card (Section 2.2): they *cannot*
+//! be encrypted, because every station in the vicinity must decode them to
+//! honour channel reservations. Even if a future MAC validated data frames
+//! before acknowledging, a forged [`ControlFrame::Rts`] still elicits a
+//! [`ControlFrame::Cts`] from an unassociated victim.
 
+use crate::addr::MacAddr;
 use crate::error::FrameError;
 use serde::{Deserialize, Serialize};
 
@@ -213,6 +220,264 @@ impl FrameControl {
     }
 }
 
+/// A decoded control frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlFrame {
+    /// Request To Send: reserves the medium for `duration_us`.
+    Rts {
+        /// NAV reservation in microseconds.
+        duration_us: u16,
+        /// Receiver address.
+        ra: MacAddr,
+        /// Transmitter address.
+        ta: MacAddr,
+    },
+    /// Clear To Send: the response an RTS elicits — even from strangers.
+    Cts {
+        /// Remaining NAV reservation in microseconds.
+        duration_us: u16,
+        /// Receiver address (copied from the RTS transmitter).
+        ra: MacAddr,
+    },
+    /// Acknowledgement: the "Hi!" the paper's title refers to.
+    Ack {
+        /// Receiver address (copied from the acknowledged frame's TA).
+        ra: MacAddr,
+    },
+    /// PS-Poll: a dozing station asking its AP for buffered frames.
+    PsPoll {
+        /// Association id (with the two high bits set on air).
+        aid: u16,
+        /// BSSID of the AP being polled.
+        bssid: MacAddr,
+        /// Transmitter (the polling station).
+        ta: MacAddr,
+    },
+    /// BlockAck request (basic variant).
+    BlockAckReq {
+        /// NAV in microseconds.
+        duration_us: u16,
+        /// Receiver address.
+        ra: MacAddr,
+        /// Transmitter address.
+        ta: MacAddr,
+        /// BAR control field.
+        control: u16,
+        /// Starting sequence control.
+        start_seq: u16,
+    },
+    /// BlockAck (compressed bitmap variant).
+    BlockAck {
+        /// NAV in microseconds.
+        duration_us: u16,
+        /// Receiver address.
+        ra: MacAddr,
+        /// Transmitter address.
+        ta: MacAddr,
+        /// BA control field.
+        control: u16,
+        /// Starting sequence control.
+        start_seq: u16,
+        /// 64-frame compressed acknowledgement bitmap.
+        bitmap: u64,
+    },
+    /// CF-End: truncates a NAV reservation.
+    CfEnd {
+        /// Receiver address (broadcast on air).
+        ra: MacAddr,
+        /// BSSID.
+        bssid: MacAddr,
+    },
+}
+
+impl ControlFrame {
+    /// The subtype this frame encodes as.
+    pub fn subtype(&self) -> u8 {
+        match self {
+            ControlFrame::Rts { .. } => ctrl_subtype::RTS,
+            ControlFrame::Cts { .. } => ctrl_subtype::CTS,
+            ControlFrame::Ack { .. } => ctrl_subtype::ACK,
+            ControlFrame::PsPoll { .. } => ctrl_subtype::PS_POLL,
+            ControlFrame::BlockAckReq { .. } => ctrl_subtype::BLOCK_ACK_REQ,
+            ControlFrame::BlockAck { .. } => ctrl_subtype::BLOCK_ACK,
+            ControlFrame::CfEnd { .. } => ctrl_subtype::CF_END,
+        }
+    }
+
+    /// The receiver address (address 1) of this frame.
+    pub fn ra(&self) -> MacAddr {
+        match *self {
+            ControlFrame::Rts { ra, .. }
+            | ControlFrame::Cts { ra, .. }
+            | ControlFrame::Ack { ra }
+            | ControlFrame::BlockAckReq { ra, .. }
+            | ControlFrame::BlockAck { ra, .. }
+            | ControlFrame::CfEnd { ra, .. } => ra,
+            ControlFrame::PsPoll { bssid, .. } => bssid,
+        }
+    }
+
+    /// The transmitter address, when the subtype carries one.
+    pub fn ta(&self) -> Option<MacAddr> {
+        match *self {
+            ControlFrame::Rts { ta, .. }
+            | ControlFrame::PsPoll { ta, .. }
+            | ControlFrame::BlockAckReq { ta, .. }
+            | ControlFrame::BlockAck { ta, .. } => Some(ta),
+            ControlFrame::CfEnd { bssid, .. } => Some(bssid),
+            ControlFrame::Cts { .. } | ControlFrame::Ack { .. } => None,
+        }
+    }
+
+    /// Encodes header + body (no FCS).
+    pub fn encode(&self) -> Vec<u8> {
+        let fc = FrameControl::new(FrameType::Control, self.subtype());
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(&fc.encode());
+        match *self {
+            ControlFrame::Rts {
+                duration_us,
+                ra,
+                ta,
+            } => {
+                out.extend_from_slice(&duration_us.to_le_bytes());
+                out.extend_from_slice(&ra.octets());
+                out.extend_from_slice(&ta.octets());
+            }
+            ControlFrame::Cts { duration_us, ra } => {
+                out.extend_from_slice(&duration_us.to_le_bytes());
+                out.extend_from_slice(&ra.octets());
+            }
+            ControlFrame::Ack { ra } => {
+                out.extend_from_slice(&0u16.to_le_bytes());
+                out.extend_from_slice(&ra.octets());
+            }
+            ControlFrame::PsPoll { aid, bssid, ta } => {
+                out.extend_from_slice(&(aid | 0xc000).to_le_bytes());
+                out.extend_from_slice(&bssid.octets());
+                out.extend_from_slice(&ta.octets());
+            }
+            ControlFrame::BlockAckReq {
+                duration_us,
+                ra,
+                ta,
+                control,
+                start_seq,
+            } => {
+                out.extend_from_slice(&duration_us.to_le_bytes());
+                out.extend_from_slice(&ra.octets());
+                out.extend_from_slice(&ta.octets());
+                out.extend_from_slice(&control.to_le_bytes());
+                out.extend_from_slice(&start_seq.to_le_bytes());
+            }
+            ControlFrame::BlockAck {
+                duration_us,
+                ra,
+                ta,
+                control,
+                start_seq,
+                bitmap,
+            } => {
+                out.extend_from_slice(&duration_us.to_le_bytes());
+                out.extend_from_slice(&ra.octets());
+                out.extend_from_slice(&ta.octets());
+                out.extend_from_slice(&control.to_le_bytes());
+                out.extend_from_slice(&start_seq.to_le_bytes());
+                out.extend_from_slice(&bitmap.to_le_bytes());
+            }
+            ControlFrame::CfEnd { ra, bssid } => {
+                out.extend_from_slice(&0u16.to_le_bytes());
+                out.extend_from_slice(&ra.octets());
+                out.extend_from_slice(&bssid.octets());
+            }
+        }
+        out
+    }
+
+    /// Parses a control frame given its already-decoded Frame Control.
+    pub fn parse(fc: FrameControl, buf: &[u8]) -> Result<Self, FrameError> {
+        let need = |needed: usize, context: &'static str| -> Result<(), FrameError> {
+            if buf.len() < needed {
+                Err(FrameError::Truncated {
+                    context,
+                    needed,
+                    available: buf.len(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let duration = if buf.len() >= 4 {
+            u16::from_le_bytes([buf[2], buf[3]])
+        } else {
+            0
+        };
+        match fc.subtype {
+            ctrl_subtype::RTS => {
+                need(16, "RTS")?;
+                Ok(ControlFrame::Rts {
+                    duration_us: duration,
+                    ra: MacAddr::parse(&buf[4..])?,
+                    ta: MacAddr::parse(&buf[10..])?,
+                })
+            }
+            ctrl_subtype::CTS => {
+                need(10, "CTS")?;
+                Ok(ControlFrame::Cts {
+                    duration_us: duration,
+                    ra: MacAddr::parse(&buf[4..])?,
+                })
+            }
+            ctrl_subtype::ACK => {
+                need(10, "ACK")?;
+                Ok(ControlFrame::Ack {
+                    ra: MacAddr::parse(&buf[4..])?,
+                })
+            }
+            ctrl_subtype::PS_POLL => {
+                need(16, "PS-Poll")?;
+                Ok(ControlFrame::PsPoll {
+                    aid: duration & 0x3fff,
+                    bssid: MacAddr::parse(&buf[4..])?,
+                    ta: MacAddr::parse(&buf[10..])?,
+                })
+            }
+            ctrl_subtype::BLOCK_ACK_REQ => {
+                need(20, "BlockAckReq")?;
+                Ok(ControlFrame::BlockAckReq {
+                    duration_us: duration,
+                    ra: MacAddr::parse(&buf[4..])?,
+                    ta: MacAddr::parse(&buf[10..])?,
+                    control: u16::from_le_bytes([buf[16], buf[17]]),
+                    start_seq: u16::from_le_bytes([buf[18], buf[19]]),
+                })
+            }
+            ctrl_subtype::BLOCK_ACK => {
+                need(28, "BlockAck")?;
+                Ok(ControlFrame::BlockAck {
+                    duration_us: duration,
+                    ra: MacAddr::parse(&buf[4..])?,
+                    ta: MacAddr::parse(&buf[10..])?,
+                    control: u16::from_le_bytes([buf[16], buf[17]]),
+                    start_seq: u16::from_le_bytes([buf[18], buf[19]]),
+                    bitmap: u64::from_le_bytes(buf[20..28].try_into().unwrap()),
+                })
+            }
+            ctrl_subtype::CF_END => {
+                need(16, "CF-End")?;
+                Ok(ControlFrame::CfEnd {
+                    ra: MacAddr::parse(&buf[4..])?,
+                    bssid: MacAddr::parse(&buf[10..])?,
+                })
+            }
+            other => Err(FrameError::UnsupportedSubtype {
+                ftype: FrameType::Control.bits(),
+                subtype: other,
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +546,103 @@ mod tests {
         assert!(fc.is_null_data());
         let fc = FrameControl::new(FrameType::Data, data_subtype::QOS_DATA);
         assert!(!fc.is_null_data());
+    }
+
+    fn addr(last: u8) -> MacAddr {
+        MacAddr::new([0x02, 0, 0, 0, 0, last])
+    }
+
+    fn round_trip(frame: ControlFrame) {
+        let bytes = frame.encode();
+        let fc = FrameControl::parse(&bytes).unwrap();
+        assert_eq!(ControlFrame::parse(fc, &bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn ack_is_ten_bytes_without_fcs() {
+        let ack = ControlFrame::Ack { ra: MacAddr::FAKE };
+        assert_eq!(ack.encode().len(), 10);
+        round_trip(ack);
+    }
+
+    #[test]
+    fn rts_is_sixteen_bytes_without_fcs() {
+        let rts = ControlFrame::Rts {
+            duration_us: 248,
+            ra: addr(1),
+            ta: MacAddr::FAKE,
+        };
+        assert_eq!(rts.encode().len(), 16);
+        round_trip(rts);
+    }
+
+    #[test]
+    fn cts_round_trip() {
+        round_trip(ControlFrame::Cts {
+            duration_us: 200,
+            ra: MacAddr::FAKE,
+        });
+    }
+
+    #[test]
+    fn ps_poll_aid_masking() {
+        let frame = ControlFrame::PsPoll {
+            aid: 7,
+            bssid: addr(1),
+            ta: addr(2),
+        };
+        let bytes = frame.encode();
+        // On air the AID carries 0xc000.
+        assert_eq!(u16::from_le_bytes([bytes[2], bytes[3]]), 7 | 0xc000);
+        round_trip(frame);
+    }
+
+    #[test]
+    fn block_ack_round_trip() {
+        round_trip(ControlFrame::BlockAck {
+            duration_us: 0,
+            ra: addr(1),
+            ta: addr(2),
+            control: 0x0005,
+            start_seq: 100 << 4,
+            bitmap: 0xffff_0000_ff00_00ff,
+        });
+        round_trip(ControlFrame::BlockAckReq {
+            duration_us: 32,
+            ra: addr(1),
+            ta: addr(2),
+            control: 0x0004,
+            start_seq: 100 << 4,
+        });
+    }
+
+    #[test]
+    fn cf_end_round_trip() {
+        round_trip(ControlFrame::CfEnd {
+            ra: MacAddr::BROADCAST,
+            bssid: addr(1),
+        });
+    }
+
+    #[test]
+    fn truncated_ack_rejected() {
+        let ack = ControlFrame::Ack { ra: addr(1) };
+        let bytes = ack.encode();
+        let fc = FrameControl::parse(&bytes).unwrap();
+        assert!(ControlFrame::parse(fc, &bytes[..8]).is_err());
+    }
+
+    #[test]
+    fn ra_and_ta_accessors() {
+        let rts = ControlFrame::Rts {
+            duration_us: 0,
+            ra: addr(1),
+            ta: addr(2),
+        };
+        assert_eq!(rts.ra(), addr(1));
+        assert_eq!(rts.ta(), Some(addr(2)));
+        let ack = ControlFrame::Ack { ra: addr(3) };
+        assert_eq!(ack.ra(), addr(3));
+        assert_eq!(ack.ta(), None);
     }
 }

@@ -1,8 +1,8 @@
 //! The unified [`Frame`] type: parse and encode any supported 802.11 frame.
 
 use crate::addr::MacAddr;
+use crate::control::ControlFrame;
 use crate::control::{FrameControl, FrameType};
-use crate::ctrl::ControlFrame;
 use crate::data::DataFrame;
 use crate::error::FrameError;
 use crate::fcs;

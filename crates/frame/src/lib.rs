@@ -9,7 +9,7 @@
 //! * management frames ([`mgmt`]): beacons, deauthentication, probe
 //!   request/response, authentication, (dis)association and action frames,
 //!   with typed [information elements](ie),
-//! * control frames ([`ctrl`]): RTS, CTS, ACK, PS-Poll, BlockAck(-Req),
+//! * control frames ([`control`]): RTS, CTS, ACK, PS-Poll, BlockAck(-Req),
 //!   CF-End — the frames the paper shows cannot be protected,
 //! * data frames ([`data`]): plain, null-function ("the fake frame" used by
 //!   the paper's attacker), and their QoS variants,
@@ -43,6 +43,7 @@
 pub mod addr;
 pub mod builder;
 pub mod control;
+#[deprecated(note = "merged into `control`; import `crate::control::ControlFrame` instead")]
 pub mod ctrl;
 pub mod data;
 pub mod error;
@@ -54,8 +55,7 @@ pub mod reason;
 pub mod seq;
 
 pub use addr::MacAddr;
-pub use control::{FrameControl, FrameType};
-pub use ctrl::ControlFrame;
+pub use control::{ControlFrame, FrameControl, FrameType};
 pub use data::{DataBody, DataFrame};
 pub use error::FrameError;
 pub use frame::Frame;

@@ -2,8 +2,8 @@
 //! losslessly through its on-air byte representation, and the FCS must
 //! reject corruption.
 
+use polite_wifi_frame::control::ControlFrame;
 use polite_wifi_frame::control::FrameControl;
-use polite_wifi_frame::ctrl::ControlFrame;
 use polite_wifi_frame::data::DataFrame;
 use polite_wifi_frame::ie::InformationElement;
 use polite_wifi_frame::mgmt::{ManagementBody, ManagementFrame};

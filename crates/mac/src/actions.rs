@@ -26,6 +26,10 @@ pub enum DiscardReason {
     PmfViolation,
     /// Frame failed decryption (wrong/absent key). ACKed anyway.
     DecryptFailed,
+    /// Data frame older than the receiver's Block-Ack window floor. A
+    /// forged BlockAckReq (Bl0ck, arXiv 2302.05899) slides the floor
+    /// forward and legitimate traffic is dropped as stale. ACKed anyway.
+    BlockAckWindowStale,
 }
 
 impl DiscardReason {
@@ -40,6 +44,7 @@ impl DiscardReason {
             DiscardReason::Blocklisted => "blocklisted",
             DiscardReason::PmfViolation => "pmf_violation",
             DiscardReason::DecryptFailed => "decrypt_failed",
+            DiscardReason::BlockAckWindowStale => "ba_window_stale",
         }
     }
 }

@@ -118,6 +118,8 @@ pub struct StationStats {
     pub duplicates: u64,
     /// Beacons transmitted.
     pub beacons_sent: u64,
+    /// Data frames dropped for falling behind the Block-Ack window floor.
+    pub ba_stale_dropped: u64,
 }
 
 /// An 802.11 station (client or AP) as an event-driven state machine.
@@ -150,6 +152,10 @@ pub struct Station {
     blocklist: HashSet<MacAddr>,
     /// Last deauth-burst time per offender, for cooldown.
     last_deauth: HashMap<MacAddr, u64>,
+    /// Per-transmitter Block-Ack reordering window floor (WinStart, in
+    /// sequence numbers). Slid forward by BlockAckReq — including forged
+    /// ones, the Bl0ck paralysis primitive (arXiv 2302.05899).
+    ba_window: HashMap<MacAddr, u16>,
     /// Power-save: is the radio up?
     awake: bool,
     /// Power-save: whether the AP has already been told we are dozing
@@ -192,6 +198,7 @@ impl Station {
             ps_buffer: HashMap::new(),
             blocklist: HashSet::new(),
             last_deauth: HashMap::new(),
+            ba_window: HashMap::new(),
             awake: true,
             ps_announced: false,
             last_activity_us: 0,
@@ -396,6 +403,19 @@ impl Station {
                         reason: DiscardReason::Duplicate,
                     });
                     return;
+                }
+                // Block-Ack reordering: anything older than the window
+                // floor is stale. The ACK already left — this is where the
+                // Bl0ck paralysis bites, one layer above it.
+                if let Some(&floor) = self.ba_window.get(&d.addr2) {
+                    let behind = floor.wrapping_sub(d.seq.sequence) & 0x0fff;
+                    if behind != 0 && behind < 2048 {
+                        self.stats.ba_stale_dropped += 1;
+                        actions.push(MacAction::Discard {
+                            reason: DiscardReason::BlockAckWindowStale,
+                        });
+                        return;
+                    }
                 }
                 let sender_known = self.associated.contains(&d.addr2);
                 // The PM bit in any data frame updates the sender's
@@ -686,6 +706,16 @@ impl Station {
                             });
                         }
                     }
+                }
+            }
+            Frame::Ctrl(ControlFrame::BlockAckReq { ta, start_seq, .. }) => {
+                // A BAR slides the per-transmitter reordering window to its
+                // starting sequence number. BARs are unprotected control
+                // frames, so the TA is trusted on face value — a forged one
+                // from a stranger claiming an associated peer's address
+                // moves the floor just the same (Bl0ck, arXiv 2302.05899).
+                if for_us && self.associated.contains(ta) {
+                    self.ba_window.insert(*ta, start_seq >> 4);
                 }
             }
             Frame::Ctrl(_) => {
@@ -1645,5 +1675,53 @@ mod tests {
             let actions = sta.on_receive(0, &fake_frame(), true, BitRate::Mbps1);
             assert!(find_ack(&actions).is_some(), "{behavior:?} failed to ACK");
         }
+    }
+
+    #[test]
+    fn forged_bar_slides_ba_window_and_drops_stale_data() {
+        let peer: MacAddr = "02:00:00:00:00:42".parse().unwrap();
+        let mut sta = client();
+        sta.associate(peer);
+        // Legitimate traffic before the attack is delivered.
+        let f = builder::protected_qos_data(victim_mac(), peer, peer, 1, 32);
+        let actions = sta.on_receive(0, &f, true, BitRate::Mbps1);
+        assert!(actions.iter().any(|a| matches!(a, MacAction::Deliver(_))));
+        // The Bl0ck primitive: a BAR claiming the peer's TA jumps the
+        // window floor to sequence 100.
+        let bar = Frame::Ctrl(ControlFrame::BlockAckReq {
+            duration_us: 0,
+            ra: victim_mac(),
+            ta: peer,
+            control: 0x0004,
+            start_seq: 100 << 4,
+        });
+        sta.on_receive(1_000, &bar, true, BitRate::Mbps1);
+        // Everything the peer sends below the floor is now stale.
+        let f = builder::protected_qos_data(victim_mac(), peer, peer, 2, 32);
+        let actions = sta.on_receive(2_000, &f, true, BitRate::Mbps1);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            MacAction::Discard {
+                reason: DiscardReason::BlockAckWindowStale
+            }
+        )));
+        assert!(!actions.iter().any(|a| matches!(a, MacAction::Deliver(_))));
+        assert_eq!(sta.stats.ba_stale_dropped, 1);
+        // Frames at or past the floor flow again.
+        let f = builder::protected_qos_data(victim_mac(), peer, peer, 100, 32);
+        let actions = sta.on_receive(3_000, &f, true, BitRate::Mbps1);
+        assert!(actions.iter().any(|a| matches!(a, MacAction::Deliver(_))));
+        // A stranger's BAR (TA not associated) must not move the floor.
+        let rogue_bar = Frame::Ctrl(ControlFrame::BlockAckReq {
+            duration_us: 0,
+            ra: victim_mac(),
+            ta: MacAddr::FAKE,
+            control: 0x0004,
+            start_seq: 4000 << 4,
+        });
+        sta.on_receive(4_000, &rogue_bar, true, BitRate::Mbps1);
+        let f = builder::protected_qos_data(victim_mac(), peer, peer, 101, 32);
+        let actions = sta.on_receive(5_000, &f, true, BitRate::Mbps1);
+        assert!(actions.iter().any(|a| matches!(a, MacAction::Deliver(_))));
     }
 }

@@ -1,0 +1,79 @@
+//! `exp_run SCENARIO.json [flags]` — the single experiment entry point.
+//!
+//! Reads a scenario file, applies its run defaults, lets the usual
+//! harness flags (`--trials/--workers/--seed/--quick/--faults/…`)
+//! override them, and dispatches to the runner the spec names.
+//!
+//! Extra modes:
+//! * `exp_run --list` prints every registered runner.
+//! * `exp_run --fmt SCENARIO.json` rewrites the file in canonical form
+//!   (the form the golden tests pin byte-exactly).
+//! * `exp_run --check SCENARIO.json` parses and validates only.
+
+use polite_wifi_harness::RunArgs;
+use polite_wifi_scenario::{run_spec, runner_names, ScenarioSpec};
+use std::process::exit;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("exp_run: {msg}");
+    exit(2);
+}
+
+fn load(path: &str) -> ScenarioSpec {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read `{path}`: {e}")),
+    };
+    match ScenarioSpec::parse(&text) {
+        Ok(spec) => spec,
+        Err(e) => fail(&format!("`{path}`: {e}")),
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let mut argv = std::env::args().skip(1).peekable();
+    let first = match argv.peek().map(String::as_str) {
+        None | Some("--help") => {
+            println!(
+                "usage: exp_run SCENARIO.json [harness flags]\n       \
+                 exp_run --list | --fmt SCENARIO.json | --check SCENARIO.json"
+            );
+            return Ok(());
+        }
+        Some("--list") => {
+            for name in runner_names() {
+                println!("{name}");
+            }
+            return Ok(());
+        }
+        Some(mode @ ("--fmt" | "--check")) => {
+            let mode = mode.to_string();
+            argv.next();
+            let path = argv
+                .next()
+                .unwrap_or_else(|| fail(&format!("{mode} needs a scenario path")));
+            let spec = load(&path);
+            if mode == "--fmt" {
+                std::fs::write(&path, spec.to_canonical_json())?;
+                println!("canonicalised {path}");
+            } else {
+                println!(
+                    "{path}: ok (runner `{}`, slug `{}`)",
+                    spec.runner, spec.slug
+                );
+            }
+            return Ok(());
+        }
+        Some(_) => argv.next().unwrap(),
+    };
+    let spec = load(&first);
+    let args = match RunArgs::parse(argv, spec.run_args()) {
+        Ok(args) => args,
+        Err(e) => fail(&e),
+    };
+    let status = run_spec(&spec, args)?;
+    if status != 0 {
+        exit(status);
+    }
+    Ok(())
+}

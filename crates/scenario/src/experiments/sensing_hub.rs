@@ -1,0 +1,107 @@
+//! E9 — §4.3: single-device sensing. One modified hub, several
+//! unmodified neighbours, motion events recovered at their scripted
+//! times (the Figure 5 caption's "sharp changes at times 9 and 32").
+
+use crate::spec::ScenarioSpec;
+use crate::support::compare;
+use polite_wifi_core::SensingHub;
+use polite_wifi_harness::{Experiment, RunArgs};
+use polite_wifi_sensing::{MotionScript, Phase};
+
+pub fn run(spec: &ScenarioSpec, args: RunArgs) -> std::io::Result<i32> {
+    let mut exp = Experiment::start_with(&spec.name, &spec.paper_ref, args);
+
+    // One target with motion at 9 s and 32 s, two more targets with
+    // their own ground truth, all sensed by a single modified hub.
+    let duration = 40_000_000u64;
+    let mut fig5_caption = MotionScript::walk_by(duration, 9_000_000, 11_000_000);
+    fig5_caption.phases.pop();
+    fig5_caption.phases.extend([
+        Phase {
+            start_us: 11_000_000,
+            end_us: 32_000_000,
+            label: "idle".into(),
+            intensity: 0.0,
+        },
+        Phase {
+            start_us: 32_000_000,
+            end_us: 34_000_000,
+            label: "walk".into(),
+            intensity: 0.8,
+        },
+        Phase {
+            start_us: 34_000_000,
+            end_us: duration,
+            label: "idle".into(),
+            intensity: 0.0,
+        },
+    ]);
+    let scripts = vec![
+        fig5_caption,
+        MotionScript::idle(duration),
+        MotionScript::walk_by(duration, 20_000_000, 23_000_000),
+    ];
+
+    let hub = SensingHub {
+        faults: exp.args().faults,
+        ..SensingHub::default()
+    };
+    let report = hub.run(&scripts);
+
+    println!(
+        "\ndevices modified: {}   participating: {}   rate per target: {} pps\n",
+        report.devices_modified, report.devices_participating, hub.rate_pps_per_target
+    );
+    for (i, t) in report.targets.iter().enumerate() {
+        let windows: Vec<String> = t
+            .motion_windows_us
+            .iter()
+            .map(|(s, e)| format!("{:.1}–{:.1}s", *s as f64 / 1e6, *e as f64 / 1e6))
+            .collect();
+        println!(
+            "target {i} ({})  {:>5} samples  motion: {}",
+            t.target,
+            t.samples,
+            if windows.is_empty() {
+                "none".into()
+            } else {
+                windows.join(", ")
+            }
+        );
+        exp.metrics.record("samples_per_target", t.samples as f64);
+        exp.obs.add("sensing.csi_samples", t.samples as u64);
+        exp.obs
+            .add("sensing.motion_windows", t.motion_windows_us.len() as u64);
+    }
+
+    println!();
+    compare(
+        "software modified on",
+        "1 device",
+        &format!("{} device", report.devices_modified),
+    );
+    compare(
+        "events at ≈9 s and ≈32 s detected",
+        "yes (Figure 5)",
+        &format!(
+            "{} windows on target 0",
+            report.targets[0].motion_windows_us.len()
+        ),
+    );
+    compare(
+        "idle neighbour stays quiet",
+        "yes",
+        if report.targets[1].motion_windows_us.is_empty() {
+            "yes"
+        } else {
+            "no"
+        },
+    );
+
+    if exp.args().faults.is_clean() {
+        assert_eq!(report.targets[0].motion_windows_us.len(), 2);
+        assert!(report.targets[1].motion_windows_us.is_empty());
+        assert_eq!(report.targets[2].motion_windows_us.len(), 1);
+    }
+    exp.finish_with_status(&spec.slug, &report)
+}

@@ -1,0 +1,187 @@
+//! E5 — Table 2: the 5,328-device wardriving survey.
+//!
+//! Generates the synthetic city whose vendor marginals match Table 2
+//! exactly, drives the three-stage discover/inject/verify pipeline
+//! through it, and prints the top-20 vendor tables next to the paper's.
+//!
+//! This is the heavyweight experiment (full city ≈ a couple of minutes
+//! single-threaded). The city's per-channel segments are independent, so
+//! `--workers N` fans them over the harness worker pool — the report is
+//! byte-identical for every worker count. Pass `--quick` to survey a
+//! 500-device slice instead.
+
+use crate::spec::ScenarioSpec;
+use crate::support::compare;
+use polite_wifi_core::WardriveScanner;
+use polite_wifi_devices::population::{TABLE2_APS, TABLE2_CLIENTS};
+use polite_wifi_devices::CityPopulation;
+use polite_wifi_harness::{Experiment, RunArgs};
+
+pub fn run(spec: &ScenarioSpec, args: RunArgs) -> std::io::Result<i32> {
+    let mut exp = Experiment::start_with(&spec.name, &spec.paper_ref, args);
+    let args = exp.args();
+
+    let mut population = CityPopulation::table2(2020);
+    if args.quick {
+        population.devices.truncate(500);
+        println!("\n(--quick: surveying the first 500 devices only)");
+    }
+    let n_devices = population.devices.len();
+    println!(
+        "\ncity: {} devices ({} clients, {} APs, {} vendors)",
+        n_devices,
+        population.clients().count(),
+        population.aps().count(),
+        population.distinct_vendor_count()
+    );
+
+    let scanner = WardriveScanner {
+        seed: exp.seed(),
+        faults: args.faults,
+        ..WardriveScanner::default()
+    };
+    println!(
+        "scanning in segments of {} devices, {} ms dwell each, {} worker(s)...",
+        scanner.segment_size,
+        scanner.dwell_us / 1000,
+        args.workers
+    );
+    let start = std::time::Instant::now();
+    let report = scanner.run_observed(&population, args.workers, &mut exp.obs);
+    let wall_s = start.elapsed().as_secs_f64();
+    exp.note_quarantined(report.quarantined as u64);
+    println!(
+        "survey done in {:.1} s wall / {:.0} s simulated\n",
+        wall_s,
+        report.survey_time_us as f64 / 1e6
+    );
+    exp.metrics.record("wall_seconds", wall_s);
+    exp.metrics.record("discovered", report.discovered as f64);
+    exp.metrics.record("verified", report.verified as f64);
+    exp.obs.add("wardrive.discovered", report.discovered as u64);
+    exp.obs.add("wardrive.verified", report.verified as u64);
+    exp.obs.add("wardrive.clients", report.total_clients as u64);
+    exp.obs.add("wardrive.aps", report.total_aps as u64);
+    exp.metrics
+        .record("survey_time_s", report.survey_time_us as f64 / 1e6);
+
+    // Table 2, side by side with the paper.
+    println!(
+        "{:<16} {:>6} {:>6}   {:<16} {:>6} {:>6}",
+        "Client vendor", "paper", "ours", "AP vendor", "paper", "ours"
+    );
+    let ours_client = |v: &str| {
+        report
+            .client_counts
+            .iter()
+            .find(|(name, _)| name == v)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    };
+    let ours_ap = |v: &str| {
+        report
+            .ap_counts
+            .iter()
+            .find(|(name, _)| name == v)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    };
+    for i in 0..20 {
+        let (cv, cc) = TABLE2_CLIENTS[i];
+        let (av, ac) = TABLE2_APS[i];
+        println!(
+            "{:<16} {:>6} {:>6}   {:<16} {:>6} {:>6}",
+            cv,
+            cc,
+            ours_client(cv),
+            av,
+            ac,
+            ours_ap(av)
+        );
+    }
+    let named_c: u32 = TABLE2_CLIENTS.iter().map(|(_, c)| c).sum();
+    let named_a: u32 = TABLE2_APS.iter().map(|(_, c)| c).sum();
+    println!(
+        "{:<16} {:>6} {:>6}   {:<16} {:>6} {:>6}",
+        "Others",
+        1523 - named_c,
+        report.total_clients.saturating_sub(
+            TABLE2_CLIENTS
+                .iter()
+                .map(|(v, _)| ours_client(v))
+                .sum::<u32>()
+        ),
+        "Others",
+        3805 - named_a,
+        report
+            .total_aps
+            .saturating_sub(TABLE2_APS.iter().map(|(v, _)| ours_ap(v)).sum::<u32>())
+    );
+    println!(
+        "{:<16} {:>6} {:>6}   {:<16} {:>6} {:>6}\n",
+        "Total", 1523, report.total_clients, "Total", 3805, report.total_aps
+    );
+
+    compare(
+        "devices discovered",
+        "5,328",
+        &report.discovered.to_string(),
+    );
+    compare(
+        "discovered devices that ACKed our fakes",
+        "all (100%)",
+        &format!(
+            "{}/{} ({:.1}%)",
+            report.verified,
+            report.discovered,
+            100.0 * report.verified as f64 / report.discovered.max(1) as f64
+        ),
+    );
+    compare(
+        "client vendors / AP vendors / total",
+        "147 / 94 / 186",
+        &format!(
+            "{} / {} / {}",
+            report.client_vendor_count, report.ap_vendor_count, report.distinct_vendor_count
+        ),
+    );
+    compare(
+        "APs advertising 802.11w (PMF) — all polite anyway",
+        "footnote 2",
+        &format!("{} of {} verified APs", report.pmf_aps, report.total_aps),
+    );
+
+    if args.faults.is_clean() {
+        assert_eq!(
+            report.verified, report.discovered,
+            "a discovered device failed to ACK"
+        );
+    } else if report.quarantined > 0 {
+        println!(
+            "({} target(s) quarantined under the `{}` fault profile)",
+            report.quarantined, args.faults
+        );
+    }
+    if !args.quick && args.faults.is_clean() {
+        // The shape of Table 2 must reproduce: ≥99% of each population
+        // discovered and verified (probe collisions may hide a handful).
+        assert!(
+            report.total_clients as usize >= 1500,
+            "clients {}",
+            report.total_clients
+        );
+        assert!(
+            report.total_aps as usize >= 3790,
+            "APs {}",
+            report.total_aps
+        );
+    }
+    exp.finish_with_status(
+        if args.quick {
+            "table2_wardrive_quick"
+        } else {
+            "table2_wardrive"
+        },
+        &report,
+    )
+}

@@ -1,0 +1,34 @@
+//! Declarative scenarios: every experiment as a data file.
+//!
+//! This crate is the workspace's single experiment entry point. A
+//! scenario is one JSON file under `scenarios/` composing population,
+//! topology, fault profile, attacker strategies, defender probes,
+//! pass/fail assertions, trials and seed (grammar: [`spec`], DESIGN.md
+//! §13). `exp_run SCENARIO.json` executes any of them; the historical
+//! `exp_*` binaries are thin wrappers that embed their scenario file
+//! and dispatch through the same [`registry`].
+//!
+//! Two kinds of runner exist:
+//!
+//! * [`generic`] — fully interpreted: the spec alone drives
+//!   [`ScenarioBuilder`](polite_wifi_harness::ScenarioBuilder)
+//!   construction, composes attacks/probes from the
+//!   `polite-wifi-core` trait layer, and checks the assertion block.
+//!   Related-work scenarios (Block-Ack paralysis, PMF deauth
+//!   resilience) land purely as data files this way.
+//! * [`experiments`] — ported paper experiments whose logic is
+//!   irreducibly programmatic (parameter sweeps, classifiers, city
+//!   scale). Their specs carry identity + run defaults + tuning
+//!   params; output stays byte-identical to the pre-port binaries.
+
+pub mod experiments;
+pub mod generic;
+pub mod registry;
+pub mod spec;
+pub mod support;
+
+pub use registry::{run_spec, runner_names};
+pub use spec::{
+    behavior_from_label, bitrate_from_label, AssertionSpec, AttackSpec, NodeKind, NodeSpec,
+    ParamValue, ProbeSpec, RunSpec, ScenarioSpec, TopologySpec,
+};

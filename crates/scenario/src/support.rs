@@ -1,0 +1,61 @@
+//! Display/IO helpers shared by every ported experiment.
+//!
+//! These lived in `polite-wifi-bench` while each experiment owned its
+//! own `main`; they moved here with the experiment bodies. The bench
+//! crate re-exports them, so `polite_wifi_bench::compare` et al. keep
+//! working.
+
+use serde::Serialize;
+use std::io;
+use std::path::PathBuf;
+
+/// Directory experiment JSON results are written to (workspace-relative,
+/// `POLITE_WIFI_RESULTS` overrides). Not created by this call — use
+/// [`ensure_results_dir`] before writing into it directly.
+pub fn results_dir() -> PathBuf {
+    polite_wifi_harness::results_dir()
+}
+
+/// Creates the results directory (and parents) if missing and returns
+/// its path. For artifacts written next to the JSON (pcaps, CSVs).
+pub fn ensure_results_dir() -> io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Serialises an experiment result to `results/<name>.json`, creating
+/// the directory if needed. Prefer `Experiment::finish`, which wraps the
+/// payload in the unified envelope; this remains for bare payloads.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> io::Result<PathBuf> {
+    let path = polite_wifi_harness::write_json(name, value)?;
+    println!("\n[result JSON written to {}]", path.display());
+    Ok(path)
+}
+
+/// Prints a paper-vs-measured comparison row.
+pub fn compare(metric: &str, paper: &str, measured: &str) {
+    println!("  {metric:<44} paper: {paper:<12} measured: {measured}");
+}
+
+/// An ASCII bar for quick figure-shaped output.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let filled = ((value / max).clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = "█".repeat(filled);
+    s.push_str(&"·".repeat(width - filled));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(0.0, 10.0, 10), "··········");
+        assert_eq!(bar(10.0, 10.0, 10), "██████████");
+        assert_eq!(bar(5.0, 10.0, 10).chars().filter(|&c| c == '█').count(), 5);
+        // Overflow clamps.
+        assert_eq!(bar(20.0, 10.0, 4), "████");
+    }
+}

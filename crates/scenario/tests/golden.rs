@@ -1,0 +1,186 @@
+//! Golden tests for every committed `scenarios/*.json` file.
+//!
+//! Three guarantees per file:
+//!
+//! 1. it parses, and [`ScenarioSpec::to_canonical_json`] reproduces the
+//!    committed bytes exactly — so `exp_run --fmt` is a no-op on
+//!    everything committed, and the parser/writer pair round-trips;
+//! 2. its runner is registered and its file name matches its slug;
+//! 3. a `--quick` run produces a byte-identical result envelope at
+//!    workers 1, 4 and 8, after masking the `workers` field itself and
+//!    the `wall_seconds` metric — the only legitimately
+//!    timing-dependent values in an envelope.
+//!
+//! CI's scenario-matrix job cross-checks that every `scenarios/*.json`
+//! has a `golden!(…, "<slug>")` line in this file, so a scenario can't
+//! be committed without its worker-invariance pin.
+
+use polite_wifi_obs::json::{self, JsonValue};
+use polite_wifi_scenario::{runner_names, ScenarioSpec};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn scenarios_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+#[test]
+fn every_committed_scenario_is_canonical_and_registered() {
+    let mut found = 0usize;
+    for entry in std::fs::read_dir(scenarios_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let spec = ScenarioSpec::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            spec.to_canonical_json(),
+            text,
+            "{} is not in canonical form — run `exp_run --fmt` on it",
+            path.display()
+        );
+        assert_eq!(
+            path.file_stem().and_then(|s| s.to_str()),
+            Some(spec.slug.as_str()),
+            "{}: file name and slug must agree",
+            path.display()
+        );
+        assert!(
+            runner_names().contains(&spec.runner.as_str()),
+            "{}: runner `{}` is not registered",
+            path.display(),
+            spec.runner
+        );
+        found += 1;
+    }
+    assert!(
+        found >= 19,
+        "expected >= 19 committed scenarios, found {found}"
+    );
+}
+
+/// Masks the two legitimately worker-dependent values in an envelope:
+/// the `workers` field and the `wall_seconds` metric summary.
+fn mask_worker_dependent(v: &mut JsonValue) {
+    let JsonValue::Obj(fields) = v else { return };
+    for (key, val) in fields.iter_mut() {
+        match key.as_str() {
+            "workers" => *val = JsonValue::Num(0.0),
+            "metrics" => {
+                let JsonValue::Arr(metrics) = val else {
+                    continue;
+                };
+                for metric in metrics {
+                    let JsonValue::Obj(mf) = metric else { continue };
+                    if !mf
+                        .iter()
+                        .any(|(k, v)| k == "name" && v.as_str() == Some("wall_seconds"))
+                    {
+                        continue;
+                    }
+                    for (mk, mv) in mf.iter_mut() {
+                        if matches!(mk.as_str(), "mean" | "min" | "max" | "total") {
+                            *mv = JsonValue::Num(0.0);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Every result envelope written into `dir`, by file name, masked.
+fn normalised_envelopes(dir: &Path) -> BTreeMap<String, JsonValue> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let mut v = json::parse(&std::fs::read_to_string(&path).unwrap())
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        mask_worker_dependent(&mut v);
+        out.insert(path.file_name().unwrap().to_str().unwrap().to_string(), v);
+    }
+    out
+}
+
+fn quick_run(slug: &str, workers: u32) -> BTreeMap<String, JsonValue> {
+    let dir = std::env::temp_dir().join(format!("polite-wifi-golden-{slug}-w{workers}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_exp_run"))
+        .arg(scenarios_dir().join(format!("{slug}.json")))
+        .args(["--quick", "--workers", &workers.to_string()])
+        .env("POLITE_WIFI_RESULTS", &dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "exp_run {slug} --workers {workers} failed (exit {:?}):\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let envelopes = normalised_envelopes(&dir);
+    assert!(!envelopes.is_empty(), "{slug}: no envelope written");
+    let _ = std::fs::remove_dir_all(&dir);
+    envelopes
+}
+
+fn workers_do_not_change_the_envelope(slug: &str) {
+    let reference = quick_run(slug, 1);
+    for workers in [4, 8] {
+        assert_eq!(
+            reference,
+            quick_run(slug, workers),
+            "{slug}: envelope differs between --workers 1 and --workers {workers}"
+        );
+    }
+}
+
+macro_rules! golden {
+    ($name:ident, $slug:literal) => {
+        #[test]
+        fn $name() {
+            workers_do_not_change_the_envelope($slug);
+        }
+    };
+    ($name:ident, $slug:literal, ignore = $why:literal) => {
+        #[test]
+        #[ignore = $why]
+        fn $name() {
+            workers_do_not_change_the_envelope($slug);
+        }
+    };
+}
+
+golden!(golden_ablation_validate, "ablation_validate");
+golden!(golden_battery_life, "battery_life");
+golden!(golden_blockack_paralysis, "blockack_paralysis");
+golden!(
+    golden_city_wardrive,
+    "city_wardrive",
+    ignore = "minutes-long even with --quick; CI's scenario-matrix job runs it"
+);
+golden!(golden_ext_classifier, "ext_classifier");
+golden!(
+    golden_ext_driveby,
+    "ext_driveby",
+    ignore = "~2 min of simulated driving; CI's scenario-matrix job runs it"
+);
+golden!(golden_ext_nav_dos, "ext_nav_dos");
+golden!(golden_ext_randomization, "ext_randomization");
+golden!(golden_ext_ranging, "ext_ranging");
+golden!(golden_ext_vitals, "ext_vitals");
+golden!(golden_fig2_trace, "fig2_trace");
+golden!(golden_fig3_deauth, "fig3_deauth");
+golden!(golden_fig5_keystroke, "fig5_keystroke");
+golden!(golden_fig6_power, "fig6_power");
+golden!(golden_pmf_deauth_matrix, "pmf_deauth_matrix");
+golden!(golden_sensing_hub, "sensing_hub");
+golden!(golden_sifs_timing, "sifs_timing");
+golden!(golden_table1_devices, "table1_devices");
+golden!(golden_table2_wardrive, "table2_wardrive");

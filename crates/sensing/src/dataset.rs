@@ -7,6 +7,7 @@
 //! train/test session separation (no window from a test session ever
 //! appears in training).
 
+use crate::batch::{condition_batch, sliding_features_batch, BatchPolicy, SeriesBatch};
 use crate::classify::{ActivityClass, ConfusionMatrix, KnnClassifier};
 use crate::features::{sliding_features, FeatureVector};
 use crate::filter;
@@ -26,6 +27,18 @@ pub struct LabelledWindow {
 /// Generates one session's amplitude series (~150 Hz) for a class, on a
 /// fresh channel realisation.
 pub fn generate_session(
+    class: ActivityClass,
+    len_samples: usize,
+    seed: u64,
+    subcarrier: usize,
+) -> Vec<f64> {
+    filter::condition(&generate_session_raw(class, len_samples, seed, subcarrier))
+}
+
+/// The unconditioned series behind [`generate_session`] — the batched
+/// dataset path conditions whole [`SeriesBatch`]es at once instead of one
+/// session at a time.
+fn generate_session_raw(
     class: ActivityClass,
     len_samples: usize,
     seed: u64,
@@ -62,7 +75,7 @@ pub fn generate_session(
                 .amplitude(subcarrier),
         );
     }
-    filter::condition(&out)
+    out
 }
 
 /// Generates `sessions_per_class` sessions for every class and slices
@@ -76,19 +89,51 @@ pub fn generate_dataset(
     subcarrier: usize,
 ) -> Vec<Vec<LabelledWindow>> {
     // Outer vec: one entry per session (so callers can split by session).
-    let mut sessions = Vec::new();
-    for (ci, &class) in ActivityClass::ALL.iter().enumerate() {
-        for s in 0..sessions_per_class {
-            let session_seed = seed ^ ((ci as u64) << 32) ^ (s as u64 + 1);
-            let series = generate_session(class, session_len, session_seed, subcarrier);
-            let windows: Vec<LabelledWindow> = sliding_features(&series, window_len, hop)
+    let specs: Vec<(ActivityClass, u64)> = ActivityClass::ALL
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, &class)| {
+            (0..sessions_per_class)
+                .map(move |s| (class, seed ^ ((ci as u64) << 32) ^ (s as u64 + 1)))
+        })
+        .collect();
+
+    if BatchPolicy::active() == BatchPolicy::Scalar {
+        // Scalar reference path: one session at a time, verbatim.
+        return specs
+            .iter()
+            .map(|&(class, session_seed)| {
+                let series = generate_session(class, session_len, session_seed, subcarrier);
+                sliding_features(&series, window_len, hop)
+                    .into_iter()
+                    .map(|(_, features)| LabelledWindow { class, features })
+                    .collect()
+            })
+            .collect();
+    }
+
+    // Batched path: every session is a row of one SoA matrix, so
+    // conditioning and feature extraction walk contiguous memory.
+    let mut raw = SeriesBatch::with_capacity(session_len, specs.len());
+    for &(class, session_seed) in &specs {
+        raw.push_row(&generate_session_raw(
+            class,
+            session_len,
+            session_seed,
+            subcarrier,
+        ));
+    }
+    let conditioned = condition_batch(&raw);
+    sliding_features_batch(&conditioned, window_len, hop)
+        .into_iter()
+        .zip(&specs)
+        .map(|(windows, &(class, _))| {
+            windows
                 .into_iter()
                 .map(|(_, features)| LabelledWindow { class, features })
-                .collect();
-            sessions.push(windows);
-        }
-    }
-    sessions
+                .collect()
+        })
+        .collect()
 }
 
 /// Leave-sessions-out evaluation: trains a k-NN on `train_sessions` and
@@ -181,6 +226,35 @@ mod tests {
         // Same seed reproduces.
         let c = generate_session(ActivityClass::Typing, 300, 1, 17);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn batched_dataset_is_bit_identical_to_per_session_reference() {
+        // The batched path must not change a single bit versus running
+        // generate_session + sliding_features one session at a time
+        // (which is what the Scalar policy branch does).
+        let (spc, len, win, hop, seed, sc) = (3, 600, 45, 15, 9, 17);
+        let got = generate_dataset(spc, len, win, hop, seed, sc);
+        let mut want = Vec::new();
+        for (ci, &class) in ActivityClass::ALL.iter().enumerate() {
+            for s in 0..spc {
+                let session_seed = seed ^ ((ci as u64) << 32) ^ (s as u64 + 1);
+                let series = generate_session(class, len, session_seed, sc);
+                let windows: Vec<LabelledWindow> = sliding_features(&series, win, hop)
+                    .into_iter()
+                    .map(|(_, features)| LabelledWindow { class, features })
+                    .collect();
+                want.push(windows);
+            }
+        }
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.len(), w.len());
+            for (a, b) in g.iter().zip(w) {
+                assert_eq!(a.class, b.class);
+                assert_eq!(a.features, b.features);
+            }
+        }
     }
 
     #[test]
