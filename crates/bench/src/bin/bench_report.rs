@@ -408,6 +408,102 @@ fn run_sensing_hub_macro(report: &mut Report) {
     );
 }
 
+/// Serving-layer macro: one in-process daemon, a cold wave of distinct
+/// jobs, then a warm wave of identical resubmissions. The work metrics
+/// (jobs completed, cache hits) are exact by construction; the wall
+/// times of the two waves are informational.
+fn run_daemon_serving(report: &mut Report) {
+    use polite_wifi_daemon::{http, Daemon, DaemonConfig};
+    use polite_wifi_obs::names;
+
+    const JOBS: u64 = 8;
+    let spec_for = |seed: u64| -> String {
+        let template = r#"{
+  "name": "B: daemon bench job",
+  "paper_ref": "none",
+  "slug": "daemon_bench",
+  "runner": "generic",
+  "run": {"seed": SEED, "trials": 2, "workers": 1},
+  "topology": {
+    "duration_us": 300000,
+    "nodes": [
+      {"name": "ap", "mac": "68:02:b8:00:00:01", "kind": "ap", "position": [2, 0], "ssid": "Net"},
+      {"name": "victim", "mac": "f2:6e:0b:11:22:33", "kind": "client", "position": [0, 0]},
+      {"name": "attacker", "mac": "aa:bb:bb:bb:bb:bb", "kind": "monitor", "position": [4, 0]}
+    ],
+    "links": [["victim", "ap"]]
+  },
+  "attacks": [
+    {"kind": "null-flood", "attacker": "attacker", "victim": "victim",
+     "rate_pps": 100, "start_us": 1000, "duration_us": 250000, "bitrate": "6"}
+  ],
+  "probes": [
+    {"kind": "station-stat", "node": "victim", "stat": "acks_sent", "metric": "acks_sent"}
+  ]
+}"#;
+        template.replace("SEED", &seed.to_string())
+    };
+
+    let state_dir =
+        std::env::temp_dir().join(format!("polite-wifi-bench-daemon-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let daemon = Daemon::start(DaemonConfig {
+        workers: 2,
+        state_dir: state_dir.clone(),
+        ..DaemonConfig::default()
+    })
+    .expect("daemon start");
+
+    let submit_wave = |expect_cache: &str| {
+        for seed in 0..JOBS {
+            let (status, headers, body) = http::request(
+                daemon.addr(),
+                "POST",
+                "/submit?wait=1",
+                spec_for(seed).as_bytes(),
+            )
+            .expect("submit");
+            assert_eq!(
+                status,
+                200,
+                "daemon bench job failed: {}",
+                String::from_utf8_lossy(&body)
+            );
+            assert_eq!(
+                headers.get("x-cache").map(String::as_str),
+                Some(expect_cache)
+            );
+        }
+    };
+
+    let start = Instant::now();
+    submit_wave("miss");
+    report.timing(
+        "time.daemon.cold_wave",
+        start.elapsed().as_secs_f64() * 1e3,
+        "ms",
+    );
+    let start = Instant::now();
+    submit_wave("hit");
+    report.timing(
+        "time.daemon.warm_wave",
+        start.elapsed().as_secs_f64() * 1e3,
+        "ms",
+    );
+    report.work(
+        "work.daemon.jobs",
+        daemon.counter(names::DAEMON_JOBS_COMPLETED) as f64,
+        "jobs",
+    );
+    report.work(
+        "work.daemon.cache_hits",
+        daemon.counter(names::DAEMON_CACHE_HIT) as f64,
+        "hits",
+    );
+    daemon.drain().expect("daemon drain");
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
 fn run_wardrive_shard(report: &mut Report) {
     use polite_wifi_core::WardriveScanner;
     use polite_wifi_devices::CityPopulation;
@@ -657,8 +753,9 @@ struct Args {
     /// Free-form label embedded in the report JSON (`"label"` key).
     label: Option<String>,
     /// Run only these comma-separated sections (codec, sim, csi,
-    /// wardrive, city, keystroke, power, hub). In `--check` mode the
-    /// comparison is restricted to the metrics actually measured.
+    /// wardrive, city, keystroke, power, hub, daemon). In `--check`
+    /// mode the comparison is restricted to the metrics actually
+    /// measured.
     only: Option<Vec<String>>,
     /// Re-check a previously written report instead of running the
     /// workloads (no report/baseline files are written in this mode).
@@ -732,7 +829,7 @@ fn parse_args() -> Result<Args, String> {
                     .map(|s| s.trim().to_string())
                     .filter(|s| !s.is_empty())
                     .collect();
-                const KNOWN: [&str; 8] = [
+                const KNOWN: [&str; 9] = [
                     "codec",
                     "sim",
                     "csi",
@@ -741,6 +838,7 @@ fn parse_args() -> Result<Args, String> {
                     "keystroke",
                     "power",
                     "hub",
+                    "daemon",
                 ];
                 for s in &sections {
                     if !KNOWN.contains(&s.as_str()) {
@@ -885,6 +983,10 @@ fn main() {
         if enabled("hub") {
             run_sensing_hub_macro(&mut report);
             println!("  sensing hub macro done");
+        }
+        if enabled("daemon") {
+            run_daemon_serving(&mut report);
+            println!("  daemon serving macro done");
         }
         println!("all workloads in {:.1}s", total.elapsed().as_secs_f64());
         report

@@ -31,6 +31,7 @@
 //! always produce byte-identical reports.
 
 use polite_wifi_obs::json::{parse, JsonValue};
+use polite_wifi_obs::openmetrics;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
@@ -164,26 +165,17 @@ fn load(path: &PathBuf) -> Result<Envelope, String> {
     })
 }
 
-/// Sanitises a metric name for Prometheus: `[a-zA-Z0-9_]` survives,
-/// everything else becomes `_`.
-fn prom_name(name: &str) -> String {
-    let mapped: String = name
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect();
-    format!("polite_wifi_{mapped}")
+/// The `{experiment=…,faults=…}` label set identifying one envelope.
+fn env_labels(env: &Envelope) -> String {
+    openmetrics::label_set(&[("experiment", &env.experiment), ("faults", &env.faults)])
 }
 
-fn prom_escape(v: &str) -> String {
-    v.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-/// Renders all envelopes as Prometheus/OpenMetrics exposition text:
-/// counters as `counter`, histograms as `_count`/`_sum`/`_min`/`_max`
-/// gauges, one sample per envelope labelled with its experiment and
-/// fault profile.
+/// Renders all envelopes as Prometheus/OpenMetrics exposition text via
+/// the shared [`openmetrics`] writer (the daemon's `/metrics` endpoint
+/// uses the same one): counters as `counter`, histograms as
+/// `_count`/`_sum`/`_min`/`_max` gauges, one sample per envelope
+/// labelled with its experiment and fault profile.
 fn render_prom(envelopes: &[Envelope]) -> String {
-    let mut out = String::new();
     // TYPE lines must precede samples and appear once per metric, so
     // collect the sorted union of names first.
     let mut counter_names: Vec<&str> = Vec::new();
@@ -197,42 +189,34 @@ fn render_prom(envelopes: &[Envelope]) -> String {
     hist_names.sort_unstable();
     hist_names.dedup();
 
+    let mut w = openmetrics::OpenMetricsWriter::new();
     for name in counter_names {
-        let metric = prom_name(name);
-        out.push_str(&format!("# TYPE {metric} counter\n"));
-        for env in envelopes {
-            if let Some(v) = env.counters.get(name) {
-                out.push_str(&format!(
-                    "{metric}{{experiment=\"{}\",faults=\"{}\"}} {v}\n",
-                    prom_escape(&env.experiment),
-                    prom_escape(&env.faults),
-                ));
-            }
-        }
+        let samples: Vec<(String, u64)> = envelopes
+            .iter()
+            .filter_map(|env| env.counters.get(name).map(|v| (env_labels(env), *v)))
+            .collect();
+        w.counter(name, &samples);
     }
     for name in hist_names {
-        let metric = prom_name(name);
         for suffix in ["count", "sum", "min", "max"] {
-            out.push_str(&format!("# TYPE {metric}_{suffix} gauge\n"));
-            for env in envelopes {
-                if let Some(h) = env.histograms.get(name) {
-                    let v = match suffix {
-                        "count" => h.count,
-                        "sum" => h.sum,
-                        "min" => h.min,
-                        _ => h.max,
-                    };
-                    out.push_str(&format!(
-                        "{metric}_{suffix}{{experiment=\"{}\",faults=\"{}\"}} {v}\n",
-                        prom_escape(&env.experiment),
-                        prom_escape(&env.faults),
-                    ));
-                }
-            }
+            let samples: Vec<(String, u64)> = envelopes
+                .iter()
+                .filter_map(|env| {
+                    env.histograms.get(name).map(|h| {
+                        let v = match suffix {
+                            "count" => h.count,
+                            "sum" => h.sum,
+                            "min" => h.min,
+                            _ => h.max,
+                        };
+                        (env_labels(env), v)
+                    })
+                })
+                .collect();
+            w.gauge(&format!("{name}_{suffix}"), &samples);
         }
     }
-    out.push_str("# EOF\n");
-    out
+    w.finish()
 }
 
 /// Renders the merged scheduler self-profiler as flamegraph-collapsed
@@ -471,14 +455,22 @@ mod tests {
     }
 
     #[test]
-    fn prom_names_are_sanitised() {
+    fn prom_rendering_matches_the_pinned_shape() {
+        let mut counters = BTreeMap::new();
+        counters.insert("sim.frames_txed".to_string(), 4u64);
+        let env = Envelope {
+            experiment: "e".into(),
+            faults: "clean".into(),
+            counters,
+            histograms: BTreeMap::new(),
+            profiler: BTreeMap::new(),
+        };
+        let text = render_prom(&[env]);
         assert_eq!(
-            prom_name("mac.ack_turnaround_us.ghz2"),
-            "polite_wifi_mac_ack_turnaround_us_ghz2"
-        );
-        assert_eq!(
-            prom_name("frame.fate.fer_dropped"),
-            "polite_wifi_frame_fate_fer_dropped"
+            text,
+            "# TYPE polite_wifi_sim_frames_txed counter\n\
+             polite_wifi_sim_frames_txed{experiment=\"e\",faults=\"clean\"} 4\n\
+             # EOF\n"
         );
     }
 

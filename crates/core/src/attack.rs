@@ -226,7 +226,7 @@ impl Probe for AckVerifier {
     }
 }
 
-/// Which [`StationStats`](polite_wifi_mac::StationStats) counter a
+/// Which [`StationStats`](polite_wifi_mac::station::StationStats) counter a
 /// [`StationStatProbe`] reads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StatKind {

@@ -18,8 +18,8 @@
 //!   Section 4.3, and
 //! * [`analysis`] — the SIFS-vs-decryption feasibility argument of
 //!   Section 2.2 in executable form,
-//! * [`attack`] — the [`Attack`](attack::Attack) /
-//!   [`Probe`](attack::Probe) / [`Assertion`](attack::Assertion) trait
+//! * [`attack`] — the [`attack::Attack`] /
+//!   [`attack::Probe`] / [`attack::Assertion`] trait
 //!   layer that declarative scenarios compose attacks and pass/fail
 //!   checks from,
 //!

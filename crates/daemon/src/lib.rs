@@ -1,0 +1,42 @@
+//! `polite-wifi-d` — the serving layer for the scenario pipeline.
+//!
+//! Everything below this crate is a batch pipeline: `exp_run` loads one
+//! scenario, runs it, writes one envelope, exits. This crate wraps that
+//! pipeline in a long-running daemon so CI shards, dashboards and
+//! sweep drivers can share one warm process:
+//!
+//! * **Submission** — `POST /submit` with a scenario spec body.
+//!   Validation reuses [`ScenarioSpec::parse`], so a bad spec gets the
+//!   same aggregated one-line error the CLI prints, as a 400.
+//! * **Supervision** — every job runs under the PR 3 `catch_unwind`
+//!   contract plus a per-job wall-clock deadline enforced through the
+//!   harness's cooperative [`CancelToken`]; failures retry on the
+//!   deterministic [`RetryPolicy`] backoff, bounded by `--retries`.
+//! * **Backpressure** — a bounded queue; submissions past it are
+//!   rejected with 429 + `Retry-After` instead of queueing unboundedly.
+//! * **Caching** — results are memoised in a content-addressed
+//!   [`ResultStore`] keyed by the spec's workers-invariant
+//!   [`canonical_hash`]; determinism makes the cache sound, and a
+//!   CRC-32 integrity frame makes it safe (corrupt entries are
+//!   recomputed, never served).
+//! * **Drain** — `POST /shutdown` (or SIGTERM via the binary) stops
+//!   admission, lets in-flight jobs finish, persists the job table and
+//!   exits cleanly.
+//!
+//! See DESIGN.md §14 for the job state machine and the soundness
+//! argument.
+//!
+//! [`ScenarioSpec::parse`]: polite_wifi_scenario::ScenarioSpec::parse
+//! [`CancelToken`]: polite_wifi_harness::CancelToken
+//! [`RetryPolicy`]: polite_wifi_core::retry::RetryPolicy
+//! [`canonical_hash`]: polite_wifi_scenario::ScenarioSpec::canonical_hash
+
+pub mod cache;
+pub mod http;
+pub mod jobs;
+pub mod server;
+
+pub use cache::{corrupt_entry, CacheRead, ResultStore};
+pub use http::{request, Request, Response};
+pub use jobs::{Job, JobState};
+pub use server::{Daemon, DaemonConfig};

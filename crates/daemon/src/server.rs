@@ -1,0 +1,746 @@
+//! The daemon: accept loop, bounded worker pool, supervisor and drain.
+//!
+//! Concurrency layout (all plain std threads):
+//!
+//! * one **accept** thread, spawning a short-lived handler thread per
+//!   connection (requests are tiny; `wait=1` submits block their own
+//!   handler thread, never the pool);
+//! * `workers` **job** threads pulling from one bounded queue;
+//! * one **supervisor** thread that raises cancellation tokens on jobs
+//!   past their deadline and releases delayed retries back to the pool.
+//!
+//! All shared state lives behind a single `Mutex<State>` + `Condvar`
+//! pair; the metrics scope has its own lock and the two are never held
+//! together. See DESIGN.md §14 for the job state machine and the drain
+//! contract.
+
+use crate::cache::{CacheRead, ResultStore};
+use crate::http::{read_request, Request, Response};
+use crate::jobs::{Job, JobState};
+use polite_wifi_core::retry::RetryPolicy;
+use polite_wifi_harness::{cancel, CancelToken};
+use polite_wifi_obs::{names, Obs, OpenMetricsWriter};
+use polite_wifi_scenario::{fnv1a64, run_spec, ScenarioSpec};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything `polite-wifi-d` is configured by.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests).
+    pub bind: String,
+    /// Job worker threads (not per-job trial workers — each job brings
+    /// its own `run.workers` from the spec).
+    pub workers: usize,
+    /// Queued-job bound; submissions past it are rejected with 429.
+    pub queue_depth: usize,
+    /// Per-attempt wall-clock deadline.
+    pub job_timeout: Duration,
+    /// Failed attempts are retried at most this many times.
+    pub retry_max: u32,
+    /// Backoff shape for those retries (delays are deterministic in
+    /// (key, attempt), like every other schedule in this workspace).
+    pub retry_policy: RetryPolicy,
+    /// Result store + per-job scratch directories live here.
+    pub state_dir: PathBuf,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            bind: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 16,
+            job_timeout: Duration::from_secs(300),
+            retry_max: 0,
+            retry_policy: RetryPolicy::default(),
+            state_dir: PathBuf::from("daemon-state"),
+        }
+    }
+}
+
+struct State {
+    jobs: BTreeMap<u64, Job>,
+    /// Queued job ids, submission order. Entries may carry a
+    /// `not_before` retry gate; workers skip those until due.
+    queue: VecDeque<u64>,
+    /// Cacheable (non-injected) non-terminal job per content key —
+    /// identical in-flight submissions coalesce onto this.
+    inflight: HashMap<String, u64>,
+    next_id: u64,
+    running: usize,
+}
+
+struct Shared {
+    config: DaemonConfig,
+    store: ResultStore,
+    state: Mutex<State>,
+    cv: Condvar,
+    obs: Mutex<Obs>,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    shutdown_requested: AtomicBool,
+}
+
+impl Shared {
+    fn incr(&self, name: &str) {
+        self.obs.lock().unwrap().incr(name);
+    }
+
+    fn observe(&self, name: &str, value: u64) {
+        self.obs.lock().unwrap().observe(name, value);
+    }
+}
+
+/// A running daemon instance. Dropping it without calling
+/// [`drain`](Daemon::drain) aborts the threads with the process.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds, spawns the pool and starts serving.
+    pub fn start(config: DaemonConfig) -> io::Result<Daemon> {
+        let listener = TcpListener::bind(&config.bind)?;
+        let addr = listener.local_addr()?;
+        std::fs::create_dir_all(&config.state_dir)?;
+        let store = ResultStore::new(config.state_dir.join("store"));
+        let worker_count = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            config,
+            store,
+            state: Mutex::new(State {
+                jobs: BTreeMap::new(),
+                queue: VecDeque::new(),
+                inflight: HashMap::new(),
+                next_id: 1,
+                running: 0,
+            }),
+            cv: Condvar::new(),
+            obs: Mutex::new(Obs::new()),
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        let workers = (0..worker_count)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || supervisor_loop(shared))
+        };
+        Ok(Daemon {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers,
+            supervisor: Some(supervisor),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether `POST /shutdown` (or a signal relayed by the binary) has
+    /// asked this daemon to drain.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Stops admitting work immediately; already-admitted jobs keep
+    /// running. Idempotent.
+    pub fn initiate_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+    }
+
+    /// Graceful shutdown: reject new submissions, let every admitted
+    /// job reach a terminal state, persist the job table to
+    /// `state_dir/jobs.json`, then stop the threads. Returns the number
+    /// of jobs that were still in flight when the drain began.
+    pub fn drain(mut self) -> io::Result<usize> {
+        self.initiate_drain();
+        let t0 = Instant::now();
+        let inflight_at_drain;
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            inflight_at_drain = st.queue.len() + st.running;
+            while !(st.queue.is_empty() && st.running == 0) {
+                let (guard, _) = self
+                    .shared
+                    .cv
+                    .wait_timeout(st, Duration::from_millis(20))
+                    .unwrap();
+                st = guard;
+            }
+        }
+        self.persist_jobs()?;
+        self.shared
+            .observe(names::DAEMON_DRAIN_WALL_MS, t0.elapsed().as_millis() as u64);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        // The accept loop blocks in accept(); poke it awake so it can
+        // observe the shutdown flag and exit.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+        Ok(inflight_at_drain)
+    }
+
+    /// Writes the job table (status documents, submission order) to
+    /// `state_dir/jobs.json` so a drained daemon leaves an audit trail.
+    fn persist_jobs(&self) -> io::Result<()> {
+        let now = Instant::now();
+        let st = self.shared.state.lock().unwrap();
+        let mut out = String::from("[\n");
+        for (i, job) in st.jobs.values().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("  ");
+            out.push_str(&job.status_json(now));
+        }
+        out.push_str("\n]\n");
+        drop(st);
+        std::fs::write(self.shared.config.state_dir.join("jobs.json"), out)
+    }
+
+    /// Current value of one daemon counter (test/bench introspection
+    /// without scraping `/metrics`).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.shared.obs.lock().unwrap().counters.get(name)
+    }
+}
+
+// ===== accept / routing =====
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || handle_connection(stream, shared));
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let response = match read_request(&mut stream) {
+        Ok(req) => route(&req, &shared),
+        Err(e) => Response::json(400, format!("{{\"error\": \"{e}\"}}")),
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+fn route(req: &Request, shared: &Arc<Shared>) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/submit") => handle_submit(req, shared),
+        ("GET", "/metrics") => handle_metrics(shared),
+        ("GET", "/healthz") => {
+            let phase = if shared.draining.load(Ordering::SeqCst) {
+                "draining"
+            } else {
+                "ok"
+            };
+            Response::text(200, &format!("{phase}\n"))
+        }
+        ("POST", "/shutdown") => {
+            shared.shutdown_requested.store(true, Ordering::SeqCst);
+            shared.draining.store(true, Ordering::SeqCst);
+            shared.cv.notify_all();
+            Response::text(200, "draining\n")
+        }
+        ("GET", path) if path.starts_with("/jobs/") => handle_job_status(path, shared),
+        ("GET", path) if path.starts_with("/results/") => handle_result(path, shared),
+        ("GET" | "POST", _) => Response::json(404, "{\"error\": \"no such route\"}".to_string()),
+        _ => Response::json(405, "{\"error\": \"method not allowed\"}".to_string()),
+    }
+}
+
+fn handle_metrics(shared: &Arc<Shared>) -> Response {
+    let obs = shared.obs.lock().unwrap();
+    let mut writer = OpenMetricsWriter::new();
+    writer.scope(&obs.counters, &obs.histograms, "");
+    drop(obs);
+    Response {
+        status: 200,
+        content_type: "application/openmetrics-text; version=1.0.0; charset=utf-8",
+        headers: Vec::new(),
+        body: writer.finish().into_bytes(),
+    }
+}
+
+fn handle_job_status(path: &str, shared: &Arc<Shared>) -> Response {
+    let id = match path["/jobs/".len()..].parse::<u64>() {
+        Ok(id) => id,
+        Err(_) => return Response::json(400, "{\"error\": \"bad job id\"}".to_string()),
+    };
+    let st = shared.state.lock().unwrap();
+    match st.jobs.get(&id) {
+        Some(job) => Response::json(200, job.status_json(Instant::now())),
+        None => Response::json(404, "{\"error\": \"no such job\"}".to_string()),
+    }
+}
+
+fn handle_result(path: &str, shared: &Arc<Shared>) -> Response {
+    let key = &path["/results/".len()..];
+    if key.len() != 16 || !key.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Response::json(400, "{\"error\": \"bad result key\"}".to_string());
+    }
+    match shared.store.get(key) {
+        CacheRead::Hit(bytes) => Response {
+            status: 200,
+            content_type: "application/json",
+            headers: vec![("x-cache", "hit".to_string())],
+            body: bytes,
+        },
+        CacheRead::Miss => {
+            Response::json(404, "{\"error\": \"no result under this key\"}".to_string())
+        }
+        CacheRead::Corrupt(why) => {
+            shared.incr(names::DAEMON_CACHE_CORRUPT);
+            eprintln!("polite-wifi-d: result {key} failed verification ({why}); dropping entry");
+            let _ = std::fs::remove_file(shared.store.entry_path(key));
+            Response::json(
+                410,
+                format!(
+                    "{{\"error\": \"entry failed verification: {why}; resubmit to recompute\"}}"
+                ),
+            )
+        }
+    }
+}
+
+// ===== submission =====
+
+fn handle_submit(req: &Request, shared: &Arc<Shared>) -> Response {
+    shared.incr(names::DAEMON_SUBMIT_TOTAL);
+    if shared.draining.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst) {
+        shared.incr(names::DAEMON_ADMISSION_REJECTED);
+        return Response::json(
+            503,
+            "{\"error\": \"draining; not accepting work\"}".to_string(),
+        )
+        .with_header("retry-after", "1".to_string());
+    }
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return Response::json(400, "{\"error\": \"body is not UTF-8\"}".to_string()),
+    };
+    let spec = match ScenarioSpec::parse(text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            return Response::json(
+                400,
+                format!("{{\"error\": \"{}\"}}", crate::jobs::escape(&e)),
+            )
+        }
+    };
+    let inject = req
+        .param("inject_trial_panic")
+        .and_then(|v| v.parse::<usize>().ok());
+    let wait = req.param("wait") == Some("1");
+    let key = spec.canonical_hash();
+
+    // Injected-chaos jobs are deliberately degraded: never cached,
+    // never coalesced with (or onto) a clean run of the same spec.
+    if inject.is_none() {
+        match shared.store.get(&key) {
+            CacheRead::Hit(bytes) => {
+                shared.incr(names::DAEMON_CACHE_HIT);
+                return if wait {
+                    Response {
+                        status: 200,
+                        content_type: "application/json",
+                        headers: vec![("x-cache", "hit".to_string())],
+                        body: bytes,
+                    }
+                } else {
+                    Response::json(
+                        200,
+                        format!("{{\"cached\": true, \"key\": \"{key}\", \"result\": \"/results/{key}\"}}"),
+                    )
+                };
+            }
+            CacheRead::Corrupt(why) => {
+                shared.incr(names::DAEMON_CACHE_CORRUPT);
+                eprintln!(
+                    "polite-wifi-d: cache entry {key} failed verification ({why}); recomputing"
+                );
+            }
+            CacheRead::Miss => {
+                shared.incr(names::DAEMON_CACHE_MISS);
+            }
+        }
+    }
+
+    let job_id = {
+        let mut st = shared.state.lock().unwrap();
+        if inject.is_none() {
+            if let Some(&existing) = st.inflight.get(&key) {
+                shared.incr(names::DAEMON_SUBMIT_COALESCED);
+                drop(st);
+                return if wait {
+                    wait_and_respond(existing, shared)
+                } else {
+                    Response::json(
+                        202,
+                        format!("{{\"job\": {existing}, \"coalesced\": true, \"key\": \"{key}\"}}"),
+                    )
+                };
+            }
+        }
+        if st.queue.len() >= shared.config.queue_depth {
+            drop(st);
+            shared.incr(names::DAEMON_ADMISSION_REJECTED);
+            return Response::json(
+                429,
+                "{\"error\": \"queue full; back off and retry\"}".to_string(),
+            )
+            .with_header("retry-after", "1".to_string());
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        let args = spec.run_args();
+        st.jobs.insert(
+            id,
+            Job {
+                id,
+                key: key.clone(),
+                slug: spec.slug.clone(),
+                runner: spec.runner.clone(),
+                spec_json: spec.to_canonical_json(),
+                state: JobState::Queued,
+                attempts: 0,
+                inject_trial_panic: inject,
+                cached: false,
+                detail: String::new(),
+                submitted_at: Instant::now(),
+                started_at: None,
+                finished_at: None,
+                token: None,
+                deadline: None,
+                not_before: None,
+                trials: args.trials as u64,
+                workers: args.workers as u64,
+                seed: args.seed,
+            },
+        );
+        st.queue.push_back(id);
+        if inject.is_none() {
+            st.inflight.insert(key.clone(), id);
+        }
+        let depth = st.queue.len() as u64;
+        drop(st);
+        shared.observe(names::DAEMON_QUEUE_DEPTH, depth);
+        shared.cv.notify_all();
+        id
+    };
+    if wait {
+        wait_and_respond(job_id, shared)
+    } else {
+        Response::json(
+            202,
+            format!("{{\"job\": {job_id}, \"state\": \"queued\", \"key\": \"{key}\"}}"),
+        )
+    }
+}
+
+/// Blocks until `id` reaches a terminal state, then renders the result:
+/// the envelope bytes on success, the status document on failure.
+fn wait_and_respond(id: u64, shared: &Arc<Shared>) -> Response {
+    let (state, key, cached, status_json) = {
+        let mut st = shared.state.lock().unwrap();
+        loop {
+            let job = match st.jobs.get(&id) {
+                Some(job) => job,
+                None => return Response::json(404, "{\"error\": \"job vanished\"}".to_string()),
+            };
+            if job.state.is_terminal() {
+                break (
+                    job.state,
+                    job.key.clone(),
+                    job.cached,
+                    job.status_json(Instant::now()),
+                );
+            }
+            let (guard, _) = shared
+                .cv
+                .wait_timeout(st, Duration::from_millis(20))
+                .unwrap();
+            st = guard;
+        }
+    };
+    match state {
+        JobState::Done => {
+            let bytes = if cached {
+                match shared.store.get(&key) {
+                    CacheRead::Hit(bytes) => Some(bytes),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            let bytes = bytes.or_else(|| read_job_envelope(shared, id));
+            match bytes {
+                Some(bytes) => Response {
+                    status: 200,
+                    content_type: "application/json",
+                    headers: vec![("x-cache", "miss".to_string())],
+                    body: bytes,
+                },
+                None => Response::json(500, "{\"error\": \"result file missing\"}".to_string()),
+            }
+        }
+        JobState::TimedOut => Response::json(504, status_json),
+        _ => Response::json(500, status_json),
+    }
+}
+
+fn job_dir(shared: &Shared, id: u64) -> PathBuf {
+    shared.config.state_dir.join("jobs").join(id.to_string())
+}
+
+fn read_job_envelope(shared: &Shared, id: u64) -> Option<Vec<u8>> {
+    let slug = {
+        let st = shared.state.lock().unwrap();
+        st.jobs.get(&id)?.slug.clone()
+    };
+    std::fs::read(job_dir(shared, id).join(format!("{slug}.json"))).ok()
+}
+
+// ===== workers =====
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job_id = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(id) = pop_due(&mut st) {
+                    break Some(id);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                // Timed wait: delayed retries become due without any
+                // notify, and shutdown must not strand a sleeper.
+                let (guard, _) = shared
+                    .cv
+                    .wait_timeout(st, Duration::from_millis(10))
+                    .unwrap();
+                st = guard;
+            }
+        };
+        match job_id {
+            Some(id) => run_one(&shared, id),
+            None => return,
+        }
+    }
+}
+
+/// Pops the first queued job whose retry gate (if any) has passed.
+fn pop_due(st: &mut State) -> Option<u64> {
+    let now = Instant::now();
+    let pos = st.queue.iter().position(|id| {
+        st.jobs
+            .get(id)
+            .is_some_and(|j| !j.not_before.is_some_and(|t| t > now))
+    })?;
+    st.queue.remove(pos)
+}
+
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+fn run_one(shared: &Arc<Shared>, id: u64) {
+    let token = CancelToken::new();
+    let (spec_json, inject, key, slug, attempt) = {
+        let mut st = shared.state.lock().unwrap();
+        st.running += 1;
+        let job = st.jobs.get_mut(&id).expect("queued job exists");
+        job.state = JobState::Running;
+        job.attempts += 1;
+        job.started_at = Some(Instant::now());
+        job.finished_at = None;
+        job.not_before = None;
+        job.token = Some(token.clone());
+        job.deadline = Some(Instant::now() + shared.config.job_timeout);
+        (
+            job.spec_json.clone(),
+            job.inject_trial_panic,
+            job.key.clone(),
+            job.slug.clone(),
+            job.attempts,
+        )
+    };
+
+    let dir = job_dir(shared, id);
+    let prev_dir = polite_wifi_harness::set_thread_results_dir(Some(dir.clone()));
+    let prev_token = cancel::install_token(Some(token.clone()));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let spec = ScenarioSpec::parse(&spec_json)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let mut args = spec.run_args();
+        args.quiet = true;
+        if inject.is_some() {
+            args.inject_trial_panic = inject;
+        }
+        run_spec(&spec, args)
+    }));
+    cancel::install_token(prev_token);
+    polite_wifi_harness::set_thread_results_dir(prev_dir);
+
+    enum Verdict {
+        Done,
+        TimedOut(String),
+        Failed(String),
+    }
+    let verdict = match outcome {
+        Ok(Ok(0)) => Verdict::Done,
+        Ok(Ok(status)) if token.is_cancelled() => Verdict::TimedOut(format!(
+            "job deadline exceeded (run degraded to exit status {status})"
+        )),
+        Ok(Ok(status)) => Verdict::Failed(format!("exit status {status}")),
+        Ok(Err(e)) => Verdict::Failed(format!("io error: {e}")),
+        Err(payload) => {
+            let detail = panic_detail(payload);
+            if cancel::is_cancellation(&detail) {
+                Verdict::TimedOut(detail)
+            } else {
+                Verdict::Failed(format!("panic: {detail}"))
+            }
+        }
+    };
+
+    match verdict {
+        Verdict::Done => {
+            let mut cached = false;
+            if inject.is_none() {
+                match std::fs::read(dir.join(format!("{slug}.json"))) {
+                    Ok(bytes) => match shared.store.put(&key, &bytes) {
+                        Ok(()) => cached = true,
+                        Err(e) => eprintln!("polite-wifi-d: cannot cache {key}: {e}"),
+                    },
+                    Err(e) => eprintln!("polite-wifi-d: job {id} left no envelope: {e}"),
+                }
+            }
+            // Counter before the state transition: a wait=1 responder
+            // wakes on the transition and must see consistent metrics.
+            shared.incr(names::DAEMON_JOBS_COMPLETED);
+            finish(shared, id, JobState::Done, String::new(), cached);
+        }
+        Verdict::TimedOut(detail) => {
+            // No retry: the next attempt would hit the same deadline.
+            shared.incr(names::DAEMON_JOBS_TIMED_OUT);
+            finish(shared, id, JobState::TimedOut, detail, false);
+        }
+        Verdict::Failed(detail) => {
+            if attempt <= shared.config.retry_max {
+                let delay_us = shared
+                    .config
+                    .retry_policy
+                    .delay_us(attempt, fnv1a64(key.as_bytes()));
+                shared.incr(names::DAEMON_JOBS_RETRIED);
+                requeue(shared, id, detail, Duration::from_micros(delay_us));
+            } else {
+                shared.incr(names::DAEMON_JOBS_FAILED);
+                finish(shared, id, JobState::Failed, detail, false);
+            }
+        }
+    }
+}
+
+/// Terminal transition: record the outcome, release the coalescing
+/// slot, wake waiters.
+fn finish(shared: &Arc<Shared>, id: u64, state: JobState, detail: String, cached: bool) {
+    let mut st = shared.state.lock().unwrap();
+    st.running -= 1;
+    let key = if let Some(job) = st.jobs.get_mut(&id) {
+        job.state = state;
+        job.detail = detail;
+        job.cached = cached;
+        job.finished_at = Some(Instant::now());
+        job.token = None;
+        job.deadline = None;
+        Some(job.key.clone())
+    } else {
+        None
+    };
+    if let Some(key) = key {
+        if st.inflight.get(&key).is_some_and(|&owner| owner == id) {
+            st.inflight.remove(&key);
+        }
+    }
+    drop(st);
+    shared.cv.notify_all();
+}
+
+/// Bounded-retry transition: back to the queue behind a delay gate.
+fn requeue(shared: &Arc<Shared>, id: u64, detail: String, delay: Duration) {
+    let mut st = shared.state.lock().unwrap();
+    st.running -= 1;
+    if let Some(job) = st.jobs.get_mut(&id) {
+        job.state = JobState::Queued;
+        job.detail = format!("retrying after: {detail}");
+        job.token = None;
+        job.deadline = None;
+        job.not_before = Some(Instant::now() + delay);
+    }
+    st.queue.push_back(id);
+    drop(st);
+    shared.cv.notify_all();
+}
+
+// ===== supervisor =====
+
+fn supervisor_loop(shared: Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(2));
+        let now = Instant::now();
+        let st = shared.state.lock().unwrap();
+        for job in st.jobs.values() {
+            if job.state == JobState::Running {
+                if let (Some(deadline), Some(token)) = (job.deadline, &job.token) {
+                    if now >= deadline && !token.is_cancelled() {
+                        token.cancel();
+                    }
+                }
+            }
+        }
+    }
+}

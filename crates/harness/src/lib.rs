@@ -30,14 +30,16 @@
 //! assert_eq!(means.len(), 8);
 //! ```
 
+pub mod cancel;
 pub mod ledger;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod sink;
 
+pub use cancel::CancelToken;
 pub use ledger::{MetricSummary, MetricsLedger};
-pub use report::{results_dir, write_json, Experiment};
+pub use report::{results_dir, set_thread_results_dir, write_json, Experiment};
 pub use runner::{derive_trial_seed, RunArgs, Runner, TrialCtx, TrialFailure};
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use sink::Heartbeat;

@@ -26,9 +26,30 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// Directory experiment JSON results are written to. Honours the
-/// `POLITE_WIFI_RESULTS` override; created on demand by [`write_json`].
+thread_local! {
+    /// Per-thread results-directory override. The daemon runs many jobs
+    /// in one process; a process-wide env var would race, so each job
+    /// thread redirects its own envelope writes instead.
+    static RESULTS_DIR_OVERRIDE: std::cell::RefCell<Option<PathBuf>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Redirects (or, with `None`, stops redirecting) this thread's result
+/// writes to `dir`. Returns the previous override so scoped callers can
+/// restore it. Trial closures never write results, so overriding on the
+/// thread that calls [`Experiment::finish_with_status`] is sufficient.
+pub fn set_thread_results_dir(dir: Option<PathBuf>) -> Option<PathBuf> {
+    RESULTS_DIR_OVERRIDE.with(|cell| std::mem::replace(&mut *cell.borrow_mut(), dir))
+}
+
+/// Directory experiment JSON results are written to: the thread-local
+/// override ([`set_thread_results_dir`]) if installed, else the
+/// `POLITE_WIFI_RESULTS` env var, else `results/`. Created on demand by
+/// [`write_json`].
 pub fn results_dir() -> PathBuf {
+    if let Some(dir) = RESULTS_DIR_OVERRIDE.with(|cell| cell.borrow().clone()) {
+        return dir;
+    }
     std::env::var("POLITE_WIFI_RESULTS")
         .map(PathBuf::from)
         .unwrap_or_else(|_| PathBuf::from("results"))
@@ -317,6 +338,11 @@ impl Experiment {
         let (results, failures) =
             self.runner()
                 .run_trials_checked(self.args.seed, self.args.trials, |ctx| {
+                    // Cooperative cancellation checkpoint: a raised
+                    // token degrades the remaining trials into
+                    // deterministic TrialFailures instead of letting a
+                    // timed-out job run to the bitter end.
+                    crate::cancel::check_cancelled();
                     if Some(ctx.index) == inject {
                         panic!("injected trial panic (--inject-trial-panic {})", ctx.index);
                     }

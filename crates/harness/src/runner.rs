@@ -98,10 +98,15 @@ impl Runner {
         let next = AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(count));
         let threads = self.workers.min(count);
+        // Cancellation is thread-local; carry the spawning thread's
+        // token into every scoped worker so a supervisor raising it
+        // reaches trials wherever they run.
+        let token = crate::cancel::current_token();
 
         crossbeam::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|_| {
+                    let prev = crate::cancel::install_token(token.clone());
                     let mut local: Vec<(usize, T)> = Vec::new();
                     loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
@@ -111,6 +116,7 @@ impl Runner {
                         local.push((idx, work(idx)));
                     }
                     collected.lock().unwrap().extend(local);
+                    let _ = crate::cancel::install_token(prev);
                 });
             }
         })

@@ -39,6 +39,7 @@ pub mod frametrace;
 pub mod json;
 pub mod metrics;
 pub mod names;
+pub mod openmetrics;
 pub mod profiler;
 pub mod ring;
 pub mod span;
@@ -46,6 +47,7 @@ pub mod trace;
 
 pub use frametrace::{FrameTrace, HopRecord, TraceLog};
 pub use metrics::{Counters, Histogram, Histograms, HISTOGRAM_BUCKETS};
+pub use openmetrics::OpenMetricsWriter;
 pub use profiler::{ProfStat, Profiler};
 pub use ring::{EventRecord, RingLog};
 pub use span::{SpanLog, SpanRecord};

@@ -14,8 +14,9 @@
 //! the per-frame medium-fate taxonomy (DESIGN.md §10), `fault.*` for
 //! injected impairments, `retry.*` for the attacker-side recovery loop,
 //! `wardrive.*`/`sensing.*` for experiment-level tallies, `hub.*` for
-//! the batched sensing hub's link/batch accounting, and `harness.*` for
-//! trial bookkeeping.
+//! the batched sensing hub's link/batch accounting, `harness.*` for
+//! trial bookkeeping, and `daemon.*` for the `polite-wifi-d` serving
+//! layer (admission, cache, job outcomes, drain).
 
 /// Counter: frames that would have decoded but were corrupted by
 /// injected burst loss (Gilbert–Elliott).
@@ -102,6 +103,51 @@ pub const HUB_LINKS: &str = "hub.links";
 /// sensing hub processed.
 pub const HUB_BATCHES: &str = "hub.batches";
 
+/// Counter: scenario submissions the daemon accepted for execution
+/// (cache hits and coalesced duplicates are counted separately).
+pub const DAEMON_SUBMIT_TOTAL: &str = "daemon.submit.total";
+
+/// Counter: submissions that coalesced onto an identical in-flight job
+/// instead of spawning a second run.
+pub const DAEMON_SUBMIT_COALESCED: &str = "daemon.submit.coalesced";
+
+/// Counter: submissions bounced by admission control (full queue or
+/// drain in progress) with a 429/503-style response.
+pub const DAEMON_ADMISSION_REJECTED: &str = "daemon.admission.rejected";
+
+/// Counter: submissions answered straight from the content-addressed
+/// result store, no re-simulation.
+pub const DAEMON_CACHE_HIT: &str = "daemon.cache.hit";
+
+/// Counter: cacheable submissions that had to simulate.
+pub const DAEMON_CACHE_MISS: &str = "daemon.cache.miss";
+
+/// Counter: cache entries that failed integrity verification on read
+/// and were recomputed and overwritten.
+pub const DAEMON_CACHE_CORRUPT: &str = "daemon.cache.corrupt";
+
+/// Counter: jobs that ran to completion with exit status 0.
+pub const DAEMON_JOBS_COMPLETED: &str = "daemon.jobs.completed";
+
+/// Counter: jobs that exhausted their retry budget and were recorded
+/// as failed (panic, nonzero exit, unreadable envelope).
+pub const DAEMON_JOBS_FAILED: &str = "daemon.jobs.failed";
+
+/// Counter: jobs cancelled by the per-job wall-clock deadline.
+pub const DAEMON_JOBS_TIMED_OUT: &str = "daemon.jobs.timed_out";
+
+/// Counter: failed job attempts re-enqueued under the bounded
+/// `RetryPolicy`-style budget.
+pub const DAEMON_JOBS_RETRIED: &str = "daemon.jobs.retried";
+
+/// Histogram: admission-queue depth observed at each enqueue.
+pub const DAEMON_QUEUE_DEPTH: &str = "daemon.queue.depth";
+
+/// Histogram: wall-clock milliseconds a graceful drain took. Wall time
+/// is fine here: daemon metrics are operational and never enter a
+/// canonical result envelope.
+pub const DAEMON_DRAIN_WALL_MS: &str = "daemon.drain.wall_ms";
+
 /// Every exact runtime-emitted counter/histogram name.
 pub const REGISTERED: &[&str] = &[
     // sim.* — event-loop outcomes.
@@ -163,6 +209,19 @@ pub const REGISTERED: &[&str] = &[
     "sensing.windows_scored",
     HUB_LINKS,
     HUB_BATCHES,
+    // daemon.* — the polite-wifi-d serving layer.
+    DAEMON_SUBMIT_TOTAL,
+    DAEMON_SUBMIT_COALESCED,
+    DAEMON_ADMISSION_REJECTED,
+    DAEMON_CACHE_HIT,
+    DAEMON_CACHE_MISS,
+    DAEMON_CACHE_CORRUPT,
+    DAEMON_JOBS_COMPLETED,
+    DAEMON_JOBS_FAILED,
+    DAEMON_JOBS_TIMED_OUT,
+    DAEMON_JOBS_RETRIED,
+    DAEMON_QUEUE_DEPTH,
+    DAEMON_DRAIN_WALL_MS,
 ];
 
 /// Registered name families with a dynamic final segment: per-reason

@@ -1,0 +1,169 @@
+//! Prometheus/OpenMetrics exposition-text rendering.
+//!
+//! One writer shared by the two exporters that speak this format: the
+//! offline `trace_query --prom` mode (envelopes → labelled samples) and
+//! the `polite-wifi-d` daemon's live `/metrics` endpoint (its own
+//! [`Obs`](crate::Obs) scope). Counters render as `counter` metrics,
+//! log2 histograms as four `_count`/`_sum`/`_min`/`_max` gauges — the
+//! exact shape CI's format grep pins
+//! (`^# TYPE polite_wifi_\w+ (counter|gauge)$` … `# EOF`).
+
+use crate::metrics::{Counters, Histograms};
+use std::fmt::Write;
+
+/// Sanitises a metric name for Prometheus: `[a-zA-Z0-9_]` survives,
+/// everything else becomes `_`, and everything gets the `polite_wifi_`
+/// namespace prefix.
+pub fn prom_name(name: &str) -> String {
+    let mapped: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    format!("polite_wifi_{mapped}")
+}
+
+/// Escapes a label value (`\` and `"`).
+pub fn prom_escape(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a label set as `{k="v",…}`; empty input renders as nothing,
+/// so unlabelled samples come out as `metric value`.
+pub fn label_set(pairs: &[(&str, &str)]) -> String {
+    if pairs.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Incremental exposition-text writer. Callers emit whole metric
+/// families (`# TYPE` line first, then every sample), and
+/// [`finish`](OpenMetricsWriter::finish) appends the `# EOF` terminator.
+#[derive(Default)]
+pub struct OpenMetricsWriter {
+    out: String,
+}
+
+impl OpenMetricsWriter {
+    /// An empty writer.
+    pub fn new() -> OpenMetricsWriter {
+        OpenMetricsWriter::default()
+    }
+
+    /// One counter family: the `# TYPE` line, then each `(labels,
+    /// value)` sample. `labels` must already be rendered ([`label_set`]).
+    pub fn counter(&mut self, raw_name: &str, samples: &[(String, u64)]) {
+        self.family(raw_name, "counter", samples);
+    }
+
+    /// One gauge family, same shape as [`counter`](Self::counter).
+    pub fn gauge(&mut self, raw_name: &str, samples: &[(String, u64)]) {
+        self.family(raw_name, "gauge", samples);
+    }
+
+    fn family(&mut self, raw_name: &str, kind: &str, samples: &[(String, u64)]) {
+        let metric = prom_name(raw_name);
+        let _ = writeln!(self.out, "# TYPE {metric} {kind}");
+        for (labels, value) in samples {
+            let _ = writeln!(self.out, "{metric}{labels} {value}");
+        }
+    }
+
+    /// Renders a whole [`Counters`]/[`Histograms`] scope with one shared
+    /// label set: counters first in sorted-name order, then per-name
+    /// `_count`/`_sum`/`_min`/`_max` histogram gauges — the same
+    /// family order the envelope exporter uses.
+    pub fn scope(&mut self, counters: &Counters, histograms: &Histograms, labels: &str) {
+        for (name, value) in counters.sorted() {
+            self.counter(name, &[(labels.to_string(), value)]);
+        }
+        for (name, h) in histograms.sorted() {
+            let min = if h.count == 0 { 0 } else { h.min };
+            for (suffix, value) in [
+                ("count", h.count),
+                ("sum", h.sum),
+                ("min", min),
+                ("max", h.max),
+            ] {
+                self.gauge(&format!("{name}_{suffix}"), &[(labels.to_string(), value)]);
+            }
+        }
+    }
+
+    /// Terminates the exposition (`# EOF`) and returns the text.
+    pub fn finish(mut self) -> String {
+        self.out.push_str("# EOF\n");
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sanitised_and_prefixed() {
+        assert_eq!(
+            prom_name("daemon.cache.hit"),
+            "polite_wifi_daemon_cache_hit"
+        );
+        assert_eq!(
+            prom_name("mac.ack_turnaround_us.ghz2"),
+            "polite_wifi_mac_ack_turnaround_us_ghz2"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(
+            label_set(&[("experiment", "say \"hi\"")]),
+            "{experiment=\"say \\\"hi\\\"\"}"
+        );
+        assert_eq!(label_set(&[]), "");
+    }
+
+    #[test]
+    fn scope_renders_counters_then_histogram_gauges() {
+        let mut counters = Counters::new();
+        counters.add("daemon.cache.hit", 3);
+        let mut histograms = Histograms::new();
+        histograms.observe("daemon.queue.depth", 2);
+        histograms.observe("daemon.queue.depth", 5);
+        let mut w = OpenMetricsWriter::new();
+        w.scope(&counters, &histograms, "");
+        let text = w.finish();
+        let expected = "\
+# TYPE polite_wifi_daemon_cache_hit counter
+polite_wifi_daemon_cache_hit 3
+# TYPE polite_wifi_daemon_queue_depth_count gauge
+polite_wifi_daemon_queue_depth_count 2
+# TYPE polite_wifi_daemon_queue_depth_sum gauge
+polite_wifi_daemon_queue_depth_sum 7
+# TYPE polite_wifi_daemon_queue_depth_min gauge
+polite_wifi_daemon_queue_depth_min 2
+# TYPE polite_wifi_daemon_queue_depth_max gauge
+polite_wifi_daemon_queue_depth_max 5
+# EOF
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn every_type_line_matches_the_ci_format_grep() {
+        let mut w = OpenMetricsWriter::new();
+        w.counter("sim.frames_txed", &[(String::new(), 1)]);
+        w.gauge("daemon.queue.depth_max", &[(String::new(), 9)]);
+        let text = w.finish();
+        for line in text.lines().filter(|l| l.starts_with("# TYPE")) {
+            let rest = line.strip_prefix("# TYPE polite_wifi_").unwrap();
+            let (name, kind) = rest.split_once(' ').unwrap();
+            assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+            assert!(kind == "counter" || kind == "gauge");
+        }
+        assert!(text.ends_with("# EOF\n"));
+    }
+}

@@ -6,9 +6,11 @@
 //!
 //! Extra modes:
 //! * `exp_run --list` prints every registered runner.
-//! * `exp_run --fmt SCENARIO.json` rewrites the file in canonical form
+//! * `exp_run --fmt FILE...` rewrites each file in canonical form
 //!   (the form the golden tests pin byte-exactly).
-//! * `exp_run --check SCENARIO.json` parses and validates only.
+//! * `exp_run --check FILE...` validates each file and verifies it is
+//!   already canonical, printing one line per file; non-canonical files
+//!   name the fields whose order drifted.
 
 use polite_wifi_harness::RunArgs;
 use polite_wifi_scenario::{run_spec, runner_names, ScenarioSpec};
@@ -30,13 +32,137 @@ fn load(path: &str) -> ScenarioSpec {
     }
 }
 
+/// The object keys of a JSON document in the order they appear in the
+/// text. A tiny string-aware scanner, not a parse — the point is to
+/// compare the committed byte order against the canonical re-emission,
+/// which a parser would collapse.
+fn key_sequence(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut keys = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let start = i + 1;
+        let mut j = start;
+        while j < bytes.len() && bytes[j] != b'"' {
+            if bytes[j] == b'\\' {
+                j += 1;
+            }
+            j += 1;
+        }
+        let end = j.min(bytes.len());
+        let mut k = end + 1;
+        while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        if k < bytes.len() && bytes[k] == b':' {
+            keys.push(String::from_utf8_lossy(&bytes[start..end]).into_owned());
+        }
+        i = end + 1;
+    }
+    keys
+}
+
+/// Why `committed` differs from its canonical re-emission, in terms a
+/// scenario author can act on: which fields moved, which appear or
+/// vanish under canonicalisation, or — when the key order already
+/// matches — that only whitespace drifted.
+fn describe_drift(committed: &str, canonical: &str) -> String {
+    let got = key_sequence(committed);
+    let want = key_sequence(canonical);
+    if got == want {
+        return "formatting differs (whitespace or indentation)".to_string();
+    }
+    let mut sorted_got = got.clone();
+    let mut sorted_want = want.clone();
+    sorted_got.sort();
+    sorted_want.sort();
+    if sorted_got == sorted_want {
+        let mut moved: Vec<&str> = Vec::new();
+        for (g, w) in got.iter().zip(want.iter()) {
+            if g != w {
+                for key in [g.as_str(), w.as_str()] {
+                    if !moved.contains(&key) {
+                        moved.push(key);
+                    }
+                }
+            }
+        }
+        return format!("fields re-ordered: {}", moved.join(", "));
+    }
+    // Canonicalisation adds or drops keys (defaults made explicit);
+    // name them rather than misreporting an order problem.
+    let mut changed: Vec<&str> = Vec::new();
+    for key in want.iter().filter(|k| !got.contains(k)) {
+        if !changed.contains(&key.as_str()) {
+            changed.push(key);
+        }
+    }
+    for key in got.iter().filter(|k| !want.contains(k)) {
+        if !changed.contains(&key.as_str()) {
+            changed.push(key);
+        }
+    }
+    format!(
+        "fields added or removed by canonicalisation: {}",
+        changed.join(", ")
+    )
+}
+
+/// Run `--fmt`/`--check` over every path; returns the failure count.
+fn fmt_or_check(mode: &str, paths: &[String]) -> std::io::Result<usize> {
+    let mut failures = 0usize;
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("exp_run: cannot read `{path}`: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let spec = match ScenarioSpec::parse(&text) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("exp_run: `{path}`: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let canonical = spec.to_canonical_json();
+        if mode == "--fmt" {
+            if text == canonical {
+                println!("{path}: already canonical");
+            } else {
+                std::fs::write(path, &canonical)?;
+                println!("canonicalised {path}");
+            }
+        } else if text == canonical {
+            println!(
+                "{path}: ok (runner `{}`, slug `{}`)",
+                spec.runner, spec.slug
+            );
+        } else {
+            println!(
+                "{path}: not canonical — {} (fix with `exp_run --fmt {path}`)",
+                describe_drift(&text, &canonical)
+            );
+            failures += 1;
+        }
+    }
+    Ok(failures)
+}
+
 fn main() -> std::io::Result<()> {
     let mut argv = std::env::args().skip(1).peekable();
     let first = match argv.peek().map(String::as_str) {
         None | Some("--help") => {
             println!(
                 "usage: exp_run SCENARIO.json [harness flags]\n       \
-                 exp_run --list | --fmt SCENARIO.json | --check SCENARIO.json"
+                 exp_run --list | --fmt FILE... | --check FILE..."
             );
             return Ok(());
         }
@@ -49,18 +175,13 @@ fn main() -> std::io::Result<()> {
         Some(mode @ ("--fmt" | "--check")) => {
             let mode = mode.to_string();
             argv.next();
-            let path = argv
-                .next()
-                .unwrap_or_else(|| fail(&format!("{mode} needs a scenario path")));
-            let spec = load(&path);
-            if mode == "--fmt" {
-                std::fs::write(&path, spec.to_canonical_json())?;
-                println!("canonicalised {path}");
-            } else {
-                println!(
-                    "{path}: ok (runner `{}`, slug `{}`)",
-                    spec.runner, spec.slug
-                );
+            let paths: Vec<String> = argv.collect();
+            if paths.is_empty() {
+                fail(&format!("{mode} needs at least one scenario path"));
+            }
+            let failures = fmt_or_check(&mode, &paths)?;
+            if failures > 0 {
+                exit(2);
             }
             return Ok(());
         }
@@ -76,4 +197,45 @@ fn main() -> std::io::Result<()> {
         exit(status);
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_sequence_is_string_aware_and_ordered() {
+        let text = r#"{"b": 1, "a": {"x": ":not-a-key", "y": [2, 3]}, "c": "a"}"#;
+        assert_eq!(key_sequence(text), ["b", "a", "x", "y", "c"]);
+    }
+
+    #[test]
+    fn drift_names_reordered_fields() {
+        let committed = r#"{"trials": 3, "seed": 2, "workers": 1}"#;
+        let canonical = r#"{"seed": 2, "trials": 3, "workers": 1}"#;
+        assert_eq!(
+            describe_drift(committed, canonical),
+            "fields re-ordered: trials, seed"
+        );
+    }
+
+    #[test]
+    fn drift_names_keys_added_by_canonicalisation() {
+        let committed = r#"{"seed": 2}"#;
+        let canonical = r#"{"seed": 2, "quick": false}"#;
+        assert_eq!(
+            describe_drift(committed, canonical),
+            "fields added or removed by canonicalisation: quick"
+        );
+    }
+
+    #[test]
+    fn drift_falls_back_to_whitespace_wording() {
+        let committed = "{\"seed\":2}";
+        let canonical = "{\n  \"seed\": 2\n}";
+        assert_eq!(
+            describe_drift(committed, canonical),
+            "formatting differs (whitespace or indentation)"
+        );
+    }
 }

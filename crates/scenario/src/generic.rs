@@ -1,10 +1,10 @@
 //! The fully interpreted scenario executor (`"runner": "generic"`).
 //!
 //! Everything comes from the spec: the topology stamps a
-//! [`ScenarioBuilder`], each attack entry composes an
-//! [`Attack`](polite_wifi_core::Attack) from the core trait layer, each
-//! probe entry a [`Probe`](polite_wifi_core::Probe), and the assertion
-//! block a set of [`MetricAssertion`](polite_wifi_core::MetricAssertion)s
+//! [`ScenarioBuilder`](polite_wifi_harness::ScenarioBuilder), each attack
+//! entry composes an [`polite_wifi_core::Attack`] from the core trait
+//! layer, each probe entry a [`polite_wifi_core::Probe`], and the
+//! assertion block a set of [`polite_wifi_core::MetricAssertion`]s
 //! checked against the recorded metric means. No experiment-specific
 //! code runs at all — related-work scenarios land purely as data files.
 

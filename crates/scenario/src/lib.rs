@@ -23,12 +23,14 @@
 
 pub mod experiments;
 pub mod generic;
+pub mod hash;
 pub mod registry;
 pub mod spec;
 pub mod support;
 
+pub use hash::fnv1a64;
 pub use registry::{run_spec, runner_names};
 pub use spec::{
-    behavior_from_label, bitrate_from_label, AssertionSpec, AttackSpec, NodeKind, NodeSpec,
-    ParamValue, ProbeSpec, RunSpec, ScenarioSpec, TopologySpec,
+    behavior_from_label, bitrate_from_label, propagation_from_label, AssertionSpec, AttackSpec,
+    NodeKind, NodeSpec, ParamValue, ProbeSpec, RunSpec, ScenarioSpec, TopologySpec,
 };

@@ -128,6 +128,10 @@ pub struct NodeSpec {
 pub struct TopologySpec {
     /// Virtual time the scenario runs for.
     pub duration_us: u64,
+    /// Receiver-enumeration backend: `all_pairs` (the default) or
+    /// `cell_grid` (spatial interference cells, city scale). `None`
+    /// leaves [`SimConfig`](polite_wifi_sim::SimConfig) at its default.
+    pub propagation: Option<String>,
     /// Stations, in [`NodeId`] assignment order.
     pub nodes: Vec<NodeSpec>,
     /// Bidirectional client↔AP associations, by node name.
@@ -327,6 +331,16 @@ fn band_from_label(label: &str) -> Option<Band> {
     Some(match label {
         "2.4" => Band::Ghz2,
         "5" => Band::Ghz5,
+        _ => return None,
+    })
+}
+
+/// Resolves a `topology.propagation` label to the PR 6 backend.
+pub fn propagation_from_label(label: &str) -> Option<polite_wifi_sim::PropagationMode> {
+    use polite_wifi_sim::PropagationMode;
+    Some(match label {
+        "all_pairs" => PropagationMode::AllPairs,
+        "cell_grid" => PropagationMode::CellGrid,
         _ => return None,
     })
 }
@@ -631,12 +645,30 @@ fn parse_topology(v: &JsonValue, p: &mut Problems) -> Option<TopologySpec> {
     let obj = as_obj(v, "`topology`", p)?;
     check_keys(
         obj,
-        &["duration_us", "nodes", "links", "associations"],
+        &[
+            "duration_us",
+            "propagation",
+            "nodes",
+            "links",
+            "associations",
+        ],
         "`topology`",
         p,
     );
     let duration_us = req(obj, "duration_us", "`topology`", p)
         .and_then(|v| as_u64(v, "`topology.duration_us`", p));
+    let propagation = opt(obj, "propagation")
+        .and_then(|v| as_str(v, "`topology.propagation`", p))
+        .and_then(|s| {
+            if propagation_from_label(&s).is_none() {
+                p.push(format!(
+                    "`topology.propagation` must be `all_pairs` or `cell_grid`, got `{s}`"
+                ));
+                None
+            } else {
+                Some(s)
+            }
+        });
     let mut nodes = Vec::new();
     if let Some(arr) =
         req(obj, "nodes", "`topology`", p).and_then(|v| as_arr(v, "`topology.nodes`", p))
@@ -687,6 +719,7 @@ fn parse_topology(v: &JsonValue, p: &mut Problems) -> Option<TopologySpec> {
     }
     Some(TopologySpec {
         duration_us: duration_us?,
+        propagation,
         nodes,
         links,
         associations,
@@ -1164,7 +1197,8 @@ fn comma(last: bool) -> &'static str {
 }
 
 impl ScenarioSpec {
-    /// Re-emits the spec in canonical form (see [`Canon`]).
+    /// Re-emits the spec in canonical form (fixed field order,
+    /// two-space indent, minimal number formatting).
     pub fn to_canonical_json(&self) -> String {
         let mut c = Canon::new();
         c.line("{");
@@ -1197,6 +1231,9 @@ impl ScenarioSpec {
             c2.line("\"topology\": {");
             c2.indent += 1;
             c2.line(&format!("\"duration_us\": {},", t.duration_us));
+            if let Some(prop) = &t.propagation {
+                c2.line(&format!("\"propagation\": {},", Canon::str(prop)));
+            }
             let links_follow = !t.links.is_empty() || !t.associations.is_empty();
             c2.line("\"nodes\": [");
             c2.indent += 1;
@@ -1493,7 +1530,12 @@ impl TopologySpec {
     /// one-directional associations.
     pub fn builder(&self, faults: FaultProfile) -> (ScenarioBuilder, BTreeMap<String, NodeId>) {
         use polite_wifi_mac::StationConfig;
+        let mut config = polite_wifi_sim::SimConfig::default();
+        if let Some(mode) = self.propagation.as_deref().and_then(propagation_from_label) {
+            config.propagation = mode;
+        }
         let mut sb = ScenarioBuilder::new()
+            .config(config)
             .duration_us(self.duration_us)
             .faults(faults);
         let mut ids: BTreeMap<String, NodeId> = BTreeMap::new();
@@ -1672,6 +1714,52 @@ mod tests {
         assert!(err.contains("not a known attack: `tsunami`"), "{err}");
         assert!(err.contains("not a known probe: `crystal-ball`"), "{err}");
         assert!(err.contains("not a comparison operator: `~=`"), "{err}");
+    }
+
+    #[test]
+    fn propagation_key_parses_threads_and_round_trips() {
+        let with_prop = MINIMAL.replace(
+            "\"duration_us\": 1000,",
+            "\"duration_us\": 1000,\n    \"propagation\": \"cell_grid\",",
+        );
+        let spec = ScenarioSpec::parse(&with_prop).expect("parses");
+        let topo = spec.topology.as_ref().unwrap();
+        assert_eq!(topo.propagation.as_deref(), Some("cell_grid"));
+        // Canonical writer keeps the key (right after duration_us).
+        assert_eq!(spec.to_canonical_json(), with_prop);
+        // And the builder threads it into SimConfig.
+        let (sb, _) = topo.builder(FaultProfile::Clean);
+        assert_eq!(
+            sb.build_with_seed(5).sim.config().propagation,
+            polite_wifi_sim::PropagationMode::CellGrid
+        );
+        // Absent key leaves the default (AllPairs) untouched.
+        let plain = ScenarioSpec::parse(MINIMAL).unwrap();
+        let (sb, _) = plain
+            .topology
+            .as_ref()
+            .unwrap()
+            .builder(FaultProfile::Clean);
+        assert_eq!(
+            sb.build_with_seed(5).sim.config().propagation,
+            polite_wifi_sim::PropagationMode::AllPairs
+        );
+    }
+
+    #[test]
+    fn unknown_propagation_mode_is_rejected_in_the_aggregated_error() {
+        let bad = MINIMAL.replace(
+            "\"duration_us\": 1000,",
+            "\"duration_us\": 1000,\n    \"propagation\": \"psychic\",",
+        );
+        let err = ScenarioSpec::parse(&bad).unwrap_err();
+        assert!(
+            err.contains(
+                "`topology.propagation` must be `all_pairs` or `cell_grid`, got `psychic`"
+            ),
+            "{err}"
+        );
+        assert_eq!(err.lines().count(), 1);
     }
 
     #[test]

@@ -56,8 +56,8 @@ fn every_committed_scenario_is_canonical_and_registered() {
         found += 1;
     }
     assert!(
-        found >= 19,
-        "expected >= 19 committed scenarios, found {found}"
+        found >= 20,
+        "expected >= 20 committed scenarios, found {found}"
     );
 }
 
@@ -180,6 +180,7 @@ golden!(golden_fig3_deauth, "fig3_deauth");
 golden!(golden_fig5_keystroke, "fig5_keystroke");
 golden!(golden_fig6_power, "fig6_power");
 golden!(golden_pmf_deauth_matrix, "pmf_deauth_matrix");
+golden!(golden_powersave_awake, "powersave_awake");
 golden!(golden_sensing_hub, "sensing_hub");
 golden!(golden_sifs_timing, "sifs_timing");
 golden!(golden_table1_devices, "table1_devices");

@@ -231,7 +231,7 @@ const INLINE_WINDOW: usize = 32;
 /// Hampel filter, bit-identical to [`crate::filter::hampel`] but O(w) per
 /// sample: the sliding window is kept sorted incrementally and both order
 /// statistics (median, MAD) are selected from it directly. Windows that
-/// fit [`INLINE_WINDOW`] (every pipeline default does) run on a stack
+/// fit `INLINE_WINDOW` (every pipeline default does) run on a stack
 /// buffer with branchless linear insertion — and the pipeline's own
 /// `±5` width takes a monomorphised path whose full-window loop the
 /// compiler unrolls. Wider windows fall back to a binary-searched `Vec` —
