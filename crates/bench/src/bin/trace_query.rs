@@ -25,14 +25,23 @@
 //! trace_query results/a.json --prom out.prom     # Prometheus/OpenMetrics text
 //! ```
 //!
+//! And one live mode: `--follow http://HOST:PORT/watch/<id>` tails a
+//! running `polite-wifi-d` job's flight recorder (the chunked SSE
+//! stream, see DESIGN.md §15) and renders each event as a row of a
+//! trials / frames-per-second / frame-fate table until the terminal
+//! `job_finished` event.
+//!
 //! Everything is zero-dependency (the vendored `polite_wifi_obs::json`
 //! parser) and deterministic: inputs are processed in argument order and
 //! every grouping is emitted in sorted order, so the same envelopes
-//! always produce byte-identical reports.
+//! always produce byte-identical reports. (`--follow` output is as
+//! live as the job it watches, of course.)
 
+use polite_wifi_daemon::{SseClient, SseEvent};
 use polite_wifi_obs::json::{parse, JsonValue};
 use polite_wifi_obs::openmetrics;
 use std::collections::BTreeMap;
+use std::net::ToSocketAddrs;
 use std::path::PathBuf;
 
 /// One parsed result envelope, reduced to what the queries need.
@@ -336,20 +345,144 @@ fn print_report(envelopes: &[Envelope]) {
     }
 }
 
+// ===== live follow mode (`--follow http://HOST:PORT/watch/<id>`) =====
+
+/// Live state accumulated while tailing a `/watch` stream: the latest
+/// trial progress, throughput and frame-fate totals, rendered as one
+/// table row per event.
+#[derive(Default)]
+struct FollowTable {
+    trials_done: u64,
+    trials_total: u64,
+    frames_per_sec: u64,
+    /// delivered, fer_dropped, collided, stalled.
+    fates: [u64; 4],
+}
+
+impl FollowTable {
+    fn header() -> String {
+        format!(
+            "{:>5}  {:<18} {:>11} {:>9} {:>10} {:>9} {:>9} {:>8}  {}",
+            "seq", "event", "trials", "frames/s", "delivered", "fer_drop", "collided", "stalled",
+            "detail"
+        )
+    }
+
+    /// Folds one SSE event into the running state and renders its row.
+    fn line(&mut self, event: &SseEvent) -> String {
+        let doc = parse(&event.data).ok();
+        let field = |k: &str| {
+            doc.as_ref()
+                .and_then(|d| d.get(k))
+                .and_then(|v| v.as_f64())
+                .map(|f| f as u64)
+        };
+        match event.event.as_str() {
+            "trial_started" | "trial_finished" => {
+                if let Some(done) = field("done") {
+                    self.trials_done = done;
+                }
+                if let Some(total) = field("total") {
+                    self.trials_total = total;
+                }
+            }
+            "sample" => {
+                if let Some(v) = field("frames_per_sec") {
+                    self.frames_per_sec = v;
+                }
+                for (slot, name) in ["delivered", "fer_dropped", "collided", "stalled"]
+                    .iter()
+                    .enumerate()
+                {
+                    if let Some(v) = field(name) {
+                        self.fates[slot] = v;
+                    }
+                }
+            }
+            _ => {}
+        }
+        let detail = doc
+            .as_ref()
+            .and_then(|d| d.get("detail"))
+            .and_then(|v| v.as_str())
+            .unwrap_or("")
+            .to_string();
+        format!(
+            "{:>5}  {:<18} {:>7}/{:<3} {:>9} {:>10} {:>9} {:>9} {:>8}  {}",
+            event.id.unwrap_or(0),
+            event.event,
+            self.trials_done,
+            self.trials_total,
+            self.frames_per_sec,
+            self.fates[0],
+            self.fates[1],
+            self.fates[2],
+            self.fates[3],
+            detail,
+        )
+    }
+}
+
+/// Splits `http://HOST:PORT/watch/<id>` into a resolved socket address
+/// and the request path.
+fn resolve_watch_url(url: &str) -> Result<(std::net::SocketAddr, String), String> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("--follow expects http://HOST:PORT/watch/<id>, got `{url}`"))?;
+    let (authority, path) = match rest.split_once('/') {
+        Some((a, p)) => (a, format!("/{p}")),
+        None => return Err(format!("`{url}` has no /watch/<id> path")),
+    };
+    if !path.starts_with("/watch/") {
+        return Err(format!("`{url}`: --follow tails /watch/<id> streams"));
+    }
+    let addr = authority
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve `{authority}`: {e}"))?
+        .next()
+        .ok_or_else(|| format!("cannot resolve `{authority}`"))?;
+    Ok((addr, path))
+}
+
+/// Tails a live `/watch` stream, one table row per event, until the
+/// terminal `job_finished` event (or the server ends the stream).
+fn follow(url: &str) -> Result<(), String> {
+    let (addr, path) = resolve_watch_url(url)?;
+    let (status, mut client) =
+        SseClient::connect(addr, &path, None).map_err(|e| format!("{url}: {e}"))?;
+    if status != 200 {
+        return Err(format!("{url}: server answered HTTP {status}"));
+    }
+    println!("following {url}");
+    println!("{}", FollowTable::header());
+    let mut table = FollowTable::default();
+    while let Some(event) = client.next_event().map_err(|e| format!("{url}: {e}"))? {
+        let terminal = event.event == "job_finished";
+        println!("{}", table.line(&event));
+        if terminal {
+            break;
+        }
+    }
+    Ok(())
+}
+
 struct Args {
     inputs: Vec<PathBuf>,
     flame: Option<PathBuf>,
     prom: Option<PathBuf>,
+    follow: Option<String>,
 }
 
 const USAGE: &str = "usage: trace_query ENVELOPE.json [MORE.json ...] \
-[--flame OUT.folded] [--prom OUT.prom]";
+[--flame OUT.folded] [--prom OUT.prom]\n       \
+trace_query --follow http://HOST:PORT/watch/<id>";
 
 fn parse_args() -> Result<Args, String> {
     let mut out = Args {
         inputs: Vec::new(),
         flame: None,
         prom: None,
+        follow: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -362,6 +495,10 @@ fn parse_args() -> Result<Args, String> {
                 let raw = args.next().ok_or("--prom needs a value")?;
                 out.prom = Some(PathBuf::from(raw));
             }
+            "--follow" => {
+                let raw = args.next().ok_or("--follow needs a URL")?;
+                out.follow = Some(raw);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}` (try --help)"))
@@ -369,7 +506,10 @@ fn parse_args() -> Result<Args, String> {
             other => out.inputs.push(PathBuf::from(other)),
         }
     }
-    if out.inputs.is_empty() {
+    if out.follow.is_some() && !out.inputs.is_empty() {
+        return Err("--follow is a live mode; don't mix it with envelope files".to_string());
+    }
+    if out.follow.is_none() && out.inputs.is_empty() {
         return Err(USAGE.to_string());
     }
     Ok(out)
@@ -383,6 +523,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(url) = &args.follow {
+        if let Err(msg) = follow(url) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let mut envelopes = Vec::new();
     for path in &args.inputs {
         match load(path) {
@@ -472,6 +619,47 @@ mod tests {
              polite_wifi_sim_frames_txed{experiment=\"e\",faults=\"clean\"} 4\n\
              # EOF\n"
         );
+    }
+
+    #[test]
+    fn follow_table_accumulates_progress_and_fates() {
+        let mut table = FollowTable::default();
+        let event = |id: u64, kind: &str, data: &str| SseEvent {
+            id: Some(id),
+            event: kind.to_string(),
+            data: data.to_string(),
+        };
+
+        let row = table.line(&event(0, "job_accepted", r#"{"seq":0,"kind":"job_accepted","job":1,"trials":8}"#));
+        assert!(row.starts_with("    0  job_accepted"), "{row}");
+
+        table.line(&event(1, "trial_finished", r#"{"seq":1,"kind":"trial_finished","done":3,"total":8}"#));
+        assert_eq!(table.trials_done, 3);
+        assert_eq!(table.trials_total, 8);
+
+        let row = table.line(&event(
+            2,
+            "sample",
+            r#"{"seq":2,"kind":"sample","trials_absorbed":3,"frames_per_sec":1200,"events_per_sec":90,"cells_occupied":0,"delivered":40,"fer_dropped":2,"collided":1,"stalled":0}"#,
+        ));
+        assert_eq!(table.frames_per_sec, 1200);
+        assert_eq!(table.fates, [40, 2, 1, 0]);
+        assert!(row.contains("      3/8 "), "trials column: {row}");
+        assert!(row.contains("1200"), "{row}");
+
+        // The terminal event carries its detail through to the row.
+        let row = table.line(&event(3, "job_finished", r#"{"seq":3,"kind":"job_finished","detail":"done","cached":0}"#));
+        assert!(row.ends_with("done"), "{row}");
+    }
+
+    #[test]
+    fn follow_urls_must_point_at_a_watch_stream() {
+        let (addr, path) = resolve_watch_url("http://127.0.0.1:7632/watch/3").unwrap();
+        assert_eq!(addr.port(), 7632);
+        assert_eq!(path, "/watch/3");
+        assert!(resolve_watch_url("https://x/watch/1").is_err());
+        assert!(resolve_watch_url("http://127.0.0.1:7632").is_err());
+        assert!(resolve_watch_url("http://127.0.0.1:7632/jobs/1").is_err());
     }
 
     #[test]

@@ -35,7 +35,8 @@ fn install_signal_handlers() {}
 fn usage() -> ! {
     eprintln!(
         "usage: polite-wifi-d [--port N] [--bind ADDR] [--workers N] [--queue-depth N]\n       \
-         [--timeout-secs N] [--retries N] [--state-dir DIR]"
+         [--timeout-secs N] [--retries N] [--state-dir DIR]\n       \
+         [--journal-capacity N] [--history-window-ms N]"
     );
     std::process::exit(2);
 }
@@ -71,6 +72,16 @@ fn parse_config() -> DaemonConfig {
                 config.retry_max = value("--retries").parse().unwrap_or_else(|_| usage())
             }
             "--state-dir" => config.state_dir = value("--state-dir").into(),
+            "--journal-capacity" => {
+                config.journal_capacity = value("--journal-capacity")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--history-window-ms" => {
+                config.history_window = Duration::from_millis(
+                    value("--history-window-ms").parse().unwrap_or_else(|_| usage()),
+                )
+            }
             "--help" => usage(),
             other => {
                 eprintln!("polite-wifi-d: unknown flag `{other}`");

@@ -17,12 +17,14 @@ const MAX_HEAD: usize = 16 * 1024;
 /// Upper bound on a request body (scenario specs are a few KiB).
 const MAX_BODY: usize = 4 * 1024 * 1024;
 
-/// One parsed request: method, path, decoded query pairs and raw body.
+/// One parsed request: method, path, decoded query pairs, headers
+/// (names lowercased) and raw body.
 #[derive(Debug)]
 pub struct Request {
     pub method: String,
     pub path: String,
     pub query: BTreeMap<String, String>,
+    pub headers: BTreeMap<String, String>,
     pub body: Vec<u8>,
 }
 
@@ -30,6 +32,12 @@ impl Request {
     /// The query parameter `name`, if present.
     pub fn param(&self, name: &str) -> Option<&str> {
         self.query.get(name).map(String::as_str)
+    }
+
+    /// The header `name` (case-insensitive; pass it lowercased), if
+    /// present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(name).map(String::as_str)
     }
 }
 
@@ -63,6 +71,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
     let mut content_length = 0usize;
+    let mut headers = BTreeMap::new();
     loop {
         let mut line = String::new();
         let n = reader.read_line(&mut line)?;
@@ -84,6 +93,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
                     .parse::<usize>()
                     .map_err(|_| bad("bad Content-Length"))?;
             }
+            headers.insert(name.to_ascii_lowercase(), value.trim().to_string());
         }
     }
     let mut parts = request_line.split_whitespace();
@@ -101,6 +111,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
         method: method.to_string(),
         path,
         query,
+        headers,
         body,
     })
 }
@@ -243,6 +254,7 @@ mod tests {
             assert_eq!(req.method, "POST");
             assert_eq!(req.path, "/submit");
             assert_eq!(req.param("wait"), Some("1"));
+            assert_eq!(req.header("host"), Some(addr.to_string().as_str()));
             assert_eq!(req.body, b"{\"x\": 1}");
             Response::json(200, "{\"ok\": true}".to_string())
                 .with_header("x-cache", "miss".to_string())

@@ -15,7 +15,8 @@
 //! terminal transition notifies the condvar so `wait=1` submitters and
 //! the drain loop wake up.
 
-use polite_wifi_harness::CancelToken;
+use polite_wifi_harness::{CancelToken, ChannelProgress};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Where a job is in its lifecycle.
@@ -78,6 +79,14 @@ pub struct Job {
     pub trials: u64,
     pub workers: u64,
     pub seed: u64,
+    /// The per-job flight recorder: every lifecycle and trial-boundary
+    /// event this job emits, journaled (bounded) and subscribable via
+    /// `/watch/<id>`. Survives retries — the journal tells the whole
+    /// story of the job, not one attempt.
+    pub recorder: Arc<ChannelProgress>,
+    /// Supervisor bookkeeping: when the last `deadline_remaining`
+    /// event was published, so the 2ms tick doesn't flood the journal.
+    pub last_deadline_event: Option<Instant>,
 }
 
 impl Job {
@@ -95,14 +104,21 @@ impl Job {
 
     /// The `/jobs/<id>` status document: state + the PR 5
     /// `--progress`-style heartbeat fields (attempts, elapsed, run
-    /// shape) so a poller can see liveness without scraping stdout.
-    pub fn status_json(&self, now: Instant) -> String {
+    /// shape), live trial progress pulled from the flight recorder,
+    /// and — for queued jobs — the position in line (`queue_position`,
+    /// 0 = next to run), so a poller can see liveness without scraping
+    /// stdout.
+    pub fn status_json(&self, now: Instant, queue_position: Option<u64>) -> String {
+        let position = match queue_position {
+            Some(p) => format!("\"queue_position\": {p}, "),
+            None => String::new(),
+        };
         format!(
             concat!(
                 "{{\"id\": {}, \"state\": \"{}\", \"key\": \"{}\", \"slug\": \"{}\", ",
                 "\"runner\": \"{}\", \"attempts\": {}, \"cached\": {}, ",
-                "\"elapsed_ms\": {}, \"trials\": {}, \"workers\": {}, \"seed\": {}, ",
-                "\"detail\": \"{}\"}}"
+                "\"elapsed_ms\": {}, \"trials\": {}, \"trials_done\": {}, ",
+                "\"workers\": {}, \"seed\": {}, \"events\": {}, {}\"detail\": \"{}\"}}"
             ),
             self.id,
             self.state.name(),
@@ -113,8 +129,11 @@ impl Job {
             self.cached,
             self.elapsed_ms(now),
             self.trials,
+            self.recorder.trials_done(),
             self.workers,
             self.seed,
+            self.recorder.hub().published(),
+            position,
             escape(&self.detail),
         )
     }
@@ -162,6 +181,8 @@ mod tests {
             trials: 3,
             workers: 1,
             seed: 2,
+            recorder: Arc::new(ChannelProgress::new(64)),
+            last_deadline_event: None,
         }
     }
 
@@ -180,16 +201,34 @@ mod tests {
         j.state = JobState::Failed;
         j.attempts = 2;
         j.detail = "exit status 1: \"assertion\"\nline2".to_string();
-        let json = j.status_json(Instant::now());
+        let json = j.status_json(Instant::now(), None);
         for needle in [
             "\"id\": 7",
             "\"state\": \"failed\"",
             "\"attempts\": 2",
             "\"elapsed_ms\": 0",
             "\"trials\": 3",
+            "\"trials_done\": 0",
             "\"workers\": 1",
             "\"seed\": 2",
+            "\"events\": 0",
             "\\\"assertion\\\"\\nline2",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert!(!json.contains("queue_position"));
+    }
+
+    #[test]
+    fn status_json_reports_queue_position_and_recorder_progress() {
+        use polite_wifi_harness::ProgressSink;
+        let j = job();
+        j.recorder.trial_finished(2, 3);
+        let json = j.status_json(Instant::now(), Some(4));
+        for needle in [
+            "\"queue_position\": 4",
+            "\"trials_done\": 2",
+            "\"events\": 1",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

@@ -20,11 +20,18 @@
 //!   CRC-32 integrity frame makes it safe (corrupt entries are
 //!   recomputed, never served).
 //! * **Drain** — `POST /shutdown` (or SIGTERM via the binary) stops
-//!   admission, lets in-flight jobs finish, persists the job table and
-//!   exits cleanly.
+//!   admission, lets in-flight jobs finish, persists the job table
+//!   (and each job's event journal) and exits cleanly.
+//! * **Observation** — every job carries a bounded flight recorder of
+//!   structured progress events (accepted/started/trial boundaries/
+//!   retries/finished). `GET /watch/<id>` streams it live as chunked
+//!   SSE with `Last-Event-ID` resume, `GET /jobs/<id>/events` replays
+//!   the recorded journal, and `GET /metrics/history` serves per-window
+//!   counter deltas. All operational-plane: none of it enters the
+//!   canonical result envelopes.
 //!
 //! See DESIGN.md §14 for the job state machine and the soundness
-//! argument.
+//! argument, and §15 for the live telemetry plane.
 //!
 //! [`ScenarioSpec::parse`]: polite_wifi_scenario::ScenarioSpec::parse
 //! [`CancelToken`]: polite_wifi_harness::CancelToken
@@ -35,8 +42,10 @@ pub mod cache;
 pub mod http;
 pub mod jobs;
 pub mod server;
+pub mod watch;
 
 pub use cache::{corrupt_entry, CacheRead, ResultStore};
 pub use http::{request, Request, Response};
 pub use jobs::{Job, JobState};
 pub use server::{Daemon, DaemonConfig};
+pub use watch::{SseClient, SseEvent};

@@ -17,8 +17,11 @@
 use crate::cache::{CacheRead, ResultStore};
 use crate::http::{read_request, Request, Response};
 use crate::jobs::{Job, JobState};
+use crate::watch;
 use polite_wifi_core::retry::RetryPolicy;
-use polite_wifi_harness::{cancel, CancelToken};
+use polite_wifi_harness::progress::set_thread_progress_sink;
+use polite_wifi_harness::{cancel, CancelToken, ChannelProgress, ProgressSink};
+use polite_wifi_obs::events::{EventHub, ProgressEvent, TimeSeries};
 use polite_wifi_obs::{names, Obs, OpenMetricsWriter};
 use polite_wifi_scenario::{fnv1a64, run_spec, ScenarioSpec};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -26,7 +29,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -50,6 +53,14 @@ pub struct DaemonConfig {
     pub retry_policy: RetryPolicy,
     /// Result store + per-job scratch directories live here.
     pub state_dir: PathBuf,
+    /// Per-job flight-recorder capacity (events). Overflow sheds the
+    /// oldest events, counted in `progress.events_shed`.
+    pub journal_capacity: usize,
+    /// `/metrics/history` ring capacity (windows).
+    pub history_capacity: usize,
+    /// How often the supervisor samples daemon counters into the
+    /// history ring.
+    pub history_window: Duration,
 }
 
 impl Default for DaemonConfig {
@@ -62,6 +73,9 @@ impl Default for DaemonConfig {
             retry_max: 0,
             retry_policy: RetryPolicy::default(),
             state_dir: PathBuf::from("daemon-state"),
+            journal_capacity: 4096,
+            history_capacity: 256,
+            history_window: Duration::from_secs(1),
         }
     }
 }
@@ -84,6 +98,13 @@ struct Shared {
     state: Mutex<State>,
     cv: Condvar,
     obs: Mutex<Obs>,
+    /// Per-window counter deltas for `/metrics/history`, sampled by the
+    /// supervisor every `config.history_window`.
+    history: Mutex<TimeSeries>,
+    /// Live `/watch` subscriber connections (reported on `/healthz`).
+    subscribers: AtomicU64,
+    /// Process start, for `/healthz` uptime and history timestamps.
+    started: Instant,
     draining: AtomicBool,
     shutdown: AtomicBool,
     shutdown_requested: AtomicBool,
@@ -94,8 +115,16 @@ impl Shared {
         self.obs.lock().unwrap().incr(name);
     }
 
+    fn add(&self, name: &str, n: u64) {
+        self.obs.lock().unwrap().add(name, n);
+    }
+
     fn observe(&self, name: &str, value: u64) {
         self.obs.lock().unwrap().observe(name, value);
+    }
+
+    fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
     }
 }
 
@@ -117,6 +146,7 @@ impl Daemon {
         std::fs::create_dir_all(&config.state_dir)?;
         let store = ResultStore::new(config.state_dir.join("store"));
         let worker_count = config.workers.max(1);
+        let history = TimeSeries::new(config.history_capacity);
         let shared = Arc::new(Shared {
             config,
             store,
@@ -129,6 +159,9 @@ impl Daemon {
             }),
             cv: Condvar::new(),
             obs: Mutex::new(Obs::new()),
+            history: Mutex::new(history),
+            subscribers: AtomicU64::new(0),
+            started: Instant::now(),
             draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
@@ -215,21 +248,35 @@ impl Daemon {
     }
 
     /// Writes the job table (status documents, submission order) to
-    /// `state_dir/jobs.json` so a drained daemon leaves an audit trail.
+    /// `state_dir/jobs.json`, and each job's flight-recorder journal to
+    /// `state_dir/events/<id>.json`, so a drained daemon leaves a
+    /// replayable audit trail — not just final states but how each job
+    /// got there.
     fn persist_jobs(&self) -> io::Result<()> {
         let now = Instant::now();
         let st = self.shared.state.lock().unwrap();
         let mut out = String::from("[\n");
+        let mut journals = Vec::new();
         for (i, job) in st.jobs.values().enumerate() {
             if i > 0 {
                 out.push_str(",\n");
             }
             out.push_str("  ");
-            out.push_str(&job.status_json(now));
+            out.push_str(&job.status_json(now, None));
+            journals.push((job.id, job.recorder.hub()));
         }
         out.push_str("\n]\n");
         drop(st);
-        std::fs::write(self.shared.config.state_dir.join("jobs.json"), out)
+        std::fs::write(self.shared.config.state_dir.join("jobs.json"), out)?;
+        let events_dir = self.shared.config.state_dir.join("events");
+        if !journals.is_empty() {
+            std::fs::create_dir_all(&events_dir)?;
+        }
+        for (id, hub) in journals {
+            std::fs::write(events_dir.join(format!("{id}.json")), hub.to_json())?;
+            self.shared.incr(names::DAEMON_JOURNAL_PERSISTED);
+        }
+        Ok(())
     }
 
     /// Current value of one daemon counter (test/bench introspection
@@ -253,36 +300,66 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 }
 
 fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
-    let response = match read_request(&mut stream) {
-        Ok(req) => route(&req, &shared),
-        Err(e) => Response::json(400, format!("{{\"error\": \"{e}\"}}")),
+    let req = match read_request(&mut stream) {
+        Ok(req) => req,
+        Err(e) => {
+            let _ = Response::json(400, format!("{{\"error\": \"{e}\"}}")).write_to(&mut stream);
+            return;
+        }
     };
-    let _ = response.write_to(&mut stream);
+    // `/watch` streams on the raw socket (chunked SSE); everything else
+    // is a one-shot Response.
+    if req.method == "GET" && req.path.starts_with("/watch/") {
+        handle_watch(stream, &req, &shared);
+        return;
+    }
+    let _ = route(&req, &shared).write_to(&mut stream);
 }
 
 fn route(req: &Request, shared: &Arc<Shared>) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/submit") => handle_submit(req, shared),
         ("GET", "/metrics") => handle_metrics(shared),
-        ("GET", "/healthz") => {
-            let phase = if shared.draining.load(Ordering::SeqCst) {
-                "draining"
-            } else {
-                "ok"
-            };
-            Response::text(200, &format!("{phase}\n"))
+        ("GET", "/metrics/history") => {
+            Response::json(200, shared.history.lock().unwrap().to_json())
         }
+        ("GET", "/healthz") => handle_healthz(shared),
         ("POST", "/shutdown") => {
             shared.shutdown_requested.store(true, Ordering::SeqCst);
             shared.draining.store(true, Ordering::SeqCst);
             shared.cv.notify_all();
             Response::text(200, "draining\n")
         }
+        ("GET", path) if path.starts_with("/jobs/") && path.ends_with("/events") => {
+            handle_job_events(path, shared)
+        }
         ("GET", path) if path.starts_with("/jobs/") => handle_job_status(path, shared),
         ("GET", path) if path.starts_with("/results/") => handle_result(path, shared),
         ("GET" | "POST", _) => Response::json(404, "{\"error\": \"no such route\"}".to_string()),
         _ => Response::json(405, "{\"error\": \"method not allowed\"}".to_string()),
     }
+}
+
+/// `/healthz`: liveness phase plus identity — uptime, build version
+/// and the live `/watch` subscriber count, so load balancers and smoke
+/// tests can assert which daemon they reached, not just that *a*
+/// daemon answered.
+fn handle_healthz(shared: &Arc<Shared>) -> Response {
+    let status = if shared.draining.load(Ordering::SeqCst) {
+        "draining"
+    } else {
+        "ok"
+    };
+    Response::json(
+        200,
+        format!(
+            "{{\"status\": \"{status}\", \"uptime_secs\": {}, \"version\": \"{}\", \
+             \"subscribers\": {}}}",
+            shared.started.elapsed().as_secs(),
+            env!("CARGO_PKG_VERSION"),
+            shared.subscribers.load(Ordering::SeqCst),
+        ),
+    )
 }
 
 fn handle_metrics(shared: &Arc<Shared>) -> Response {
@@ -305,8 +382,126 @@ fn handle_job_status(path: &str, shared: &Arc<Shared>) -> Response {
     };
     let st = shared.state.lock().unwrap();
     match st.jobs.get(&id) {
-        Some(job) => Response::json(200, job.status_json(Instant::now())),
+        Some(job) => {
+            // Queue position only means something while queued: 0 = the
+            // next job a free worker will pick up.
+            let position = if job.state == JobState::Queued {
+                st.queue.iter().position(|&q| q == id).map(|p| p as u64)
+            } else {
+                None
+            };
+            Response::json(200, job.status_json(Instant::now(), position))
+        }
         None => Response::json(404, "{\"error\": \"no such job\"}".to_string()),
+    }
+}
+
+/// `/jobs/<id>/events`: the recorded flight-recorder journal as a JSON
+/// array — replayable after the job completed, unlike the live
+/// `/watch` stream.
+fn handle_job_events(path: &str, shared: &Arc<Shared>) -> Response {
+    let middle = &path["/jobs/".len()..path.len() - "/events".len()];
+    let id = match middle.parse::<u64>() {
+        Ok(id) => id,
+        Err(_) => return Response::json(400, "{\"error\": \"bad job id\"}".to_string()),
+    };
+    let hub = {
+        let st = shared.state.lock().unwrap();
+        st.jobs.get(&id).map(|job| job.recorder.hub())
+    };
+    match hub {
+        Some(hub) => Response::json(200, hub.to_json()),
+        None => Response::json(404, "{\"error\": \"no such job\"}".to_string()),
+    }
+}
+
+// ===== live watch (chunked SSE) =====
+
+/// `GET /watch/<id>`: stream the job's flight recorder as SSE from a
+/// resume point (`Last-Event-ID` header or `?from=N`, default 0),
+/// ending after the terminal `job_finished` event. A subscriber that
+/// fell behind a shed gap gets an SSE comment and resumes at the
+/// oldest held event; a subscriber that hangs up costs itself the
+/// stream and the job nothing.
+fn handle_watch(mut stream: TcpStream, req: &Request, shared: &Arc<Shared>) {
+    let id = match req.path["/watch/".len()..].parse::<u64>() {
+        Ok(id) => id,
+        Err(_) => {
+            let _ = Response::json(400, "{\"error\": \"bad job id\"}".to_string())
+                .write_to(&mut stream);
+            return;
+        }
+    };
+    let hub = {
+        let st = shared.state.lock().unwrap();
+        st.jobs.get(&id).map(|job| job.recorder.hub())
+    };
+    let Some(hub) = hub else {
+        let _ = Response::json(404, "{\"error\": \"no such job\"}".to_string())
+            .write_to(&mut stream);
+        return;
+    };
+    // Resume point: the standard SSE `Last-Event-ID` header names the
+    // last sequence the client *saw*, so streaming resumes after it;
+    // `?from=N` names the first sequence wanted (curl convenience).
+    let from = match (
+        req.header("last-event-id").and_then(|v| v.parse::<u64>().ok()),
+        req.param("from").and_then(|v| v.parse::<u64>().ok()),
+    ) {
+        (Some(last), _) => last + 1,
+        (None, Some(from)) => from,
+        (None, None) => 0,
+    };
+    shared.incr(names::DAEMON_WATCH_SUBSCRIBED);
+    if from > 0 {
+        shared.incr(names::DAEMON_WATCH_RESUMED);
+    }
+    shared.subscribers.fetch_add(1, Ordering::SeqCst);
+    let outcome = stream_watch(&mut stream, &hub, from, shared);
+    shared.subscribers.fetch_sub(1, Ordering::SeqCst);
+    if outcome.is_err() {
+        shared.incr(names::DAEMON_WATCH_DISCONNECTED);
+    }
+}
+
+fn stream_watch(
+    stream: &mut TcpStream,
+    hub: &Arc<EventHub>,
+    from: u64,
+    shared: &Arc<Shared>,
+) -> io::Result<()> {
+    watch::write_sse_head(stream)?;
+    let mut next = from;
+    loop {
+        let delivery = hub.wait_since(next, Duration::from_millis(50));
+        if let Some(first) = delivery.events.first() {
+            if first.seq > next {
+                // The journal shed events this subscriber never saw.
+                let shed = first.seq - next;
+                shared.add(names::DAEMON_WATCH_EVENTS_SHED, shed);
+                watch::write_sse_comment(
+                    stream,
+                    &format!("shed {shed} event(s) before seq {}", first.seq),
+                )?;
+                next = first.seq;
+            }
+            for event in &delivery.events {
+                watch::write_sse_event(stream, event)?;
+                next = event.seq + 1;
+            }
+            shared.add(
+                names::DAEMON_WATCH_EVENTS_STREAMED,
+                delivery.events.len() as u64,
+            );
+        }
+        if delivery.closed && next >= delivery.next_seq {
+            return watch::finish_sse(stream);
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Drain has finished every job; anything still open here is
+            // a watcher of a never-run job. End the stream cleanly.
+            return watch::finish_sse(stream);
+        }
     }
 }
 
@@ -407,6 +602,13 @@ fn handle_submit(req: &Request, shared: &Arc<Shared>) -> Response {
         if inject.is_none() {
             if let Some(&existing) = st.inflight.get(&key) {
                 shared.incr(names::DAEMON_SUBMIT_COALESCED);
+                // The in-flight job's journal notes the duplicate: a
+                // watcher sees demand for this result, not just its
+                // progress.
+                if let Some(job) = st.jobs.get(&existing) {
+                    job.recorder
+                        .publish(ProgressEvent::new("cache_hit").with_detail("coalesced"));
+                }
                 drop(st);
                 return if wait {
                     wait_and_respond(existing, shared)
@@ -430,6 +632,14 @@ fn handle_submit(req: &Request, shared: &Arc<Shared>) -> Response {
         let id = st.next_id;
         st.next_id += 1;
         let args = spec.run_args();
+        let recorder = Arc::new(ChannelProgress::new(shared.config.journal_capacity));
+        recorder.publish(
+            ProgressEvent::new("job_accepted")
+                .with("job", id)
+                .with("trials", args.trials as u64)
+                .with("workers", args.workers as u64)
+                .with("seed", args.seed),
+        );
         st.jobs.insert(
             id,
             Job {
@@ -452,6 +662,8 @@ fn handle_submit(req: &Request, shared: &Arc<Shared>) -> Response {
                 trials: args.trials as u64,
                 workers: args.workers as u64,
                 seed: args.seed,
+                recorder,
+                last_deadline_event: None,
             },
         );
         st.queue.push_back(id);
@@ -489,7 +701,7 @@ fn wait_and_respond(id: u64, shared: &Arc<Shared>) -> Response {
                     job.state,
                     job.key.clone(),
                     job.cached,
-                    job.status_json(Instant::now()),
+                    job.status_json(Instant::now(), None),
                 );
             }
             let (guard, _) = shared
@@ -589,7 +801,7 @@ fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
 
 fn run_one(shared: &Arc<Shared>, id: u64) {
     let token = CancelToken::new();
-    let (spec_json, inject, key, slug, attempt) = {
+    let (spec_json, inject, key, slug, attempt, recorder) = {
         let mut st = shared.state.lock().unwrap();
         st.running += 1;
         let job = st.jobs.get_mut(&id).expect("queued job exists");
@@ -606,12 +818,19 @@ fn run_one(shared: &Arc<Shared>, id: u64) {
             job.key.clone(),
             job.slug.clone(),
             job.attempts,
+            Arc::clone(&job.recorder),
         )
     };
+    recorder.publish(ProgressEvent::new("job_started").with("attempt", attempt as u64));
 
     let dir = job_dir(shared, id);
     let prev_dir = polite_wifi_harness::set_thread_results_dir(Some(dir.clone()));
     let prev_token = cancel::install_token(Some(token.clone()));
+    // The flight recorder rides the same thread-local channel as the
+    // results dir: `Experiment::start_with` (called by `run_spec` on
+    // this thread) picks it up and drives it at trial boundaries.
+    let prev_sink =
+        set_thread_progress_sink(Some(Arc::clone(&recorder) as Arc<dyn ProgressSink>));
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let spec = ScenarioSpec::parse(&spec_json)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
@@ -622,6 +841,7 @@ fn run_one(shared: &Arc<Shared>, id: u64) {
         }
         run_spec(&spec, args)
     }));
+    set_thread_progress_sink(prev_sink);
     cancel::install_token(prev_token);
     polite_wifi_harness::set_thread_results_dir(prev_dir);
 
@@ -662,11 +882,13 @@ fn run_one(shared: &Arc<Shared>, id: u64) {
             // Counter before the state transition: a wait=1 responder
             // wakes on the transition and must see consistent metrics.
             shared.incr(names::DAEMON_JOBS_COMPLETED);
+            seal_recorder(shared, &recorder, JobState::Done, cached);
             finish(shared, id, JobState::Done, String::new(), cached);
         }
         Verdict::TimedOut(detail) => {
             // No retry: the next attempt would hit the same deadline.
             shared.incr(names::DAEMON_JOBS_TIMED_OUT);
+            seal_recorder(shared, &recorder, JobState::TimedOut, false);
             finish(shared, id, JobState::TimedOut, detail, false);
         }
         Verdict::Failed(detail) => {
@@ -676,12 +898,48 @@ fn run_one(shared: &Arc<Shared>, id: u64) {
                     .retry_policy
                     .delay_us(attempt, fnv1a64(key.as_bytes()));
                 shared.incr(names::DAEMON_JOBS_RETRIED);
+                recorder.publish(
+                    ProgressEvent::new("job_retried")
+                        .with_detail(&detail)
+                        .with("attempt", attempt as u64)
+                        .with("delay_us", delay_us),
+                );
                 requeue(shared, id, detail, Duration::from_micros(delay_us));
             } else {
                 shared.incr(names::DAEMON_JOBS_FAILED);
+                seal_recorder(shared, &recorder, JobState::Failed, false);
                 finish(shared, id, JobState::Failed, detail, false);
             }
         }
+    }
+}
+
+/// Publishes the terminal `job_finished` event, closes the stream so
+/// `/watch` subscribers drain and hang up, and rolls the journal's
+/// lifetime tallies into the daemon's metrics scope. Called before the
+/// terminal state transition so a `wait=1` responder that wakes on the
+/// transition sees consistent metrics.
+fn seal_recorder(
+    shared: &Arc<Shared>,
+    recorder: &Arc<ChannelProgress>,
+    state: JobState,
+    cached: bool,
+) {
+    // The terminal detail is the state name; failure specifics already
+    // live in the preceding trial_failed / job_retried events and the
+    // `/jobs/<id>` status document.
+    recorder.publish(
+        ProgressEvent::new("job_finished")
+            .with_detail(state.name())
+            .with("cached", cached as u64)
+            .with("trials_done", recorder.trials_done()),
+    );
+    let hub = recorder.hub();
+    hub.close();
+    shared.add(names::PROGRESS_EVENTS, hub.published());
+    let shed = hub.shed();
+    if shed > 0 {
+        shared.add(names::PROGRESS_EVENTS_SHED, shed);
     }
 }
 
@@ -728,19 +986,48 @@ fn requeue(shared: &Arc<Shared>, id: u64, detail: String, delay: Duration) {
 
 // ===== supervisor =====
 
+/// How often a running job's journal gets a `deadline_remaining`
+/// event. Coarser than the 2ms cancellation tick: the tick must catch
+/// overruns promptly, but a watcher only needs a countdown heartbeat.
+const DEADLINE_EVENT_EVERY: Duration = Duration::from_millis(500);
+
 fn supervisor_loop(shared: Arc<Shared>) {
+    let mut last_sample: Option<Instant> = None;
     while !shared.shutdown.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(2));
         let now = Instant::now();
-        let st = shared.state.lock().unwrap();
-        for job in st.jobs.values() {
+        let mut st = shared.state.lock().unwrap();
+        for job in st.jobs.values_mut() {
             if job.state == JobState::Running {
                 if let (Some(deadline), Some(token)) = (job.deadline, &job.token) {
                     if now >= deadline && !token.is_cancelled() {
                         token.cancel();
                     }
+                    let due = job
+                        .last_deadline_event
+                        .is_none_or(|t| now.duration_since(t) >= DEADLINE_EVENT_EVERY);
+                    if due {
+                        job.last_deadline_event = Some(now);
+                        job.recorder.publish(
+                            ProgressEvent::new("deadline_remaining").with(
+                                "remaining_ms",
+                                deadline.saturating_duration_since(now).as_millis() as u64,
+                            ),
+                        );
+                    }
                 }
             }
+        }
+        drop(st);
+        // Sample the daemon counters into the history ring once per
+        // window (wall-clock; this plane never touches envelopes).
+        let due = last_sample.is_none_or(|t| now.duration_since(t) >= shared.config.history_window);
+        if due {
+            last_sample = Some(now);
+            let at_ms = shared.uptime_ms();
+            let mut obs = shared.obs.lock().unwrap();
+            obs.incr(names::DAEMON_HISTORY_SAMPLES);
+            shared.history.lock().unwrap().sample(&obs.counters, at_ms);
         }
     }
 }

@@ -2,7 +2,9 @@
 //! timeouts, retry, cache integrity — each against a real daemon on an
 //! ephemeral loopback port.
 
-use polite_wifi_daemon::{corrupt_entry, http, CacheRead, Daemon, DaemonConfig, ResultStore};
+use polite_wifi_daemon::{
+    corrupt_entry, http, CacheRead, Daemon, DaemonConfig, ResultStore, SseClient,
+};
 use polite_wifi_obs::names;
 use polite_wifi_scenario::ScenarioSpec;
 use std::path::PathBuf;
@@ -149,7 +151,14 @@ fn submissions_while_draining_are_rejected() {
     // distinction between "draining" and "dead".
     let (status, _, body) = http::request(daemon.addr(), "GET", "/healthz", b"").unwrap();
     assert_eq!(status, 200);
-    assert_eq!(body, b"draining\n");
+    let body = String::from_utf8(body).unwrap();
+    assert!(body.contains("\"status\": \"draining\""), "{body}");
+    assert!(body.contains("\"uptime_secs\": "), "{body}");
+    assert!(
+        body.contains(&format!("\"version\": \"{}\"", env!("CARGO_PKG_VERSION"))),
+        "{body}"
+    );
+    assert!(body.contains("\"subscribers\": 0"), "{body}");
 
     daemon.drain().unwrap();
     let _ = std::fs::remove_dir_all(state_dir);
@@ -301,6 +310,127 @@ fn invalid_spec_gets_the_aggregated_parser_error_as_400() {
     let _ = std::fs::remove_dir_all(state_dir);
 }
 
+/// The ISSUE acceptance path: subscribe to a running job's `/watch`
+/// stream, hang up mid-job, resubscribe with `Last-Event-ID`, and
+/// verify the combined stream is a gap-free, strictly-increasing
+/// sequence ending in the terminal `job_finished` event.
+#[test]
+fn watch_stream_resumes_exactly_and_ends_at_job_finished() {
+    let cfg = DaemonConfig {
+        workers: 1,
+        // Sample the history ring fast enough that this test sees it.
+        history_window: Duration::from_millis(50),
+        ..config("watch")
+    };
+    let state_dir = cfg.state_dir.clone();
+    let daemon = Daemon::start(cfg).unwrap();
+
+    // A slow job (60 trials of a 2000 pps flood) so both subscribers
+    // provably attach mid-run.
+    let (status, _, body) = submit(&daemon, &fixture(83, 60, 2000), "");
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+
+    // Wait until the single worker has picked job 1 up, then queue a
+    // second job behind it: its status must report the place in line.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, _, body) = http::request(daemon.addr(), "GET", "/jobs/1", b"").unwrap();
+        if String::from_utf8(body).unwrap().contains("\"state\": \"running\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job 1 never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let (status, _, _) = submit(&daemon, &fixture(89, 1, 10), "");
+    assert_eq!(status, 202);
+    let (status, _, queued) = http::request(daemon.addr(), "GET", "/jobs/2", b"").unwrap();
+    assert_eq!(status, 200);
+    let queued = String::from_utf8(queued).unwrap();
+    assert!(queued.contains("\"queue_position\": 0"), "{queued}");
+
+    // Subscribe live, read a few events, then hang up mid-stream. The
+    // job must not notice (it can't: publishing never blocks).
+    let (status, mut first) = SseClient::connect(daemon.addr(), "/watch/1", None).unwrap();
+    assert_eq!(status, 200);
+    let mut seqs = Vec::new();
+    let mut last_id = 0;
+    for _ in 0..3 {
+        let event = first.next_event().unwrap().expect("live event");
+        last_id = event.id.expect("id line");
+        seqs.push(last_id);
+    }
+    // While subscribed, /healthz counts us.
+    let (_, _, health) = http::request(daemon.addr(), "GET", "/healthz", b"").unwrap();
+    let health = String::from_utf8(health).unwrap();
+    assert!(health.contains("\"status\": \"ok\""), "{health}");
+    assert!(health.contains("\"subscribers\": 1"), "{health}");
+    drop(first);
+
+    // Resume from where we left off; the replay must be gap-free.
+    let (status, mut second) =
+        SseClient::connect(daemon.addr(), "/watch/1", Some(last_id)).unwrap();
+    assert_eq!(status, 200);
+    let rest = second.collect_events().unwrap();
+    assert!(!rest.is_empty(), "resumed stream delivered nothing");
+    seqs.extend(rest.iter().map(|e| e.id.expect("id line")));
+
+    assert_eq!(seqs[0], 0, "stream starts at the journal head: {seqs:?}");
+    for pair in seqs.windows(2) {
+        assert_eq!(pair[1], pair[0] + 1, "gap or reorder in {seqs:?}");
+    }
+    let terminal = rest.last().unwrap();
+    assert_eq!(terminal.event, "job_finished", "{rest:?}");
+    assert!(terminal.data.contains("\"detail\":\"done\""), "{terminal:?}");
+    assert_eq!(daemon.counter(names::DAEMON_WATCH_SUBSCRIBED), 2);
+    assert_eq!(daemon.counter(names::DAEMON_WATCH_RESUMED), 1);
+    assert!(
+        daemon.counter(names::DAEMON_WATCH_EVENTS_STREAMED) >= seqs.len() as u64,
+        "streamed counter must cover both subscriptions"
+    );
+
+    // The journal replays the whole story after the fact ...
+    let (status, _, journal) = http::request(daemon.addr(), "GET", "/jobs/1/events", b"").unwrap();
+    assert_eq!(status, 200);
+    let journal = String::from_utf8(journal).unwrap();
+    for needle in [
+        "\"kind\":\"job_accepted\"",
+        "\"kind\":\"job_started\"",
+        "\"kind\":\"trial_finished\"",
+        "\"kind\":\"job_finished\"",
+    ] {
+        assert!(journal.contains(needle), "missing {needle} in {journal}");
+    }
+    // ... /jobs/1 reflects the recorder's trial progress ...
+    let status_doc = poll_until_terminal(&daemon, 1);
+    assert!(status_doc.contains("\"trials_done\": 60"), "{status_doc}");
+    // ... and the supervisor has sampled counters into the history ring.
+    let (status, _, history) = http::request(daemon.addr(), "GET", "/metrics/history", b"").unwrap();
+    assert_eq!(status, 200);
+    let history = String::from_utf8(history).unwrap();
+    assert!(history.contains("\"windows\":[{"), "{history}");
+    assert!(history.contains(names::DAEMON_HISTORY_SAMPLES), "{history}");
+
+    poll_until_terminal(&daemon, 2);
+    daemon.drain().unwrap();
+    let _ = std::fs::remove_dir_all(state_dir);
+}
+
+#[test]
+fn watch_of_an_unknown_job_is_a_404() {
+    let cfg = config("watch404");
+    let state_dir = cfg.state_dir.clone();
+    let daemon = Daemon::start(cfg).unwrap();
+
+    let (status, mut client) = SseClient::connect(daemon.addr(), "/watch/999", None).unwrap();
+    assert_eq!(status, 404);
+    assert!(client.next_event().unwrap().is_none());
+    let (status, _, _) = http::request(daemon.addr(), "GET", "/jobs/999/events", b"").unwrap();
+    assert_eq!(status, 404);
+
+    daemon.drain().unwrap();
+    let _ = std::fs::remove_dir_all(state_dir);
+}
+
 #[test]
 fn drain_persists_the_job_table() {
     let cfg = config("persist");
@@ -313,5 +443,10 @@ fn drain_persists_the_job_table() {
     let table = std::fs::read_to_string(state_dir.join("jobs.json")).unwrap();
     assert!(table.contains("\"state\": \"done\""), "{table}");
     assert!(table.contains("\"slug\": \"daemon_fixture\""), "{table}");
+    // The flight recorder drains alongside the job table, so a post-
+    // mortem can replay the journal without the daemon running.
+    let journal = std::fs::read_to_string(state_dir.join("events").join("1.json")).unwrap();
+    assert!(journal.contains("\"kind\":\"job_accepted\""), "{journal}");
+    assert!(journal.contains("\"kind\":\"job_finished\""), "{journal}");
     let _ = std::fs::remove_dir_all(state_dir);
 }

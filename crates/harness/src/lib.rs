@@ -32,6 +32,7 @@
 
 pub mod cancel;
 pub mod ledger;
+pub mod progress;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -39,6 +40,9 @@ pub mod sink;
 
 pub use cancel::CancelToken;
 pub use ledger::{MetricSummary, MetricsLedger};
+pub use progress::{
+    set_thread_progress_sink, ChannelProgress, ProgressSample, ProgressSink, StderrProgress,
+};
 pub use report::{results_dir, set_thread_results_dir, write_json, Experiment};
 pub use runner::{derive_trial_seed, RunArgs, Runner, TrialCtx, TrialFailure};
 pub use scenario::{Scenario, ScenarioBuilder};

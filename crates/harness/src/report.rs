@@ -16,14 +16,16 @@
 //! envelope without knowing any experiment's payload shape.
 
 use crate::ledger::{MetricSummary, MetricsLedger};
+use crate::progress::{self, ProgressSample, ProgressSink, StderrProgress};
 use crate::runner::{RunArgs, Runner, TrialCtx, TrialFailure};
-use crate::sink::{self, Heartbeat};
+use crate::sink;
 use polite_wifi_obs::{names, Obs, ObsConfig};
 use serde::Serialize;
 use serde_json::Value;
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 thread_local! {
@@ -210,7 +212,11 @@ pub struct Experiment {
     pub obs: Obs,
     absorbed: u64,
     started: Instant,
-    heartbeat: Heartbeat,
+    /// Progress consumers driven at trial boundaries: always the
+    /// stderr sink (byte-exact `--progress` behaviour), plus this
+    /// thread's installed sink when the daemon (or a test) registered
+    /// one via [`progress::set_thread_progress_sink`] before start.
+    sinks: Vec<Arc<dyn ProgressSink>>,
     trial_failures: Vec<TrialFailure>,
     quarantined: u64,
 }
@@ -251,7 +257,11 @@ impl Experiment {
             if args.quick { "   (quick)" } else { "" }
         );
         println!("{}", "=".repeat(72));
-        let heartbeat = Heartbeat::new(args.progress);
+        let mut sinks: Vec<Arc<dyn ProgressSink>> =
+            vec![Arc::new(StderrProgress::new(args.progress))];
+        if let Some(sink) = progress::thread_progress_sink() {
+            sinks.push(sink);
+        }
         Experiment {
             name: name.to_string(),
             paper_ref: paper_ref.to_string(),
@@ -260,7 +270,7 @@ impl Experiment {
             obs: Obs::new(),
             absorbed: 0,
             started: Instant::now(),
-            heartbeat,
+            sinks,
             trial_failures: Vec::new(),
             quarantined: 0,
         }
@@ -282,8 +292,7 @@ impl Experiment {
         self.absorbed += 1;
         let elapsed = self.started.elapsed().as_secs_f64();
         let (obs, absorbed) = (&self.obs, self.absorbed);
-        self.heartbeat.tick(|| {
-            let txed = obs.counters.get("sim.frames_txed");
+        let render = || {
             let per_sec = |n: u64| {
                 if elapsed > 0.0 {
                     n as f64 / elapsed
@@ -291,24 +300,20 @@ impl Experiment {
                     0.0
                 }
             };
-            let fps = per_sec(txed);
-            let eps = per_sec(obs.counters.get(names::SIM_EVENTS_DISPATCHED));
-            let cells = obs.counters.get(names::SIM_CELLS_OCCUPIED);
-            let cells = if cells > 0 {
-                format!(", {cells} cells occupied")
-            } else {
-                String::new()
-            };
-            format!(
-                "[progress] {absorbed} trial scope(s) absorbed — {fps:.0} frames/s, \
-                 {eps:.0} events/s{cells}; \
-                 fates: delivered {}, fer_dropped {}, collided {}, stalled {}",
-                obs.counters.get(names::FRAME_FATE_DELIVERED),
-                obs.counters.get(names::FRAME_FATE_FER_DROPPED),
-                obs.counters.get(names::FRAME_FATE_COLLIDED),
-                obs.counters.get(names::FRAME_FATE_STALL_SWALLOWED),
-            )
-        });
+            ProgressSample {
+                trials_absorbed: absorbed,
+                frames_per_sec: per_sec(obs.counters.get("sim.frames_txed")),
+                events_per_sec: per_sec(obs.counters.get(names::SIM_EVENTS_DISPATCHED)),
+                cells_occupied: obs.counters.get(names::SIM_CELLS_OCCUPIED),
+                delivered: obs.counters.get(names::FRAME_FATE_DELIVERED),
+                fer_dropped: obs.counters.get(names::FRAME_FATE_FER_DROPPED),
+                collided: obs.counters.get(names::FRAME_FATE_COLLIDED),
+                stalled: obs.counters.get(names::FRAME_FATE_STALL_SWALLOWED),
+            }
+        };
+        for sink in &self.sinks {
+            sink.sample(&render);
+        }
     }
 
     /// Base seed for this run.
@@ -334,7 +339,7 @@ impl Experiment {
         let inject = self.args.inject_trial_panic;
         let total = self.args.trials;
         let done = AtomicUsize::new(0);
-        let heartbeat = &self.heartbeat;
+        let sinks = &self.sinks;
         let (results, failures) =
             self.runner()
                 .run_trials_checked(self.args.seed, self.args.trials, |ctx| {
@@ -343,12 +348,17 @@ impl Experiment {
                     // deterministic TrialFailures instead of letting a
                     // timed-out job run to the bitter end.
                     crate::cancel::check_cancelled();
+                    for sink in sinks {
+                        sink.trial_started(ctx.index, total);
+                    }
                     if Some(ctx.index) == inject {
                         panic!("injected trial panic (--inject-trial-panic {})", ctx.index);
                     }
                     let out = trial(ctx);
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    heartbeat.tick(|| format!("[progress] {finished}/{total} trials done"));
+                    for sink in sinks {
+                        sink.trial_finished(finished, total);
+                    }
                     out
                 });
         self.note_trial_failures(failures);
@@ -369,6 +379,9 @@ impl Experiment {
                 "[trial {} (seed {}) degraded: {}]",
                 failure.trial, failure.seed, failure.detail
             ));
+            for sink in &self.sinks {
+                sink.trial_failed(failure.trial as usize, &failure.detail);
+            }
         }
         self.trial_failures.extend(failures);
     }

@@ -35,6 +35,7 @@
 //! assert!(merged.chrome_trace_json().contains("\"ph\":\"X\""));
 //! ```
 
+pub mod events;
 pub mod frametrace;
 pub mod json;
 pub mod metrics;
@@ -45,6 +46,7 @@ pub mod ring;
 pub mod span;
 pub mod trace;
 
+pub use events::{Delivery, EventHub, EventJournal, ProgressEvent, TimeSeries};
 pub use frametrace::{FrameTrace, HopRecord, TraceLog};
 pub use metrics::{Counters, Histogram, Histograms, HISTOGRAM_BUCKETS};
 pub use openmetrics::OpenMetricsWriter;

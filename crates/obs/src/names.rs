@@ -148,6 +148,41 @@ pub const DAEMON_QUEUE_DEPTH: &str = "daemon.queue.depth";
 /// canonical result envelope.
 pub const DAEMON_DRAIN_WALL_MS: &str = "daemon.drain.wall_ms";
 
+/// Counter: progress events published into a job's flight recorder
+/// (lifecycle, trial boundaries, samples). Operational-plane only.
+pub const PROGRESS_EVENTS: &str = "progress.events";
+
+/// Counter: progress events shed by flight-recorder ring overflow —
+/// the journal is bounded, so a long job keeps only its newest events.
+pub const PROGRESS_EVENTS_SHED: &str = "progress.events_shed";
+
+/// Counter: `/watch/<id>` subscriptions accepted (initial + resumed).
+pub const DAEMON_WATCH_SUBSCRIBED: &str = "daemon.watch.subscribed";
+
+/// Counter: `/watch/<id>` subscriptions that resumed from a non-zero
+/// `Last-Event-ID` / `?from=` position.
+pub const DAEMON_WATCH_RESUMED: &str = "daemon.watch.resumed";
+
+/// Counter: SSE events written to `/watch` subscribers.
+pub const DAEMON_WATCH_EVENTS_STREAMED: &str = "daemon.watch.events_streamed";
+
+/// Counter: events a `/watch` subscriber missed because the journal
+/// ring shed them before the subscriber caught up (slow-subscriber
+/// shedding — the job never waits for the stream).
+pub const DAEMON_WATCH_EVENTS_SHED: &str = "daemon.watch.events_shed";
+
+/// Counter: `/watch` subscribers that hung up (or errored) before the
+/// stream reached its terminal `job_finished` event.
+pub const DAEMON_WATCH_DISCONNECTED: &str = "daemon.watch.disconnected";
+
+/// Counter: per-job flight-recorder journals persisted to the state
+/// dir during a graceful drain.
+pub const DAEMON_JOURNAL_PERSISTED: &str = "daemon.journal.persisted";
+
+/// Counter: time-series windows sampled into the `/metrics/history`
+/// ring by the supervisor.
+pub const DAEMON_HISTORY_SAMPLES: &str = "daemon.history.samples";
+
 /// Every exact runtime-emitted counter/histogram name.
 pub const REGISTERED: &[&str] = &[
     // sim.* — event-loop outcomes.
@@ -222,6 +257,16 @@ pub const REGISTERED: &[&str] = &[
     DAEMON_JOBS_RETRIED,
     DAEMON_QUEUE_DEPTH,
     DAEMON_DRAIN_WALL_MS,
+    // progress.* / daemon.watch.* — the live telemetry plane.
+    PROGRESS_EVENTS,
+    PROGRESS_EVENTS_SHED,
+    DAEMON_WATCH_SUBSCRIBED,
+    DAEMON_WATCH_RESUMED,
+    DAEMON_WATCH_EVENTS_STREAMED,
+    DAEMON_WATCH_EVENTS_SHED,
+    DAEMON_WATCH_DISCONNECTED,
+    DAEMON_JOURNAL_PERSISTED,
+    DAEMON_HISTORY_SAMPLES,
 ];
 
 /// Registered name families with a dynamic final segment: per-reason

@@ -93,6 +93,29 @@ fn wardrive_pipeline_metrics_are_registered() {
     assert_registered(&obs, "wardrive pipeline");
 }
 
+/// The live telemetry plane: every `progress.*` and `daemon.watch.*`
+/// counter the daemon's flight recorder and `/watch` endpoint emit must
+/// be in the registry, or `/metrics` scrapes and the CI smoke greps go
+/// dark silently.
+#[test]
+fn telemetry_plane_metric_names_are_registered() {
+    let mut obs = Obs::new();
+    for name in [
+        names::PROGRESS_EVENTS,
+        names::PROGRESS_EVENTS_SHED,
+        names::DAEMON_WATCH_SUBSCRIBED,
+        names::DAEMON_WATCH_RESUMED,
+        names::DAEMON_WATCH_EVENTS_STREAMED,
+        names::DAEMON_WATCH_EVENTS_SHED,
+        names::DAEMON_WATCH_DISCONNECTED,
+        names::DAEMON_JOURNAL_PERSISTED,
+        names::DAEMON_HISTORY_SAMPLES,
+    ] {
+        obs.incr(name);
+    }
+    assert_registered(&obs, "telemetry plane");
+}
+
 /// The batched sensing hub: covers the `hub.*` family and the
 /// `sensing.*` tallies its batches emit.
 #[test]
